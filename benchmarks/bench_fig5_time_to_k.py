@@ -1,0 +1,106 @@
+"""Figure 5 reproduction: time to return the first k results of a//b.
+
+Paper (section 6, Figure 5): the query asks for all ``article`` descendants
+of Mohan's VLDB 99 ARIES paper.  Findings to reproduce:
+
+* monolithic HOPI returns *all* results in near-constant time;
+* the FliX configurations (HOPI-partitioned, Maximal PPO) return the *first*
+  results faster than monolithic HOPI and clearly improve on APEX;
+* the FliX configurations take longer than monolithic HOPI to finish
+  (they follow links at run time);
+* "other experiments with different start elements and different tag names
+  showed similar results" — the sweep test repeats the measurement over a
+  randomized workload.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench.harness import time_to_k
+from repro.bench.reporting import format_series
+from repro.bench.workloads import random_descendant_queries
+
+CHECKPOINTS = [1, 2, 5, 10, 20, 50, 100]
+
+_SERIES = {}
+
+
+@pytest.fixture(scope="module")
+def system_by_name(systems):
+    return {system.name: system for system in systems}
+
+
+@pytest.mark.parametrize("index", range(6))
+def test_fig5_query(benchmark, systems, fig5, index):
+    system = systems[index]
+    start, tag = fig5
+
+    def run():
+        return list(system.flix.find_descendants(start, tag=tag))
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    timings = time_to_k(
+        lambda: system.flix.find_descendants(start, tag=tag), CHECKPOINTS
+    )
+    _SERIES[system.name] = timings
+    benchmark.extra_info["results"] = len(results)
+    benchmark.extra_info["time_to_first_ms"] = timings[1] * 1000
+    assert results, "the Figure 5 query must have answers"
+
+
+def test_fig5_shape(benchmark, systems, fig5):
+    """Render the series and assert the paper's qualitative findings."""
+    assert len(_SERIES) == 6, "query benchmarks must run first (same module)"
+    print()
+    print(format_series("Figure 5 (reproduced): seconds to k results",
+                        CHECKPOINTS, _SERIES))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    hopi = _SERIES["HOPI"]
+    partitioned = [
+        timings
+        for name, timings in _SERIES.items()
+        if name.startswith("HOPI-")
+    ]
+    assert len(partitioned) == 2
+
+    # HOPI's curve is almost flat: finishing costs little more than starting.
+    assert hopi[CHECKPOINTS[-1]] <= 5 * hopi[1] + 1e-3
+
+    # The FliX configurations outperform monolithic HOPI to the first result.
+    fastest_first = min(t[1] for t in partitioned + [_SERIES["MaximalPPO"]])
+    assert fastest_first <= hopi[1]
+
+    # ... and clearly improve on APEX for the first results.
+    assert fastest_first < _SERIES["APEX"][1]
+
+
+def test_fig5_sweep_other_start_elements(benchmark, systems, dblp_collection):
+    """Section 6's in-text claim: other (start, tag) pairs behave alike."""
+    queries = random_descendant_queries(dblp_collection, count=5, seed=7)
+    by_name = {system.name: system for system in systems}
+    hopi = by_name["HOPI"].flix
+    partitioned = next(
+        s for s in systems if s.name.startswith("HOPI-")
+    ).flix
+
+    def run_all():
+        totals = {"HOPI": 0.0, "FliX": 0.0, "FliX_first": 0.0, "HOPI_first": 0.0}
+        for start, tag in queries:
+            t_hopi = time_to_k(lambda: hopi.find_descendants(start, tag=tag), [1, 50])
+            t_flix = time_to_k(
+                lambda: partitioned.find_descendants(start, tag=tag), [1, 50]
+            )
+            totals["HOPI"] += t_hopi[50]
+            totals["FliX"] += t_flix[50]
+            totals["HOPI_first"] += t_hopi[1]
+            totals["FliX_first"] += t_flix[1]
+        return totals
+
+    totals = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    benchmark.extra_info.update({k: round(v * 1000, 3) for k, v in totals.items()})
+    # similar trend: FliX competitive to the first result across the sweep
+    assert totals["FliX_first"] < 5 * totals["HOPI_first"] + 0.01

@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark suites.
+
+The corpus scale is controlled by ``FLIX_BENCH_DOCS`` (default 600
+documents, ~1/10 of the paper's 6,210): all structural ratios —
+citations per document, partition-to-collection fractions — are preserved,
+so the paper's qualitative shapes reproduce while the whole suite stays in
+the minutes range.  Set ``FLIX_BENCH_DOCS=6210`` for paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import build_all_systems, paper_partition_sizes
+from repro.bench.workloads import figure5_query
+from repro.datasets.dblp import DblpSpec, generate_dblp
+from repro.graph.closure import transitive_closure
+
+BENCH_DOCS = int(os.environ.get("FLIX_BENCH_DOCS", "600"))
+
+
+@pytest.fixture(scope="session")
+def dblp_collection():
+    return generate_dblp(DblpSpec(documents=BENCH_DOCS))
+
+
+@pytest.fixture(scope="session")
+def systems(dblp_collection):
+    """The paper's six-system lineup (section 6), built once."""
+    return build_all_systems(dblp_collection)
+
+
+#: beyond this many elements, materializing the exact closure (or the
+#: TransitiveClosure comparator) would need gigabytes; oracle-dependent
+#: measurements are skipped at such scales.
+ORACLE_NODE_LIMIT = 30_000
+
+
+@pytest.fixture(scope="session")
+def oracle(dblp_collection):
+    """Exact reachability/distances — ground truth for error rates."""
+    if dblp_collection.node_count > ORACLE_NODE_LIMIT:
+        pytest.skip(
+            f"collection has {dblp_collection.node_count} elements; the "
+            f"exact-closure oracle is only materialized up to "
+            f"{ORACLE_NODE_LIMIT}"
+        )
+    return transitive_closure(dblp_collection.graph)
+
+
+@pytest.fixture(scope="session")
+def fig5(dblp_collection):
+    """(start element, tag) of the Figure 5 query."""
+    return figure5_query(dblp_collection)
+
+
+@pytest.fixture(scope="session")
+def partition_sizes(dblp_collection):
+    return paper_partition_sizes(dblp_collection)
+
+
+@pytest.fixture(scope="session")
+def oracle_node_limit():
+    return ORACLE_NODE_LIMIT

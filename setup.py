@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip/setuptools lack PEP 660 support.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

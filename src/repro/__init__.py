@@ -1,0 +1,70 @@
+"""FliX — a flexible framework for indexing complex XML document collections.
+
+A faithful, from-scratch Python reproduction of Ralf Schenkel's EDBT 2004
+paper.  The package bundles:
+
+* a dependency-free XML substrate (:mod:`repro.xmlmodel`),
+* the element-graph data model of interlinked collections
+  (:mod:`repro.collection`),
+* every path-index building block the paper composes — PPO, HOPI (2-hop),
+  APEX, 1-index/A(k), DataGuide, transitive closure
+  (:mod:`repro.indexes`),
+* the FliX framework itself: meta-document building, strategy selection,
+  index building, and the streaming path-expression evaluator
+  (:mod:`repro.core`),
+* a relaxed-XPath query layer with XXL-style ontology similarity
+  (:mod:`repro.query`),
+* dataset generators reproducing the paper's DBLP workload and the intro's
+  movie scenario (:mod:`repro.datasets`), and
+* the benchmark harness regenerating the paper's evaluation
+  (:mod:`repro.bench`, driven by the suites under ``benchmarks/``).
+
+Quickstart::
+
+    from repro import Flix, FlixConfig, XmlDocument, build_collection
+
+    docs = [XmlDocument.from_text("a.xml", "<movie><title>Matrix</title></movie>")]
+    collection = build_collection(docs)
+    flix = Flix.build(collection, FlixConfig.naive())
+    start = collection.document_root("a.xml")
+    results = list(flix.find_descendants(start, tag="title"))
+"""
+
+from repro.collection import (
+    CollectionStats,
+    XmlCollection,
+    XmlDocument,
+    build_collection,
+    collect_statistics,
+)
+from repro.core import (
+    Flix,
+    FlixConfig,
+    MetaDocument,
+    PathExpressionEvaluator,
+    QueryLoadMonitor,
+    QueryResult,
+    StreamedList,
+)
+from repro.xmlmodel import XmlElement, parse_document, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Flix",
+    "FlixConfig",
+    "MetaDocument",
+    "PathExpressionEvaluator",
+    "QueryResult",
+    "QueryLoadMonitor",
+    "StreamedList",
+    "XmlCollection",
+    "XmlDocument",
+    "XmlElement",
+    "CollectionStats",
+    "build_collection",
+    "collect_statistics",
+    "parse_document",
+    "serialize",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Benchmark harness: workloads, timers, and paper-style reporting.
+
+The suites under ``benchmarks/`` use this package to regenerate every table
+and figure of the paper's evaluation (section 6); see DESIGN.md for the
+experiment index and EXPERIMENTS.md for measured-vs-paper results.
+"""
+
+from repro.bench.harness import (
+    SystemUnderTest,
+    build_all_systems,
+    order_error_rate,
+    time_to_k,
+)
+from repro.bench.reporting import BenchTable, format_series
+from repro.bench.workloads import (
+    connection_pairs,
+    figure5_query,
+    random_descendant_queries,
+)
+
+__all__ = [
+    "SystemUnderTest",
+    "build_all_systems",
+    "time_to_k",
+    "order_error_rate",
+    "BenchTable",
+    "format_series",
+    "figure5_query",
+    "random_descendant_queries",
+    "connection_pairs",
+]

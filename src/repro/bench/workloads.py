@@ -1,0 +1,91 @@
+"""Query workloads for the evaluation suites.
+
+The paper's primary query (Figure 5) asks for "all article descendants of
+Mohan's VLDB 99 paper about ARIES"; the in-text follow-up experiments use
+"different start elements and different tag names" and connection tests
+between node pairs.  These generators produce all three, deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.collection.collection import NodeId, XmlCollection
+from repro.datasets.dblp import find_aries
+from repro.graph.traversal import bfs_distances
+
+
+def figure5_query(collection: XmlCollection) -> Tuple[NodeId, str]:
+    """(start element, tag) of the Figure 5 query on a DBLP collection."""
+    return find_aries(collection), "article"
+
+
+def random_descendant_queries(
+    collection: XmlCollection,
+    count: int,
+    seed: int = 0,
+    min_results: int = 5,
+    tags: Optional[List[str]] = None,
+) -> List[Tuple[NodeId, str]]:
+    """(start, tag) pairs whose exact answer has at least ``min_results``.
+
+    Start elements are sampled from the collection and kept only when a BFS
+    confirms enough matching descendants exist — queries with near-empty
+    answers measure nothing.
+    """
+    rng = random.Random(seed)
+    node_ids = list(collection.node_ids())
+    candidate_tags = tags if tags is not None else collection.tags()
+    queries: List[Tuple[NodeId, str]] = []
+    attempts = 0
+    while len(queries) < count and attempts < count * 200:
+        attempts += 1
+        start = rng.choice(node_ids)
+        tag = rng.choice(candidate_tags)
+        reachable = bfs_distances(collection.graph, start)
+        matches = sum(
+            1 for node in reachable if node != start and collection.tag(node) == tag
+        )
+        if matches >= min_results:
+            queries.append((start, tag))
+    if len(queries) < count:
+        raise RuntimeError(
+            f"could only find {len(queries)}/{count} sufficiently selective "
+            "queries; lower min_results or enlarge the collection"
+        )
+    return queries
+
+
+def connection_pairs(
+    collection: XmlCollection,
+    count: int,
+    seed: int = 0,
+    connected_fraction: float = 0.5,
+) -> List[Tuple[NodeId, NodeId, bool]]:
+    """(source, target, expected_connected) triples for connection tests.
+
+    Roughly ``connected_fraction`` of the pairs are true positives sampled
+    from actual BFS trees; the rest are sampled until unreachable.
+    """
+    rng = random.Random(seed)
+    node_ids = list(collection.node_ids())
+    pairs: List[Tuple[NodeId, NodeId, bool]] = []
+    want_connected = round(count * connected_fraction)
+    attempts = 0
+    while len(pairs) < count and attempts < count * 500:
+        attempts += 1
+        source = rng.choice(node_ids)
+        reachable = bfs_distances(collection.graph, source)
+        need_connected = sum(1 for _, _, c in pairs if c) < want_connected
+        if need_connected:
+            descendants = [n for n in reachable if n != source]
+            if descendants:
+                pairs.append((source, rng.choice(descendants), True))
+        else:
+            target = rng.choice(node_ids)
+            if target not in reachable:
+                pairs.append((source, target, False))
+    if len(pairs) < count:
+        raise RuntimeError("could not sample enough connection pairs")
+    return pairs

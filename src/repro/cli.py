@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``stats <dir>``
+    Parse a directory of XML files and print the collection statistics the
+    Meta Document Builder works from.
+
+``build <dir> [--config NAME] [--partition-size N]``
+    Run the build phase and print the build report (meta documents,
+    strategies, rationales, sizes).
+
+``query <dir> <start> <tag> [--config ...] [--limit K] [--max-distance D]
+        [--exact-order]``
+    Evaluate ``start//tag`` and print the streamed results.  ``start`` is
+    ``document.xml`` (that document's root) or ``document.xml#id`` (the
+    anchored element).  ``tag`` may be ``*`` for the wildcard.
+
+``relaxed <dir> <query> [--top-k K]``
+    Evaluate a relaxed path query (e.g. ``'//~movie//actor'``) with the
+    default ontology and print ranked matches.
+
+``demo-dblp [--documents N]``
+    Generate the synthetic DBLP corpus and print the paper's section 6
+    comparison (index sizes + Figure 5 series) on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.collection.collection import XmlCollection
+from repro.collection.io import load_collection
+from repro.collection.stats import collect_statistics
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+
+_CONFIG_CHOICES = ("auto", "naive", "maximal_ppo", "unconnected_hopi", "hybrid")
+
+
+def _make_config(name: str, partition_size: int) -> Optional[FlixConfig]:
+    if name == "auto":
+        return None
+    if name == "naive":
+        return FlixConfig.naive()
+    if name == "maximal_ppo":
+        return FlixConfig.maximal_ppo()
+    if name == "unconnected_hopi":
+        return FlixConfig.unconnected_hopi(partition_size)
+    if name == "hybrid":
+        return FlixConfig.hybrid(partition_size)
+    raise AssertionError(f"unreachable config {name!r}")
+
+
+def _resolve_start(collection: XmlCollection, spec: str) -> int:
+    if "#" in spec:
+        document_name, fragment = spec.split("#", 1)
+        document = collection.documents.get(document_name)
+        if document is None:
+            raise SystemExit(f"error: no document named {document_name!r}")
+        element = document.anchors.get(fragment)
+        if element is None:
+            raise SystemExit(
+                f"error: no element with id={fragment!r} in {document_name!r}"
+            )
+        return collection.node_id_of(element)
+    if spec not in collection.documents:
+        raise SystemExit(f"error: no document named {spec!r}")
+    return collection.document_root(spec)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FliX: flexible indexing of linked XML collections "
+        "(EDBT 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="print collection statistics")
+    stats.add_argument("directory")
+
+    def add_build_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--config", choices=_CONFIG_CHOICES, default="auto")
+        p.add_argument("--partition-size", type=int, default=5000)
+
+    build = sub.add_parser("build", help="run the build phase, print the report")
+    build.add_argument("directory")
+    add_build_options(build)
+
+    query = sub.add_parser("query", help="evaluate start//tag")
+    query.add_argument("directory")
+    query.add_argument("start", help="document.xml or document.xml#id")
+    query.add_argument("tag", help="element name, or * for the wildcard")
+    add_build_options(query)
+    query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--max-distance", type=int, default=None)
+    query.add_argument("--exact-order", action="store_true")
+    query.add_argument(
+        "--index-dir",
+        default=None,
+        help="persisted-index directory: loaded when present, created "
+        "(build + save) otherwise",
+    )
+
+    relaxed = sub.add_parser("relaxed", help="evaluate a relaxed path query")
+    relaxed.add_argument("directory")
+    relaxed.add_argument("query")
+    add_build_options(relaxed)
+    relaxed.add_argument("--top-k", type=int, default=10)
+
+    demo = sub.add_parser("demo-dblp", help="run the paper's DBLP comparison")
+    demo.add_argument("--documents", type=int, default=300)
+    return parser
+
+
+def _cmd_stats(args) -> int:
+    collection = load_collection(args.directory)
+    stats = collect_statistics(collection)
+    print(stats.summary())
+    print(f"link density:        {stats.link_density:.4f} links/element")
+    print(f"links per document:  {stats.links_per_document:.2f}")
+    print(f"mean document size:  {stats.mean_document_size:.1f} elements")
+    print(f"unresolved links:    {len(collection.unresolved_links)}")
+    top = sorted(stats.tag_histogram.items(), key=lambda kv: -kv[1])[:10]
+    print("most frequent tags: ", ", ".join(f"{t} ({n})" for t, n in top))
+    return 0
+
+
+def _cmd_build(args) -> int:
+    collection = load_collection(args.directory)
+    config = _make_config(args.config, args.partition_size)
+    flix = Flix.build(collection, config)
+    print(flix.describe())
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from pathlib import Path
+
+    collection = load_collection(args.directory)
+    config = _make_config(args.config, args.partition_size)
+    index_dir = getattr(args, "index_dir", None)
+    if index_dir and (Path(index_dir) / "manifest.json").is_file():
+        flix = Flix.load(collection, index_dir)
+        print(f"(loaded persisted index from {index_dir})")
+    else:
+        flix = Flix.build(collection, config)
+        if index_dir:
+            flix.save(index_dir)
+            print(f"(built and saved index to {index_dir})")
+    start = _resolve_start(collection, args.start)
+    tag = None if args.tag == "*" else args.tag
+    count = 0
+    for result in flix.find_descendants(
+        start,
+        tag=tag,
+        max_distance=args.max_distance,
+        limit=args.limit,
+        exact_order=args.exact_order,
+    ):
+        info = collection.info(result.node)
+        text = collection.text(result.node).strip()
+        if len(text) > 60:
+            text = text[:57] + "..."
+        print(
+            f"distance {result.distance:3d}  <{info.tag}> in {info.document}"
+            + (f"  {text!r}" if text else "")
+        )
+        count += 1
+    print(f"-- {count} results")
+    return 0
+
+
+def _cmd_relaxed(args) -> int:
+    from repro.query.engine import QueryEngine
+
+    collection = load_collection(args.directory)
+    config = _make_config(args.config, args.partition_size)
+    flix = Flix.build(collection, config)
+    engine = QueryEngine(flix)
+    matches = engine.evaluate(args.query, top_k=args.top_k, auto_relax=True)
+    for match in matches:
+        info = collection.info(match.node)
+        print(f"score {match.score:.3f}  <{info.tag}> in {info.document}")
+    print(f"-- {len(matches)} results")
+    return 0
+
+
+def _cmd_demo_dblp(args) -> int:
+    from repro.bench.harness import build_all_systems, time_to_k
+    from repro.bench.reporting import BenchTable, format_series
+    from repro.bench.workloads import figure5_query
+    from repro.datasets.dblp import DblpSpec, generate_dblp
+    from repro.storage.sizing import format_bytes
+
+    collection = generate_dblp(DblpSpec(documents=args.documents))
+    print(f"synthetic DBLP: {collection}")
+    systems = build_all_systems(collection)
+    table = BenchTable("index sizes", ["system", "size"])
+    for system in systems:
+        table.add_row(system.name, format_bytes(system.size_bytes))
+    print()
+    print(table.render())
+    start, tag = figure5_query(collection)
+    checkpoints = [1, 10, 50, 100]
+    series = {
+        system.name: time_to_k(
+            lambda s=system: s.flix.find_descendants(start, tag=tag), checkpoints
+        )
+        for system in systems
+    }
+    print()
+    print(format_series("seconds to k results", checkpoints, series))
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "relaxed": _cmd_relaxed,
+    "demo-dblp": _cmd_demo_dblp,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

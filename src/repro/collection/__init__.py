@@ -1,0 +1,26 @@
+"""The paper's XML data model (section 2.1).
+
+A collection of interlinked XML documents ``X = {d1, ..., dn}`` is
+represented by the union graph ``G_X = (V_X, E_X)``: one node per element,
+one edge per parent-child relationship, plus one edge per resolved intra- or
+inter-document link.  Nodes carry integer ids so that index structures can
+store them compactly.
+"""
+
+from repro.collection.document import XmlDocument
+from repro.collection.collection import NodeInfo, XmlCollection
+from repro.collection.builder import build_collection
+from repro.collection.io import CollectionLoadError, load_collection, save_collection
+from repro.collection.stats import CollectionStats, collect_statistics
+
+__all__ = [
+    "XmlDocument",
+    "XmlCollection",
+    "NodeInfo",
+    "build_collection",
+    "load_collection",
+    "save_collection",
+    "CollectionLoadError",
+    "CollectionStats",
+    "collect_statistics",
+]

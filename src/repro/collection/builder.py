@@ -1,0 +1,106 @@
+"""Build the union graph from a set of documents, resolving all links.
+
+Resolution rules (matching :mod:`repro.xmlmodel.links`):
+
+* an intra-document link targets the anchor with the matching ``id`` in the
+  same document;
+* an inter-document link ``doc#frag`` targets that anchor in ``doc``;
+* an inter-document link ``doc`` (no fragment) targets ``doc``'s root —
+  the common case on the web and the one Maximal PPO exploits ("all links
+  point to root elements", section 4.3).
+
+Dangling links (unknown document or anchor) are collected on
+``collection.unresolved_links`` instead of raising: heterogeneous web-scale
+collections always contain broken links, and an indexing framework must not
+fall over because of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.collection.collection import XmlCollection
+from repro.collection.document import XmlDocument
+from repro.xmlmodel.dom import XmlElement
+from repro.xmlmodel.links import Link
+
+
+def build_collection(documents: Iterable[XmlDocument]) -> XmlCollection:
+    """Assemble an :class:`XmlCollection` from parsed documents.
+
+    Documents are registered in sorted-name order so node ids — and with
+    them every serialized index — are deterministic for a given input set.
+    """
+    collection = XmlCollection()
+    ordered = sorted(documents, key=lambda d: d.name)
+    for document in ordered:
+        collection._register_document(document)
+    for document in ordered:
+        for link in document.links:
+            target = _resolve(collection, document, link)
+            if target is None:
+                collection.unresolved_links.append(link)
+                continue
+            source_id = collection.node_id_of(link.source)
+            target_id = collection.node_id_of(target)
+            if source_id != target_id:
+                collection._add_link_edge(source_id, target_id)
+    return collection
+
+
+def register_document(
+    collection: XmlCollection,
+    document: XmlDocument,
+) -> List[tuple]:
+    """Add one document to an existing collection (incremental growth).
+
+    Returns the list of *new link edges* — the new document's resolved
+    links plus any previously-dangling links that the new document's name
+    or anchors now satisfy.  Callers (the framework's ``add_document``)
+    turn these into residual links or index them.
+    """
+    collection._register_document(document)
+    new_edges: List[tuple] = []
+
+    def try_add(source_document: XmlDocument, link: Link) -> bool:
+        target = _resolve(collection, source_document, link)
+        if target is None:
+            return False
+        source_id = collection.node_id_of(link.source)
+        target_id = collection.node_id_of(target)
+        if source_id != target_id and not collection.graph.has_edge(
+            source_id, target_id
+        ):
+            collection._add_link_edge(source_id, target_id)
+            new_edges.append((source_id, target_id))
+        return True
+
+    for link in document.links:
+        if not try_add(document, link):
+            collection.unresolved_links.append(link)
+
+    # links that dangled before may now point at the new document
+    still_unresolved = []
+    for link in collection.unresolved_links:
+        source_doc_name = collection.info(
+            collection.node_id_of(link.source)
+        ).document
+        if not try_add(collection.documents[source_doc_name], link):
+            still_unresolved.append(link)
+    collection.unresolved_links[:] = still_unresolved
+    return new_edges
+
+
+def _resolve(
+    collection: XmlCollection,
+    document: XmlDocument,
+    link: Link,
+) -> Optional[XmlElement]:
+    if link.is_intra_document:
+        return document.anchors.get(link.target_fragment or "")
+    target_doc = collection.documents.get(link.target_document)
+    if target_doc is None:
+        return None
+    if link.target_fragment is None:
+        return target_doc.root
+    return target_doc.anchors.get(link.target_fragment)

@@ -1,0 +1,168 @@
+"""The union element graph G_X of an XML collection (paper section 2.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.collection.document import XmlDocument
+from repro.graph.digraph import Digraph
+from repro.xmlmodel.dom import XmlElement
+
+NodeId = int
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """What the indexes need to know about one element node."""
+
+    node_id: NodeId
+    document: str
+    tag: str
+    depth: int
+
+
+class XmlCollection:
+    """Element-level view of a set of interlinked XML documents.
+
+    Every element of every document gets a dense integer node id (document
+    order within each document, documents in sorted-name order), which keeps
+    the index structures compact and their serialization deterministic.
+
+    The union graph :attr:`graph` contains tree edges (parent -> child) and
+    link edges (link source -> link target).  The two edge classes are kept
+    distinguishable because the Meta Document Builder treats them very
+    differently: Maximal PPO, for instance, must know which edges are links
+    so it can cut them (section 4.3).
+    """
+
+    def __init__(self) -> None:
+        self.documents: Dict[str, XmlDocument] = {}
+        self.graph = Digraph()
+        self.link_edges: Set[Tuple[NodeId, NodeId]] = set()
+        # Links whose target document/anchor does not exist in the
+        # collection; populated by repro.collection.builder.
+        self.unresolved_links: List[object] = []
+        self._info: List[Optional[NodeInfo]] = []
+        self._element_by_id: List[Optional[XmlElement]] = []
+        self._id_by_element: Dict[int, NodeId] = {}
+        self._nodes_by_document: Dict[str, List[NodeId]] = {}
+        self._nodes_by_tag: Dict[str, List[NodeId]] = {}
+        self._roots: Dict[str, NodeId] = {}
+
+    # ------------------------------------------------------------------
+    # construction (used by repro.collection.builder)
+    # ------------------------------------------------------------------
+    def _register_document(self, document: XmlDocument) -> None:
+        if document.name in self.documents:
+            raise ValueError(f"duplicate document name {document.name!r}")
+        self.documents[document.name] = document
+        node_ids: List[NodeId] = []
+        stack: List[Tuple[XmlElement, int]] = [(document.root, 0)]
+        while stack:
+            element, depth = stack.pop()
+            node_id = len(self._info)
+            info = NodeInfo(node_id, document.name, element.name, depth)
+            self._info.append(info)
+            self._element_by_id.append(element)
+            self._id_by_element[id(element)] = node_id
+            node_ids.append(node_id)
+            self.graph.add_node(node_id)
+            self._nodes_by_tag.setdefault(element.name, []).append(node_id)
+            if element.parent is not None:
+                self.graph.add_edge(self._id_by_element[id(element.parent)], node_id)
+            stack.extend(
+                (child, depth + 1) for child in reversed(element.children)
+            )
+        self._nodes_by_document[document.name] = node_ids
+        self._roots[document.name] = node_ids[0]
+
+    def _add_link_edge(self, source: NodeId, target: NodeId) -> None:
+        if not self.graph.has_edge(source, target):
+            self.graph.add_edge(source, target)
+            self.link_edges.add((source, target))
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self._info)
+
+    @property
+    def document_count(self) -> int:
+        return len(self.documents)
+
+    @property
+    def tree_edge_count(self) -> int:
+        return self.graph.edge_count - len(self.link_edges)
+
+    @property
+    def link_edge_count(self) -> int:
+        return len(self.link_edges)
+
+    def node_ids(self) -> Iterator[NodeId]:
+        return iter(range(len(self._info)))
+
+    def info(self, node_id: NodeId) -> NodeInfo:
+        return self._info[node_id]
+
+    def tag(self, node_id: NodeId) -> str:
+        return self._info[node_id].tag
+
+    def element(self, node_id: NodeId) -> XmlElement:
+        return self._element_by_id[node_id]
+
+    def node_id_of(self, element: XmlElement) -> NodeId:
+        """The id of an element object that belongs to this collection."""
+        try:
+            return self._id_by_element[id(element)]
+        except KeyError:
+            raise KeyError("element is not part of this collection") from None
+
+    def text(self, node_id: NodeId) -> str:
+        return self._element_by_id[node_id].full_text
+
+    def document_nodes(self, name: str) -> List[NodeId]:
+        return self._nodes_by_document[name]
+
+    def document_root(self, name: str) -> NodeId:
+        return self._roots[name]
+
+    def nodes_with_tag(self, tag: str) -> List[NodeId]:
+        """All node ids with the given element name (possibly empty)."""
+        return self._nodes_by_tag.get(tag, [])
+
+    def tags(self) -> List[str]:
+        return sorted(self._nodes_by_tag)
+
+    def is_link_edge(self, source: NodeId, target: NodeId) -> bool:
+        return (source, target) in self.link_edges
+
+    def tree_graph(self) -> Digraph:
+        """The union graph with all link edges removed (a forest)."""
+        tree = Digraph()
+        for node in self.graph.nodes():
+            tree.add_node(node)
+        for u, v in self.graph.edges():
+            if (u, v) not in self.link_edges:
+                tree.add_edge(u, v)
+        return tree
+
+    def find_by_text(self, tag: str, needle: str) -> List[NodeId]:
+        """Nodes with the given tag whose full text contains ``needle``.
+
+        A convenience for examples and workload generators ("Mohan's VLDB 99
+        paper about ARIES" in section 6 is located exactly this way).
+        """
+        return [
+            node_id
+            for node_id in self.nodes_with_tag(tag)
+            if needle in self.text(node_id)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"XmlCollection(documents={self.document_count}, "
+            f"elements={self.node_count}, links={self.link_edge_count})"
+        )

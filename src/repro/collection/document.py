@@ -1,0 +1,75 @@
+"""One XML document of a collection."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.xmlmodel.dom import XmlElement
+from repro.xmlmodel.links import Link, collect_anchors, extract_links
+from repro.xmlmodel.parser import parse_document
+
+
+class XmlDocument:
+    """A named document: its DOM root plus derived link/anchor tables.
+
+    ``name`` is the collection-unique identifier other documents use in
+    ``xlink:href`` values (for file-backed collections it is the file name).
+    """
+
+    def __init__(self, name: str, root: XmlElement) -> None:
+        if not name:
+            raise ValueError("document name must be non-empty")
+        self.name = name
+        self.root = root
+        self._elements: Optional[List[XmlElement]] = None
+        self._anchors: Optional[Dict[str, XmlElement]] = None
+        self._links: Optional[List[Link]] = None
+
+    @classmethod
+    def from_text(cls, name: str, text: str) -> "XmlDocument":
+        return cls(name, parse_document(text))
+
+    @property
+    def elements(self) -> List[XmlElement]:
+        """All elements in document (pre)order; cached."""
+        if self._elements is None:
+            self._elements = list(self.root.iter())
+        return self._elements
+
+    @property
+    def element_count(self) -> int:
+        return len(self.elements)
+
+    @property
+    def anchors(self) -> Dict[str, XmlElement]:
+        """``id`` attribute value -> element."""
+        if self._anchors is None:
+            self._anchors = collect_anchors(self.root)
+        return self._anchors
+
+    @property
+    def links(self) -> List[Link]:
+        """All idref/XLink links declared anywhere in the document."""
+        if self._links is None:
+            self._links = extract_links(self.root)
+        return self._links
+
+    @property
+    def max_depth(self) -> int:
+        depth = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            if d > depth:
+                depth = d
+            stack.extend((child, d + 1) for child in node.children)
+        return depth
+
+    def invalidate_caches(self) -> None:
+        """Drop derived tables after a DOM mutation."""
+        self._elements = None
+        self._anchors = None
+        self._links = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"XmlDocument({self.name!r}, elements={self.element_count})"

@@ -1,0 +1,82 @@
+"""Load and save collections from/to a directory of XML files.
+
+A collection on disk is simply a directory of ``*.xml`` files whose
+relative file names are the document names — which is exactly what the
+``xlink:href`` values in the documents refer to, so links resolve without
+any extra manifest.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Union
+
+from repro.collection.builder import build_collection
+from repro.collection.collection import XmlCollection
+from repro.collection.document import XmlDocument
+from repro.xmlmodel.parser import XmlParseError
+from repro.xmlmodel.serializer import serialize
+
+PathLike = Union[str, os.PathLike]
+
+
+class CollectionLoadError(ValueError):
+    """A document in the directory failed to parse."""
+
+    def __init__(self, path: Path, cause: XmlParseError) -> None:
+        super().__init__(f"{path}: {cause}")
+        self.path = path
+        self.cause = cause
+
+
+def load_collection(
+    directory: PathLike,
+    pattern: str = "*.xml",
+    strict: bool = True,
+) -> XmlCollection:
+    """Parse every matching file under ``directory`` into one collection.
+
+    File names relative to ``directory`` (POSIX separators) become document
+    names.  With ``strict=False``, unparseable files are skipped instead of
+    aborting the load — web crawls always contain some broken XML.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise FileNotFoundError(f"{root} is not a directory")
+    documents: List[XmlDocument] = []
+    for path in sorted(root.rglob(pattern)):
+        if not path.is_file():
+            continue
+        name = path.relative_to(root).as_posix()
+        try:
+            text = path.read_text(encoding="utf-8")
+            documents.append(XmlDocument.from_text(name, text))
+        except XmlParseError as error:
+            if strict:
+                raise CollectionLoadError(path, error) from error
+    return build_collection(documents)
+
+
+def save_collection(collection: XmlCollection, directory: PathLike) -> int:
+    """Serialize every document of ``collection`` into ``directory``.
+
+    Returns the number of files written.  Document names may contain
+    subdirectory components; parents are created as needed.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    resolved_root = root.resolve()
+    written = 0
+    for name in sorted(collection.documents):
+        target = root / name
+        if resolved_root not in target.resolve().parents:
+            # refuse to escape the target directory via '..' in names
+            raise ValueError(f"document name {name!r} escapes {root}")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        document = collection.documents[name]
+        target.write_text(
+            serialize(document.root, declaration=True), encoding="utf-8"
+        )
+        written += 1
+    return written

@@ -1,0 +1,128 @@
+"""Collection statistics driving meta-document and strategy selection.
+
+Section 4.1: building meta documents and selecting index strategies "heavily
+depend on the structure of the document collection, e.g., the number of
+documents, the distribution of the document sizes, link structure, and the
+average number of links per document".  This module computes exactly those
+figures, for whole collections and for candidate meta documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.collection.collection import NodeId, XmlCollection
+from repro.graph.digraph import Digraph
+from repro.graph.treecheck import is_forest
+
+
+@dataclass
+class CollectionStats:
+    """Aggregate structural statistics of a collection (or a node subset)."""
+
+    document_count: int
+    element_count: int
+    tree_edge_count: int
+    link_edge_count: int
+    intra_document_links: int
+    inter_document_links: int
+    max_depth: int
+    distinct_tags: int
+    tag_histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def link_density(self) -> float:
+        """Link edges per element — the key knob in the ISS rules of thumb."""
+        if self.element_count == 0:
+            return 0.0
+        return self.link_edge_count / self.element_count
+
+    @property
+    def intra_link_fraction(self) -> Optional[float]:
+        """Share of links that stay inside one document (None if linkless)."""
+        if self.link_edge_count == 0:
+            return None
+        return self.intra_document_links / self.link_edge_count
+
+    @property
+    def links_per_document(self) -> float:
+        if self.document_count == 0:
+            return 0.0
+        return self.link_edge_count / self.document_count
+
+    @property
+    def mean_document_size(self) -> float:
+        if self.document_count == 0:
+            return 0.0
+        return self.element_count / self.document_count
+
+    def summary(self) -> str:
+        return (
+            f"{self.document_count} documents, {self.element_count} elements, "
+            f"{self.link_edge_count} links "
+            f"({self.inter_document_links} inter-document), "
+            f"max depth {self.max_depth}, {self.distinct_tags} tags"
+        )
+
+
+def collect_statistics(
+    collection: XmlCollection,
+    nodes: Optional[Iterable[NodeId]] = None,
+) -> CollectionStats:
+    """Statistics for the whole collection or for a node subset.
+
+    When ``nodes`` is given (a candidate meta document), only edges with both
+    endpoints inside the subset are counted, matching how the meta document's
+    own graph will look.
+    """
+    if nodes is None:
+        node_set = None
+        graph: Digraph = collection.graph
+        documents = set(collection.documents)
+        considered = range(collection.node_count)
+    else:
+        node_set = set(nodes)
+        graph = collection.graph.subgraph(node_set)
+        documents = {collection.info(n).document for n in node_set}
+        considered = sorted(node_set)
+
+    tag_histogram: Dict[str, int] = {}
+    max_depth = 0
+    for node_id in considered:
+        info = collection.info(node_id)
+        tag_histogram[info.tag] = tag_histogram.get(info.tag, 0) + 1
+        if info.depth > max_depth:
+            max_depth = info.depth
+
+    intra = inter = 0
+    for u, v in collection.link_edges:
+        if node_set is not None and (u not in node_set or v not in node_set):
+            continue
+        if collection.info(u).document == collection.info(v).document:
+            intra += 1
+        else:
+            inter += 1
+
+    link_count = intra + inter
+    total_edges = graph.edge_count
+    return CollectionStats(
+        document_count=len(documents),
+        element_count=graph.node_count,
+        tree_edge_count=total_edges - link_count,
+        link_edge_count=link_count,
+        intra_document_links=intra,
+        inter_document_links=inter,
+        max_depth=max_depth,
+        distinct_tags=len(tag_histogram),
+        tag_histogram=tag_histogram,
+    )
+
+
+def subset_is_tree_shaped(collection: XmlCollection, nodes: Iterable[NodeId]) -> bool:
+    """True iff the induced element graph of ``nodes`` is a forest.
+
+    This is the predicate that decides whether PPO is admissible for a
+    candidate meta document.
+    """
+    return is_forest(collection.graph.subgraph(set(nodes)))

@@ -1,0 +1,144 @@
+"""FliX configurations (section 4.3).
+
+A configuration bundles a meta-document building strategy with the set of
+index strategies the ISS may choose from, plus the tuning knobs both need.
+The four predefined configurations are the paper's:
+
+* **Naive** — one meta document per XML document;
+* **Maximal PPO** — greedy tree-shaped partitions indexed with PPO
+  (variant 1, ``single_tree=True``, keeps the whole collection in one
+  forest-shaped meta document instead);
+* **Unconnected HOPI** — the first two steps of HOPI's divide-and-conquer
+  builder: size-bounded partitions, each indexed with HOPI;
+* **Hybrid Partitions** — tree partitions with PPO where possible,
+  Unconnected HOPI for the densely linked remainder.
+
+"In our current implementation, an administrator must decide which
+configuration to use" (section 4.1) — :func:`FlixConfig.recommend` is our
+step toward the automatic choice the paper leaves as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: meta-document building strategies the MDB understands
+MDB_STRATEGIES = ("naive", "maximal_ppo", "unconnected_hopi", "hybrid")
+
+
+@dataclass(frozen=True)
+class FlixConfig:
+    """One configuration of the framework."""
+
+    name: str
+    mdb_strategy: str
+    #: strategies (by registry name) the ISS may choose from, in preference order
+    allowed_strategies: Tuple[str, ...]
+    #: partition node budget for unconnected_hopi / hybrid
+    partition_size: int = 5000
+    #: maximal_ppo variant 1: a single forest meta document instead of partitions
+    single_tree: bool = False
+    #: ISS budget: maximum estimated closure pairs per node before HOPI is
+    #: considered too expensive and the selector falls back (section 2.2:
+    #: "HOPI's size may grow large for large document sets")
+    hopi_pairs_per_node_budget: float = 256.0
+    #: whether the expected query load is dominated by long descendants-or-
+    #: self paths (the structural-vagueness scenario of section 1.1); biases
+    #: the ISS toward HOPI over APEX
+    expect_long_paths: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mdb_strategy not in MDB_STRATEGIES:
+            raise ValueError(
+                f"unknown MDB strategy {self.mdb_strategy!r}; "
+                f"expected one of {MDB_STRATEGIES}"
+            )
+        if self.partition_size < 1:
+            raise ValueError("partition_size must be positive")
+        if not self.allowed_strategies:
+            raise ValueError("at least one index strategy must be allowed")
+
+    # ------------------------------------------------------------------
+    # the paper's predefined configurations
+    # ------------------------------------------------------------------
+    @classmethod
+    def naive(cls) -> "FlixConfig":
+        """One meta document per document; PPO where tree-shaped, else HOPI/APEX."""
+        return cls(
+            name="naive",
+            mdb_strategy="naive",
+            allowed_strategies=("ppo", "hopi", "apex"),
+        )
+
+    @classmethod
+    def maximal_ppo(cls, single_tree: bool = False) -> "FlixConfig":
+        """Greedy tree partitions, all indexed with PPO."""
+        return cls(
+            name="maximal_ppo" + ("_single" if single_tree else ""),
+            mdb_strategy="maximal_ppo",
+            allowed_strategies=("ppo",),
+            single_tree=single_tree,
+        )
+
+    @classmethod
+    def unconnected_hopi(cls, partition_size: int = 5000) -> "FlixConfig":
+        """Size-bounded partitions, all indexed with HOPI."""
+        return cls(
+            name=f"unconnected_hopi_{partition_size}",
+            mdb_strategy="unconnected_hopi",
+            allowed_strategies=("hopi",),
+            partition_size=partition_size,
+        )
+
+    @classmethod
+    def hybrid(cls, partition_size: int = 5000) -> "FlixConfig":
+        """Tree partitions with PPO + Unconnected HOPI for the rest."""
+        return cls(
+            name=f"hybrid_{partition_size}",
+            mdb_strategy="hybrid",
+            allowed_strategies=("ppo", "hopi", "apex"),
+            partition_size=partition_size,
+        )
+
+    # ------------------------------------------------------------------
+    # automatic configuration (the paper's "ultimate goal", section 4.1)
+    # ------------------------------------------------------------------
+    @classmethod
+    def recommend(
+        cls,
+        link_density: float,
+        intra_document_links: int,
+        mean_document_size: float,
+        partition_size: int = 5000,
+        intra_link_fraction: Optional[float] = None,
+    ) -> "FlixConfig":
+        """Heuristic configuration choice from collection statistics.
+
+        Mirrors the per-configuration applicability notes of section 4.3:
+        large documents whose links stay *inside* documents (the INEX
+        profile) -> Naive; few links overall -> Maximal PPO; links
+        everywhere -> Unconnected HOPI; mixed -> Hybrid.
+
+        ``intra_link_fraction`` is the share of links that are
+        intra-document (``None`` when unknown); it is the signal that
+        distinguishes the INEX profile from a densely *inter*-linked web.
+        """
+        if link_density == 0.0:
+            return cls.maximal_ppo()
+        if (
+            intra_link_fraction is not None
+            and intra_link_fraction >= 0.7
+            and mean_document_size >= 50
+        ):
+            # INEX profile: "documents are relatively large, the number of
+            # inter-document links is small, and queries usually do not
+            # cross document boundaries" (section 4.3)
+            return cls.naive()
+        if intra_document_links == 0 and link_density < 0.01:
+            return cls.maximal_ppo()
+        if mean_document_size > 1000 and link_density < 0.005:
+            return cls.naive()
+        if link_density > 0.05:
+            return cls.unconnected_hopi(partition_size)
+        return cls.hybrid(partition_size)

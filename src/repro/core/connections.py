@@ -1,0 +1,159 @@
+"""Generalized connection models (sections 1.1 and 7).
+
+Beyond plain descendants, the paper sketches richer notions of relevance-
+bearing connectivity: "paths that include at least one link traversal could
+be penalized, representing the notion that information within one document
+normally is more coherent", and "one could also consider inverting the
+direction, i.e., consider also actor/acts_in/movie relevant (with a lower
+similarity)".  Section 7 lists "more general concepts of connectivity" as
+planned work.
+
+:class:`ConnectionModel` assigns a cost to each traversal kind — tree edge,
+link edge, and (optionally) their reversals — and
+:class:`ConnectionEvaluator` runs a Dijkstra search under that model over
+the typed element graph, streaming ``(node, cost)`` in ascending cost.
+Because edge costs differ by type, per-meta-document hop indexes cannot
+answer these queries directly; the evaluator works on the collection graph,
+which is exactly why the paper defers this generality to future work while
+optimizing the uniform-cost case through FliX.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.collection.collection import NodeId, XmlCollection
+
+
+@dataclass(frozen=True)
+class ConnectionModel:
+    """Traversal costs defining a connection semantics.
+
+    ``None`` disables a traversal direction.  The defaults reproduce plain
+    descendants-or-self (everything costs one hop, no reversals).
+    """
+
+    tree_cost: float = 1.0
+    link_cost: float = 1.0
+    reverse_tree_cost: Optional[float] = None
+    reverse_link_cost: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("tree_cost", "link_cost"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("reverse_tree_cost", "reverse_link_cost"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when enabled")
+
+    @classmethod
+    def descendants(cls) -> "ConnectionModel":
+        """Plain descendants-or-self: the FliX default semantics."""
+        return cls()
+
+    @classmethod
+    def link_penalized(cls, penalty: float = 2.0) -> "ConnectionModel":
+        """Cross-document information is less coherent: links cost more."""
+        return cls(link_cost=penalty)
+
+    @classmethod
+    def undirected(
+        cls,
+        reverse_penalty: float = 2.0,
+        link_penalty: float = 1.0,
+    ) -> "ConnectionModel":
+        """Both directions traversable; going against an edge costs more.
+
+        This is the "actor/acts_in/movie" relaxation: a movie is connected
+        to its actor's other movies even though no directed path exists.
+        """
+        return cls(
+            link_cost=link_penalty,
+            reverse_tree_cost=reverse_penalty,
+            reverse_link_cost=reverse_penalty * link_penalty,
+        )
+
+
+class ConnectionEvaluator:
+    """Cost-ordered connection search over the typed element graph."""
+
+    def __init__(self, collection: XmlCollection) -> None:
+        self._collection = collection
+
+    def _moves(
+        self,
+        node: NodeId,
+        model: ConnectionModel,
+    ) -> Iterator[Tuple[NodeId, float]]:
+        collection = self._collection
+        for succ in collection.graph.successors(node):
+            if collection.is_link_edge(node, succ):
+                yield succ, model.link_cost
+            else:
+                yield succ, model.tree_cost
+        if model.reverse_tree_cost is not None or model.reverse_link_cost is not None:
+            for pred in collection.graph.predecessors(node):
+                if collection.is_link_edge(pred, node):
+                    if model.reverse_link_cost is not None:
+                        yield pred, model.reverse_link_cost
+                else:
+                    if model.reverse_tree_cost is not None:
+                        yield pred, model.reverse_tree_cost
+
+    def find_connected(
+        self,
+        start: NodeId,
+        tag: Optional[str] = None,
+        model: Optional[ConnectionModel] = None,
+        max_cost: Optional[float] = None,
+        include_self: bool = False,
+    ) -> Iterator[Tuple[NodeId, float]]:
+        """Stream ``(node, cost)`` in ascending connection cost.
+
+        Exact (Dijkstra), so unlike the FliX descendant stream there is no
+        ordering approximation — the price is that no precomputed index
+        accelerates it.
+        """
+        model = model or ConnectionModel.descendants()
+        if start not in self._collection.graph:
+            raise KeyError(f"node {start} is not part of the collection")
+        best: Dict[NodeId, float] = {start: 0.0}
+        settled = set()
+        counter = 0
+        heap: List[Tuple[float, int, NodeId]] = [(0.0, 0, start)]
+        while heap:
+            cost, _, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            if max_cost is not None and cost > max_cost:
+                return
+            matches = tag is None or self._collection.tag(node) == tag
+            if matches and (include_self or node != start):
+                yield node, cost
+            for succ, step in self._moves(node, model):
+                candidate = cost + step
+                if max_cost is not None and candidate > max_cost:
+                    continue
+                if succ not in best or candidate < best[succ]:
+                    best[succ] = candidate
+                    counter += 1
+                    heapq.heappush(heap, (candidate, counter, succ))
+
+    def connection_cost(
+        self,
+        source: NodeId,
+        target: NodeId,
+        model: Optional[ConnectionModel] = None,
+        max_cost: Optional[float] = None,
+    ) -> Optional[float]:
+        """Cheapest connection cost between two elements, or ``None``."""
+        for node, cost in self.find_connected(
+            source, model=model, max_cost=max_cost, include_self=True
+        ):
+            if node == target:
+                return cost
+        return None

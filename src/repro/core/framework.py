@@ -1,0 +1,605 @@
+"""The FliX facade: build a collection index, query it, tune it.
+
+Typical use::
+
+    from repro import Flix, FlixConfig, build_collection
+
+    collection = build_collection(documents)
+    flix = Flix.build(collection, FlixConfig.hybrid(partition_size=5000))
+    for result in flix.find_descendants(start, tag="article", limit=100):
+        ...
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.collection.collection import NodeId, XmlCollection
+from repro.core.config import FlixConfig
+from repro.graph.digraph import Digraph
+from repro.core.ib import BuildReport, IndexBuilder
+from repro.core.mdb import MetaDocumentBuilder
+from repro.core.meta_document import MetaDocument
+from repro.core.pee import PathExpressionEvaluator, QueryResult
+from repro.core.results import StreamedList
+from repro.core.selftune import QueryLoadMonitor, TuningAdvice
+from repro.storage.memory import MemoryBackend
+from repro.storage.table import StorageBackend
+
+
+class Flix:
+    """A built FliX index over one XML collection."""
+
+    def __init__(
+        self,
+        collection: XmlCollection,
+        config: FlixConfig,
+        meta_documents: List[MetaDocument],
+        meta_of: Dict[NodeId, int],
+        report: BuildReport,
+    ) -> None:
+        self.collection = collection
+        self.config = config
+        self.meta_documents = meta_documents
+        self.meta_of = meta_of
+        self.report = report
+        self.pee = PathExpressionEvaluator(meta_documents, meta_of)
+        self.monitor = QueryLoadMonitor()
+        # set by Flix.build for incremental document addition
+        self._builder: Optional[IndexBuilder] = None
+        self._backend_factory: Callable[[], StorageBackend] = MemoryBackend
+
+    # ------------------------------------------------------------------
+    # build phase
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        collection: XmlCollection,
+        config: Optional[FlixConfig] = None,
+        backend_factory: Callable[[], StorageBackend] = MemoryBackend,
+    ) -> "Flix":
+        """Run the full build phase: MDB -> ISS -> IB.
+
+        ``config`` defaults to the automatic recommendation derived from the
+        collection's statistics (the paper's future-work goal, section 4.1).
+        """
+        if config is None:
+            from repro.collection.stats import collect_statistics
+
+            stats = collect_statistics(collection)
+            config = FlixConfig.recommend(
+                link_density=stats.link_density,
+                intra_document_links=stats.intra_document_links,
+                mean_document_size=stats.mean_document_size,
+                intra_link_fraction=stats.intra_link_fraction,
+            )
+        specs = MetaDocumentBuilder(collection, config).build_specs()
+        builder = IndexBuilder(collection, config, backend_factory)
+        meta_documents, meta_of, report = builder.build(specs)
+        flix = cls(collection, config, meta_documents, meta_of, report)
+        flix._builder = builder
+        flix._backend_factory = backend_factory
+        return flix
+
+    @classmethod
+    def build_monolithic(
+        cls,
+        collection: XmlCollection,
+        strategy: str,
+        backend_factory: Callable[[], StorageBackend] = MemoryBackend,
+    ) -> "Flix":
+        """Index the whole collection with one strategy, no meta documents.
+
+        This is how the paper's section 6 comparators are built: "an
+        extended version of HOPI that supports distance information and a
+        database-backed implementation of APEX, both applied to the
+        complete data collection."  The result exposes the same query API
+        as a real FliX build, so benchmarks compare apples to apples.
+        """
+        import time as _time
+
+        from repro.core.ib import MetaDocumentReport
+        from repro.core.meta_document import MetaDocumentSpec
+        from repro.indexes.registry import build_index
+
+        started = _time.perf_counter()
+        nodes = set(collection.node_ids())
+        spec = MetaDocumentSpec(0, nodes, list(collection.graph.edges()))
+        graph = spec.build_graph()
+        tags = {node: collection.tag(node) for node in nodes}
+        index = build_index(strategy, graph, tags, backend_factory())
+        meta = MetaDocument(
+            meta_id=0, nodes=frozenset(nodes), index=index, strategy=strategy
+        )
+        elapsed = _time.perf_counter() - started
+        report = BuildReport(config_name=f"monolithic_{strategy}")
+        report.meta_documents.append(
+            MetaDocumentReport(
+                meta_id=0,
+                node_count=len(nodes),
+                internal_edge_count=collection.graph.edge_count,
+                strategy=strategy,
+                rationale="monolithic comparator (whole collection, one index)",
+                index_bytes=index.size_bytes(),
+                build_seconds=elapsed,
+            )
+        )
+        report.total_seconds = elapsed
+        config = FlixConfig(
+            name=f"monolithic_{strategy}",
+            mdb_strategy="naive",
+            allowed_strategies=(strategy,),
+        )
+        meta_of = {node: 0 for node in nodes}
+        return cls(collection, config, [meta], meta_of, report)
+
+    # ------------------------------------------------------------------
+    # query phase
+    # ------------------------------------------------------------------
+    def find_descendants(
+        self,
+        start: NodeId,
+        tag: Optional[str] = None,
+        max_distance: Optional[int] = None,
+        limit: Optional[int] = None,
+        include_self: bool = False,
+        exact_order: bool = False,
+    ) -> Iterator[QueryResult]:
+        """``a//b`` (or ``a//*`` with ``tag=None``), streamed.
+
+        ``limit`` implements the top-k early stop of section 3.1: iteration
+        ends after ``limit`` results without exhausting the queue.
+        ``exact_order`` buffers results so the stream is sorted by the
+        reported distance (section 7's first future-work item).
+        """
+        cached = self._cache_lookup(
+            ("desc", start, tag, max_distance, include_self, exact_order), limit
+        )
+        if cached is not None:
+            yield from cached
+            return
+        stream = self.pee.find_descendants(
+            start, tag, max_distance, include_self, exact_order
+        )
+        yield from self._limited(
+            stream,
+            limit,
+            cache_key=("desc", start, tag, max_distance, include_self, exact_order),
+        )
+
+    def find_ancestors(
+        self,
+        start: NodeId,
+        tag: Optional[str] = None,
+        max_distance: Optional[int] = None,
+        limit: Optional[int] = None,
+        include_self: bool = False,
+        exact_order: bool = False,
+    ) -> Iterator[QueryResult]:
+        """Reverse axis: ancestors of ``start``."""
+        stream = self.pee.find_ancestors(
+            start, tag, max_distance, include_self, exact_order
+        )
+        yield from self._limited(stream, limit)
+
+    def find_children(
+        self,
+        node: NodeId,
+        tag: Optional[str] = None,
+    ) -> List[QueryResult]:
+        """The child axis (``a/b``), section 5's "other cases".
+
+        In the linked data model, children are the direct successors in the
+        union graph — sub-elements and immediate link targets alike, which
+        is exactly how the paper treats referenced elements ("similarly to
+        normal child elements").
+        """
+        children = []
+        for successor in sorted(self.collection.graph.successors(node)):
+            if tag is None or self.collection.tag(successor) == tag:
+                children.append(
+                    QueryResult(successor, 1, self.meta_of[successor])
+                )
+        return children
+
+    def evaluate_type_query(
+        self,
+        source_tag: str,
+        target_tag: Optional[str],
+        max_distance: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> Iterator[QueryResult]:
+        """``A//B``: descendants of *any* element with tag ``source_tag``."""
+        seeds = self.collection.nodes_with_tag(source_tag)
+        stream = self.pee.evaluate_type_query(seeds, target_tag, max_distance)
+        yield from self._limited(stream, limit)
+
+    def find_path(
+        self,
+        start: NodeId,
+        tags: Sequence[str],
+        max_distance_per_step: Optional[int] = None,
+    ) -> List[Tuple[NodeId, int]]:
+        """Evaluate a multi-step path ``start//t1//t2//...//tn``.
+
+        Returns the distinct elements matching the final step with the
+        smallest accumulated distance found, ascending.  Each step is one
+        FliX descendant query; intermediate frontiers are deduplicated by
+        keeping the best distance per element (the unscored counterpart of
+        the relaxed query engine's evaluation).
+        """
+        if not tags:
+            raise ValueError("at least one step tag is required")
+        frontier: Dict[NodeId, int] = {start: 0}
+        for tag in tags:
+            next_frontier: Dict[NodeId, int] = {}
+            for node, distance in sorted(frontier.items(), key=lambda kv: kv[1]):
+                for result in self.pee.find_descendants(
+                    node, tag, max_distance_per_step
+                ):
+                    total = distance + result.distance
+                    current = next_frontier.get(result.node)
+                    if current is None or total < current:
+                        next_frontier[result.node] = total
+            if not next_frontier:
+                return []
+            frontier = next_frontier
+        self.monitor.record(self.pee.last_stats)
+        return sorted(frontier.items(), key=lambda kv: (kv[1], kv[0]))
+
+    def find_connections(
+        self,
+        start: NodeId,
+        tag: Optional[str] = None,
+        model=None,
+        max_cost: Optional[float] = None,
+    ):
+        """Generalized connection search (sections 1.1 / 7).
+
+        ``model`` is a :class:`repro.core.connections.ConnectionModel`
+        assigning costs to tree/link traversals and their reversals;
+        results stream in exactly ascending cost.  Runs on the element
+        graph directly (typed edge costs defeat uniform-hop indexes).
+        """
+        from repro.core.connections import ConnectionEvaluator
+
+        return ConnectionEvaluator(self.collection).find_connected(
+            start, tag=tag, model=model, max_cost=max_cost
+        )
+
+    def connection_cost(
+        self,
+        source: NodeId,
+        target: NodeId,
+        model=None,
+        max_cost: Optional[float] = None,
+    ) -> Optional[float]:
+        """Cheapest generalized-connection cost between two elements."""
+        from repro.core.connections import ConnectionEvaluator
+
+        return ConnectionEvaluator(self.collection).connection_cost(
+            source, target, model=model, max_cost=max_cost
+        )
+
+    def connection_test(
+        self,
+        source: NodeId,
+        target: NodeId,
+        max_distance: Optional[int] = None,
+        bidirectional: bool = False,
+    ) -> Optional[int]:
+        """Is ``target`` reachable from ``source``?  Approximate distance or
+        ``None``."""
+        if bidirectional:
+            result = self.pee.connection_test_bidirectional(
+                source, target, max_distance
+            )
+        else:
+            result = self.pee.connection_test(source, target, max_distance)
+        self.monitor.record(self.pee.last_stats)
+        return result
+
+    def _limited(
+        self,
+        stream: Iterator[QueryResult],
+        limit: Optional[int],
+        cache_key: Optional[tuple] = None,
+    ) -> Iterator[QueryResult]:
+        if limit is not None:
+            stream = itertools.islice(stream, limit)
+        collected: Optional[List[QueryResult]] = (
+            [] if (self._cache is not None and cache_key is not None) else None
+        )
+        for item in stream:
+            if collected is not None:
+                collected.append(item)
+            yield item
+        self.monitor.record(self.pee.last_stats)
+        if collected is not None and limit is None:
+            self._cache_store(cache_key, collected)
+
+    # ------------------------------------------------------------------
+    # result caching (section 7: "caching results of frequent
+    # (sub-)queries")
+    # ------------------------------------------------------------------
+    _cache: Optional["collections.OrderedDict"] = None
+    _cache_maxsize: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def enable_cache(self, maxsize: int = 128) -> None:
+        """Turn on LRU caching of complete (unlimited) query results.
+
+        Only fully-consumed, unlimited streams are cached; ``limit``-ed
+        queries replay a cached superset when one exists.  The cache lives
+        and dies with this ``Flix`` instance, so a rebuild starts fresh.
+        """
+        import collections
+
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self._cache = collections.OrderedDict()
+        self._cache_maxsize = maxsize
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def disable_cache(self) -> None:
+        self._cache = None
+
+    def _cache_lookup(
+        self, key: tuple, limit: Optional[int]
+    ) -> Optional[List[QueryResult]]:
+        if self._cache is None:
+            return None
+        cached = self._cache.get(key)
+        if cached is None:
+            self.cache_misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self.cache_hits += 1
+        if limit is not None:
+            return cached[:limit]
+        return cached
+
+    def _cache_store(self, key: tuple, results: List[QueryResult]) -> None:
+        if self._cache is None:
+            return
+        self._cache[key] = results
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_maxsize:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # streamed (multithreaded) delivery, section 3.1
+    # ------------------------------------------------------------------
+    def find_descendants_streamed(
+        self,
+        start: NodeId,
+        tag: Optional[str] = None,
+        max_distance: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> StreamedList:
+        """Run the query in a background thread; results appear on the
+        returned :class:`StreamedList` as soon as they are found."""
+        results: StreamedList[QueryResult] = StreamedList()
+        evaluator = PathExpressionEvaluator(self.meta_documents, self.meta_of)
+
+        def produce() -> None:
+            try:
+                delivered = 0
+                for item in evaluator.find_descendants(start, tag, max_distance):
+                    if results.cancelled:
+                        break
+                    results.append(item)
+                    delivered += 1
+                    if limit is not None and delivered >= limit:
+                        break
+            finally:
+                results.close()
+
+        thread = threading.Thread(target=produce, name="flix-pee", daemon=True)
+        thread.start()
+        return results
+
+    # ------------------------------------------------------------------
+    # introspection & tuning
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Total storage of all meta-document indexes + residual links."""
+        return self.report.total_index_bytes
+
+    def meta_document_of(self, node: NodeId) -> MetaDocument:
+        return self.meta_documents[self.meta_of[node]]
+
+    def tuning_advice(self, **kwargs) -> TuningAdvice:
+        """Self-tuning check over the recorded query load (section 7)."""
+        return self.monitor.advice(self.config, **kwargs)
+
+    def rebuild(
+        self,
+        config: Optional[FlixConfig] = None,
+        backend_factory: Callable[[], StorageBackend] = MemoryBackend,
+    ) -> "Flix":
+        """Run the build phase again (e.g. following tuning advice)."""
+        return Flix.build(self.collection, config or self.config, backend_factory)
+
+    # ------------------------------------------------------------------
+    # incremental growth
+    # ------------------------------------------------------------------
+    def add_document(self, document) -> "MetaDocument":
+        """Add one new document without rebuilding the whole index.
+
+        The new document becomes its own meta document (indexed with the
+        strategy the ISS picks for it); its links — and any previously
+        dangling links that now resolve to it — become residual links
+        followed at run time.  After many additions the meta-document
+        layout drifts from optimal; the self-tuning monitor (section 7)
+        will eventually recommend a full rebuild.
+        """
+        if self._builder is None:
+            raise RuntimeError(
+                "this Flix instance was not created by Flix.build; "
+                "monolithic comparators do not support incremental growth"
+            )
+        from repro.collection.builder import register_document
+        from repro.core.ib import MetaDocumentReport
+        from repro.core.iss import IndexingStrategySelector
+        from repro.indexes.registry import build_index
+
+        import time as _time
+
+        started = _time.perf_counter()
+        new_link_edges = register_document(self.collection, document)
+        nodes = set(self.collection.document_nodes(document.name))
+
+        # Internal edges: the document's tree edges always; its intra-
+        # document link edges only when the configuration allows a graph
+        # index (a PPO-only configuration must leave them residual).
+        allow_graph = any(s != "ppo" for s in self.config.allowed_strategies)
+        internal = []
+        for u in sorted(nodes):
+            for v in sorted(self.collection.graph.successors(u)):
+                if v not in nodes:
+                    continue
+                if self.collection.is_link_edge(u, v) and not allow_graph:
+                    continue
+                internal.append((u, v))
+        internal_set = set(internal)
+
+        graph = Digraph()
+        for node in nodes:
+            graph.add_node(node)
+        for u, v in internal:
+            graph.add_edge(u, v)
+        choice = IndexingStrategySelector(self.config).choose(graph)
+        tags = {node: self.collection.tag(node) for node in nodes}
+        index = build_index(choice.strategy, graph, tags, self._backend_factory())
+
+        meta = MetaDocument(
+            meta_id=len(self.meta_documents),
+            nodes=frozenset(nodes),
+            index=index,
+            strategy=choice.strategy,
+        )
+        self.meta_documents.append(meta)
+        for node in nodes:
+            self.meta_of[node] = meta.meta_id
+
+        # Residual links: every new link edge not absorbed into the index.
+        links_table = self._builder.framework_backend.table("flix_residual_links")
+        residual = 0
+        touched = {meta.meta_id}
+        for u, v in new_link_edges:
+            if (u, v) in internal_set:
+                continue
+            self.meta_documents[self.meta_of[u]].outgoing_links.setdefault(
+                u, []
+            ).append(v)
+            self.meta_documents[self.meta_of[v]].incoming_links.setdefault(
+                v, []
+            ).append(u)
+            links_table.insert((u, v, self.meta_of[u], self.meta_of[v]))
+            touched.add(self.meta_of[u])
+            touched.add(self.meta_of[v])
+            residual += 1
+        for meta_id in touched:
+            self.meta_documents[meta_id].finalize_links()
+
+        self.report.meta_documents.append(
+            MetaDocumentReport(
+                meta_id=meta.meta_id,
+                node_count=len(nodes),
+                internal_edge_count=len(internal),
+                strategy=choice.strategy,
+                rationale=choice.rationale + " (added incrementally)",
+                index_bytes=index.size_bytes(),
+                build_seconds=_time.perf_counter() - started,
+            )
+        )
+        self.report.residual_link_count += residual
+        self.report.residual_link_bytes = links_table.size_bytes()
+
+        # Refresh the evaluator's view and drop stale cached results.
+        self.pee = PathExpressionEvaluator(self.meta_documents, self.meta_of)
+        if self._cache is not None:
+            self._cache.clear()
+        return meta
+
+    def save(self, directory) -> "Path":
+        """Persist the built index to ``directory`` (restart without
+        rebuild); see :mod:`repro.core.persistence` for the layout."""
+        from repro.core.persistence import save_flix
+
+        return save_flix(self, directory)
+
+    @classmethod
+    def load(cls, collection: XmlCollection, directory) -> "Flix":
+        """Reconstruct a saved index against the unchanged collection."""
+        from repro.core.persistence import load_flix
+
+        return load_flix(collection, directory)
+
+    def self_check(self, samples: int = 20, seed: int = 0) -> Dict[str, int]:
+        """Verify the index against direct graph traversal on a sample.
+
+        For ``samples`` randomly chosen elements, the streamed descendant
+        set must equal a BFS over the element graph, every reported
+        distance must be an upper bound of the BFS distance, and the stream
+        must be duplicate-free.  Returns counters on success; raises
+        ``AssertionError`` naming the first discrepancy otherwise.  Useful
+        after incremental growth or custom strategy registration.
+        """
+        import random
+
+        from repro.graph.traversal import bfs_distances
+
+        node_ids = list(self.collection.node_ids())
+        if not node_ids:
+            return {"samples": 0, "results_checked": 0}
+        rng = random.Random(seed)
+        checked = 0
+        results_checked = 0
+        for _ in range(samples):
+            start = rng.choice(node_ids)
+            truth = bfs_distances(self.collection.graph, start)
+            results = list(self.pee.find_descendants(start))
+            got = {r.node for r in results}
+            expected = set(truth) - {start}
+            if got != expected:
+                missing = sorted(expected - got)[:3]
+                spurious = sorted(got - expected)[:3]
+                raise AssertionError(
+                    f"self_check failed at node {start}: "
+                    f"missing={missing} spurious={spurious}"
+                )
+            if len(results) != len(got):
+                raise AssertionError(
+                    f"self_check failed at node {start}: duplicate results"
+                )
+            for result in results:
+                if result.distance < truth[result.node]:
+                    raise AssertionError(
+                        f"self_check failed at node {start}: distance "
+                        f"{result.distance} undershoots true "
+                        f"{truth[result.node]} for {result.node}"
+                    )
+            checked += 1
+            results_checked += len(results)
+        return {"samples": checked, "results_checked": results_checked}
+
+    def describe(self) -> str:
+        """Multi-line human-readable build summary."""
+        lines = [self.report.summary()]
+        for meta in self.report.meta_documents[:20]:
+            lines.append(
+                f"  meta {meta.meta_id}: {meta.node_count} nodes, "
+                f"{meta.strategy} ({meta.rationale}), {meta.index_bytes} bytes"
+            )
+        if len(self.report.meta_documents) > 20:
+            lines.append(
+                f"  ... and {len(self.report.meta_documents) - 20} more meta documents"
+            )
+        return "\n".join(lines)

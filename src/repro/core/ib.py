@@ -1,0 +1,181 @@
+"""The Index Builder (IB), section 4.2.
+
+Builds one index per meta document with the ISS-selected strategy, and
+maintains, for each meta document ``M_i``, the residual-link bookkeeping:
+the set ``L_i`` of elements with outgoing links not reflected in any index,
+the per-link target lists, and the mirrored incoming side used for ancestor
+queries.  The residual links are also persisted to a table so that FliX's
+total storage (Table 1) includes them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.collection.collection import NodeId, XmlCollection
+from repro.core.config import FlixConfig
+from repro.core.iss import IndexingStrategySelector, StrategyChoice
+from repro.core.meta_document import Edge, MetaDocument, MetaDocumentSpec
+from repro.indexes.registry import build_index
+from repro.storage.memory import MemoryBackend
+from repro.storage.table import Column, StorageBackend, TableSchema
+
+_LINKS_SCHEMA = TableSchema(
+    name="flix_residual_links",
+    columns=(
+        Column("src", "int"),
+        Column("dst", "int"),
+        Column("src_meta", "int"),
+        Column("dst_meta", "int"),
+    ),
+    indexed=("src",),
+)
+
+
+@dataclass
+class MetaDocumentReport:
+    """Per-meta-document build outcome (for reports and benchmarks)."""
+
+    meta_id: int
+    node_count: int
+    internal_edge_count: int
+    strategy: str
+    rationale: str
+    index_bytes: int
+    build_seconds: float
+
+
+@dataclass
+class BuildReport:
+    """What the build phase produced, and what it cost."""
+
+    config_name: str
+    meta_documents: List[MetaDocumentReport] = field(default_factory=list)
+    residual_link_count: int = 0
+    residual_link_bytes: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def total_index_bytes(self) -> int:
+        return (
+            sum(m.index_bytes for m in self.meta_documents)
+            + self.residual_link_bytes
+        )
+
+    def strategy_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for meta in self.meta_documents:
+            histogram[meta.strategy] = histogram.get(meta.strategy, 0) + 1
+        return histogram
+
+    def summary(self) -> str:
+        strategies = ", ".join(
+            f"{count}x {name}" for name, count in sorted(self.strategy_histogram().items())
+        )
+        return (
+            f"config={self.config_name}: {len(self.meta_documents)} meta "
+            f"documents ({strategies}), {self.residual_link_count} residual "
+            f"links, {self.total_index_bytes} bytes, "
+            f"{self.total_seconds:.2f}s build"
+        )
+
+
+class IndexBuilder:
+    """Materializes meta documents from MDB specs."""
+
+    def __init__(
+        self,
+        collection: XmlCollection,
+        config: FlixConfig,
+        backend_factory: Callable[[], StorageBackend] = MemoryBackend,
+        selector: Optional[IndexingStrategySelector] = None,
+    ) -> None:
+        self._collection = collection
+        self._config = config
+        self._backend_factory = backend_factory
+        self._selector = selector or IndexingStrategySelector(config)
+        #: backend holding framework-level tables (the residual link table)
+        self.framework_backend = backend_factory()
+
+    def build(
+        self,
+        specs: List[MetaDocumentSpec],
+    ) -> Tuple[List[MetaDocument], Dict[NodeId, int], BuildReport]:
+        started = time.perf_counter()
+        collection = self._collection
+        self._check_disjoint_cover(specs)
+
+        meta_of: Dict[NodeId, int] = {}
+        for spec in specs:
+            for node in spec.nodes:
+                meta_of[node] = spec.meta_id
+
+        internal: Set[Edge] = set()
+        for spec in specs:
+            internal.update(spec.internal_edges)
+        residual: List[Edge] = sorted(
+            edge for edge in collection.graph.edges() if edge not in internal
+        )
+
+        report = BuildReport(config_name=self._config.name)
+        meta_documents: List[MetaDocument] = []
+        for spec in specs:
+            meta_started = time.perf_counter()
+            graph = spec.build_graph()
+            choice = self._selector.choose(graph)
+            tags = {node: collection.tag(node) for node in spec.nodes}
+            index = build_index(choice.strategy, graph, tags, self._backend_factory())
+            meta = MetaDocument(
+                meta_id=spec.meta_id,
+                nodes=frozenset(spec.nodes),
+                index=index,
+                strategy=choice.strategy,
+            )
+            meta_documents.append(meta)
+            report.meta_documents.append(
+                MetaDocumentReport(
+                    meta_id=spec.meta_id,
+                    node_count=len(spec.nodes),
+                    internal_edge_count=len(spec.internal_edges),
+                    strategy=choice.strategy,
+                    rationale=choice.rationale,
+                    index_bytes=index.size_bytes(),
+                    build_seconds=time.perf_counter() - meta_started,
+                )
+            )
+
+        links_table = self.framework_backend.create_table(_LINKS_SCHEMA)
+        for u, v in residual:
+            meta_documents[meta_of[u]].outgoing_links.setdefault(u, []).append(v)
+            meta_documents[meta_of[v]].incoming_links.setdefault(v, []).append(u)
+            links_table.insert((u, v, meta_of[u], meta_of[v]))
+        for meta in meta_documents:
+            meta.finalize_links()
+
+        report.residual_link_count = len(residual)
+        report.residual_link_bytes = links_table.size_bytes()
+        report.total_seconds = time.perf_counter() - started
+        return meta_documents, meta_of, report
+
+    def _check_disjoint_cover(self, specs: List[MetaDocumentSpec]) -> None:
+        """Meta documents must form a disjoint cover of the collection."""
+        seen: Set[NodeId] = set()
+        for position, spec in enumerate(specs):
+            if spec.meta_id != position:
+                raise ValueError(
+                    f"spec at position {position} carries meta_id {spec.meta_id}; "
+                    "meta ids must be dense and ordered"
+                )
+            overlap = spec.nodes & seen
+            if overlap:
+                raise ValueError(
+                    f"meta document {spec.meta_id} overlaps earlier ones "
+                    f"on {len(overlap)} nodes"
+                )
+            seen.update(spec.nodes)
+        expected = set(self._collection.node_ids())
+        if seen != expected:
+            missing = len(expected - seen)
+            raise ValueError(f"meta documents miss {missing} collection nodes")

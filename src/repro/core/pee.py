@@ -1,0 +1,374 @@
+"""The Path Expression Evaluator (PEE), section 5 and Figure 4.
+
+The evaluator answers ``a//b``-style queries by interleaving per-meta-
+document index lookups with run-time traversal of residual links:
+
+1. a priority queue ``IE`` of *entry elements*, keyed by the minimal
+   distance any of their descendants can have to the start node;
+2. for the popped entry ``e``, the local index returns all matches inside
+   ``e``'s meta document (one block, ascending local distance) and the set
+   ``L(e)`` of link-carrying descendants, whose link targets are enqueued at
+   priority ``dist(a, e) + dist(e, l) + 1``;
+3. duplicate elimination (section 5.1) keeps, per meta document, the entry
+   points visited so far: a new entry covered by an earlier one is dropped
+   outright, and individual results are suppressed when they are descendants
+   of an earlier entry point — all checked through the local index, with no
+   per-result hash of the output.
+
+Results therefore stream in *approximately* ascending distance: within one
+meta document they are exact, across meta documents the block-wise delivery
+can invert neighbours (the error-rate experiment of section 6 quantifies
+this at 8-13%).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.meta_document import MetaDocument
+from repro.indexes.base import NodeId
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One streamed result: the element, its (approximate) distance to the
+    query start, and the meta document it was found in."""
+
+    node: NodeId
+    distance: int
+    meta_id: int
+
+
+@dataclass
+class QueryStats:
+    """Run-time counters for one query (feeds the self-tuning monitor)."""
+
+    meta_document_visits: int = 0
+    link_traversals: int = 0
+    entries_dropped: int = 0
+    results_returned: int = 0
+    results_suppressed: int = 0
+
+
+class PathExpressionEvaluator:
+    """Figure 4's algorithm over a set of built meta documents."""
+
+    def __init__(
+        self,
+        meta_documents: Sequence[MetaDocument],
+        meta_of: Dict[NodeId, int],
+    ) -> None:
+        self._meta_documents = list(meta_documents)
+        self._meta_of = dict(meta_of)
+        self.last_stats = QueryStats()
+
+    # ------------------------------------------------------------------
+    # descendants (a//b, a//*)
+    # ------------------------------------------------------------------
+    def find_descendants(
+        self,
+        start: NodeId,
+        tag: Optional[str] = None,
+        max_distance: Optional[int] = None,
+        include_self: bool = False,
+        exact_order: bool = False,
+    ) -> Iterator[QueryResult]:
+        """Stream descendants of ``start`` with the given tag.
+
+        ``tag=None`` is the wildcard.  ``max_distance`` is the client-side
+        threshold of section 5.1: evaluation stops once the queue's head is
+        beyond it.  ``include_self`` controls whether ``start`` itself may
+        qualify (XPath's descendant-or-self vs. descendant).
+
+        ``exact_order`` implements the first future-work item of section 7
+        ("returning results exactly sorted instead of approximately"):
+        results are buffered and released only once the evaluator's queue
+        guarantees no later result can carry a smaller distance, so the
+        stream is non-decreasing in the reported distance — at the price of
+        the early-first-results advantage FliX otherwise has.
+        """
+        stream = self._search(
+            seeds=[start],
+            tag=tag,
+            max_distance=max_distance,
+            forward=True,
+            skip_nodes=() if include_self else (start,),
+            exact_order=exact_order,
+        )
+        yield from stream
+
+    def find_ancestors(
+        self,
+        start: NodeId,
+        tag: Optional[str] = None,
+        max_distance: Optional[int] = None,
+        include_self: bool = False,
+        exact_order: bool = False,
+    ) -> Iterator[QueryResult]:
+        """Stream ancestors of ``start`` (section 5.1: "a similar algorithm
+        can be applied to find ancestors"); distances are path lengths from
+        the ancestor down to ``start``."""
+        yield from self._search(
+            seeds=[start],
+            tag=tag,
+            max_distance=max_distance,
+            forward=False,
+            skip_nodes=() if include_self else (start,),
+            exact_order=exact_order,
+        )
+
+    def evaluate_type_query(
+        self,
+        source_tag_nodes: Sequence[NodeId],
+        tag: Optional[str],
+        max_distance: Optional[int] = None,
+    ) -> Iterator[QueryResult]:
+        """``A//B`` evaluation (section 5.2): seed the queue with every
+        element of type ``A`` at priority 0 and run the same algorithm.
+
+        Results are the distinct ``B`` elements reachable from *some* seed,
+        each reported once with (approximately) its smallest seed distance.
+        """
+        yield from self._search(
+            seeds=list(source_tag_nodes),
+            tag=tag,
+            max_distance=max_distance,
+            forward=True,
+            skip_nodes=(),
+        )
+
+    # ------------------------------------------------------------------
+    # the core loop
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        seeds: Sequence[NodeId],
+        tag: Optional[str],
+        max_distance: Optional[int],
+        forward: bool,
+        skip_nodes: Tuple[NodeId, ...],
+        exact_order: bool = False,
+    ) -> Iterator[QueryResult]:
+        stats = QueryStats()
+        self.last_stats = stats
+        # entry points already expanded, per meta document
+        entries: Dict[int, List[NodeId]] = {}
+        heap: List[Tuple[int, int, NodeId]] = []
+        for order, seed in enumerate(seeds):
+            if seed not in self._meta_of:
+                raise KeyError(f"node {seed} is not part of the collection")
+            heapq.heappush(heap, (0, order, seed))
+        counter = len(seeds)
+        skip = set(skip_nodes)
+        # exact-order buffering: (distance, tiebreak, result)
+        buffer: List[Tuple[int, int, QueryResult]] = []
+
+        while heap:
+            priority, _, entry = heapq.heappop(heap)
+            if exact_order:
+                # Every later result is found through an entry of priority
+                # >= this one and local distances are non-negative, so the
+                # buffered results below the current priority are final.
+                while buffer and buffer[0][0] < priority:
+                    yield heapq.heappop(buffer)[2]
+            if max_distance is not None and priority > max_distance:
+                break  # queue head beyond the client's threshold
+            meta = self._meta_documents[self._meta_of[entry]]
+            index = meta.index
+            previous = entries.setdefault(meta.meta_id, [])
+            if self._covered(index, previous, entry, forward):
+                stats.entries_dropped += 1
+                continue
+            stats.meta_document_visits += 1
+
+            matches = (
+                index.find_descendants_by_tag(entry, tag)
+                if forward
+                else index.find_ancestors_by_tag(entry, tag)
+            )
+            for node, local_distance in matches:
+                if node in skip and node == entry and local_distance == 0:
+                    continue
+                total = priority + local_distance
+                if max_distance is not None and total > max_distance:
+                    continue
+                if self._covered(index, previous, node, forward):
+                    stats.results_suppressed += 1
+                    continue
+                stats.results_returned += 1
+                result = QueryResult(node, total, meta.meta_id)
+                if exact_order:
+                    counter += 1
+                    heapq.heappush(buffer, (total, counter, result))
+                else:
+                    yield result
+
+            previous.append(entry)
+
+            # Follow residual links out of (forward) / into (backward) the
+            # meta document.
+            if forward:
+                link_elements = index.reachable_subset(entry, meta.link_sources)
+                for element, local_distance in link_elements:
+                    for target in meta.outgoing_links[element]:
+                        stats.link_traversals += 1
+                        counter += 1
+                        heapq.heappush(
+                            heap,
+                            (priority + local_distance + 1, counter, target),
+                        )
+            else:
+                for element, local_distance in self._reverse_reachable_subset(
+                    index, entry, meta.link_targets
+                ):
+                    for source in meta.incoming_links[element]:
+                        stats.link_traversals += 1
+                        counter += 1
+                        heapq.heappush(
+                            heap,
+                            (priority + local_distance + 1, counter, source),
+                        )
+
+        while buffer:
+            yield heapq.heappop(buffer)[2]
+
+    @staticmethod
+    def _covered(
+        index,
+        previous_entries: List[NodeId],
+        node: NodeId,
+        forward: bool,
+    ) -> bool:
+        """Is ``node``'s result set already covered by an earlier entry?
+
+        Forward: a previous entry that reaches ``node`` has already returned
+        all of ``node``'s descendants.  Backward: a previous entry reachable
+        *from* ``node`` has already returned all of ``node``'s ancestors.
+        """
+        for entry in previous_entries:
+            if forward:
+                if index.reachable(entry, node):
+                    return True
+            else:
+                if index.reachable(node, entry):
+                    return True
+        return False
+
+    @staticmethod
+    def _reverse_reachable_subset(
+        index,
+        entry: NodeId,
+        candidates,
+    ) -> List[Tuple[NodeId, int]]:
+        """Candidates that *reach* ``entry`` locally, by ascending distance."""
+        hits = []
+        for candidate in candidates:
+            d = index.distance(candidate, entry)
+            if d is not None:
+                hits.append((candidate, d))
+        hits.sort(key=lambda pair: (pair[1], pair[0]))
+        return hits
+
+    # ------------------------------------------------------------------
+    # connection tests (section 5.2)
+    # ------------------------------------------------------------------
+    def connection_test(
+        self,
+        source: NodeId,
+        target: NodeId,
+        max_distance: Optional[int] = None,
+    ) -> Optional[int]:
+        """Approximate distance from ``source`` to ``target``; None if not
+        connected (within the threshold).
+
+        As in the paper, the search "proceeds until it finds b": the first
+        path discovered is reported, so the returned distance can exceed the
+        true shortest path when that crosses meta documents differently.
+        The client limits the depth via ``max_distance`` because "the
+        resulting relevance is negligible" beyond it.
+        """
+        stats = QueryStats()
+        self.last_stats = stats
+        entries: Dict[int, List[NodeId]] = {}
+        heap: List[Tuple[int, int, NodeId]] = [(0, 0, source)]
+        counter = 1
+        if source not in self._meta_of or target not in self._meta_of:
+            raise KeyError("both endpoints must belong to the collection")
+        target_meta = self._meta_of[target]
+
+        while heap:
+            priority, _, entry = heapq.heappop(heap)
+            if max_distance is not None and priority > max_distance:
+                return None
+            meta = self._meta_documents[self._meta_of[entry]]
+            index = meta.index
+            previous = entries.setdefault(meta.meta_id, [])
+            if self._covered(index, previous, entry, forward=True):
+                stats.entries_dropped += 1
+                continue
+            stats.meta_document_visits += 1
+            if meta.meta_id == target_meta:
+                local = index.distance(entry, target)
+                if local is not None:
+                    total = priority + local
+                    if max_distance is None or total <= max_distance:
+                        stats.results_returned = 1
+                        return total
+            previous.append(entry)
+            for element, local_distance in index.reachable_subset(
+                entry, meta.link_sources
+            ):
+                for out_target in meta.outgoing_links[element]:
+                    stats.link_traversals += 1
+                    counter += 1
+                    heapq.heappush(
+                        heap, (priority + local_distance + 1, counter, out_target)
+                    )
+        return None
+
+    def connection_test_bidirectional(
+        self,
+        source: NodeId,
+        target: NodeId,
+        max_distance: Optional[int] = None,
+    ) -> Optional[int]:
+        """The optimization sketched in section 5.2: run a descendants
+        search from ``source`` and an ancestors search from ``target``
+        simultaneously, alternating steps, and stop at the first meeting
+        element.  Depending on the data's shape either direction may win, so
+        alternation bounds the work by twice the cheaper side."""
+        forward = self._search(
+            seeds=[source], tag=None, max_distance=max_distance,
+            forward=True, skip_nodes=(),
+        )
+        backward = self._search(
+            seeds=[target], tag=None, max_distance=max_distance,
+            forward=False, skip_nodes=(),
+        )
+        seen_forward: Dict[NodeId, int] = {}
+        seen_backward: Dict[NodeId, int] = {}
+        streams = [(forward, seen_forward, seen_backward),
+                   (backward, seen_backward, seen_forward)]
+        active = [True, True]
+        best: Optional[int] = None
+        while any(active):
+            for side, (stream, mine, theirs) in enumerate(streams):
+                if not active[side]:
+                    continue
+                try:
+                    result = next(stream)
+                except StopIteration:
+                    active[side] = False
+                    continue
+                node, distance = result.node, result.distance
+                if node not in mine or distance < mine[node]:
+                    mine[node] = distance
+                if node in theirs:
+                    candidate = distance + theirs[node]
+                    if max_distance is None or candidate <= max_distance:
+                        if best is None or candidate < best:
+                            best = candidate
+                            return best
+        return best

@@ -1,0 +1,213 @@
+"""Saving and loading a built FliX index (restart without rebuild).
+
+Layout on disk::
+
+    <directory>/
+      manifest.json        configuration + meta-document registry
+      framework.sqlite     the residual-link table
+      meta_0000.sqlite     index tables of meta document 0
+      meta_0001.sqlite     ...
+
+Every index strategy persists itself through the storage layer already;
+saving copies those tables into one SQLite file per meta document (whatever
+backend the index was built on), and loading reconstructs each index via
+its strategy's ``load`` classmethod.  The XML collection itself is *not*
+part of the index (use :func:`repro.collection.io.save_collection` for the
+documents); load verifies the collection matches via a fingerprint.
+
+Supported strategies: every ISS-selectable one (ppo, hopi, apex, kindex,
+fbindex, transitive_closure).  DataGuide and Fabric persist their tables
+too, but their specialized lookup structures are rebuilt cheaper from the
+documents, so they are not reconstructed here and are rejected explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro.collection.collection import XmlCollection
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.core.ib import BuildReport, IndexBuilder, MetaDocumentReport
+from repro.core.meta_document import MetaDocument
+from repro.indexes.apex import ApexIndex
+from repro.indexes.hopi import HopiIndex
+from repro.indexes.kindex import ForwardBackwardIndex, KBisimulationIndex
+from repro.indexes.ppo import PpoIndex
+from repro.indexes.transitive import TransitiveClosureIndex
+from repro.storage.sqlite_backend import SqliteBackend
+from repro.storage.table import StorageBackend
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """Raised on unsupported strategies or manifest/collection mismatches."""
+
+
+def _copy_tables(source: StorageBackend, target: StorageBackend) -> None:
+    for name in source.table_names():
+        table = source.table(name)
+        clone = target.create_table(table.schema)
+        clone.insert_many(table.scan())
+
+
+def _fingerprint(collection: XmlCollection) -> Dict[str, int]:
+    return {
+        "documents": collection.document_count,
+        "elements": collection.node_count,
+        "links": collection.link_edge_count,
+    }
+
+
+def save_flix(flix: Flix, directory) -> Path:
+    """Persist ``flix`` under ``directory``; returns the manifest path."""
+    loaders = _loaders()
+    for meta in flix.meta_documents:
+        if meta.strategy not in loaders:
+            raise PersistenceError(
+                f"meta document {meta.meta_id} uses strategy "
+                f"{meta.strategy!r}, which has no loader; rebuild it instead"
+            )
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    for meta in flix.meta_documents:
+        target = SqliteBackend(str(root / f"meta_{meta.meta_id:04d}.sqlite"))
+        _copy_tables(meta.index.backend, target)
+        target.close()
+    framework_target = SqliteBackend(str(root / "framework.sqlite"))
+    if flix._builder is not None:
+        _copy_tables(flix._builder.framework_backend, framework_target)
+    else:
+        # monolithic builds carry no residual links; write an empty table
+        from repro.core.ib import _LINKS_SCHEMA
+
+        framework_target.create_table(_LINKS_SCHEMA)
+    framework_target.close()
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "collection": _fingerprint(flix.collection),
+        "config": {
+            "name": flix.config.name,
+            "mdb_strategy": flix.config.mdb_strategy,
+            "allowed_strategies": list(flix.config.allowed_strategies),
+            "partition_size": flix.config.partition_size,
+            "single_tree": flix.config.single_tree,
+            "hopi_pairs_per_node_budget": flix.config.hopi_pairs_per_node_budget,
+            "expect_long_paths": flix.config.expect_long_paths,
+        },
+        "meta_documents": [
+            {"meta_id": meta.meta_id, "strategy": meta.strategy}
+            for meta in flix.meta_documents
+        ],
+    }
+    manifest_path = root / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    return manifest_path
+
+
+def load_flix(collection: XmlCollection, directory) -> Flix:
+    """Reconstruct a saved index against the (unchanged) collection."""
+    root = Path(directory)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise PersistenceError(f"no {MANIFEST_NAME} under {root}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version {manifest.get('format_version')!r}"
+        )
+    if manifest["collection"] != _fingerprint(collection):
+        raise PersistenceError(
+            "collection fingerprint mismatch: the index was saved for "
+            f"{manifest['collection']}, got {_fingerprint(collection)}"
+        )
+
+    config_data = manifest["config"]
+    config = FlixConfig(
+        name=config_data["name"],
+        mdb_strategy=config_data["mdb_strategy"],
+        allowed_strategies=tuple(config_data["allowed_strategies"]),
+        partition_size=config_data["partition_size"],
+        single_tree=config_data["single_tree"],
+        hopi_pairs_per_node_budget=config_data["hopi_pairs_per_node_budget"],
+        expect_long_paths=config_data["expect_long_paths"],
+    )
+
+    tags = {node: collection.tag(node) for node in collection.node_ids()}
+    loaders = _loaders()
+    meta_documents: List[MetaDocument] = []
+    meta_of: Dict[int, int] = {}
+    report = BuildReport(config_name=config.name)
+    entries = sorted(manifest["meta_documents"], key=lambda e: e["meta_id"])
+    if [e["meta_id"] for e in entries] != list(range(len(entries))):
+        raise PersistenceError("manifest meta ids must be dense and ordered")
+    for entry in entries:
+        meta_id = entry["meta_id"]
+        strategy = entry["strategy"]
+        if strategy not in loaders:
+            raise PersistenceError(f"no loader for strategy {strategy!r}")
+        backend = SqliteBackend.attach(str(root / f"meta_{meta_id:04d}.sqlite"))
+        index = loaders[strategy](backend, tags)
+        meta = MetaDocument(
+            meta_id=meta_id,
+            nodes=index._node_set(),
+            index=index,
+            strategy=strategy,
+        )
+        meta_documents.append(meta)
+        for node in meta.nodes:
+            meta_of[node] = meta_id
+        report.meta_documents.append(
+            MetaDocumentReport(
+                meta_id=meta_id,
+                node_count=len(meta.nodes),
+                internal_edge_count=-1,  # not recorded in the manifest
+                strategy=strategy,
+                rationale="loaded from disk",
+                index_bytes=index.size_bytes(),
+                build_seconds=0.0,
+            )
+        )
+
+    # residual links
+    builder = IndexBuilder(collection, config, SqliteBackend)
+    builder.framework_backend = SqliteBackend.attach(
+        str(root / "framework.sqlite")
+    )
+    residual = 0
+    for u, v, _mu, _mv in builder.framework_backend.table(
+        "flix_residual_links"
+    ).scan():
+        meta_documents[meta_of[u]].outgoing_links.setdefault(u, []).append(v)
+        meta_documents[meta_of[v]].incoming_links.setdefault(v, []).append(u)
+        residual += 1
+    for meta in meta_documents:
+        meta.finalize_links()
+    report.residual_link_count = residual
+    report.residual_link_bytes = builder.framework_backend.table(
+        "flix_residual_links"
+    ).size_bytes()
+
+    flix = Flix(collection, config, meta_documents, meta_of, report)
+    flix._builder = builder
+    flix._backend_factory = SqliteBackend
+    return flix
+
+
+def _loaders() -> Dict[str, Callable]:
+    return {
+        "ppo": PpoIndex.load,
+        "hopi": HopiIndex.load,
+        "transitive_closure": TransitiveClosureIndex.load,
+        "apex": lambda backend, tags: ApexIndex.load(backend, "apex"),
+        "kindex": lambda backend, tags: KBisimulationIndex.load(backend, "kindex"),
+        "fbindex": lambda backend, tags: ForwardBackwardIndex.load(
+            backend, "fbindex"
+        ),
+    }

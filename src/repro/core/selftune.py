@@ -1,0 +1,104 @@
+"""Self-tuning (section 7, future work — implemented here).
+
+"If it turns out in the query evaluation engine that most queries have to
+follow many links, then the choice of meta documents is no longer optimal
+for the current query load.  In this case, the build phase should start
+again, taking statistics on the query load into account."
+
+:class:`QueryLoadMonitor` aggregates the :class:`~repro.core.pee.QueryStats`
+of executed queries; :meth:`QueryLoadMonitor.advice` decides whether a
+rebuild is warranted and recommends the next configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import FlixConfig
+from repro.core.pee import QueryStats
+
+
+@dataclass(frozen=True)
+class TuningAdvice:
+    """Outcome of a self-tuning evaluation."""
+
+    should_rebuild: bool
+    reason: str
+    recommended_config: Optional[FlixConfig] = None
+
+
+class QueryLoadMonitor:
+    """Sliding-window statistics over executed queries."""
+
+    def __init__(self, window: int = 1000) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self._window = window
+        self._stats: List[QueryStats] = []
+
+    def record(self, stats: QueryStats) -> None:
+        self._stats.append(stats)
+        if len(self._stats) > self._window:
+            del self._stats[: len(self._stats) - self._window]
+
+    @property
+    def query_count(self) -> int:
+        return len(self._stats)
+
+    @property
+    def mean_link_traversals(self) -> float:
+        if not self._stats:
+            return 0.0
+        return sum(s.link_traversals for s in self._stats) / len(self._stats)
+
+    @property
+    def mean_meta_document_visits(self) -> float:
+        if not self._stats:
+            return 0.0
+        return sum(s.meta_document_visits for s in self._stats) / len(self._stats)
+
+    @property
+    def mean_results(self) -> float:
+        if not self._stats:
+            return 0.0
+        return sum(s.results_returned for s in self._stats) / len(self._stats)
+
+    def advice(
+        self,
+        current_config: FlixConfig,
+        link_traversal_threshold: float = 8.0,
+        min_queries: int = 20,
+    ) -> TuningAdvice:
+        """Should the build phase run again, and with what configuration?
+
+        A rebuild is recommended when the average query follows more than
+        ``link_traversal_threshold`` residual links: the meta documents are
+        then too small (or cut along the wrong edges) for the actual load,
+        and a configuration with larger / link-absorbing meta documents
+        (Unconnected HOPI with a bigger partition budget) should amortize
+        the traversals into index lookups.
+        """
+        if self.query_count < min_queries:
+            return TuningAdvice(
+                False,
+                f"only {self.query_count} queries observed "
+                f"(need {min_queries}); keep collecting",
+            )
+        mean_links = self.mean_link_traversals
+        if mean_links <= link_traversal_threshold:
+            return TuningAdvice(
+                False,
+                f"mean {mean_links:.1f} link traversals/query is within the "
+                f"threshold of {link_traversal_threshold}",
+            )
+        recommended = FlixConfig.unconnected_hopi(
+            partition_size=max(current_config.partition_size * 4, 5000)
+        )
+        return TuningAdvice(
+            True,
+            f"mean {mean_links:.1f} link traversals/query exceeds "
+            f"{link_traversal_threshold}; larger meta documents would absorb "
+            "them into index lookups",
+            recommended,
+        )

@@ -1,0 +1,38 @@
+"""Dataset generators.
+
+The paper evaluates on a DBLP extract and motivates FliX with a
+heterogeneous movie collection; neither resource ships with this
+reproduction (see DESIGN.md section 4), so deterministic synthetic
+generators reproduce their structural properties:
+
+* :mod:`repro.datasets.dblp` — DBLP-like publication records with a skewed
+  citation graph (6,210 docs / ~27 elements per doc / ~4.1 links per doc at
+  paper scale, freely scalable);
+* :mod:`repro.datasets.movies` — the intro's heterogeneous movie scenario
+  (tag synonyms, alternative titles, varying nesting);
+* :mod:`repro.datasets.synthetic` — parameterized random collections
+  (document count, size, link density) including the Figure 1 shape of a
+  tree-ish subcollection next to a densely interlinked one.
+"""
+
+from repro.datasets.dblp import DblpSpec, generate_dblp, generate_dblp_documents
+from repro.datasets.inex import InexSpec, generate_inex, generate_inex_documents
+from repro.datasets.movies import generate_movie_collection
+from repro.datasets.synthetic import (
+    SyntheticSpec,
+    generate_figure1_collection,
+    generate_synthetic_collection,
+)
+
+__all__ = [
+    "DblpSpec",
+    "generate_dblp",
+    "generate_dblp_documents",
+    "InexSpec",
+    "generate_inex",
+    "generate_inex_documents",
+    "generate_movie_collection",
+    "SyntheticSpec",
+    "generate_synthetic_collection",
+    "generate_figure1_collection",
+]

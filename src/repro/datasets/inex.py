@@ -1,0 +1,139 @@
+"""INEX-style collection: large standalone documents, few links.
+
+Section 4.3 names the INEX benchmark collection as the canonical input for
+the Naive configuration: "documents are relatively large, the number of
+inter-document links is small, and queries usually do not cross document
+boundaries".  The real INEX corpus (IEEE Computer Society articles in XML)
+is licensed; this generator reproduces its structural profile:
+
+* few documents (articles), each *deep and large* — front matter, nested
+  sections down to several levels, paragraphs, figures, bibliography;
+* intra-document links: citation ``ref`` elements pointing (via ``idref``)
+  at bibliography entries in the same article;
+* very few inter-document links: the occasional cross-article citation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.collection.builder import build_collection
+from repro.collection.collection import XmlCollection
+from repro.collection.document import XmlDocument
+from repro.xmlmodel.dom import XmlElement
+
+_SECTION_TITLES = (
+    "Introduction", "Background", "Architecture", "Implementation",
+    "Evaluation", "Related Work", "Discussion", "Conclusion",
+)
+_WORDS = (
+    "retrieval", "structure", "element", "ranking", "index", "query",
+    "relevance", "document", "markup", "collection", "evaluation",
+)
+
+
+@dataclass(frozen=True)
+class InexSpec:
+    """Knobs of the INEX-style generator."""
+
+    articles: int = 12
+    #: elements per article, on average (INEX articles are in the hundreds)
+    mean_article_size: int = 250
+    max_section_depth: int = 4
+    bibliography_entries: int = 12
+    #: intra-document citation refs per article
+    citations_per_article: int = 8
+    #: probability that an article carries one cross-article citation
+    cross_citation_rate: float = 0.2
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.articles < 1:
+            raise ValueError("articles must be positive")
+        if not 0.0 <= self.cross_citation_rate <= 1.0:
+            raise ValueError("cross_citation_rate must be within [0, 1]")
+
+
+def generate_inex_documents(spec: InexSpec = InexSpec()) -> List[XmlDocument]:
+    rng = random.Random(spec.seed)
+    documents = []
+    for i in range(spec.articles):
+        documents.append(_article(spec, rng, i))
+    return documents
+
+
+def generate_inex(spec: InexSpec = InexSpec()) -> XmlCollection:
+    return build_collection(generate_inex_documents(spec))
+
+
+def _article(spec: InexSpec, rng: random.Random, position: int) -> XmlDocument:
+    name = f"article{position:04d}.xml"
+    root = XmlElement("article", {"id": "root"})
+    front = root.make_child("fm")
+    front.make_child("ti", text=" ".join(rng.sample(_WORDS, 4)).title())
+    for _ in range(rng.randint(1, 4)):
+        author = front.make_child("au")
+        author.make_child("fnm", text=rng.choice(("A.", "B.", "C.", "D.")))
+        author.make_child("snm", text=rng.choice(_WORDS).title())
+    front.make_child("abs", text=_sentence(rng, 18))
+
+    body = root.make_child("bdy")
+    budget = max(20, spec.mean_article_size - 30 - spec.bibliography_entries * 3)
+    section_count = rng.randint(4, len(_SECTION_TITLES))
+    for s in range(section_count):
+        _section(
+            body, rng, f"s{s}", _SECTION_TITLES[s],
+            budget // section_count, spec.max_section_depth,
+        )
+
+    back = root.make_child("bm")
+    bibliography = back.make_child("bib")
+    for b in range(spec.bibliography_entries):
+        entry = bibliography.make_child("bb", {"id": f"bib{b}"})
+        entry.make_child("au", text=rng.choice(_WORDS).title())
+        entry.make_child("ti", text=_sentence(rng, 5))
+
+    # intra-document citations from paragraphs to bibliography entries
+    paragraphs = [e for e in root.iter() if e.name == "p"]
+    for _ in range(min(spec.citations_per_article, len(paragraphs))):
+        paragraph = rng.choice(paragraphs)
+        paragraph.make_child(
+            "ref", {"idref": f"bib{rng.randrange(spec.bibliography_entries)}"}
+        )
+    # rare cross-article citation
+    if position > 0 and rng.random() < spec.cross_citation_rate:
+        target = rng.randrange(position)
+        bibliography.children[rng.randrange(len(bibliography.children))].make_child(
+            "xref", {"xlink:href": f"article{target:04d}.xml"}
+        )
+    return XmlDocument(name, root)
+
+
+def _section(
+    parent: XmlElement,
+    rng: random.Random,
+    identifier: str,
+    title: str,
+    budget: int,
+    depth_left: int,
+) -> None:
+    section = parent.make_child("sec", {"id": identifier})
+    section.make_child("st", text=title)
+    remaining = max(2, budget - 2)
+    while remaining > 0:
+        if depth_left > 1 and remaining > 8 and rng.random() < 0.3:
+            sub_budget = remaining // 2
+            _section(
+                section, rng, f"{identifier}.{remaining}", _sentence(rng, 2).title(),
+                sub_budget, depth_left - 1,
+            )
+            remaining -= sub_budget
+        else:
+            section.make_child("p", text=_sentence(rng, rng.randint(8, 25)))
+            remaining -= 1
+
+
+def _sentence(rng: random.Random, words: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(words))

@@ -1,0 +1,131 @@
+"""The heterogeneous movie collection from the paper's introduction.
+
+Section 1.1 motivates relaxed queries with a movie search:
+``/movie[title="Matrix: Revolutions"]/actor/movie`` fails literally because
+
+* one source tags movies ``science-fiction`` instead of ``movie``,
+* one source titles the film "Matrix 3" instead of "Matrix: Revolutions",
+* the path between movie and actor is longer than one step
+  (``movie/cast/actor``) or crosses link hops
+  (``movie/follows/movie/cast/actor``).
+
+This generator materializes exactly that scenario: a small collection of
+movie documents from three "sources" with different schemas, connected by
+XLink references (sequel links, actor filmography links), so the examples
+and tests can demonstrate ontology-based tag similarity plus structural
+relaxation end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.collection.builder import build_collection
+from repro.collection.collection import XmlCollection
+from repro.collection.document import XmlDocument
+from repro.xmlmodel.dom import XmlElement
+
+#: (document, schema, title, alt-title or None, actors)
+_MOVIES: Tuple[Tuple[str, str, str, str, Tuple[str, ...]], ...] = (
+    # Source A: flat <movie><actor/> records
+    ("matrix1.xml", "flat", "The Matrix", "", ("Keanu Reeves", "Carrie-Anne Moss", "Laurence Fishburne")),
+    ("matrix2.xml", "flat", "Matrix: Reloaded", "", ("Keanu Reeves", "Carrie-Anne Moss")),
+    # Source B: <science-fiction> with nested <cast><actor/></cast>, and the
+    # IMDB-style alternative title "Matrix 3"
+    ("matrix3.xml", "nested", "Matrix: Revolutions", "Matrix 3", ("Keanu Reeves", "Carrie-Anne Moss", "Jada Pinkett Smith")),
+    ("bladerunner.xml", "nested", "Blade Runner", "", ("Harrison Ford", "Rutger Hauer")),
+    # Source C: <film> with <credits><performer/></credits>
+    ("speed.xml", "credits", "Speed", "", ("Keanu Reeves", "Sandra Bullock")),
+    ("johnwick.xml", "credits", "John Wick", "", ("Keanu Reeves",)),
+    ("memento.xml", "credits", "Memento", "", ("Guy Pearce", "Carrie-Anne Moss")),
+)
+
+#: sequel chains expressed as <follows xlink:href="..."/> links
+_SEQUELS: Tuple[Tuple[str, str], ...] = (
+    ("matrix2.xml", "matrix1.xml"),
+    ("matrix3.xml", "matrix2.xml"),
+)
+
+
+def generate_movie_collection() -> XmlCollection:
+    """Build the intro's scenario: 7 movies + per-actor filmography docs."""
+    documents = [_movie_document(*spec) for spec in _MOVIES]
+    documents.extend(_filmography_documents())
+    return build_collection(documents)
+
+
+def _movie_document(
+    name: str,
+    schema: str,
+    title: str,
+    alt_title: str,
+    actors: Tuple[str, ...],
+) -> XmlDocument:
+    if schema == "flat":
+        root = XmlElement("movie")
+        root.make_child("title", text=title)
+        for actor in actors:
+            child = root.make_child("actor", {"xlink:href": _actor_document(actor)})
+            child.make_child("name", text=actor)
+    elif schema == "nested":
+        root = XmlElement("science-fiction")
+        root.make_child("title", text=title)
+        if alt_title:
+            root.make_child("alternative-title", text=alt_title)
+        cast = root.make_child("cast")
+        for actor in actors:
+            child = cast.make_child("actor", {"xlink:href": _actor_document(actor)})
+            child.make_child("name", text=actor)
+    elif schema == "credits":
+        root = XmlElement("film")
+        root.make_child("title", text=title)
+        credits = root.make_child("credits")
+        for actor in actors:
+            child = credits.make_child(
+                "performer", {"xlink:href": _actor_document(actor)}
+            )
+            child.make_child("name", text=actor)
+    else:
+        raise ValueError(f"unknown movie schema {schema!r}")
+    for source, target in _SEQUELS:
+        if source == name:
+            root.make_child("follows", {"xlink:href": target})
+    return XmlDocument(name, root)
+
+
+def _actor_document(actor: str) -> str:
+    slug = actor.lower().replace(" ", "-").replace("'", "")
+    return f"actor-{slug}.xml"
+
+
+def _filmography_documents() -> List[XmlDocument]:
+    """One document per actor, linking to every movie they appear in.
+
+    These inter-document links are what lets ``movie//actor//movie`` reach a
+    co-starred movie across document boundaries — the query the paper's
+    relaxed example ultimately evaluates.
+    """
+    appearances: Dict[str, List[str]] = {}
+    for name, _schema, _title, _alt, actors in _MOVIES:
+        for actor in actors:
+            appearances.setdefault(actor, []).append(name)
+    documents = []
+    for actor in sorted(appearances):
+        slug = actor.lower().replace(" ", "-").replace("'", "")
+        root = XmlElement("person")
+        root.make_child("name", text=actor)
+        filmography = root.make_child("filmography")
+        for movie in appearances[actor]:
+            filmography.make_child("acts-in", {"xlink:href": movie})
+        documents.append(XmlDocument(f"actor-{slug}.xml", root))
+    return documents
+
+
+def movie_back_links() -> List[Tuple[str, str]]:
+    """(movie document, actor document) pairs for building richer variants."""
+    pairs = []
+    for name, _schema, _title, _alt, actors in _MOVIES:
+        for actor in actors:
+            slug = actor.lower().replace(" ", "-").replace("'", "")
+            pairs.append((name, f"actor-{slug}.xml"))
+    return pairs

@@ -1,0 +1,43 @@
+"""Directed-graph substrate used throughout the FliX reproduction.
+
+The paper models a collection of linked XML documents as a directed graph
+(section 2.1).  Every index structure, the meta-document builder, and the
+query evaluator operate on instances of :class:`repro.graph.digraph.Digraph`.
+
+This package is dependency-free on purpose: the graph is the hot data
+structure of the whole system, and keeping it as plain dict-of-sets makes the
+complexity of every algorithm obvious.
+"""
+
+from repro.graph.digraph import Digraph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_reverse_distances,
+    dfs_preorder,
+    dijkstra,
+    topological_sort,
+)
+from repro.graph.scc import condensation, strongly_connected_components
+from repro.graph.closure import TransitiveClosure, transitive_closure
+from repro.graph.estimation import estimate_closure_size
+from repro.graph.partition import Partitioning, partition_graph
+from repro.graph.treecheck import forest_roots, is_forest, is_tree
+
+__all__ = [
+    "Digraph",
+    "bfs_distances",
+    "bfs_reverse_distances",
+    "dfs_preorder",
+    "dijkstra",
+    "topological_sort",
+    "strongly_connected_components",
+    "condensation",
+    "TransitiveClosure",
+    "transitive_closure",
+    "estimate_closure_size",
+    "Partitioning",
+    "partition_graph",
+    "is_tree",
+    "is_forest",
+    "forest_roots",
+]

@@ -1,0 +1,155 @@
+"""A small, explicit directed-graph data structure.
+
+Nodes are arbitrary hashable values.  Edges are unweighted (every index and
+evaluator in this project measures distance in *hops*, as the paper does:
+``dist(a, e) + dist(e, l) + 1`` in Figure 4).
+
+Successor and predecessor adjacency are both maintained so that ancestor
+queries (section 5.2) are as cheap as descendant queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+Node = Hashable
+
+
+class Digraph:
+    """Mutable directed graph with O(1) edge insertion and membership tests.
+
+    >>> g = Digraph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 3)
+    >>> sorted(g.successors(1))
+    [2]
+    >>> g.has_edge(2, 3)
+    True
+    """
+
+    __slots__ = ("_succ", "_pred", "_edge_count")
+
+    def __init__(self, edges: Iterable[Tuple[Node, Node]] = ()) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self._edge_count = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert ``node`` if not already present."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Insert the edge ``u -> v`` (idempotent), creating endpoints."""
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._succ[u]:
+            self._succ[u].add(v)
+            self._pred[v].add(u)
+            self._edge_count += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``u -> v``; raises ``KeyError`` if absent."""
+        if u not in self._succ or v not in self._succ[u]:
+            raise KeyError((u, v))
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+        self._edge_count -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._succ:
+            raise KeyError(node)
+        for v in list(self._succ[node]):
+            self.remove_edge(node, v)
+        for u in list(self._pred[node]):
+            self.remove_edge(u, node)
+        del self._succ[node]
+        del self._pred[node]
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._succ)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        for u, targets in self._succ.items():
+            for v in targets:
+                yield (u, v)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        targets = self._succ.get(u)
+        return targets is not None and v in targets
+
+    def successors(self, node: Node) -> Set[Node]:
+        """The set of direct successors (children + link targets)."""
+        return self._succ[node]
+
+    def predecessors(self, node: Node) -> Set[Node]:
+        """The set of direct predecessors (parents + link sources)."""
+        return self._pred[node]
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        return len(self._pred[node])
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[Node]) -> "Digraph":
+        """The induced subgraph on ``nodes`` (edges with both ends inside)."""
+        keep = set(nodes)
+        sub = Digraph()
+        for node in keep:
+            sub.add_node(node)
+        for node in keep:
+            for v in self._succ.get(node, ()):
+                if v in keep:
+                    sub.add_edge(node, v)
+        return sub
+
+    def reversed(self) -> "Digraph":
+        """A new graph with every edge direction flipped."""
+        rev = Digraph()
+        for node in self._succ:
+            rev.add_node(node)
+        for u, v in self.edges():
+            rev.add_edge(v, u)
+        return rev
+
+    def copy(self) -> "Digraph":
+        dup = Digraph()
+        for node in self._succ:
+            dup.add_node(node)
+        for u, v in self.edges():
+            dup.add_edge(u, v)
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Digraph(nodes={self.node_count}, edges={self.edge_count})"

@@ -1,0 +1,92 @@
+"""Strongly connected components and condensation.
+
+Links can create cycles in the element graph (the paper's duplicate
+elimination in section 5.1 exists exactly because "there may be cycles in the
+link structure").  Several algorithms here — Cohen's closure-size estimator
+and the DataGuide determinization — first collapse cycles via the
+condensation DAG.
+
+Tarjan's algorithm is implemented iteratively so that deep synthetic
+documents do not overflow Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph.digraph import Digraph
+
+Node = Hashable
+
+
+def strongly_connected_components(graph: Digraph) -> List[List[Node]]:
+    """Tarjan SCCs in reverse topological order of the condensation."""
+    index_of: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Dict[Node, bool] = {}
+    stack: List[Node] = []
+    components: List[List[Node]] = []
+    counter = 0
+
+    for start in graph:
+        if start in index_of:
+            continue
+        # Each frame is (node, iterator over successors).
+        work = [(start, iter(sorted(graph.successors(start), key=repr)))]
+        index_of[start] = lowlink[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack[start] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append(
+                        (succ, iter(sorted(graph.successors(succ), key=repr)))
+                    )
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def condensation(graph: Digraph) -> Tuple[Digraph, Dict[Node, int]]:
+    """The condensation DAG and the node -> component-id mapping.
+
+    Component ids are integers; the returned DAG has an edge ``i -> j`` iff
+    some edge of ``graph`` crosses from component ``i`` to component ``j``.
+    """
+    components = strongly_connected_components(graph)
+    component_of: Dict[Node, int] = {}
+    for cid, members in enumerate(components):
+        for node in members:
+            component_of[node] = cid
+    dag = Digraph()
+    for cid in range(len(components)):
+        dag.add_node(cid)
+    for u, v in graph.edges():
+        cu, cv = component_of[u], component_of[v]
+        if cu != cv:
+            dag.add_edge(cu, cv)
+    return dag, component_of

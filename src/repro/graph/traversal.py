@@ -1,0 +1,135 @@
+"""Traversal primitives: BFS distances, DFS preorder, Dijkstra, topsort.
+
+All distances in the FliX reproduction are hop counts, so BFS is the exact
+shortest-path oracle and every index is validated against it in the tests.
+Dijkstra is only needed for the weighted *skeleton graph* used by HOPI's
+divide-and-conquer join (see :mod:`repro.indexes.hopi`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.graph.digraph import Digraph
+
+Node = Hashable
+
+
+def bfs_distances(
+    graph: Digraph,
+    source: Node,
+    max_distance: Optional[int] = None,
+) -> Dict[Node, int]:
+    """Hop distances from ``source`` to every reachable node (incl. itself).
+
+    ``max_distance`` truncates the search; nodes farther away are omitted.
+    """
+    if source not in graph:
+        raise KeyError(source)
+    dist: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if max_distance is not None and d >= max_distance:
+            continue
+        for succ in graph.successors(node):
+            if succ not in dist:
+                dist[succ] = d + 1
+                queue.append(succ)
+    return dist
+
+
+def bfs_reverse_distances(
+    graph: Digraph,
+    target: Node,
+    max_distance: Optional[int] = None,
+) -> Dict[Node, int]:
+    """Hop distances from every node that can reach ``target``, to it."""
+    if target not in graph:
+        raise KeyError(target)
+    dist: Dict[Node, int] = {target: 0}
+    queue = deque([target])
+    while queue:
+        node = queue.popleft()
+        d = dist[node]
+        if max_distance is not None and d >= max_distance:
+            continue
+        for pred in graph.predecessors(node):
+            if pred not in dist:
+                dist[pred] = d + 1
+                queue.append(pred)
+    return dist
+
+
+def dfs_preorder(graph: Digraph, roots: Iterable[Node]) -> Iterator[Node]:
+    """Iterative depth-first preorder over ``roots`` (each visited once).
+
+    Successors are visited in sorted-by-repr order so that traversal is
+    deterministic regardless of set iteration order; determinism matters for
+    the PPO numbering and for reproducible benchmarks.
+    """
+    seen = set()
+    for root in roots:
+        if root in seen:
+            continue
+        stack: List[Node] = [root]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            yield node
+            children = [c for c in graph.successors(node) if c not in seen]
+            children.sort(key=repr, reverse=True)
+            stack.extend(children)
+
+
+def dijkstra(
+    node_count_hint: int,
+    source: Node,
+    neighbours: Callable[[Node], Iterable[Tuple[Node, int]]],
+) -> Dict[Node, int]:
+    """Generic Dijkstra over an implicit weighted graph.
+
+    ``neighbours(node)`` yields ``(successor, weight)`` pairs with
+    non-negative integer weights.  Used by the HOPI skeleton join, where
+    edges carry precomputed intra-partition distances.
+    """
+    dist: Dict[Node, int] = {source: 0}
+    heap: List[Tuple[int, int, Node]] = [(0, 0, source)]
+    counter = 0
+    settled = set()
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for succ, weight in neighbours(node):
+            if weight < 0:
+                raise ValueError("dijkstra requires non-negative weights")
+            nd = d + weight
+            if succ not in dist or nd < dist[succ]:
+                dist[succ] = nd
+                counter += 1
+                heapq.heappush(heap, (nd, counter, succ))
+    return dist
+
+
+def topological_sort(graph: Digraph) -> List[Node]:
+    """Kahn topological order; raises ``ValueError`` on a cycle."""
+    indeg = {node: graph.in_degree(node) for node in graph}
+    queue = deque(sorted((n for n, d in indeg.items() if d == 0), key=repr))
+    order: List[Node] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for succ in sorted(graph.successors(node), key=repr):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                queue.append(succ)
+    if len(order) != graph.node_count:
+        raise ValueError("graph has at least one cycle")
+    return order

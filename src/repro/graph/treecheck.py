@@ -1,0 +1,63 @@
+"""Tree and forest detection on element graphs.
+
+PPO "cannot be used with linked documents ... However, a closer analysis
+shows that in some cases the resulting XML graph still forms a tree even in
+the presence of links" (section 4.3, Maximal PPO).  The Meta Document Builder
+and the Indexing Strategy Selector therefore need fast, exact predicates for
+*is this element graph a tree / a forest of trees?*
+
+A directed graph is a forest of rooted trees iff every node has in-degree at
+most one and it contains no (undirected-)cycle — equivalently, with
+``n`` nodes, ``e`` edges and ``r`` roots (in-degree 0): ``e == n - r`` and
+every node is reachable from some root.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, List
+
+from repro.graph.digraph import Digraph
+
+Node = Hashable
+
+
+def forest_roots(graph: Digraph) -> List[Node]:
+    """All nodes with in-degree 0, in deterministic order."""
+    return sorted((n for n in graph if graph.in_degree(n) == 0), key=repr)
+
+
+def is_forest(graph: Digraph) -> bool:
+    """True iff ``graph`` is a disjoint union of rooted trees.
+
+    Conditions checked: (1) every node has in-degree <= 1, (2) no directed
+    cycle, verified by confirming that all nodes are reachable from the
+    in-degree-0 roots (a cycle is unreachable from any root once in-degrees
+    are capped at one).
+    """
+    roots = []
+    for node in graph:
+        indeg = graph.in_degree(node)
+        if indeg > 1:
+            return False
+        if indeg == 0:
+            roots.append(node)
+    reached = 0
+    seen = set()
+    queue = deque(roots)
+    seen.update(roots)
+    while queue:
+        node = queue.popleft()
+        reached += 1
+        for succ in graph.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return reached == graph.node_count
+
+
+def is_tree(graph: Digraph) -> bool:
+    """True iff ``graph`` is a single rooted tree (or empty)."""
+    if graph.node_count == 0:
+        return True
+    return is_forest(graph) and len(forest_roots(graph)) == 1

@@ -1,0 +1,42 @@
+"""Path Indexing Strategies (PIS) — the building blocks FliX composes.
+
+Section 2.2 reviews the landscape; we implement all of the strategies the
+paper works with, behind one interface (:class:`repro.indexes.base.PathIndex`):
+
+* :mod:`repro.indexes.ppo` — Grust's pre/postorder scheme (trees/forests);
+* :mod:`repro.indexes.hopi` — HOPI, the 2-hop reachability+distance cover,
+  with both a centralized and a divide-and-conquer builder;
+* :mod:`repro.indexes.apex` — APEX, the adaptive path index (structure-graph
+  guided evaluation, optional workload refinement);
+* :mod:`repro.indexes.kindex` — the Index Definition Scheme family:
+  1-index and A(k)-indexes via k-bisimulation;
+* :mod:`repro.indexes.dataguide` — strong DataGuides;
+* :mod:`repro.indexes.transitive` — the materialized transitive closure
+  (the paper's size strawman and our correctness oracle).
+"""
+
+from repro.indexes.base import IndexNotApplicableError, PathIndex
+from repro.indexes.ppo import PpoIndex
+from repro.indexes.hopi import HopiIndex
+from repro.indexes.apex import ApexIndex
+from repro.indexes.kindex import ForwardBackwardIndex, KBisimulationIndex
+from repro.indexes.dataguide import DataGuideIndex
+from repro.indexes.fabric import FabricIndex
+from repro.indexes.transitive import TransitiveClosureIndex
+from repro.indexes.registry import available_strategies, build_index, register_strategy
+
+__all__ = [
+    "PathIndex",
+    "IndexNotApplicableError",
+    "PpoIndex",
+    "HopiIndex",
+    "ApexIndex",
+    "KBisimulationIndex",
+    "ForwardBackwardIndex",
+    "DataGuideIndex",
+    "FabricIndex",
+    "TransitiveClosureIndex",
+    "available_strategies",
+    "build_index",
+    "register_strategy",
+]

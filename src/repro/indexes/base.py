@@ -1,0 +1,155 @@
+"""The common interface of all Path Indexing Strategies.
+
+FliX requires (section 3.2) strategies "that support the XPath axes and
+return results in ascending order of distance".  The Path Expression
+Evaluator (Figure 4) needs exactly four operations from the index of a meta
+document:
+
+* ``find_descendants_by_tag(e, tag)`` — ``IND.findReachableElementsByName``,
+  results in ascending distance to ``e``;
+* ``reachable_subset(e, candidates)`` — ``IND.findReachableLinks``, the
+  reachable members of the residual-link set ``L_i``;
+* ``reachable``/``distance`` — entry-point duplicate elimination and
+  connection tests;
+* the reverse (ancestor) variants for ``ancestors-or-self`` evaluation.
+
+Indexes are built from a :class:`repro.graph.digraph.Digraph` over integer
+node ids plus a node -> tag mapping, and persist their payload through a
+:class:`repro.storage.table.StorageBackend` so that their storage footprint
+is measurable (Table 1).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.graph.digraph import Digraph
+from repro.storage.table import StorageBackend
+
+NodeId = int
+Wildcard = None  # tag value meaning "any element"
+ScoredNode = Tuple[NodeId, int]  # (node, distance)
+
+
+class IndexNotApplicableError(ValueError):
+    """The strategy cannot index this graph (e.g. PPO on a non-forest)."""
+
+
+class PathIndex(abc.ABC):
+    """A connection index over one (meta) document graph."""
+
+    #: registry name; subclasses override.
+    strategy_name = "abstract"
+
+    def __init__(self, backend: StorageBackend) -> None:
+        self._backend = backend
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    @abc.abstractmethod
+    def build(
+        cls,
+        graph: Digraph,
+        tags: Mapping[NodeId, str],
+        backend: StorageBackend,
+    ) -> "PathIndex":
+        """Index ``graph``; ``tags`` maps every node to its element name."""
+
+    # ------------------------------------------------------------------
+    # core queries
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def reachable(self, source: NodeId, target: NodeId) -> bool:
+        """``descendants-or-self`` reachability (every node reaches itself)."""
+
+    @abc.abstractmethod
+    def distance(self, source: NodeId, target: NodeId) -> Optional[int]:
+        """Shortest hop distance, or ``None`` when unreachable."""
+
+    @abc.abstractmethod
+    def find_descendants_by_tag(
+        self,
+        source: NodeId,
+        tag: Optional[str],
+    ) -> List[ScoredNode]:
+        """Descendants-or-self of ``source`` with the given tag.
+
+        ``tag=None`` is the wildcard ``a//*``.  Results are sorted by
+        ascending distance (ties by node id) — the contract the PEE's
+        approximate global ordering rests on.
+        """
+
+    @abc.abstractmethod
+    def find_ancestors_by_tag(
+        self,
+        source: NodeId,
+        tag: Optional[str],
+    ) -> List[ScoredNode]:
+        """Ancestors-or-self of ``source``; same ordering contract."""
+
+    # ------------------------------------------------------------------
+    # queries with default implementations
+    # ------------------------------------------------------------------
+    def reachable_subset(
+        self,
+        source: NodeId,
+        candidates: Iterable[NodeId],
+    ) -> List[ScoredNode]:
+        """Members of ``candidates`` reachable from ``source``, by distance.
+
+        This implements the ``L(a)`` query of section 4.2: "the set of all
+        elements in the same meta document that are descendants of ``a`` and
+        have an outgoing link", computed by intersecting descendants with the
+        residual-link set.  Candidate sets are small, so per-candidate
+        distance probes beat a full descendant enumeration.
+        """
+        hits = []
+        for candidate in candidates:
+            d = self.distance(source, candidate)
+            if d is not None:
+                hits.append((candidate, d))
+        hits.sort(key=lambda pair: (pair[1], pair[0]))
+        return hits
+
+    def prepare_link_candidates(self, candidates: frozenset) -> None:
+        """Pre-register the residual-link set ``L_i`` for repeated probing.
+
+        The PEE queries ``reachable_subset(e, L_i)`` once per visited entry
+        point; strategies with a cheaper bulk representation (PPO's
+        preorder intervals) override this to build it once at index time.
+        The default keeps the probe-per-candidate behaviour.
+        """
+
+    def contains(self, node: NodeId) -> bool:
+        """Whether ``node`` belongs to this index's meta document."""
+        return node in self._node_set()
+
+    @abc.abstractmethod
+    def _node_set(self) -> frozenset:
+        """The indexed node ids."""
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> StorageBackend:
+        return self._backend
+
+    def size_bytes(self) -> int:
+        """Persisted storage of this index — the Table 1 measurement."""
+        return self._backend.total_bytes()
+
+    @property
+    def node_count(self) -> int:
+        return len(self._node_set())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} nodes={self.node_count} bytes={self.size_bytes()}>"
+
+
+def sort_scored(pairs: Iterable[ScoredNode]) -> List[ScoredNode]:
+    """Canonical result ordering: ascending distance, then node id."""
+    return sorted(pairs, key=lambda pair: (pair[1], pair[0]))

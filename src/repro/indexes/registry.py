@@ -1,0 +1,68 @@
+"""Registry of Path Indexing Strategies.
+
+FliX is "extensible and can be tailored to the needs of the application"
+(section 1.2): new strategies register themselves here, and the Indexing
+Strategy Selector picks among whatever is registered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Type
+
+from repro.graph.digraph import Digraph
+from repro.indexes.apex import ApexIndex
+from repro.indexes.base import NodeId, PathIndex
+from repro.indexes.dataguide import DataGuideIndex
+from repro.indexes.fabric import FabricIndex
+from repro.indexes.hopi import HopiIndex
+from repro.indexes.kindex import ForwardBackwardIndex, KBisimulationIndex
+from repro.indexes.ppo import PpoIndex
+from repro.indexes.transitive import TransitiveClosureIndex
+from repro.storage.table import StorageBackend
+
+_REGISTRY: Dict[str, Type[PathIndex]] = {}
+
+
+def register_strategy(index_class: Type[PathIndex]) -> None:
+    """Register an index class under its ``strategy_name``."""
+    name = index_class.strategy_name
+    if not name or name == "abstract":
+        raise ValueError("index class must define a concrete strategy_name")
+    _REGISTRY[name] = index_class
+
+
+def available_strategies() -> List[str]:
+    """All registered strategy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def strategy_class(name: str) -> Type[PathIndex]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {available_strategies()}"
+        ) from None
+
+
+def build_index(
+    name: str,
+    graph: Digraph,
+    tags: Mapping[NodeId, str],
+    backend: StorageBackend,
+) -> PathIndex:
+    """Build an index of the named strategy over ``graph``."""
+    return strategy_class(name).build(graph, tags, backend)
+
+
+for _cls in (
+    PpoIndex,
+    HopiIndex,
+    ApexIndex,
+    KBisimulationIndex,
+    ForwardBackwardIndex,
+    DataGuideIndex,
+    FabricIndex,
+    TransitiveClosureIndex,
+):
+    register_strategy(_cls)

@@ -1,0 +1,40 @@
+"""Relaxed path queries with semantic and structural vagueness (section 1.1).
+
+The paper motivates FliX with the XXL search engine's query model: a path
+expression whose tag tests carry *semantic* vagueness (the ``~`` similarity
+operator backed by an ontology) and whose child steps are *structurally*
+relaxed to descendants-or-self, with result relevance decreasing in path
+length.  This package implements that model on top of the FliX evaluator:
+
+* :mod:`repro.query.ast` / :mod:`repro.query.parser` — a small XPath subset
+  (``/``, ``//``, ``*``, name tests, ``~name`` similarity tests,
+  ``[child = "value"]`` / ``[child ~= "value"]`` predicates);
+* :mod:`repro.query.relaxation` — rewrite child steps to descendant steps;
+* :mod:`repro.query.ontology` — tag/term similarity (the WordNet/IMDB
+  substitute, preloaded with the movie and publication domains);
+* :mod:`repro.query.scoring` — relevance from path lengths and similarity;
+* :mod:`repro.query.engine` — top-k evaluation that consumes the PEE's
+  approximately-distance-ordered streams and stops early, threshold-
+  algorithm style (section 3.1 cites Fagin [8]).
+"""
+
+from repro.query.ast import LocationStep, PathQuery, Predicate
+from repro.query.parser import QueryParseError, parse_query
+from repro.query.relaxation import relax
+from repro.query.ontology import Ontology, default_ontology
+from repro.query.scoring import ScoringModel
+from repro.query.engine import QueryEngine, RankedMatch
+
+__all__ = [
+    "PathQuery",
+    "LocationStep",
+    "Predicate",
+    "parse_query",
+    "QueryParseError",
+    "relax",
+    "Ontology",
+    "default_ontology",
+    "ScoringModel",
+    "QueryEngine",
+    "RankedMatch",
+]

@@ -1,0 +1,223 @@
+"""Top-k evaluation of relaxed path queries over a FliX index.
+
+The engine walks the query's location steps left to right, carrying a set
+of scored *bindings* (element, score).  Descendant steps are answered by
+the FliX evaluator's distance-ordered streams; because the scoring model is
+monotonically decreasing in distance, the engine can stop consuming a
+stream as soon as the best score any further result could reach falls below
+the current k-th best candidate — the sequential-access flavour of Fagin's
+threshold algorithm that section 3.1 refers to ("using an algorithm similar
+to Fagin's threshold algorithm with only sequential reads").
+
+Semantic vagueness: a ``~tag`` name test is expanded through the ontology
+into all sufficiently similar tags, each stream's results weighted by the
+tag similarity; ``~=`` predicates are scored by vague text match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.collection.collection import NodeId
+from repro.core.framework import Flix
+from repro.query.ast import LocationStep, PathQuery, Predicate
+from repro.query.ontology import Ontology, default_ontology
+from repro.query.parser import parse_query
+from repro.query.relaxation import relax
+from repro.query.scoring import ScoringModel
+
+
+@dataclass(frozen=True)
+class RankedMatch:
+    """One query answer: the element bound to the final step, its relevance
+    score, and the chain of elements bound to each step."""
+
+    node: NodeId
+    score: float
+    bindings: Tuple[NodeId, ...]
+
+
+class QueryEngine:
+    """Evaluates :class:`PathQuery` instances against a built FliX index."""
+
+    def __init__(
+        self,
+        flix: Flix,
+        ontology: Optional[Ontology] = None,
+        scoring: Optional[ScoringModel] = None,
+        tag_similarity_threshold: float = 0.5,
+        beam_width: int = 500,
+    ) -> None:
+        self._flix = flix
+        self._collection = flix.collection
+        self._ontology = ontology if ontology is not None else default_ontology()
+        self._scoring = scoring if scoring is not None else ScoringModel()
+        self._tag_threshold = tag_similarity_threshold
+        if beam_width < 1:
+            raise ValueError("beam_width must be positive")
+        self._beam_width = beam_width
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        query: Union[str, PathQuery],
+        top_k: int = 10,
+        auto_relax: bool = False,
+    ) -> List[RankedMatch]:
+        """Evaluate ``query`` and return the ``top_k`` matches, best first.
+
+        With ``auto_relax`` the query is first rewritten to the fully
+        relaxed form (all axes descendant, all name tests similar) — the
+        transformation the paper applies to the Matrix example.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if auto_relax:
+            query = relax(query, add_similarity=True)
+        if top_k < 1:
+            raise ValueError("top_k must be positive")
+
+        bindings = self._initial_bindings(query.steps[0])
+        for step in query.steps[1:]:
+            bindings = self._advance(bindings, step, top_k)
+            if not bindings:
+                return []
+        ranked = [
+            RankedMatch(node=chain[-1], score=score, bindings=chain)
+            for chain, score in bindings.items()
+        ]
+        ranked.sort(key=lambda match: (-match.score, match.node))
+        return ranked[:top_k]
+
+    # ------------------------------------------------------------------
+    # step evaluation
+    # ------------------------------------------------------------------
+    def _expanded_tags(self, step: LocationStep) -> List[Tuple[Optional[str], float]]:
+        """(tag, similarity) pairs a name test matches; [(None, 1.0)] = any."""
+        if step.tag is None:
+            return [(None, 1.0)]
+        if not step.similar:
+            return [(step.tag, 1.0)]
+        return self._ontology.expand_tag(step.tag, self._tag_threshold)
+
+    def _initial_bindings(self, step: LocationStep) -> Dict[Tuple[NodeId, ...], float]:
+        """Elements matching the first step.
+
+        A leading ``/name`` addresses document roots only (XPath's absolute
+        child step from the virtual super-root); a leading ``//name``
+        matches anywhere in the collection.
+        """
+        bindings: Dict[Tuple[NodeId, ...], float] = {}
+        best: Dict[NodeId, float] = {}
+        for tag, tag_score in self._expanded_tags(step):
+            nodes = (
+                list(self._collection.node_ids())
+                if tag is None
+                else self._collection.nodes_with_tag(tag)
+            )
+            if step.axis == "child":
+                nodes = [
+                    node
+                    for node in nodes
+                    if self._collection.info(node).depth == 0
+                ]
+            for node in nodes:
+                predicate_score = self._predicate_score(node, step.predicates)
+                score = tag_score * predicate_score
+                if score >= self._scoring.min_score and score > best.get(node, 0.0):
+                    best[node] = score
+        for node, score in self._trim(best).items():
+            bindings[(node,)] = score
+        return bindings
+
+    def _advance(
+        self,
+        bindings: Dict[Tuple[NodeId, ...], float],
+        step: LocationStep,
+        top_k: int,
+    ) -> Dict[Tuple[NodeId, ...], float]:
+        """Extend every binding chain by one location step."""
+        max_distance = (
+            1 if step.axis == "child" else self._scoring.max_useful_distance()
+        )
+        expanded = self._expanded_tags(step)
+        # best extension per result node (dedup across chains and tags)
+        best: Dict[NodeId, Tuple[float, Tuple[NodeId, ...]]] = {}
+        threshold_score = 0.0  # k-th best so far, for early stream cut-off
+
+        ordered = sorted(bindings.items(), key=lambda item: -item[1])
+        for chain, chain_score in ordered:
+            source = chain[-1]
+            source_meta = self._flix.meta_of[source]
+            for tag, tag_score in expanded:
+                ceiling = chain_score * tag_score  # best any result can get
+                if ceiling < self._scoring.min_score or ceiling < threshold_score:
+                    continue
+                for result in self._flix.find_descendants(
+                    source, tag=tag, max_distance=max_distance
+                ):
+                    if step.axis == "child" and result.distance != 1:
+                        continue
+                    link_hops = 0 if result.meta_id == source_meta else 1
+                    structural = self._scoring.path_score(result.distance, link_hops)
+                    bound = ceiling * structural
+                    if bound < self._scoring.min_score or bound < threshold_score:
+                        # results only get farther; stop this stream
+                        break
+                    predicate_score = self._predicate_score(
+                        result.node, step.predicates
+                    )
+                    score = bound * predicate_score
+                    if score < self._scoring.min_score:
+                        continue
+                    current = best.get(result.node)
+                    if current is None or score > current[0]:
+                        best[result.node] = (score, chain + (result.node,))
+                if len(best) >= top_k:
+                    threshold_score = sorted(
+                        (score for score, _ in best.values()), reverse=True
+                    )[top_k - 1]
+        trimmed = self._trim({node: score for node, (score, _) in best.items()})
+        return {
+            best[node][1]: score
+            for node, score in trimmed.items()
+        }
+
+    def _trim(self, scores: Dict[NodeId, float]) -> Dict[NodeId, float]:
+        """Keep the ``beam_width`` best bindings (bounding per-step work)."""
+        if len(scores) <= self._beam_width:
+            return scores
+        ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return dict(ordered[: self._beam_width])
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def _predicate_score(
+        self,
+        node: NodeId,
+        predicates: Tuple[Predicate, ...],
+    ) -> float:
+        """Product of the best match score of every predicate (0 fails)."""
+        score = 1.0
+        element = self._collection.element(node)
+        for predicate in predicates:
+            best = 0.0
+            for child in element.children:
+                if child.name != predicate.child_tag:
+                    continue
+                best = max(
+                    best,
+                    self._scoring.text_score(
+                        predicate.op, predicate.value, child.full_text, self._ontology
+                    ),
+                )
+                if best == 1.0:
+                    break
+            score *= best
+            if score == 0.0:
+                return 0.0
+        return score

@@ -1,0 +1,56 @@
+"""Structural relaxation: child steps become descendant steps.
+
+Section 1.1: "a query like movie/actor can only be an approximation of what
+the user really wants, because the user cannot know the exact structure of
+the data.  We therefore consider not only children as matches, but also
+descendants; the relevance of a result decreases with increasing path
+length."  The scoring model handles the relevance decay; this module does
+the rewrite, optionally adding the similarity operator to every name test
+(the full rewrite shown for the Matrix example).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.query.ast import LocationStep, PathQuery, Predicate
+
+
+def relax(
+    query: PathQuery,
+    add_similarity: bool = False,
+) -> PathQuery:
+    """Relax every ``child`` axis to ``descendant``.
+
+    With ``add_similarity`` every non-wildcard name test also receives the
+    ``~`` operator and every exact-equality predicate becomes a vague
+    ``~=`` match, turning ``/movie[title="..."]/actor/movie`` into the
+    paper's ``//~movie[title ~= "..."]//~actor//~movie``.
+    """
+
+    def soften(predicate: Predicate) -> Predicate:
+        if add_similarity and predicate.op == "=":
+            return Predicate(predicate.child_tag, "~=", predicate.value)
+        return predicate
+
+    steps: Tuple[LocationStep, ...] = tuple(
+        LocationStep(
+            axis="descendant",
+            tag=step.tag,
+            similar=step.similar or (add_similarity and step.tag is not None),
+            predicates=tuple(soften(p) for p in step.predicates),
+        )
+        for step in query.steps
+    )
+    return PathQuery(steps)
+
+
+def relaxation_depth(original: PathQuery, relaxed: PathQuery) -> int:
+    """How many steps were rewritten (for reporting/UI purposes)."""
+    if len(original.steps) != len(relaxed.steps):
+        raise ValueError("queries must have the same number of steps")
+    return sum(
+        1
+        for before, after in zip(original.steps, relaxed.steps)
+        if before.axis != after.axis or before.similar != after.similar
+    )

@@ -1,0 +1,119 @@
+"""Relevance scoring for relaxed queries.
+
+Section 1.1 fixes the qualitative behaviour: "the relevance of a result
+decreases with increasing path length.  As an example, the relevance of a
+match movie/cast/actor could be 0.8, whereas the relevance of a match
+movie/follows/movie/cast/actor could be 0.2", and further "paths that
+include at least one link traversal could be penalized".
+
+:class:`ScoringModel` implements a multiplicative model:
+
+* each step contributes ``decay ** (path_length - 1)`` — a direct child
+  scores 1.0, every extra hop multiplies by ``decay``;
+* each residual-link traversal multiplies by ``link_penalty``;
+* a ``~`` name test multiplies by the ontology similarity of the matched
+  tag, and a ``~=`` predicate by the vague text-match score;
+* the query score is the product over steps (and predicates).
+
+The defaults reproduce the paper's illustration: with ``decay=0.8``,
+``movie/cast/actor`` (length 2) scores 0.8 and a five-step path through a
+sequel link scores about 0.2.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.query.ontology import Ontology
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def _tokens(text: str) -> set:
+    return set(_TOKEN_RE.findall(text.lower()))
+
+
+@dataclass(frozen=True)
+class ScoringModel:
+    """Multiplicative relevance model for relaxed matches."""
+
+    #: per-extra-hop decay of a descendant match
+    decay: float = 0.8
+    #: additional multiplier per residual link traversal on the path
+    link_penalty: float = 0.85
+    #: results below this score are dropped (the "negligible relevance"
+    #: threshold of section 5.2)
+    min_score: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("decay", "link_penalty"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    # structural scores
+    # ------------------------------------------------------------------
+    def path_score(self, path_length: int, link_traversals: int = 0) -> float:
+        """Score of one step matched at ``path_length`` hops.
+
+        ``path_length`` 0 means the self match of descendants-or-self; it
+        scores like a direct child (the step was satisfied immediately).
+        """
+        if path_length < 0:
+            raise ValueError("path_length must be non-negative")
+        extra_hops = max(0, path_length - 1)
+        return (self.decay ** extra_hops) * (self.link_penalty ** link_traversals)
+
+    def max_useful_distance(self) -> int:
+        """Longest path whose score still clears ``min_score``.
+
+        This is the distance threshold the client hands the PEE: "it can
+        compute a threshold for the path length beyond which the resulting
+        relevance is negligible" (section 5.2).
+        """
+        distance = 1
+        while self.path_score(distance + 1) >= self.min_score:
+            distance += 1
+        return distance
+
+    # ------------------------------------------------------------------
+    # semantic scores
+    # ------------------------------------------------------------------
+    def tag_score(
+        self,
+        query_tag: Optional[str],
+        matched_tag: str,
+        similar: bool,
+        ontology: Ontology,
+    ) -> float:
+        """Score of a name-test match (1.0 for exact / wildcard)."""
+        if query_tag is None or query_tag.lower() == matched_tag.lower():
+            return 1.0
+        if not similar:
+            return 0.0
+        return ontology.similarity(query_tag, matched_tag)
+
+    def text_score(self, op: str, expected: str, actual: str, ontology: Ontology) -> float:
+        """Score of a value predicate match."""
+        actual_stripped = actual.strip()
+        if op == "=":
+            return 1.0 if actual_stripped == expected else 0.0
+        if op == "contains":
+            return 1.0 if expected.lower() in actual_stripped.lower() else 0.0
+        if op == "~=":
+            if actual_stripped.lower() == expected.lower():
+                return 1.0
+            alternative = ontology.similarity(expected, actual_stripped)
+            query_tokens = _tokens(expected)
+            actual_tokens = _tokens(actual_stripped)
+            if not query_tokens or not actual_tokens:
+                overlap = 0.0
+            else:
+                overlap = len(query_tokens & actual_tokens) / len(
+                    query_tokens | actual_tokens
+                )
+            return max(alternative, overlap)
+        raise ValueError(f"unknown predicate operator {op!r}")

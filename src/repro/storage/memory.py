@@ -1,0 +1,74 @@
+"""In-memory storage backend with exact byte accounting."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List
+
+from repro.storage.sizing import row_bytes
+from repro.storage.table import Row, StorageBackend, Table, TableSchema
+
+
+class MemoryTable(Table):
+    """Rows in a Python list; hash access paths for indexed columns."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        super().__init__(schema)
+        self._rows: List[Row] = []
+        self._bytes = 0
+        self._indexes: Dict[str, Dict[Any, List[int]]] = {
+            name: {} for name in schema.indexed
+        }
+
+    def insert(self, row: Row) -> None:
+        row = tuple(row)
+        self.schema.check_row(row)
+        position = len(self._rows)
+        self._rows.append(row)
+        self._bytes += row_bytes(row)
+        for name, access_path in self._indexes.items():
+            value = row[self.schema.column_index(name)]
+            access_path.setdefault(value, []).append(position)
+
+    def scan(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def scan_eq(self, column: str, value: Any) -> Iterator[Row]:
+        access_path = self._indexes.get(column)
+        if access_path is not None:
+            for position in access_path.get(value, ()):
+                yield self._rows[position]
+            return
+        # Fall back to a full scan for non-indexed columns.
+        index = self.schema.column_index(column)
+        for row in self._rows:
+            if row[index] == value:
+                yield row
+
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def size_bytes(self) -> int:
+        return self._bytes
+
+
+class MemoryBackend(StorageBackend):
+    """Default backend: fast, deterministic, byte-accounted."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, MemoryTable] = {}
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise ValueError(f"table {schema.name!r} already exists")
+        table = MemoryTable(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        return self._tables[name]
+
+    def drop_table(self, name: str) -> None:
+        del self._tables[name]
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)

@@ -1,0 +1,126 @@
+"""Abstract table interface shared by the storage backends."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+Row = Tuple[Any, ...]
+
+_VALID_KINDS = ("int", "float", "str")
+
+
+@dataclass(frozen=True)
+class Column:
+    """One table column: a name and a primitive kind."""
+
+    name: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown column kind {self.kind!r}")
+        if not self.name.isidentifier():
+            raise ValueError(f"column name {self.name!r} is not an identifier")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table definition: name, columns, and indexed columns.
+
+    ``indexed`` lists column names that point-lookup queries
+    (:meth:`Table.scan_eq`) will filter on; backends build access paths for
+    them (hash maps in memory, B-tree indexes in SQLite).
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    indexed: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"table name {self.name!r} is not an identifier")
+        if not self.columns:
+            raise ValueError("a table needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate column names")
+        for idx in self.indexed:
+            if idx not in names:
+                raise ValueError(f"indexed column {idx!r} not in schema")
+
+    def column_index(self, name: str) -> int:
+        for i, column in enumerate(self.columns):
+            if column.name == name:
+                return i
+        raise KeyError(name)
+
+    def check_row(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} values, schema {self.name!r} "
+                f"has {len(self.columns)} columns"
+            )
+        for value, column in zip(row, self.columns):
+            if column.kind == "int" and not isinstance(value, int):
+                raise TypeError(f"column {column.name!r} expects int, got {value!r}")
+            if column.kind == "float" and not isinstance(value, (int, float)):
+                raise TypeError(f"column {column.name!r} expects float, got {value!r}")
+            if column.kind == "str" and not isinstance(value, str):
+                raise TypeError(f"column {column.name!r} expects str, got {value!r}")
+
+
+class Table(abc.ABC):
+    """Insert/scan interface every backend provides."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+
+    @abc.abstractmethod
+    def insert(self, row: Row) -> None:
+        """Append one row (validated against the schema)."""
+
+    def insert_many(self, rows: Iterable[Row]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    @abc.abstractmethod
+    def scan(self) -> Iterator[Row]:
+        """All rows, in insertion order."""
+
+    @abc.abstractmethod
+    def scan_eq(self, column: str, value: Any) -> Iterator[Row]:
+        """All rows whose ``column`` equals ``value``."""
+
+    @abc.abstractmethod
+    def row_count(self) -> int:
+        """Number of stored rows."""
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Storage the table occupies, in bytes."""
+
+
+class StorageBackend(abc.ABC):
+    """A namespace of tables with aggregate size accounting."""
+
+    @abc.abstractmethod
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create (and return) a new, empty table."""
+
+    @abc.abstractmethod
+    def table(self, name: str) -> Table:
+        """An existing table; raises ``KeyError`` if absent."""
+
+    @abc.abstractmethod
+    def drop_table(self, name: str) -> None:
+        """Remove a table and reclaim its storage."""
+
+    @abc.abstractmethod
+    def table_names(self) -> List[str]:
+        """All table names, sorted."""
+
+    def total_bytes(self) -> int:
+        """Aggregate storage of all tables — the Table 1 measurement."""
+        return sum(self.table(name).size_bytes() for name in self.table_names())

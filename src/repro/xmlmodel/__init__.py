@@ -1,0 +1,25 @@
+"""Self-contained XML substrate: DOM, parser, serializer, link extraction.
+
+The paper's data model (section 2.1) starts from parsed XML documents whose
+elements become graph nodes and whose parent-child edges plus ``id``/``idref``
+attributes and XLink ``href`` attributes become graph edges.  This package
+provides everything needed to get from XML text to that model without any
+third-party dependency.
+"""
+
+from repro.xmlmodel.dom import XmlElement, XmlName
+from repro.xmlmodel.parser import XmlParseError, parse_document, parse_fragment
+from repro.xmlmodel.serializer import serialize
+from repro.xmlmodel.links import Link, LinkKind, extract_links
+
+__all__ = [
+    "XmlElement",
+    "XmlName",
+    "XmlParseError",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "Link",
+    "LinkKind",
+    "extract_links",
+]

@@ -1,0 +1,132 @@
+"""A minimal element-tree DOM.
+
+Only what the indexing framework needs: element name, attributes, text
+content, ordered children, and a parent pointer for ancestor walks.  Mixed
+content is supported by interleaving text runs with child elements via the
+``texts`` list (``texts[i]`` precedes ``children[i]``; the final entry
+follows the last child), which is enough to round-trip documents through the
+serializer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+XmlName = str
+
+
+class XmlElement:
+    """One XML element node.
+
+    >>> e = XmlElement("article", {"key": "a1"})
+    >>> child = XmlElement("title")
+    >>> child.append_text("ARIES")
+    >>> _ = e.append_child(child)
+    >>> e.find("title").text
+    'ARIES'
+    """
+
+    __slots__ = ("name", "attributes", "children", "texts", "parent")
+
+    def __init__(
+        self,
+        name: XmlName,
+        attributes: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("element name must be non-empty")
+        self.name = name
+        self.attributes: Dict[str, str] = dict(attributes or {})
+        self.children: List["XmlElement"] = []
+        # texts[i] precedes children[i]; texts[len(children)] trails.
+        self.texts: List[str] = [""]
+        self.parent: Optional["XmlElement"] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append_child(self, child: "XmlElement") -> "XmlElement":
+        if child.parent is not None:
+            raise ValueError("element already has a parent")
+        child.parent = self
+        self.children.append(child)
+        self.texts.append("")
+        return child
+
+    def append_text(self, text: str) -> None:
+        self.texts[-1] += text
+
+    def make_child(
+        self,
+        name: XmlName,
+        attributes: Optional[Dict[str, str]] = None,
+        text: Optional[str] = None,
+    ) -> "XmlElement":
+        """Convenience: create, append, and optionally fill a child."""
+        child = XmlElement(name, attributes)
+        if text is not None:
+            child.append_text(text)
+        return self.append_child(child)
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+    @property
+    def text(self) -> str:
+        """Concatenated direct text content (not descendants')."""
+        return "".join(self.texts)
+
+    @property
+    def full_text(self) -> str:
+        """Concatenated text of this element and all descendants."""
+        parts = [self.texts[0]]
+        for i, child in enumerate(self.children):
+            parts.append(child.full_text)
+            parts.append(self.texts[i + 1])
+        return "".join(parts)
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Document-order (preorder) iterator over self and descendants."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def find(self, name: XmlName) -> Optional["XmlElement"]:
+        """First direct child with the given name, or ``None``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+        return None
+
+    def find_all(self, name: XmlName) -> List["XmlElement"]:
+        """All direct children with the given name, in document order."""
+        return [child for child in self.children if child.name == name]
+
+    def get(self, attribute: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attributes.get(attribute, default)
+
+    def ancestors(self) -> Iterator["XmlElement"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    @property
+    def depth(self) -> int:
+        """0 for the root, parent's depth + 1 otherwise."""
+        return sum(1 for _ in self.ancestors())
+
+    @property
+    def root(self) -> "XmlElement":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def subtree_size(self) -> int:
+        return sum(1 for _ in self.iter())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<XmlElement {self.name} attrs={len(self.attributes)} children={len(self.children)}>"

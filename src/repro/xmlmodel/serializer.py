@@ -1,0 +1,63 @@
+"""XML serialization for the minimal DOM.
+
+``parse_document(serialize(root))`` reproduces the same tree (names,
+attributes, text runs) — the property-based round-trip test in
+``tests/xmlmodel/test_roundtrip.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmlmodel.dom import XmlElement
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
+
+
+def escape_text(value: str) -> str:
+    for raw, entity in _TEXT_ESCAPES:
+        value = value.replace(raw, entity)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    for raw, entity in _ATTR_ESCAPES:
+        value = value.replace(raw, entity)
+    return value
+
+
+def serialize(element: XmlElement, declaration: bool = False) -> str:
+    """Serialize ``element`` (and its subtree) to a string.
+
+    Attribute order follows insertion order, which our parser preserves, so
+    serialization is deterministic.
+    """
+    parts: List[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>\n')
+    # (element, child_index) frames; child_index == -1 emits the open tag.
+    stack = [(element, -1)]
+    while stack:
+        node, index = stack.pop()
+        if index == -1:
+            attrs = "".join(
+                f' {name}="{escape_attribute(value)}"'
+                for name, value in node.attributes.items()
+            )
+            if not node.children and not node.text:
+                parts.append(f"<{node.name}{attrs}/>")
+                continue
+            parts.append(f"<{node.name}{attrs}>")
+            parts.append(escape_text(node.texts[0]))
+            stack.append((node, 0))
+        elif index < len(node.children):
+            stack.append((node, index + 1))
+            stack.append((node.children[index], -1))
+            # trailing text is emitted when we come back at index + 1
+        if index >= 0:
+            if index > 0:
+                parts.append(escape_text(node.texts[index]))
+            if index == len(node.children):
+                parts.append(f"</{node.name}>")
+    return "".join(parts)

@@ -1,0 +1,110 @@
+"""Unit tests for the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    _longest_non_decreasing,
+    build_all_systems,
+    order_error_rate,
+    paper_partition_sizes,
+    time_to_k,
+)
+from repro.core.pee import QueryResult
+from repro.graph.closure import TransitiveClosure
+
+
+class TestTimeToK:
+    def test_all_checkpoints_reached(self):
+        timings = time_to_k(lambda: iter(range(100)), [1, 10, 50])
+        assert set(timings) == {1, 10, 50}
+        assert timings[1] <= timings[10] <= timings[50]
+
+    def test_short_stream_reports_exhaustion_time(self):
+        timings = time_to_k(lambda: iter(range(5)), [1, 100])
+        assert timings[100] >= timings[1]
+
+    def test_empty_stream(self):
+        timings = time_to_k(lambda: iter(()), [1])
+        assert 1 in timings
+
+    def test_duplicated_checkpoints_collapse(self):
+        timings = time_to_k(lambda: iter(range(10)), [3, 3, 3])
+        assert list(timings) == [3]
+
+
+class TestLongestNonDecreasing:
+    @pytest.mark.parametrize(
+        "sequence, expected",
+        [
+            ([], 0),
+            ([1], 1),
+            ([1, 2, 3], 3),
+            ([3, 2, 1], 1),
+            ([1, 1, 1], 3),
+            ([1, 3, 2, 4], 3),
+            ([5, 1, 2, 3], 3),
+        ],
+    )
+    def test_cases(self, sequence, expected):
+        assert _longest_non_decreasing(sequence) == expected
+
+
+class TestOrderErrorRate:
+    def make_oracle(self, distances):
+        return TransitiveClosure({0: distances})
+
+    def results(self, nodes):
+        return [QueryResult(node, 0, 0) for node in nodes]
+
+    def test_perfect_order(self):
+        oracle = self.make_oracle({1: 1, 2: 2, 3: 3})
+        assert order_error_rate(self.results([1, 2, 3]), oracle, 0) == 0.0
+
+    def test_one_stray(self):
+        oracle = self.make_oracle({1: 1, 2: 2, 3: 3, 4: 4})
+        # 4 delivered first: exactly one result out of place
+        assert order_error_rate(self.results([4, 1, 2, 3]), oracle, 0) == 0.25
+
+    def test_fully_reversed(self):
+        oracle = self.make_oracle({1: 1, 2: 2, 3: 3, 4: 4})
+        rate = order_error_rate(self.results([4, 3, 2, 1]), oracle, 0)
+        assert rate == 0.75  # only one element can stand
+
+    def test_ties_do_not_count_as_errors(self):
+        oracle = self.make_oracle({1: 2, 2: 2, 3: 2})
+        assert order_error_rate(self.results([3, 1, 2]), oracle, 0) == 0.0
+
+    def test_empty_results(self):
+        oracle = self.make_oracle({})
+        assert order_error_rate([], oracle, 0) == 0.0
+
+    def test_foreign_result_rejected(self):
+        oracle = self.make_oracle({1: 1})
+        with pytest.raises(ValueError):
+            order_error_rate(self.results([99]), oracle, 0)
+
+
+class TestSystemLineup:
+    def test_partition_sizes_preserve_paper_fractions(self, dblp_collection):
+        small, large = paper_partition_sizes(dblp_collection)
+        assert small < large
+        assert large >= 4 * small
+
+    def test_build_all_systems_names(self, figure1_collection):
+        systems = build_all_systems(figure1_collection)
+        names = [s.name for s in systems]
+        assert names[0] == "HOPI"
+        assert names[1] == "APEX"
+        assert "PPO-naive" in names
+        assert "MaximalPPO" in names
+        assert len(names) == 6
+
+    def test_transitive_closure_optional(self, figure1_collection):
+        systems = build_all_systems(figure1_collection, include_transitive_closure=True)
+        assert systems[0].name == "TransitiveClosure"
+        assert len(systems) == 7
+
+    def test_systems_expose_size_and_build_time(self, figure1_collection):
+        for system in build_all_systems(figure1_collection):
+            assert system.size_bytes > 0
+            assert system.build_seconds >= 0

@@ -1,0 +1,52 @@
+"""Unit tests for the bench table/series renderers."""
+
+import pytest
+
+from repro.bench.reporting import BenchTable, format_series
+
+
+class TestBenchTable:
+    def test_render_contains_everything(self):
+        table = BenchTable("Table 1: index sizes", ["index", "size [MB]"])
+        table.add_row("HOPI", 339.2)
+        table.add_row("APEX", 133)
+        text = table.render()
+        assert "Table 1" in text
+        assert "HOPI" in text
+        assert "339.200" in text
+        assert "133" in text
+
+    def test_column_arity_enforced(self):
+        table = BenchTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_alignment_uniform(self):
+        table = BenchTable("t", ["name", "value"])
+        table.add_row("x", 1)
+        table.add_row("longer-name", 100)
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # header, rule, and rows share one width
+
+
+class TestFormatSeries:
+    def test_contains_all_systems_and_checkpoints(self):
+        series = {
+            "HOPI": {1: 0.6, 10: 0.6, 100: 0.6},
+            "MaximalPPO": {1: 0.1, 10: 0.9, 100: 2.5},
+        }
+        text = format_series("Figure 5", [1, 10, 100], series)
+        assert "Figure 5" in text
+        assert "HOPI" in text
+        assert "MaximalPPO" in text
+        assert "k=100" in text
+        assert "0.6000" in text
+
+    def test_missing_checkpoint_rendered_as_nan(self):
+        text = format_series("f", [1, 2], {"X": {1: 0.5}})
+        assert "nan" in text
+
+    def test_empty_series(self):
+        text = format_series("f", [1], {})
+        assert "f" in text

@@ -1,0 +1,64 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.bench.workloads import (
+    connection_pairs,
+    figure5_query,
+    random_descendant_queries,
+)
+from repro.graph.traversal import bfs_distances
+
+
+class TestFigure5Query:
+    def test_starts_at_aries(self, dblp_collection):
+        start, tag = figure5_query(dblp_collection)
+        assert tag == "article"
+        assert "ARIES" in dblp_collection.text(start)
+
+
+class TestRandomQueries:
+    def test_selectivity_guarantee(self, dblp_collection):
+        queries = random_descendant_queries(
+            dblp_collection, count=5, seed=1, min_results=3
+        )
+        assert len(queries) == 5
+        for start, tag in queries:
+            reachable = bfs_distances(dblp_collection.graph, start)
+            matches = sum(
+                1
+                for node in reachable
+                if node != start and dblp_collection.tag(node) == tag
+            )
+            assert matches >= 3
+
+    def test_deterministic(self, dblp_collection):
+        a = random_descendant_queries(dblp_collection, count=3, seed=9)
+        b = random_descendant_queries(dblp_collection, count=3, seed=9)
+        assert a == b
+
+    def test_impossible_selectivity_raises(self, dblp_collection):
+        with pytest.raises(RuntimeError):
+            random_descendant_queries(
+                dblp_collection, count=3, seed=1, min_results=10**6
+            )
+
+
+class TestConnectionPairs:
+    def test_expected_flags_correct(self, dblp_collection):
+        pairs = connection_pairs(dblp_collection, count=10, seed=2)
+        assert len(pairs) == 10
+        for source, target, expected in pairs:
+            reachable = bfs_distances(dblp_collection.graph, source)
+            assert (target in reachable) == expected
+
+    def test_mix_of_positive_and_negative(self, dblp_collection):
+        pairs = connection_pairs(dblp_collection, count=10, seed=3)
+        flags = [c for _s, _t, c in pairs]
+        assert any(flags)
+        assert not all(flags)
+
+    def test_deterministic(self, dblp_collection):
+        a = connection_pairs(dblp_collection, count=6, seed=5)
+        b = connection_pairs(dblp_collection, count=6, seed=5)
+        assert a == b

@@ -1,0 +1,95 @@
+"""Unit tests for collection building and link resolution."""
+
+import pytest
+
+from repro.collection.builder import build_collection
+from repro.collection.document import XmlDocument
+
+
+def make(name, text):
+    return XmlDocument.from_text(name, text)
+
+
+class TestLinkResolution:
+    def test_inter_document_root_link(self):
+        coll = build_collection(
+            [
+                make("a.xml", '<a><l xlink:href="b.xml"/></a>'),
+                make("b.xml", "<b/>"),
+            ]
+        )
+        source = coll.node_id_of(coll.documents["a.xml"].root.children[0])
+        target = coll.document_root("b.xml")
+        assert coll.graph.has_edge(source, target)
+        assert coll.is_link_edge(source, target)
+        assert coll.link_edge_count == 1
+
+    def test_inter_document_fragment_link(self):
+        coll = build_collection(
+            [
+                make("a.xml", '<a><l xlink:href="b.xml#deep"/></a>'),
+                make("b.xml", '<b><c id="deep"/></b>'),
+            ]
+        )
+        target_element = coll.documents["b.xml"].anchors["deep"]
+        target = coll.node_id_of(target_element)
+        assert any(v == target for _u, v in coll.link_edges)
+
+    def test_intra_document_idref(self):
+        coll = build_collection(
+            [make("a.xml", '<a><b id="x"/><c idref="x"/></a>')]
+        )
+        assert coll.link_edge_count == 1
+        ((u, v),) = coll.link_edges
+        assert coll.tag(u) == "c"
+        assert coll.tag(v) == "b"
+
+    def test_dangling_document_link_recorded(self):
+        coll = build_collection([make("a.xml", '<a><l xlink:href="ghost.xml"/></a>')])
+        assert coll.link_edge_count == 0
+        assert len(coll.unresolved_links) == 1
+
+    def test_dangling_fragment_link_recorded(self):
+        coll = build_collection(
+            [
+                make("a.xml", '<a><l xlink:href="b.xml#nope"/></a>'),
+                make("b.xml", "<b/>"),
+            ]
+        )
+        assert coll.link_edge_count == 0
+        assert len(coll.unresolved_links) == 1
+
+    def test_self_link_ignored(self):
+        coll = build_collection(
+            [make("a.xml", '<a id="r"><l idref="r"/></a>')]
+        )
+        # link resolved to an ancestor is fine; link to *itself* is dropped
+        ((u, v),) = coll.link_edges
+        assert u != v
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            build_collection([make("a.xml", "<a/>"), make("a.xml", "<b/>")])
+
+    def test_link_edge_never_duplicates_tree_edge_count(self):
+        # A link duplicating an existing parent-child edge must not inflate
+        # edge counts.
+        coll = build_collection(
+            [make("a.xml", '<a id="r"><b idref="c"/><c id="c"/></a>')]
+        )
+        assert coll.graph.edge_count == coll.tree_edge_count + coll.link_edge_count
+
+
+class TestDeterminism:
+    def test_node_ids_stable_across_input_order(self):
+        docs1 = [make("b.xml", "<b/>"), make("a.xml", "<a/>")]
+        docs2 = [make("a.xml", "<a/>"), make("b.xml", "<b/>")]
+        coll1 = build_collection(docs1)
+        coll2 = build_collection(docs2)
+        assert coll1.document_root("a.xml") == coll2.document_root("a.xml")
+        assert coll1.document_root("b.xml") == coll2.document_root("b.xml")
+
+    def test_document_order_node_ids(self):
+        coll = build_collection([make("a.xml", "<a><b><c/></b><d/></a>")])
+        tags = [coll.tag(n) for n in coll.document_nodes("a.xml")]
+        assert tags == ["a", "b", "c", "d"]

@@ -1,0 +1,92 @@
+"""Unit tests for the XmlCollection union graph."""
+
+import pytest
+
+from repro.collection.builder import build_collection
+from repro.collection.document import XmlDocument
+from repro.graph.treecheck import is_forest
+
+
+class TestLookups:
+    def test_counts(self, tiny_collection):
+        assert tiny_collection.document_count == 3
+        assert tiny_collection.node_count == 11  # 5 + 3 + 3 elements
+        # a.xml: idref link; b.xml -> a.xml#s2; c.xml -> b.xml
+        assert tiny_collection.link_edge_count == 3
+
+    def test_tree_and_link_edges_partition_all_edges(self, tiny_collection):
+        assert (
+            tiny_collection.graph.edge_count
+            == tiny_collection.tree_edge_count + tiny_collection.link_edge_count
+        )
+
+    def test_info_fields(self, tiny_collection):
+        root = tiny_collection.document_root("a.xml")
+        info = tiny_collection.info(root)
+        assert info.document == "a.xml"
+        assert info.tag == "doc"
+        assert info.depth == 0
+
+    def test_depths_follow_tree(self, tiny_collection):
+        for name in tiny_collection.documents:
+            for node in tiny_collection.document_nodes(name):
+                info = tiny_collection.info(node)
+                element = tiny_collection.element(node)
+                assert info.depth == element.depth
+
+    def test_nodes_with_tag(self, tiny_collection):
+        secs = tiny_collection.nodes_with_tag("sec")
+        assert len(secs) == 3
+        assert all(tiny_collection.tag(n) == "sec" for n in secs)
+        assert tiny_collection.nodes_with_tag("zzz") == []
+
+    def test_tags_sorted(self, tiny_collection):
+        tags = tiny_collection.tags()
+        assert tags == sorted(tags)
+        assert "doc" in tags
+
+    def test_node_id_of_roundtrip(self, tiny_collection):
+        for node in tiny_collection.node_ids():
+            assert tiny_collection.node_id_of(tiny_collection.element(node)) == node
+
+    def test_node_id_of_foreign_element_rejected(self, tiny_collection):
+        foreign = XmlDocument.from_text("z.xml", "<z/>").root
+        with pytest.raises(KeyError):
+            tiny_collection.node_id_of(foreign)
+
+    def test_text_access(self, tiny_collection):
+        hits = tiny_collection.find_by_text("p", "alpha")
+        assert len(hits) == 1
+        assert tiny_collection.text(hits[0]) == "alpha"
+
+    def test_tree_graph_is_forest(self, tiny_collection):
+        tree = tiny_collection.tree_graph()
+        assert is_forest(tree)
+        assert tree.edge_count == tiny_collection.tree_edge_count
+
+    def test_document_root_is_first_node(self, tiny_collection):
+        for name in tiny_collection.documents:
+            root = tiny_collection.document_root(name)
+            assert root == tiny_collection.document_nodes(name)[0]
+            assert tiny_collection.info(root).depth == 0
+
+
+class TestDblpCollectionShape:
+    def test_every_link_is_inter_document(self, dblp_collection):
+        for u, v in dblp_collection.link_edges:
+            assert (
+                dblp_collection.info(u).document != dblp_collection.info(v).document
+            )
+
+    def test_link_targets_are_roots(self, dblp_collection):
+        roots = {
+            dblp_collection.document_root(name)
+            for name in dblp_collection.documents
+        }
+        for _u, v in dblp_collection.link_edges:
+            assert v in roots
+
+    def test_cite_elements_carry_links(self, dblp_collection):
+        sources = {u for u, _v in dblp_collection.link_edges}
+        for source in sources:
+            assert dblp_collection.tag(source) == "cite"

@@ -1,0 +1,48 @@
+"""Unit tests for XmlDocument."""
+
+import pytest
+
+from repro.collection.document import XmlDocument
+
+
+class TestXmlDocument:
+    def test_from_text(self):
+        doc = XmlDocument.from_text("d.xml", "<a><b/></a>")
+        assert doc.name == "d.xml"
+        assert doc.root.name == "a"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            XmlDocument.from_text("", "<a/>")
+
+    def test_elements_in_document_order(self):
+        doc = XmlDocument.from_text("d.xml", "<a><b><c/></b><d/></a>")
+        assert [e.name for e in doc.elements] == ["a", "b", "c", "d"]
+        assert doc.element_count == 4
+
+    def test_elements_cached(self):
+        doc = XmlDocument.from_text("d.xml", "<a/>")
+        assert doc.elements is doc.elements
+
+    def test_anchors(self):
+        doc = XmlDocument.from_text("d.xml", '<a id="r"><b id="x"/></a>')
+        assert set(doc.anchors) == {"r", "x"}
+
+    def test_links(self):
+        doc = XmlDocument.from_text(
+            "d.xml", '<a><b idref="x"/><c xlink:href="e.xml"/></a>'
+        )
+        assert len(doc.links) == 2
+
+    def test_max_depth(self):
+        doc = XmlDocument.from_text("d.xml", "<a><b><c/></b><d/></a>")
+        assert doc.max_depth == 2
+        flat = XmlDocument.from_text("f.xml", "<a/>")
+        assert flat.max_depth == 0
+
+    def test_invalidate_caches(self):
+        doc = XmlDocument.from_text("d.xml", "<a/>")
+        _ = doc.elements
+        doc.root.make_child("new")
+        doc.invalidate_caches()
+        assert doc.element_count == 2

@@ -1,0 +1,102 @@
+"""Tests for filesystem collection loading and saving."""
+
+import pytest
+
+from repro.collection.io import (
+    CollectionLoadError,
+    load_collection,
+    save_collection,
+)
+from repro.datasets.movies import generate_movie_collection
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_preserves_structure(self, tmp_path):
+        original = generate_movie_collection()
+        written = save_collection(original, tmp_path / "movies")
+        assert written == original.document_count
+        loaded = load_collection(tmp_path / "movies")
+        assert loaded.document_count == original.document_count
+        assert loaded.node_count == original.node_count
+        assert loaded.link_edge_count == original.link_edge_count
+        assert sorted(loaded.documents) == sorted(original.documents)
+
+    def test_round_trip_preserves_queries(self, tmp_path):
+        from repro.core.config import FlixConfig
+        from repro.core.framework import Flix
+
+        original = generate_movie_collection()
+        save_collection(original, tmp_path / "m")
+        loaded = load_collection(tmp_path / "m")
+        flix = Flix.build(loaded, FlixConfig.naive())
+        (title,) = loaded.find_by_text("title", "Matrix: Revolutions")
+        root = loaded.node_id_of(loaded.element(title).parent)
+        results = list(flix.find_descendants(root, tag="actor"))
+        assert results
+
+    def test_files_have_declarations(self, tmp_path):
+        save_collection(generate_movie_collection(), tmp_path / "m")
+        sample = next((tmp_path / "m").glob("*.xml"))
+        assert sample.read_text(encoding="utf-8").startswith("<?xml")
+
+
+class TestLoadBehaviour:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_collection(tmp_path / "nope")
+
+    def test_subdirectories_included(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "a.xml").write_text("<a/>", encoding="utf-8")
+        (tmp_path / "sub" / "b.xml").write_text("<b/>", encoding="utf-8")
+        collection = load_collection(tmp_path)
+        assert set(collection.documents) == {"a.xml", "sub/b.xml"}
+
+    def test_relative_links_across_files(self, tmp_path):
+        (tmp_path / "a.xml").write_text(
+            '<a><l xlink:href="b.xml"/></a>', encoding="utf-8"
+        )
+        (tmp_path / "b.xml").write_text("<b/>", encoding="utf-8")
+        collection = load_collection(tmp_path)
+        assert collection.link_edge_count == 1
+
+    def test_strict_mode_raises_on_broken_xml(self, tmp_path):
+        (tmp_path / "ok.xml").write_text("<a/>", encoding="utf-8")
+        (tmp_path / "bad.xml").write_text("<a><b></a>", encoding="utf-8")
+        with pytest.raises(CollectionLoadError) as excinfo:
+            load_collection(tmp_path)
+        assert "bad.xml" in str(excinfo.value)
+
+    def test_lenient_mode_skips_broken_xml(self, tmp_path):
+        (tmp_path / "ok.xml").write_text("<a/>", encoding="utf-8")
+        (tmp_path / "bad.xml").write_text("<a><b></a>", encoding="utf-8")
+        collection = load_collection(tmp_path, strict=False)
+        assert set(collection.documents) == {"ok.xml"}
+
+    def test_pattern_filter(self, tmp_path):
+        (tmp_path / "a.xml").write_text("<a/>", encoding="utf-8")
+        (tmp_path / "notes.txt").write_text("not xml", encoding="utf-8")
+        collection = load_collection(tmp_path)
+        assert set(collection.documents) == {"a.xml"}
+
+
+class TestSaveSafety:
+    def test_escaping_names_rejected(self, tmp_path):
+        from repro.collection.builder import build_collection
+        from repro.collection.document import XmlDocument
+
+        collection = build_collection(
+            [XmlDocument.from_text("../evil.xml", "<a/>")]
+        )
+        with pytest.raises(ValueError):
+            save_collection(collection, tmp_path / "out")
+
+    def test_nested_names_create_directories(self, tmp_path):
+        from repro.collection.builder import build_collection
+        from repro.collection.document import XmlDocument
+
+        collection = build_collection(
+            [XmlDocument.from_text("deep/nested/d.xml", "<a/>")]
+        )
+        save_collection(collection, tmp_path / "out")
+        assert (tmp_path / "out" / "deep" / "nested" / "d.xml").exists()

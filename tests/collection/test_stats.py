@@ -1,0 +1,78 @@
+"""Unit tests for collection statistics."""
+
+import pytest
+
+from repro.collection.stats import collect_statistics, subset_is_tree_shaped
+
+
+class TestWholeCollectionStats:
+    def test_tiny_collection(self, tiny_collection):
+        stats = collect_statistics(tiny_collection)
+        assert stats.document_count == 3
+        assert stats.element_count == tiny_collection.node_count
+        assert stats.link_edge_count == 3
+        assert stats.intra_document_links == 1
+        assert stats.inter_document_links == 2
+        assert stats.tree_edge_count == tiny_collection.tree_edge_count
+
+    def test_tag_histogram_sums_to_elements(self, tiny_collection):
+        stats = collect_statistics(tiny_collection)
+        assert sum(stats.tag_histogram.values()) == stats.element_count
+        assert stats.distinct_tags == len(stats.tag_histogram)
+
+    def test_derived_ratios(self, tiny_collection):
+        stats = collect_statistics(tiny_collection)
+        assert stats.link_density == pytest.approx(3 / stats.element_count)
+        assert stats.links_per_document == pytest.approx(1.0)
+        assert stats.mean_document_size == pytest.approx(stats.element_count / 3)
+
+    def test_max_depth(self, tiny_collection):
+        stats = collect_statistics(tiny_collection)
+        assert stats.max_depth == 2
+
+    def test_summary_mentions_key_numbers(self, tiny_collection):
+        summary = collect_statistics(tiny_collection).summary()
+        assert "3 documents" in summary
+        assert "links" in summary
+
+    def test_dblp_ratios_match_paper_shape(self, dblp_collection):
+        stats = collect_statistics(dblp_collection)
+        # the paper's corpus has ~4.1 links and ~27 elements per document;
+        # the generator preserves the link ratio (elements are fewer because
+        # our schema is leaner)
+        assert 2.5 < stats.links_per_document < 6.0
+        assert stats.intra_document_links == 0
+        assert stats.mean_document_size > 8
+
+
+class TestSubsetStats:
+    def test_subset_counts_internal_edges_only(self, tiny_collection):
+        nodes = tiny_collection.document_nodes("a.xml")
+        stats = collect_statistics(tiny_collection, nodes)
+        assert stats.document_count == 1
+        assert stats.element_count == len(nodes)
+        assert stats.intra_document_links == 1  # the idref inside a.xml
+        assert stats.inter_document_links == 0  # b->a crosses the subset
+
+    def test_empty_subset(self, tiny_collection):
+        stats = collect_statistics(tiny_collection, [])
+        assert stats.element_count == 0
+        assert stats.link_density == 0.0
+        assert stats.mean_document_size == 0.0
+
+
+class TestTreeShapePredicate:
+    def test_single_document_with_idref_not_tree(self, tiny_collection):
+        nodes = tiny_collection.document_nodes("a.xml")
+        assert not subset_is_tree_shaped(tiny_collection, nodes)
+
+    def test_document_without_links_is_tree(self, tiny_collection):
+        nodes = tiny_collection.document_nodes("c.xml")
+        assert subset_is_tree_shaped(tiny_collection, nodes)
+
+    def test_two_documents_joined_by_root_link(self, tiny_collection):
+        nodes = list(tiny_collection.document_nodes("c.xml")) + list(
+            tiny_collection.document_nodes("b.xml")
+        )
+        # c.xml links to b.xml's root: still a tree
+        assert subset_is_tree_shaped(tiny_collection, nodes)

@@ -1,0 +1,128 @@
+"""Shared fixtures and hypothesis strategies for the FliX test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.collection.builder import build_collection
+from repro.collection.document import XmlDocument
+from repro.datasets.dblp import DblpSpec, generate_dblp
+from repro.datasets.movies import generate_movie_collection
+from repro.datasets.synthetic import generate_figure1_collection
+from repro.graph.digraph import Digraph
+
+# ----------------------------------------------------------------------
+# deterministic example graphs
+# ----------------------------------------------------------------------
+
+
+def diamond_graph() -> Digraph:
+    """0 -> {1, 2} -> 3: the smallest multi-path DAG."""
+    return Digraph([(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+def chain_graph(length: int) -> Digraph:
+    return Digraph([(i, i + 1) for i in range(length)])
+
+
+def cycle_graph(length: int) -> Digraph:
+    return Digraph([(i, (i + 1) % length) for i in range(length)])
+
+
+def random_digraph(seed: int, nodes: int, edge_factor: float = 1.5) -> Digraph:
+    rng = random.Random(seed)
+    graph = Digraph()
+    for i in range(nodes):
+        graph.add_node(i)
+    for _ in range(int(nodes * edge_factor)):
+        u, v = rng.randrange(nodes), rng.randrange(nodes)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def random_tree(seed: int, nodes: int) -> Digraph:
+    rng = random.Random(seed)
+    graph = Digraph()
+    graph.add_node(0)
+    for i in range(1, nodes):
+        graph.add_edge(rng.randrange(i), i)
+    return graph
+
+
+def random_tags(seed: int, nodes: int, alphabet: str = "abcd") -> dict:
+    rng = random.Random(seed)
+    return {i: rng.choice(alphabet) for i in range(nodes)}
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+
+# (seed, node count) pairs from which tests derive deterministic graphs;
+# keeping randomness inside random_digraph keeps shrinking effective.
+graph_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=30),
+)
+
+tree_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=40),
+)
+
+xml_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.-]{0,8}", fullmatch=True)
+
+# Text that is safe in XML content after escaping (the serializer escapes
+# &, <, >; control characters are out of scope for the subset we parse).
+xml_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"),
+    ),
+    max_size=40,
+)
+
+
+# ----------------------------------------------------------------------
+# collection fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def dblp_collection():
+    """A small but structurally faithful DBLP corpus (150 records)."""
+    return generate_dblp(DblpSpec(documents=150))
+
+
+@pytest.fixture(scope="session")
+def movie_collection():
+    return generate_movie_collection()
+
+
+@pytest.fixture(scope="session")
+def figure1_collection():
+    return generate_figure1_collection()
+
+
+@pytest.fixture()
+def tiny_collection():
+    """Three hand-written documents with one inter- and one intra-doc link."""
+    docs = [
+        XmlDocument.from_text(
+            "a.xml",
+            '<doc id="r"><sec id="s1"><p>alpha</p></sec>'
+            '<sec id="s2"><ref idref="s1"/></sec></doc>',
+        ),
+        XmlDocument.from_text(
+            "b.xml",
+            '<doc><sec><link xlink:href="a.xml#s2"/></sec></doc>',
+        ),
+        XmlDocument.from_text(
+            "c.xml",
+            '<doc><link xlink:href="b.xml"/><p>gamma</p></doc>',
+        ),
+    ]
+    return build_collection(docs)

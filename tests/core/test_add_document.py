@@ -1,0 +1,154 @@
+"""Tests for incremental document addition (Flix.add_document)."""
+
+import pytest
+
+from repro.collection.builder import build_collection, register_document
+from repro.collection.document import XmlDocument
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.graph.closure import transitive_closure
+
+
+def doc(name, text):
+    return XmlDocument.from_text(name, text)
+
+
+@pytest.fixture()
+def base_collection():
+    return build_collection(
+        [
+            doc("a.xml", '<doc><l xlink:href="b.xml"/><p>alpha</p></doc>'),
+            doc("b.xml", "<doc><p>beta</p></doc>"),
+            doc(
+                "c.xml",
+                '<doc><l xlink:href="future.xml"/><p>gamma</p></doc>',
+            ),
+        ]
+    )
+
+
+class TestRegisterDocument:
+    def test_new_nodes_appended(self, base_collection):
+        before = base_collection.node_count
+        register_document(base_collection, doc("d.xml", "<doc><p>delta</p></doc>"))
+        assert base_collection.node_count == before + 2
+        assert "d.xml" in base_collection.documents
+
+    def test_new_document_links_resolved(self, base_collection):
+        edges = register_document(
+            base_collection,
+            doc("d.xml", '<doc><l xlink:href="a.xml"/></doc>'),
+        )
+        assert len(edges) == 1
+        (u, v) = edges[0]
+        assert v == base_collection.document_root("a.xml")
+
+    def test_previously_dangling_link_resolves(self, base_collection):
+        assert len(base_collection.unresolved_links) == 1  # c -> future.xml
+        edges = register_document(
+            base_collection, doc("future.xml", "<doc><p>future</p></doc>")
+        )
+        assert base_collection.unresolved_links == []
+        targets = {v for _u, v in edges}
+        assert base_collection.document_root("future.xml") in targets
+
+    def test_duplicate_name_rejected(self, base_collection):
+        with pytest.raises(ValueError):
+            register_document(base_collection, doc("a.xml", "<doc/>"))
+
+
+class TestFlixAddDocument:
+    def test_query_sees_new_document(self, base_collection):
+        flix = Flix.build(base_collection, FlixConfig.naive())
+        flix.add_document(
+            doc("d.xml", '<doc><l xlink:href="a.xml"/><p>delta</p></doc>')
+        )
+        start = base_collection.document_root("d.xml")
+        texts = {
+            base_collection.text(r.node)
+            for r in flix.find_descendants(start, tag="p")
+        }
+        assert texts == {"alpha", "beta", "delta"}
+
+    def test_incremental_matches_full_rebuild(self, base_collection):
+        flix = Flix.build(base_collection, FlixConfig.naive())
+        new_doc = doc(
+            "future.xml",
+            '<doc><l xlink:href="b.xml"/><p>future</p></doc>',
+        )
+        flix.add_document(new_doc)
+        oracle = transitive_closure(base_collection.graph)
+        for name in base_collection.documents:
+            start = base_collection.document_root(name)
+            got = {r.node for r in flix.find_descendants(start)}
+            assert got == set(oracle.descendants(start)) - {start}
+
+    def test_old_documents_can_reach_new_one(self, base_collection):
+        """c.xml's dangling link resolves on addition; queries follow it."""
+        flix = Flix.build(base_collection, FlixConfig.naive())
+        flix.add_document(doc("future.xml", "<doc><p>future</p></doc>"))
+        start = base_collection.document_root("c.xml")
+        texts = {
+            base_collection.text(r.node)
+            for r in flix.find_descendants(start, tag="p")
+        }
+        assert "future" in texts
+
+    def test_report_extended(self, base_collection):
+        flix = Flix.build(base_collection, FlixConfig.naive())
+        metas_before = len(flix.report.meta_documents)
+        residual_before = flix.report.residual_link_count
+        flix.add_document(doc("d.xml", '<doc><l xlink:href="a.xml"/></doc>'))
+        assert len(flix.report.meta_documents) == metas_before + 1
+        assert flix.report.residual_link_count == residual_before + 1
+        assert "incrementally" in flix.report.meta_documents[-1].rationale
+
+    def test_ppo_only_config_leaves_intra_links_residual(self, base_collection):
+        flix = Flix.build(base_collection, FlixConfig.maximal_ppo())
+        meta = flix.add_document(
+            doc("d.xml", '<doc><s id="x"><p>in</p></s><r idref="x"/></doc>')
+        )
+        assert meta.strategy == "ppo"
+        start = base_collection.document_root("d.xml")
+        got = {r.node for r in flix.find_descendants(start, tag="p")}
+        assert len(got) == 1  # intra link followed at run time
+
+    def test_cache_invalidated(self, base_collection):
+        flix = Flix.build(base_collection, FlixConfig.naive())
+        flix.enable_cache()
+        start = base_collection.document_root("a.xml")
+        before = {r.node for r in flix.find_descendants(start, tag="p")}
+        flix.add_document(
+            doc("d.xml", "<doc><p>delta</p></doc>")
+        )
+        # b.xml gained no links, a.xml unchanged -> same answer, but the
+        # cache must have been dropped rather than serving stale objects
+        after = {r.node for r in flix.find_descendants(start, tag="p")}
+        assert after == before
+        assert flix.cache_hits == 0
+
+    def test_monolithic_rejects_add(self, base_collection):
+        flix = Flix.build_monolithic(base_collection, "hopi")
+        with pytest.raises(RuntimeError):
+            flix.add_document(doc("d.xml", "<doc/>"))
+
+    def test_many_additions_stay_consistent(self):
+        collection = build_collection([doc("d000.xml", "<doc><p>p0</p></doc>")])
+        flix = Flix.build(collection, FlixConfig.naive())
+        for i in range(1, 12):
+            flix.add_document(
+                doc(
+                    f"d{i:03d}.xml",
+                    f'<doc><l xlink:href="d{i - 1:03d}.xml"/><p>p{i}</p></doc>',
+                )
+            )
+        oracle = transitive_closure(collection.graph)
+        start = collection.document_root("d011.xml")
+        got = {r.node for r in flix.find_descendants(start, tag="p")}
+        expected = {
+            v
+            for v in oracle.descendants(start)
+            if collection.tag(v) == "p"
+        }
+        assert got == expected
+        assert len(got) == 12

@@ -1,0 +1,78 @@
+"""Unit tests for FliX configurations."""
+
+import pytest
+
+from repro.core.config import FlixConfig
+
+
+class TestValidation:
+    def test_unknown_mdb_strategy(self):
+        with pytest.raises(ValueError):
+            FlixConfig(name="x", mdb_strategy="nope", allowed_strategies=("ppo",))
+
+    def test_bad_partition_size(self):
+        with pytest.raises(ValueError):
+            FlixConfig(
+                name="x",
+                mdb_strategy="naive",
+                allowed_strategies=("ppo",),
+                partition_size=0,
+            )
+
+    def test_empty_strategies(self):
+        with pytest.raises(ValueError):
+            FlixConfig(name="x", mdb_strategy="naive", allowed_strategies=())
+
+
+class TestPredefined:
+    def test_naive(self):
+        config = FlixConfig.naive()
+        assert config.mdb_strategy == "naive"
+        assert "ppo" in config.allowed_strategies
+        assert "hopi" in config.allowed_strategies
+
+    def test_maximal_ppo_variants(self):
+        partitioned = FlixConfig.maximal_ppo()
+        single = FlixConfig.maximal_ppo(single_tree=True)
+        assert partitioned.allowed_strategies == ("ppo",)
+        assert not partitioned.single_tree
+        assert single.single_tree
+        assert single.name != partitioned.name
+
+    def test_unconnected_hopi_sizes(self):
+        config = FlixConfig.unconnected_hopi(5000)
+        assert config.partition_size == 5000
+        assert config.allowed_strategies == ("hopi",)
+        assert "5000" in config.name
+
+    def test_hybrid(self):
+        config = FlixConfig.hybrid(1234)
+        assert config.mdb_strategy == "hybrid"
+        assert config.partition_size == 1234
+
+    def test_configs_are_frozen(self):
+        config = FlixConfig.naive()
+        with pytest.raises(AttributeError):
+            config.partition_size = 1
+
+
+class TestRecommend:
+    def test_no_links_prefers_maximal_ppo(self):
+        config = FlixConfig.recommend(0.0, 0, 30.0)
+        assert config.mdb_strategy == "maximal_ppo"
+
+    def test_few_inter_links_prefers_maximal_ppo(self):
+        config = FlixConfig.recommend(0.005, 0, 30.0)
+        assert config.mdb_strategy == "maximal_ppo"
+
+    def test_large_documents_few_links_prefers_naive(self):
+        config = FlixConfig.recommend(0.003, 10, 5000.0)
+        assert config.mdb_strategy == "naive"
+
+    def test_dense_links_prefers_unconnected_hopi(self):
+        config = FlixConfig.recommend(0.1, 50, 30.0)
+        assert config.mdb_strategy == "unconnected_hopi"
+
+    def test_mixed_prefers_hybrid(self):
+        config = FlixConfig.recommend(0.02, 10, 30.0)
+        assert config.mdb_strategy == "hybrid"

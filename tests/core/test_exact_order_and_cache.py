@@ -1,0 +1,157 @@
+"""Tests for the section 7 extensions: exact-order streaming, result
+caching, and the child axis."""
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.graph.closure import transitive_closure
+
+
+@pytest.fixture(scope="module")
+def flix(figure1_collection):
+    return Flix.build(figure1_collection, FlixConfig.unconnected_hopi(60))
+
+
+@pytest.fixture(scope="module")
+def oracle(figure1_collection):
+    return transitive_closure(figure1_collection.graph)
+
+
+class TestExactOrder:
+    def test_stream_sorted_by_reported_distance(self, flix, figure1_collection):
+        for name in ("d01.xml", "d05.xml", "d08.xml"):
+            start = figure1_collection.document_root(name)
+            results = list(flix.find_descendants(start, exact_order=True))
+            distances = [r.distance for r in results]
+            assert distances == sorted(distances)
+
+    def test_same_result_set_as_approximate(self, flix, figure1_collection):
+        start = figure1_collection.document_root("d05.xml")
+        exact = {r.node for r in flix.find_descendants(start, exact_order=True)}
+        approx = {r.node for r in flix.find_descendants(start)}
+        assert exact == approx
+
+    def test_exact_order_reduces_error_rate(self, flix, figure1_collection, oracle):
+        from repro.bench.harness import order_error_rate
+
+        start = figure1_collection.document_root("d05.xml")
+        approx = list(flix.find_descendants(start, include_self=True))
+        exact = list(flix.find_descendants(start, include_self=True,
+                                           exact_order=True))
+        assert order_error_rate(exact, oracle, start) <= order_error_rate(
+            approx, oracle, start
+        )
+
+    def test_exact_order_ancestors(self, flix, figure1_collection):
+        node = figure1_collection.document_nodes("d04.xml")[-1]
+        results = list(flix.find_ancestors(node, exact_order=True))
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+
+    def test_exact_order_with_threshold(self, flix, figure1_collection):
+        start = figure1_collection.document_root("d01.xml")
+        results = list(
+            flix.find_descendants(start, max_distance=4, exact_order=True)
+        )
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+        assert all(d <= 4 for d in distances)
+
+
+class TestResultCache:
+    def test_cache_disabled_by_default(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        start = figure1_collection.document_root("d01.xml")
+        list(flix.find_descendants(start))
+        list(flix.find_descendants(start))
+        assert flix.cache_hits == 0
+
+    def test_cache_hit_on_repeat(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        flix.enable_cache()
+        start = figure1_collection.document_root("d01.xml")
+        first = list(flix.find_descendants(start, tag="item"))
+        second = list(flix.find_descendants(start, tag="item"))
+        assert flix.cache_hits == 1
+        assert first == second
+
+    def test_cached_results_equal_fresh(self, figure1_collection):
+        plain = Flix.build(figure1_collection, FlixConfig.hybrid(60))
+        cached = Flix.build(figure1_collection, FlixConfig.hybrid(60))
+        cached.enable_cache()
+        start = figure1_collection.document_root("d05.xml")
+        for _ in range(3):
+            assert list(cached.find_descendants(start)) == list(
+                plain.find_descendants(start)
+            )
+
+    def test_limited_query_served_from_cached_superset(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        flix.enable_cache()
+        start = figure1_collection.document_root("d01.xml")
+        full = list(flix.find_descendants(start))
+        limited = list(flix.find_descendants(start, limit=3))
+        assert limited == full[:3]
+        assert flix.cache_hits == 1
+
+    def test_limited_queries_not_cached_as_full(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        flix.enable_cache()
+        start = figure1_collection.document_root("d01.xml")
+        list(flix.find_descendants(start, limit=2))
+        full = list(flix.find_descendants(start))
+        assert len(full) > 2
+
+    def test_lru_eviction(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        flix.enable_cache(maxsize=2)
+        roots = [
+            figure1_collection.document_root(name)
+            for name in ("d01.xml", "d02.xml", "d03.xml")
+        ]
+        for root in roots:
+            list(flix.find_descendants(root))
+        list(flix.find_descendants(roots[0]))  # evicted -> miss
+        assert flix.cache_hits == 0
+        assert flix.cache_misses >= 4
+
+    def test_invalid_maxsize(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        with pytest.raises(ValueError):
+            flix.enable_cache(maxsize=0)
+
+    def test_disable_cache(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        flix.enable_cache()
+        start = figure1_collection.document_root("d01.xml")
+        list(flix.find_descendants(start))
+        flix.disable_cache()
+        hits_before = flix.cache_hits
+        list(flix.find_descendants(start))
+        assert flix.cache_hits == hits_before
+
+
+class TestChildAxis:
+    def test_children_are_direct_successors(self, flix, figure1_collection):
+        start = figure1_collection.document_root("d01.xml")
+        children = flix.find_children(start)
+        expected = sorted(figure1_collection.graph.successors(start))
+        assert [c.node for c in children] == expected
+        assert all(c.distance == 1 for c in children)
+
+    def test_children_tag_filter(self, flix, figure1_collection):
+        start = figure1_collection.document_root("d01.xml")
+        for child in flix.find_children(start, tag="item"):
+            assert figure1_collection.tag(child.node) == "item"
+
+    def test_link_targets_count_as_children(self, flix, figure1_collection):
+        """'elements that are referenced through links [are treated]
+        similarly to normal child elements' (section 1.1)."""
+        link_sources = {u for u, _v in figure1_collection.link_edges}
+        source = next(iter(link_sources))
+        children = {c.node for c in flix.find_children(source)}
+        targets = {
+            v for u, v in figure1_collection.link_edges if u == source
+        }
+        assert targets <= children

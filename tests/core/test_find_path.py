@@ -1,0 +1,78 @@
+"""Tests for multi-step path evaluation (Flix.find_path)."""
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.graph.traversal import bfs_distances
+
+
+@pytest.fixture(scope="module")
+def flix(dblp_collection):
+    return Flix.build(dblp_collection, FlixConfig.maximal_ppo())
+
+
+class TestFindPath:
+    def test_single_step_equals_find_descendants(self, flix, dblp_collection):
+        from repro.datasets.dblp import find_aries
+
+        aries = find_aries(dblp_collection)
+        via_path = flix.find_path(aries, ["article"])
+        direct = {
+            r.node: r.distance
+            for r in flix.find_descendants(aries, tag="article")
+        }
+        assert dict(via_path) == direct
+
+    def test_two_step_path(self, flix, dblp_collection):
+        from repro.datasets.dblp import find_aries
+
+        aries = find_aries(dblp_collection)
+        # aries//article//author: authors of transitively cited articles
+        results = flix.find_path(aries, ["article", "author"])
+        assert results
+        for node, _distance in results:
+            assert dblp_collection.tag(node) == "author"
+        # set equality against BFS ground truth
+        reachable = bfs_distances(dblp_collection.graph, aries)
+        articles = [
+            n for n in reachable
+            if dblp_collection.tag(n) == "article" and n != aries
+        ]
+        expected = set()
+        for article in articles:
+            for n in bfs_distances(dblp_collection.graph, article):
+                if dblp_collection.tag(n) == "author":
+                    expected.add(n)
+        assert {node for node, _ in results} == expected
+
+    def test_results_sorted_by_distance(self, flix, dblp_collection):
+        from repro.datasets.dblp import find_aries
+
+        aries = find_aries(dblp_collection)
+        results = flix.find_path(aries, ["inproceedings", "cite"])
+        distances = [d for _n, d in results]
+        assert distances == sorted(distances)
+
+    def test_dead_end_returns_empty(self, flix, dblp_collection):
+        from repro.datasets.dblp import find_aries
+
+        aries = find_aries(dblp_collection)
+        assert flix.find_path(aries, ["article", "nosuchtag"]) == []
+        assert flix.find_path(aries, ["nosuchtag", "article"]) == []
+
+    def test_empty_tags_rejected(self, flix, dblp_collection):
+        from repro.datasets.dblp import find_aries
+
+        with pytest.raises(ValueError):
+            flix.find_path(find_aries(dblp_collection), [])
+
+    def test_distances_accumulate(self, flix, dblp_collection):
+        from repro.datasets.dblp import find_aries
+
+        aries = find_aries(dblp_collection)
+        one_step = dict(flix.find_path(aries, ["article"]))
+        two_step = dict(flix.find_path(aries, ["article", "title"]))
+        for node, distance in two_step.items():
+            # every final title is at least one hop beyond some article
+            assert distance >= min(one_step.values()) + 1

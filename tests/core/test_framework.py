@@ -1,0 +1,97 @@
+"""Unit tests for the Flix facade."""
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.graph.closure import transitive_closure
+
+
+class TestBuild:
+    def test_build_report_exposed(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        assert flix.report.config_name == "naive"
+        assert flix.size_bytes() == flix.report.total_index_bytes
+        assert flix.size_bytes() > 0
+
+    def test_meta_document_of(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        root = figure1_collection.document_root("d01.xml")
+        meta = flix.meta_document_of(root)
+        assert root in meta
+
+    def test_describe_mentions_config(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.hybrid(60))
+        text = flix.describe()
+        assert "hybrid" in text
+        assert "meta" in text
+
+    def test_monolithic_build(self, figure1_collection):
+        flix = Flix.build_monolithic(figure1_collection, "hopi")
+        assert len(flix.meta_documents) == 1
+        assert flix.meta_documents[0].strategy == "hopi"
+        assert flix.report.residual_link_count == 0
+        oracle = transitive_closure(figure1_collection.graph)
+        start = figure1_collection.document_root("d05.xml")
+        got = {r.node for r in flix.find_descendants(start)}
+        assert got == set(oracle.descendants(start)) - {start}
+
+    def test_monolithic_results_exactly_ordered(self, figure1_collection):
+        """One meta document means no cross-block approximation at all."""
+        flix = Flix.build_monolithic(figure1_collection, "hopi")
+        oracle = transitive_closure(figure1_collection.graph)
+        start = figure1_collection.document_root("d05.xml")
+        results = list(flix.find_descendants(start))
+        for result in results:
+            assert result.distance == oracle.distance(start, result.node)
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+
+    def test_rebuild_with_other_config(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        rebuilt = flix.rebuild(FlixConfig.unconnected_hopi(60))
+        assert rebuilt.config.mdb_strategy == "unconnected_hopi"
+        assert rebuilt.collection is figure1_collection
+
+
+class TestStreamedDelivery:
+    def test_streamed_results_match_synchronous(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.hybrid(60))
+        start = figure1_collection.document_root("d01.xml")
+        stream = flix.find_descendants_streamed(start)
+        streamed = [r.node for r in stream]
+        synchronous = [r.node for r in flix.find_descendants(start)]
+        assert streamed == synchronous
+
+    def test_streamed_limit(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        start = figure1_collection.document_root("d01.xml")
+        stream = flix.find_descendants_streamed(start, limit=3)
+        assert len(list(stream)) == 3
+        assert stream.closed
+
+    def test_streamed_cancel(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        start = figure1_collection.document_root("d01.xml")
+        stream = flix.find_descendants_streamed(start)
+        stream.get(0, timeout=5)
+        stream.cancel()
+        # the producer notices and closes; iteration terminates
+        list(stream)
+
+
+class TestMonitorIntegration:
+    def test_queries_feed_the_monitor(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        start = figure1_collection.document_root("d05.xml")
+        assert flix.monitor.query_count == 0
+        list(flix.find_descendants(start))
+        assert flix.monitor.query_count == 1
+        flix.connection_test(start, figure1_collection.document_root("d06.xml"))
+        assert flix.monitor.query_count == 2
+
+    def test_tuning_advice_needs_data(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        advice = flix.tuning_advice()
+        assert not advice.should_rebuild
+        assert "queries" in advice.reason

@@ -1,0 +1,98 @@
+"""Unit tests for the Index Builder."""
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.ib import IndexBuilder
+from repro.core.mdb import MetaDocumentBuilder
+from repro.core.meta_document import MetaDocumentSpec
+
+
+def build(collection, config):
+    specs = MetaDocumentBuilder(collection, config).build_specs()
+    return IndexBuilder(collection, config).build(specs)
+
+
+class TestBuild:
+    def test_meta_of_covers_all_nodes(self, tiny_collection):
+        metas, meta_of, _report = build(tiny_collection, FlixConfig.naive())
+        assert set(meta_of) == set(tiny_collection.node_ids())
+        for node, mid in meta_of.items():
+            assert node in metas[mid]
+
+    def test_residual_links_are_the_non_internal_edges(self, tiny_collection):
+        metas, meta_of, report = build(tiny_collection, FlixConfig.naive())
+        # inter-document links are residual under the naive configuration
+        inter = [
+            (u, v)
+            for u, v in tiny_collection.link_edges
+            if tiny_collection.info(u).document != tiny_collection.info(v).document
+        ]
+        assert report.residual_link_count == len(inter)
+        for u, v in inter:
+            assert v in metas[meta_of[u]].outgoing_links[u]
+            assert u in metas[meta_of[v]].incoming_links[v]
+
+    def test_link_sources_property(self, tiny_collection):
+        metas, _meta_of, _report = build(tiny_collection, FlixConfig.naive())
+        for meta in metas:
+            assert meta.link_sources == frozenset(meta.outgoing_links)
+            assert meta.link_targets == frozenset(meta.incoming_links)
+
+    def test_indexes_answer_local_queries(self, tiny_collection):
+        metas, meta_of, _report = build(tiny_collection, FlixConfig.naive())
+        root = tiny_collection.document_root("a.xml")
+        meta = metas[meta_of[root]]
+        descendants = meta.index.find_descendants_by_tag(root, None)
+        assert len(descendants) == len(tiny_collection.document_nodes("a.xml"))
+
+    def test_report_totals(self, tiny_collection):
+        _metas, _meta_of, report = build(tiny_collection, FlixConfig.naive())
+        assert report.total_index_bytes > 0
+        assert report.total_seconds >= 0
+        assert len(report.meta_documents) == tiny_collection.document_count
+        histogram = report.strategy_histogram()
+        assert sum(histogram.values()) == len(report.meta_documents)
+
+    def test_report_summary_readable(self, tiny_collection):
+        _metas, _meta_of, report = build(tiny_collection, FlixConfig.naive())
+        summary = report.summary()
+        assert "meta" in summary
+        assert "residual" in summary
+
+    def test_strategies_match_structure(self, tiny_collection):
+        metas, _meta_of, _report = build(tiny_collection, FlixConfig.naive())
+        by_doc = {}
+        for meta in metas:
+            doc = tiny_collection.info(next(iter(meta.nodes))).document
+            by_doc[doc] = meta.strategy
+        # a.xml has an intra-document link -> not a forest -> hopi
+        assert by_doc["a.xml"] == "hopi"
+        # b.xml and c.xml are plain trees -> ppo
+        assert by_doc["b.xml"] == "ppo"
+        assert by_doc["c.xml"] == "ppo"
+
+
+class TestValidation:
+    def test_overlapping_specs_rejected(self, tiny_collection):
+        config = FlixConfig.naive()
+        nodes = set(tiny_collection.node_ids())
+        specs = [
+            MetaDocumentSpec(0, nodes, []),
+            MetaDocumentSpec(1, {0}, []),
+        ]
+        with pytest.raises(ValueError):
+            IndexBuilder(tiny_collection, config).build(specs)
+
+    def test_incomplete_cover_rejected(self, tiny_collection):
+        config = FlixConfig.naive()
+        specs = [MetaDocumentSpec(0, {0, 1}, [])]
+        with pytest.raises(ValueError):
+            IndexBuilder(tiny_collection, config).build(specs)
+
+    def test_misnumbered_specs_rejected(self, tiny_collection):
+        config = FlixConfig.naive()
+        nodes = set(tiny_collection.node_ids())
+        specs = [MetaDocumentSpec(5, nodes, [])]
+        with pytest.raises(ValueError):
+            IndexBuilder(tiny_collection, config).build(specs)

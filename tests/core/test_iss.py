@@ -1,0 +1,84 @@
+"""Unit tests for the Indexing Strategy Selector."""
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.iss import IndexingStrategySelector
+from repro.graph.digraph import Digraph
+from repro.indexes.base import IndexNotApplicableError
+from tests.conftest import cycle_graph, random_digraph, random_tree
+
+
+def select(config, graph):
+    return IndexingStrategySelector(config).choose(graph)
+
+
+class TestRules:
+    def test_forest_gets_ppo(self):
+        choice = select(FlixConfig.naive(), random_tree(1, 20))
+        assert choice.strategy == "ppo"
+        assert "forest" in choice.rationale
+
+    def test_linked_graph_gets_hopi_for_long_path_loads(self):
+        choice = select(FlixConfig.naive(), cycle_graph(10))
+        assert choice.strategy == "hopi"
+
+    def test_ppo_only_config_fails_on_cycle(self):
+        with pytest.raises(IndexNotApplicableError):
+            select(FlixConfig.maximal_ppo(), cycle_graph(3))
+
+    def test_hopi_only_config_used_even_on_forest_graphs(self):
+        """Unconnected HOPI allows only HOPI, so even tree blocks use it...
+        unless PPO is allowed — it is not in this configuration."""
+        choice = select(FlixConfig.unconnected_hopi(100), random_tree(1, 10))
+        assert choice.strategy == "hopi"
+
+    def test_short_path_load_prefers_summary_index(self):
+        config = FlixConfig(
+            name="short",
+            mdb_strategy="naive",
+            allowed_strategies=("ppo", "hopi", "apex"),
+            expect_long_paths=False,
+        )
+        choice = select(config, cycle_graph(10))
+        assert choice.strategy == "apex"
+
+    def test_budget_violation_falls_back_to_apex(self):
+        config = FlixConfig(
+            name="tight",
+            mdb_strategy="naive",
+            allowed_strategies=("hopi", "apex"),
+            hopi_pairs_per_node_budget=0.1,  # impossible budget
+        )
+        # dense graph, > SMALL_GRAPH_NODES so the estimator actually runs
+        graph = random_digraph(5, 100, edge_factor=3.0)
+        choice = select(config, graph)
+        assert choice.strategy == "apex"
+        assert "budget" in choice.rationale
+
+    def test_budget_violation_without_alternative_keeps_hopi(self):
+        config = FlixConfig(
+            name="hopi_only",
+            mdb_strategy="unconnected_hopi",
+            allowed_strategies=("hopi",),
+            hopi_pairs_per_node_budget=0.1,
+        )
+        graph = random_digraph(5, 100, edge_factor=3.0)
+        choice = select(config, graph)
+        assert choice.strategy == "hopi"
+        assert "no alternative" in choice.rationale
+
+    def test_small_graphs_skip_estimator(self):
+        config = FlixConfig.naive()
+        graph = cycle_graph(5)
+        choice = select(config, graph)
+        # worst case pairs/node for 5 nodes is tiny, well under the budget
+        assert choice.strategy == "hopi"
+        assert choice.estimated_closure_pairs <= 25
+
+
+class TestChoiceMetadata:
+    def test_rationale_always_present(self):
+        for graph in (random_tree(2, 15), cycle_graph(4)):
+            choice = select(FlixConfig.naive(), graph)
+            assert choice.rationale

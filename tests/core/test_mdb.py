@@ -1,0 +1,128 @@
+"""Unit tests for the Meta Document Builder."""
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.mdb import MetaDocumentBuilder
+from repro.graph.treecheck import is_forest
+
+
+def build_specs(collection, config):
+    return MetaDocumentBuilder(collection, config).build_specs()
+
+
+def assert_disjoint_cover(collection, specs):
+    seen = set()
+    for spec in specs:
+        assert not (spec.nodes & seen)
+        seen |= spec.nodes
+    assert seen == set(collection.node_ids())
+
+
+class TestNaive:
+    def test_one_meta_document_per_document(self, tiny_collection):
+        specs = build_specs(tiny_collection, FlixConfig.naive())
+        assert len(specs) == tiny_collection.document_count
+        assert_disjoint_cover(tiny_collection, specs)
+
+    def test_intra_document_links_internal(self, tiny_collection):
+        specs = build_specs(tiny_collection, FlixConfig.naive())
+        internal = {edge for spec in specs for edge in spec.internal_edges}
+        intra = [
+            (u, v)
+            for u, v in tiny_collection.link_edges
+            if tiny_collection.info(u).document == tiny_collection.info(v).document
+        ]
+        for edge in intra:
+            assert edge in internal
+
+    def test_inter_document_links_residual(self, tiny_collection):
+        specs = build_specs(tiny_collection, FlixConfig.naive())
+        internal = {edge for spec in specs for edge in spec.internal_edges}
+        inter = [
+            (u, v)
+            for u, v in tiny_collection.link_edges
+            if tiny_collection.info(u).document != tiny_collection.info(v).document
+        ]
+        for edge in inter:
+            assert edge not in internal
+
+
+class TestMaximalPpo:
+    def test_every_meta_document_is_forest(self, figure1_collection):
+        specs = build_specs(figure1_collection, FlixConfig.maximal_ppo())
+        assert_disjoint_cover(figure1_collection, specs)
+        for spec in specs:
+            assert is_forest(spec.build_graph())
+
+    def test_single_tree_variant_one_spec(self, figure1_collection):
+        specs = build_specs(
+            figure1_collection, FlixConfig.maximal_ppo(single_tree=True)
+        )
+        assert len(specs) == 1
+        assert specs[0].nodes == set(figure1_collection.node_ids())
+        assert is_forest(specs[0].build_graph())
+
+    def test_root_links_absorbed_on_dblp(self, dblp_collection):
+        """DBLP links point at roots, so groups larger than one doc form."""
+        specs = build_specs(dblp_collection, FlixConfig.maximal_ppo())
+        assert_disjoint_cover(dblp_collection, specs)
+        assert len(specs) < dblp_collection.document_count
+        for spec in specs:
+            assert is_forest(spec.build_graph())
+
+    def test_accepted_links_never_share_targets(self, dblp_collection):
+        """Each document root receives at most one accepted link."""
+        specs = build_specs(dblp_collection, FlixConfig.maximal_ppo())
+        for spec in specs:
+            graph = spec.build_graph()
+            for node in spec.nodes:
+                assert graph.in_degree(node) <= 1
+
+
+class TestUnconnectedHopi:
+    def test_partition_size_respected(self, dblp_collection):
+        config = FlixConfig.unconnected_hopi(partition_size=200)
+        specs = build_specs(dblp_collection, config)
+        assert_disjoint_cover(dblp_collection, specs)
+        for spec in specs:
+            assert len(spec.nodes) <= 200
+
+    def test_all_internal_edges_kept_within_blocks(self, figure1_collection):
+        config = FlixConfig.unconnected_hopi(partition_size=50)
+        specs = build_specs(figure1_collection, config)
+        for spec in specs:
+            for u, v in spec.internal_edges:
+                assert u in spec.nodes
+                assert v in spec.nodes
+
+    def test_larger_partitions_fewer_specs(self, dblp_collection):
+        small = build_specs(dblp_collection, FlixConfig.unconnected_hopi(100))
+        large = build_specs(dblp_collection, FlixConfig.unconnected_hopi(1000))
+        assert len(large) < len(small)
+
+
+class TestHybrid:
+    def test_disjoint_cover(self, figure1_collection):
+        specs = build_specs(figure1_collection, FlixConfig.hybrid(100))
+        assert_disjoint_cover(figure1_collection, specs)
+
+    def test_dense_documents_not_forced_into_forests(self, figure1_collection):
+        """Figure 1's densely linked half must land in HOPI-able blocks."""
+        specs = build_specs(figure1_collection, FlixConfig.hybrid(100))
+        shapes = [is_forest(spec.build_graph()) for spec in specs]
+        assert not all(shapes)  # at least one non-forest (HOPI) block
+        assert any(shapes)  # and at least one PPO-able block
+
+    def test_meta_ids_dense_and_ordered(self, figure1_collection):
+        specs = build_specs(figure1_collection, FlixConfig.hybrid(100))
+        assert [s.meta_id for s in specs] == list(range(len(specs)))
+
+
+class TestSpecValidation:
+    def test_internal_edge_outside_nodes_rejected(self, tiny_collection):
+        from repro.core.meta_document import MetaDocumentSpec
+
+        spec = MetaDocumentSpec(0, {0, 1}, [(0, 99)])
+        with pytest.raises(ValueError):
+            spec.build_graph()

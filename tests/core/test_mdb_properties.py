@@ -1,0 +1,117 @@
+"""Property tests: Meta Document Builder invariants on random collections.
+
+For every configuration and any generated collection:
+
+* specs form a disjoint cover of the element set;
+* internal edges stay within their meta document and are real edges;
+* Maximal PPO specs are forests;
+* every collection edge is either internal to exactly one spec or residual.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FlixConfig
+from repro.core.mdb import MetaDocumentBuilder
+from repro.datasets.synthetic import SyntheticSpec, generate_synthetic_collection
+from repro.graph.treecheck import is_forest
+
+collection_params = st.tuples(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=1, max_value=10),
+    st.sampled_from([0.0, 1.0, 3.0]),
+    st.sampled_from([0.0, 0.5]),
+)
+
+CONFIGS = [
+    FlixConfig.naive(),
+    FlixConfig.maximal_ppo(),
+    FlixConfig.maximal_ppo(single_tree=True),
+    FlixConfig.unconnected_hopi(15),
+    FlixConfig.hybrid(15),
+]
+
+
+def make_collection(params):
+    seed, docs, links, intra = params
+    return generate_synthetic_collection(
+        SyntheticSpec(
+            documents=docs,
+            mean_document_size=8,
+            links_per_document=links,
+            intra_links_per_document=intra,
+            deep_link_fraction=0.5,
+            seed=seed,
+        )
+    )
+
+
+@given(collection_params)
+@settings(max_examples=25, deadline=None)
+def test_disjoint_cover_for_all_configs(params):
+    collection = make_collection(params)
+    for config in CONFIGS:
+        specs = MetaDocumentBuilder(collection, config).build_specs()
+        seen = set()
+        for spec in specs:
+            assert not (spec.nodes & seen), config.name
+            seen |= spec.nodes
+        assert seen == set(collection.node_ids()), config.name
+        assert [s.meta_id for s in specs] == list(range(len(specs)))
+
+
+@given(collection_params)
+@settings(max_examples=25, deadline=None)
+def test_internal_edges_are_real_and_inside(params):
+    collection = make_collection(params)
+    for config in CONFIGS:
+        specs = MetaDocumentBuilder(collection, config).build_specs()
+        for spec in specs:
+            for u, v in spec.internal_edges:
+                assert u in spec.nodes
+                assert v in spec.nodes
+                assert collection.graph.has_edge(u, v)
+
+
+@given(collection_params)
+@settings(max_examples=25, deadline=None)
+def test_maximal_ppo_specs_are_forests(params):
+    collection = make_collection(params)
+    for config in (FlixConfig.maximal_ppo(), FlixConfig.maximal_ppo(True)):
+        specs = MetaDocumentBuilder(collection, config).build_specs()
+        for spec in specs:
+            assert is_forest(spec.build_graph())
+
+
+@given(collection_params)
+@settings(max_examples=20, deadline=None)
+def test_every_edge_internal_at_most_once(params):
+    collection = make_collection(params)
+    for config in CONFIGS:
+        specs = MetaDocumentBuilder(collection, config).build_specs()
+        seen_edges = set()
+        for spec in specs:
+            for edge in spec.internal_edges:
+                assert edge not in seen_edges or True  # duplicates within a
+                # spec list are tolerated by the builder's graph (idempotent
+                # add_edge), but must never appear in two different specs:
+            spec_edges = set(spec.internal_edges)
+            assert not (spec_edges & seen_edges), config.name
+            seen_edges |= spec_edges
+
+
+@given(collection_params)
+@settings(max_examples=15, deadline=None)
+def test_subset_scoped_specs_cover_only_the_subset(params):
+    collection = make_collection(params)
+    documents = sorted(collection.documents)
+    half = set(documents[: max(1, len(documents) // 2)])
+    for config in CONFIGS:
+        specs = MetaDocumentBuilder(collection, config).build_specs(documents=half)
+        expected_nodes = set()
+        for name in half:
+            expected_nodes.update(collection.document_nodes(name))
+        covered = set()
+        for spec in specs:
+            covered |= spec.nodes
+        assert covered == expected_nodes, config.name

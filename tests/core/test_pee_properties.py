@@ -1,0 +1,111 @@
+"""Property tests: FliX answers equal the oracle on random collections.
+
+For every configuration, over randomly generated linked collections, the
+streamed result *set* must equal the transitive closure's answer, reported
+distances must never undershoot the true distance, and streams must be
+duplicate-free.  This is the whole-framework analogue of the per-index
+equivalence suite.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.datasets.synthetic import SyntheticSpec, generate_synthetic_collection
+from repro.graph.closure import transitive_closure
+
+collection_params = st.tuples(
+    st.integers(min_value=0, max_value=1000),  # seed
+    st.integers(min_value=2, max_value=8),  # documents
+    st.integers(min_value=2, max_value=12),  # mean document size
+    st.sampled_from([0.0, 0.5, 1.5]),  # links per document
+    st.sampled_from([0.0, 0.5]),  # intra links per document
+)
+
+
+def make_collection(params):
+    seed, docs, size, links, intra = params
+    return generate_synthetic_collection(
+        SyntheticSpec(
+            documents=docs,
+            mean_document_size=size,
+            links_per_document=links,
+            intra_links_per_document=intra,
+            deep_link_fraction=0.5,
+            seed=seed,
+        )
+    )
+
+
+CONFIGS = [
+    FlixConfig.naive(),
+    FlixConfig.maximal_ppo(),
+    FlixConfig.maximal_ppo(single_tree=True),
+    FlixConfig.unconnected_hopi(10),
+    FlixConfig.hybrid(10),
+]
+
+
+@given(collection_params)
+@settings(max_examples=20, deadline=None)
+def test_descendant_sets_match_oracle_for_all_configs(params):
+    collection = make_collection(params)
+    oracle = transitive_closure(collection.graph)
+    node_ids = list(collection.node_ids())
+    probes = node_ids[:: max(1, len(node_ids) // 10)]
+    for config in CONFIGS:
+        flix = Flix.build(collection, config)
+        for start in probes:
+            results = list(flix.find_descendants(start))
+            got = {r.node for r in results}
+            expected = set(oracle.descendants(start)) - {start}
+            assert got == expected, (config.name, start)
+            assert len(results) == len(got), (config.name, "duplicates")
+            for r in results:
+                assert r.distance >= oracle.distance(start, r.node)
+
+
+@given(collection_params)
+@settings(max_examples=12, deadline=None)
+def test_ancestor_sets_match_oracle(params):
+    collection = make_collection(params)
+    oracle = transitive_closure(collection.graph)
+    node_ids = list(collection.node_ids())
+    probes = node_ids[:: max(1, len(node_ids) // 6)]
+    for config in (FlixConfig.naive(), FlixConfig.hybrid(10)):
+        flix = Flix.build(collection, config)
+        for start in probes:
+            got = {r.node for r in flix.find_ancestors(start)}
+            expected = {
+                u for u in node_ids if oracle.reachable(u, start) and u != start
+            }
+            assert got == expected, (config.name, start)
+
+
+@given(collection_params)
+@settings(max_examples=12, deadline=None)
+def test_connection_test_agrees_with_oracle(params):
+    collection = make_collection(params)
+    oracle = transitive_closure(collection.graph)
+    node_ids = list(collection.node_ids())
+    flix = Flix.build(collection, FlixConfig.unconnected_hopi(10))
+    for u in node_ids[::5]:
+        for v in node_ids[::7]:
+            got = flix.connection_test(u, v)
+            expected = oracle.distance(u, v)
+            assert (got is None) == (expected is None)
+            if got is not None:
+                assert got >= expected
+
+
+@given(collection_params)
+@settings(max_examples=10, deadline=None)
+def test_auto_configuration_builds_and_answers(params):
+    """Flix.build with no config picks a recommendation that works."""
+    collection = make_collection(params)
+    oracle = transitive_closure(collection.graph)
+    flix = Flix.build(collection)  # automatic configuration
+    start = next(iter(collection.node_ids()))
+    got = {r.node for r in flix.find_descendants(start)}
+    assert got == set(oracle.descendants(start)) - {start}

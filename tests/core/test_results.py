@@ -1,0 +1,112 @@
+"""Unit tests for the StreamedList (multithreaded delivery, section 3.1)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.results import StreamedList
+
+
+class TestSingleThreaded:
+    def test_append_and_iterate(self):
+        stream = StreamedList()
+        stream.append(1)
+        stream.append(2)
+        stream.close()
+        assert list(stream) == [1, 2]
+
+    def test_append_after_close_rejected(self):
+        stream = StreamedList()
+        stream.close()
+        with pytest.raises(RuntimeError):
+            stream.append(1)
+
+    def test_close_idempotent(self):
+        stream = StreamedList()
+        stream.close()
+        stream.close()
+        assert stream.closed
+
+    def test_snapshot_and_len(self):
+        stream = StreamedList()
+        stream.append("a")
+        assert stream.snapshot() == ["a"]
+        assert len(stream) == 1
+        stream.append("b")
+        assert len(stream) == 2
+
+    def test_get_by_index(self):
+        stream = StreamedList()
+        stream.append("x")
+        assert stream.get(0) == "x"
+
+    def test_get_past_end_of_closed_stream(self):
+        stream = StreamedList()
+        stream.close()
+        with pytest.raises(IndexError):
+            stream.get(0)
+
+    def test_get_timeout(self):
+        stream = StreamedList()
+        with pytest.raises(TimeoutError):
+            stream.get(0, timeout=0.01)
+
+    def test_multiple_iterations_see_same_items(self):
+        stream = StreamedList()
+        stream.append(1)
+        stream.close()
+        assert list(stream) == list(stream) == [1]
+
+
+class TestMultiThreaded:
+    def test_consumer_blocks_until_producer_delivers(self):
+        stream = StreamedList()
+        received = []
+
+        def consume():
+            for item in stream:
+                received.append(item)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for i in range(5):
+            stream.append(i)
+            time.sleep(0.001)
+        stream.close()
+        consumer.join(timeout=5)
+        assert not consumer.is_alive()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_cancellation_observed_by_producer(self):
+        stream = StreamedList()
+        produced = []
+
+        def produce():
+            for i in range(10_000):
+                if stream.cancelled:
+                    break
+                stream.append(i)
+                produced.append(i)
+                time.sleep(0.0005)
+            stream.close()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        stream.get(3, timeout=5)  # wait for a few results
+        stream.cancel()
+        producer.join(timeout=5)
+        assert not producer.is_alive()
+        assert len(produced) < 10_000
+        assert stream.closed
+
+    def test_get_blocks_for_future_item(self):
+        stream = StreamedList()
+
+        def produce():
+            time.sleep(0.02)
+            stream.append("late")
+            stream.close()
+
+        threading.Thread(target=produce).start()
+        assert stream.get(0, timeout=5) == "late"

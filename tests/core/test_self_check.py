@@ -1,0 +1,56 @@
+"""Tests for Flix.self_check (index integrity verification)."""
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+
+
+class TestSelfCheck:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            FlixConfig.naive(),
+            FlixConfig.maximal_ppo(),
+            FlixConfig.unconnected_hopi(60),
+            FlixConfig.hybrid(60),
+        ],
+        ids=lambda c: c.name,
+    )
+    def test_healthy_index_passes(self, figure1_collection, config):
+        flix = Flix.build(figure1_collection, config)
+        report = flix.self_check(samples=10, seed=1)
+        assert report["samples"] == 10
+        assert report["results_checked"] > 0
+
+    def test_empty_collection(self):
+        from repro.collection.builder import build_collection
+
+        flix = Flix.build(build_collection([]), FlixConfig.naive())
+        assert flix.self_check() == {"samples": 0, "results_checked": 0}
+
+    def test_passes_after_incremental_growth(self, dblp_collection):
+        from repro.collection.builder import build_collection
+        from repro.collection.document import XmlDocument
+
+        documents = [
+            XmlDocument.from_text("a.xml", '<doc><l xlink:href="b.xml"/></doc>'),
+            XmlDocument.from_text("b.xml", "<doc><p>x</p></doc>"),
+        ]
+        collection = build_collection(documents)
+        flix = Flix.build(collection, FlixConfig.naive())
+        flix.add_document(
+            XmlDocument.from_text("c.xml", '<doc><l xlink:href="a.xml"/></doc>')
+        )
+        flix.self_check(samples=8, seed=2)
+
+    def test_detects_corruption(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        # sabotage: drop ALL residual links — every cross-document path is
+        # now missing from query answers
+        for meta in flix.meta_documents:
+            meta.outgoing_links.clear()
+            meta.incoming_links.clear()
+            meta.finalize_links()
+        with pytest.raises(AssertionError):
+            flix.self_check(samples=40, seed=3)

@@ -1,0 +1,77 @@
+"""Unit tests for the self-tuning monitor."""
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.pee import QueryStats
+from repro.core.selftune import QueryLoadMonitor
+
+
+def stats(links=0, visits=1, results=1):
+    return QueryStats(
+        meta_document_visits=visits,
+        link_traversals=links,
+        results_returned=results,
+    )
+
+
+class TestMonitor:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            QueryLoadMonitor(window=0)
+
+    def test_means(self):
+        monitor = QueryLoadMonitor()
+        monitor.record(stats(links=2, visits=3, results=5))
+        monitor.record(stats(links=4, visits=1, results=1))
+        assert monitor.query_count == 2
+        assert monitor.mean_link_traversals == 3.0
+        assert monitor.mean_meta_document_visits == 2.0
+        assert monitor.mean_results == 3.0
+
+    def test_empty_means_are_zero(self):
+        monitor = QueryLoadMonitor()
+        assert monitor.mean_link_traversals == 0.0
+        assert monitor.mean_meta_document_visits == 0.0
+
+    def test_window_slides(self):
+        monitor = QueryLoadMonitor(window=3)
+        for links in (100, 0, 0, 0):
+            monitor.record(stats(links=links))
+        assert monitor.query_count == 3
+        assert monitor.mean_link_traversals == 0.0
+
+
+class TestAdvice:
+    def test_not_enough_data(self):
+        monitor = QueryLoadMonitor()
+        advice = monitor.advice(FlixConfig.naive(), min_queries=5)
+        assert not advice.should_rebuild
+        assert advice.recommended_config is None
+
+    def test_healthy_load_no_rebuild(self):
+        monitor = QueryLoadMonitor()
+        for _ in range(30):
+            monitor.record(stats(links=1))
+        advice = monitor.advice(FlixConfig.naive(), link_traversal_threshold=8.0)
+        assert not advice.should_rebuild
+        assert "within the threshold" in advice.reason
+
+    def test_link_heavy_load_triggers_rebuild(self):
+        monitor = QueryLoadMonitor()
+        for _ in range(30):
+            monitor.record(stats(links=50))
+        config = FlixConfig.unconnected_hopi(1000)
+        advice = monitor.advice(config, link_traversal_threshold=8.0)
+        assert advice.should_rebuild
+        assert advice.recommended_config is not None
+        assert advice.recommended_config.partition_size > config.partition_size
+
+    def test_threshold_is_configurable(self):
+        monitor = QueryLoadMonitor()
+        for _ in range(30):
+            monitor.record(stats(links=5))
+        strict = monitor.advice(FlixConfig.naive(), link_traversal_threshold=2.0)
+        lax = monitor.advice(FlixConfig.naive(), link_traversal_threshold=10.0)
+        assert strict.should_rebuild
+        assert not lax.should_rebuild

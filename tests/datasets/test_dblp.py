@@ -1,0 +1,140 @@
+"""Unit tests for the synthetic DBLP generator."""
+
+import pytest
+
+from repro.collection.stats import collect_statistics
+from repro.datasets.dblp import (
+    ARIES_AUTHOR,
+    ARIES_TITLE,
+    DblpSpec,
+    find_aries,
+    generate_dblp,
+    generate_dblp_documents,
+)
+
+
+class TestSpec:
+    def test_defaults_scaled_down(self):
+        spec = DblpSpec()
+        assert spec.documents == 600
+        assert spec.mean_citations == pytest.approx(25368 / 6210, abs=0.01)
+
+    def test_paper_scale(self):
+        assert DblpSpec.paper_scale().documents == 6210
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DblpSpec(documents=0)
+        with pytest.raises(ValueError):
+            DblpSpec(citation_skew=2.0)
+
+    def test_aries_position(self):
+        assert DblpSpec(documents=100).aries_position == 89
+
+
+class TestDocuments:
+    @pytest.fixture(scope="class")
+    def documents(self):
+        return generate_dblp_documents(DblpSpec(documents=120))
+
+    def test_count(self, documents):
+        assert len(documents) == 120
+
+    def test_record_schema(self, documents):
+        for doc in documents[:20]:
+            root = doc.root
+            assert root.name in ("article", "inproceedings")
+            assert root.get("key")
+            assert root.find("title") is not None
+            assert root.find("year") is not None
+            assert root.find("pages") is not None
+            assert root.find_all("author")
+            if root.name == "article":
+                assert root.find("journal") is not None
+                assert root.find("volume") is not None
+            else:
+                assert root.find("booktitle") is not None
+
+    def test_citations_point_to_earlier_records(self, documents):
+        names = [doc.name for doc in documents]
+        position = {name: i for i, name in enumerate(names)}
+        for i, doc in enumerate(documents):
+            for cite in doc.root.find_all("cite"):
+                target = cite.get("xlink:href")
+                assert position[target] < i
+
+    def test_no_duplicate_citations(self, documents):
+        for doc in documents:
+            cites = [c.get("xlink:href") for c in doc.root.find_all("cite")]
+            assert len(cites) == len(set(cites))
+
+    def test_aries_record_present(self, documents):
+        spec = DblpSpec(documents=120)
+        aries = documents[spec.aries_position]
+        assert aries.root.find("title").text == ARIES_TITLE
+        assert aries.root.find("author").text == ARIES_AUTHOR
+        assert aries.root.find("year").text == "1999"
+        assert aries.root.find("booktitle").text == "VLDB"
+        assert len(aries.root.find_all("cite")) > 5
+
+    def test_deterministic(self):
+        a = generate_dblp_documents(DblpSpec(documents=50))
+        b = generate_dblp_documents(DblpSpec(documents=50))
+        from repro.xmlmodel.serializer import serialize
+
+        assert [serialize(d.root) for d in a] == [serialize(d.root) for d in b]
+
+    def test_seed_changes_output(self):
+        a = generate_dblp_documents(DblpSpec(documents=50, seed=1))
+        b = generate_dblp_documents(DblpSpec(documents=50, seed=2))
+        from repro.xmlmodel.serializer import serialize
+
+        assert [serialize(d.root) for d in a] != [serialize(d.root) for d in b]
+
+
+class TestCollectionShape:
+    def test_paper_ratios(self, dblp_collection):
+        stats = collect_statistics(dblp_collection)
+        # the paper's corpus: 4.08 links/doc; Poisson sampling keeps us close
+        assert stats.links_per_document == pytest.approx(4.086, abs=1.2)
+        assert stats.intra_document_links == 0
+
+    def test_citation_graph_is_acyclic(self, dblp_collection):
+        from repro.graph.scc import strongly_connected_components
+
+        components = strongly_connected_components(dblp_collection.graph)
+        assert all(len(c) == 1 for c in components)
+
+    def test_in_degree_skew(self):
+        """Preferential attachment: the top-cited paper well above the mean."""
+        collection = generate_dblp(DblpSpec(documents=300))
+        roots = [
+            collection.document_root(name) for name in collection.documents
+        ]
+        in_degrees = sorted(
+            (sum(1 for u in collection.graph.predecessors(r)
+                 if collection.is_link_edge(u, r)) for r in roots),
+            reverse=True,
+        )
+        mean = sum(in_degrees) / len(in_degrees)
+        assert in_degrees[0] > 4 * mean
+
+    def test_find_aries(self, dblp_collection):
+        node = find_aries(dblp_collection)
+        assert dblp_collection.tag(node) == "inproceedings"
+        assert "ARIES" in dblp_collection.text(node)
+
+    def test_find_aries_fails_on_other_collections(self, movie_collection):
+        with pytest.raises(LookupError):
+            find_aries(movie_collection)
+
+    def test_aries_has_rich_descendant_set(self, dblp_collection):
+        """The Figure 5 query needs a deep transitive citation tail."""
+        from repro.graph.traversal import bfs_distances
+
+        aries = find_aries(dblp_collection)
+        reachable = bfs_distances(dblp_collection.graph, aries)
+        articles = sum(
+            1 for v in reachable if dblp_collection.tag(v) == "article"
+        )
+        assert articles >= 10

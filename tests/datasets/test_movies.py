@@ -1,0 +1,63 @@
+"""Unit tests for the movie scenario collection."""
+
+from repro.datasets.movies import generate_movie_collection, movie_back_links
+
+
+class TestMovieCollection:
+    def test_heterogeneous_schemas_present(self, movie_collection):
+        tags = set(movie_collection.tags())
+        assert {"movie", "science-fiction", "film"} <= tags
+        assert {"actor", "performer"} <= tags
+        assert {"cast", "credits"} <= tags
+
+    def test_alternative_title_present(self, movie_collection):
+        hits = movie_collection.find_by_text("alternative-title", "Matrix 3")
+        assert len(hits) == 1
+
+    def test_sequel_links(self, movie_collection):
+        # matrix3 -> matrix2 -> matrix1 via <follows>
+        follows = movie_collection.nodes_with_tag("follows")
+        assert len(follows) == 2
+        for node in follows:
+            targets = movie_collection.graph.successors(node)
+            linked = [
+                t for t in targets if movie_collection.is_link_edge(node, t)
+            ]
+            assert len(linked) == 1
+
+    def test_actor_filmography_documents(self, movie_collection):
+        people = movie_collection.nodes_with_tag("person")
+        assert len(people) == 8  # distinct actors across all movies
+        for person in people:
+            doc = movie_collection.info(person).document
+            assert doc.startswith("actor-")
+
+    def test_movie_actor_movie_path_exists(self, movie_collection):
+        """The relaxed query's structural backbone: a path from Matrix:
+        Revolutions through an actor document to another movie."""
+        from repro.graph.traversal import bfs_distances
+
+        (title,) = movie_collection.find_by_text("title", "Matrix: Revolutions")
+        root = movie_collection.node_id_of(movie_collection.element(title).parent)
+        reachable = bfs_distances(movie_collection.graph, root)
+        other_movies = [
+            v
+            for v in reachable
+            if movie_collection.tag(v) in ("movie", "film")
+            and movie_collection.info(v).depth == 0
+        ]
+        assert other_movies  # at least one co-star movie is reachable
+
+    def test_all_links_resolve(self, movie_collection):
+        assert movie_collection.unresolved_links == []
+
+    def test_back_links_helper(self):
+        pairs = movie_back_links()
+        assert ("matrix1.xml", "actor-keanu-reeves.xml") in pairs
+
+    def test_deterministic(self):
+        a = generate_movie_collection()
+        b = generate_movie_collection()
+        assert sorted(a.documents) == sorted(b.documents)
+        assert a.node_count == b.node_count
+        assert a.link_edge_count == b.link_edge_count

@@ -1,0 +1,65 @@
+"""Unit and property tests for the transitive-closure oracle."""
+
+from hypothesis import given
+
+from repro.graph.closure import transitive_closure
+from repro.graph.digraph import Digraph
+from repro.graph.traversal import bfs_distances
+from tests.conftest import chain_graph, cycle_graph, diamond_graph, graph_params, random_digraph
+
+
+class TestTransitiveClosure:
+    def test_every_node_reaches_itself(self):
+        closure = transitive_closure(diamond_graph())
+        for node in range(4):
+            assert closure.reachable(node, node)
+            assert closure.distance(node, node) == 0
+
+    def test_diamond_shortest_distance(self):
+        closure = transitive_closure(diamond_graph())
+        assert closure.distance(0, 3) == 2
+        assert closure.distance(1, 2) is None
+
+    def test_chain_distances(self):
+        closure = transitive_closure(chain_graph(4))
+        for i in range(5):
+            for j in range(5):
+                expected = j - i if j >= i else None
+                assert closure.distance(i, j) == expected
+
+    def test_cycle_full_reachability(self):
+        closure = transitive_closure(cycle_graph(3))
+        for u in range(3):
+            for v in range(3):
+                assert closure.reachable(u, v)
+        assert closure.distance(0, 2) == 2
+        assert closure.distance(2, 0) == 1
+
+    def test_pair_count_includes_self_pairs(self):
+        closure = transitive_closure(chain_graph(2))
+        # 3 nodes: pairs (0,0)(0,1)(0,2)(1,1)(1,2)(2,2)
+        assert closure.pair_count == 6
+
+    def test_descendants_view(self):
+        closure = transitive_closure(diamond_graph())
+        assert closure.descendants(0) == {0: 0, 1: 1, 2: 1, 3: 2}
+        assert closure.descendants(3) == {3: 0}
+
+    def test_pairs_iterates_everything(self):
+        closure = transitive_closure(chain_graph(1))
+        assert set(closure.pairs()) == {(0, 0, 0), (0, 1, 1), (1, 1, 0)}
+
+    def test_unknown_node_contains(self):
+        closure = transitive_closure(chain_graph(1))
+        assert 0 in closure
+        assert 99 not in closure
+        assert not closure.reachable(99, 0)
+        assert closure.distance(99, 0) is None
+
+    @given(graph_params)
+    def test_matches_bfs_everywhere(self, params):
+        seed, n = params
+        g = random_digraph(seed, n)
+        closure = transitive_closure(g)
+        for node in g:
+            assert closure.descendants(node) == bfs_distances(g, node)

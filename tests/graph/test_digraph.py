@@ -1,0 +1,128 @@
+"""Unit tests for the directed-graph substrate."""
+
+import pytest
+
+from repro.graph.digraph import Digraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Digraph()
+        assert g.node_count == 0
+        assert g.edge_count == 0
+        assert list(g.nodes()) == []
+        assert list(g.edges()) == []
+
+    def test_add_node_idempotent(self):
+        g = Digraph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.node_count == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        assert 1 in g
+        assert 2 in g
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_add_edge_idempotent(self):
+        g = Digraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        assert g.edge_count == 1
+
+    def test_constructor_from_edges(self):
+        g = Digraph([(1, 2), (2, 3)])
+        assert g.node_count == 3
+        assert g.edge_count == 2
+
+    def test_self_loop_allowed(self):
+        g = Digraph([(1, 1)])
+        assert g.has_edge(1, 1)
+        assert g.in_degree(1) == 1
+        assert g.out_degree(1) == 1
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = Digraph([(1, 2), (1, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(1, 3)
+        assert g.edge_count == 1
+        assert 2 in g  # node survives edge removal
+
+    def test_remove_missing_edge_raises(self):
+        g = Digraph([(1, 2)])
+        with pytest.raises(KeyError):
+            g.remove_edge(2, 1)
+
+    def test_remove_node_removes_incident_edges(self):
+        g = Digraph([(1, 2), (2, 3), (3, 1)])
+        g.remove_node(2)
+        assert 2 not in g
+        assert g.edge_count == 1
+        assert g.has_edge(3, 1)
+
+    def test_remove_missing_node_raises(self):
+        g = Digraph()
+        with pytest.raises(KeyError):
+            g.remove_node(99)
+
+
+class TestAdjacency:
+    def test_successors_and_predecessors(self):
+        g = Digraph([(1, 2), (1, 3), (4, 1)])
+        assert g.successors(1) == {2, 3}
+        assert g.predecessors(1) == {4}
+        assert g.out_degree(1) == 2
+        assert g.in_degree(1) == 1
+
+    def test_degrees_of_isolated_node(self):
+        g = Digraph()
+        g.add_node("x")
+        assert g.in_degree("x") == 0
+        assert g.out_degree("x") == 0
+
+    def test_edges_iteration_complete(self):
+        edges = {(1, 2), (2, 3), (1, 3)}
+        g = Digraph(edges)
+        assert set(g.edges()) == edges
+
+    def test_len_and_iter(self):
+        g = Digraph([(1, 2)])
+        assert len(g) == 2
+        assert set(iter(g)) == {1, 2}
+
+
+class TestDerivedGraphs:
+    def test_subgraph_keeps_only_internal_edges(self):
+        g = Digraph([(1, 2), (2, 3), (3, 4)])
+        sub = g.subgraph({1, 2, 4})
+        assert sub.node_count == 3
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(2, 3)
+        assert sub.edge_count == 1
+
+    def test_subgraph_of_disjoint_nodes_is_edgeless(self):
+        g = Digraph([(1, 2)])
+        sub = g.subgraph({1})
+        assert sub.node_count == 1
+        assert sub.edge_count == 0
+
+    def test_reversed_flips_every_edge(self):
+        g = Digraph([(1, 2), (2, 3)])
+        rev = g.reversed()
+        assert rev.has_edge(2, 1)
+        assert rev.has_edge(3, 2)
+        assert rev.edge_count == g.edge_count
+        assert rev.node_count == g.node_count
+
+    def test_copy_is_independent(self):
+        g = Digraph([(1, 2)])
+        dup = g.copy()
+        dup.add_edge(2, 3)
+        assert not g.has_edge(2, 3)
+        assert g.node_count == 2

@@ -1,0 +1,67 @@
+"""Tests for Cohen's randomized closure-size estimator."""
+
+import pytest
+
+from repro.graph.closure import transitive_closure
+from repro.graph.digraph import Digraph
+from repro.graph.estimation import estimate_closure_size, estimate_descendant_counts
+from tests.conftest import chain_graph, cycle_graph, diamond_graph, random_digraph
+
+
+class TestDescendantCounts:
+    def test_requires_two_rounds(self):
+        with pytest.raises(ValueError):
+            estimate_descendant_counts(diamond_graph(), rounds=1)
+
+    def test_estimates_within_feasible_range(self):
+        g = random_digraph(5, 25)
+        counts = estimate_descendant_counts(g, rounds=10)
+        for node, value in counts.items():
+            assert 1.0 <= value <= g.node_count
+
+    def test_cycle_members_share_estimate(self):
+        counts = estimate_descendant_counts(cycle_graph(4), rounds=10)
+        assert len({round(v, 9) for v in counts.values()}) == 1
+
+    def test_sink_estimates_one(self):
+        g = chain_graph(3)
+        counts = estimate_descendant_counts(g, rounds=200)
+        # clamped below at 1.0, so the estimate can only err slightly upward
+        assert 1.0 <= counts[3] < 1.15
+
+    def test_deterministic_for_seed(self):
+        g = random_digraph(7, 20)
+        a = estimate_descendant_counts(g, rounds=5, seed=1)
+        b = estimate_descendant_counts(g, rounds=5, seed=1)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        g = random_digraph(7, 20)
+        a = estimate_descendant_counts(g, rounds=5, seed=1)
+        b = estimate_descendant_counts(g, rounds=5, seed=2)
+        assert a != b
+
+
+class TestClosureSizeEstimate:
+    def test_converges_to_exact_size(self):
+        """With many rounds the estimate lands within 20% of the truth."""
+        g = random_digraph(11, 40)
+        exact = transitive_closure(g).pair_count
+        estimate = estimate_closure_size(g, rounds=400)
+        assert abs(estimate - exact) / exact < 0.20
+
+    def test_single_node(self):
+        g = Digraph()
+        g.add_node(0)
+        assert estimate_closure_size(g, rounds=5) == pytest.approx(1.0)
+
+    def test_chain_estimate_reasonable(self):
+        g = chain_graph(9)  # exact closure: 10+9+...+1 = 55
+        estimate = estimate_closure_size(g, rounds=300)
+        assert 35 < estimate < 80
+
+    def test_cyclic_graph_handled_exactly_at_component_level(self):
+        g = cycle_graph(5)  # every node reaches all 5
+        estimate = estimate_closure_size(g, rounds=200)
+        exact = 25
+        assert abs(estimate - exact) / exact < 0.35

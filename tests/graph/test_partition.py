@@ -1,0 +1,96 @@
+"""Unit and property tests for size-bounded graph partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.digraph import Digraph
+from repro.graph.partition import partition_graph
+from tests.conftest import chain_graph, random_digraph, random_tree
+
+
+class TestPartitionBasics:
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            partition_graph(Digraph(), 0)
+
+    def test_empty_graph(self):
+        partitioning = partition_graph(Digraph(), 5)
+        assert partitioning.blocks == []
+        assert partitioning.cut_size == 0
+
+    def test_single_block_when_graph_fits(self):
+        g = chain_graph(5)
+        partitioning = partition_graph(g, 100)
+        assert len(partitioning.blocks) == 1
+        assert partitioning.cut_size == 0
+
+    def test_size_one_blocks(self):
+        g = chain_graph(3)
+        partitioning = partition_graph(g, 1)
+        assert all(len(b) == 1 for b in partitioning.blocks)
+        assert partitioning.cut_size == 3  # every edge is cut
+
+    def test_cut_edges_are_real_edges(self):
+        g = random_digraph(1, 30)
+        partitioning = partition_graph(g, 7)
+        for u, v in partitioning.cut_edges:
+            assert g.has_edge(u, v)
+            assert partitioning.block_of[u] != partitioning.block_of[v]
+
+    def test_validate_detects_overlap(self):
+        g = chain_graph(2)
+        partitioning = partition_graph(g, 2)
+        partitioning.blocks.append({0})  # corrupt: node 0 twice
+        with pytest.raises(ValueError):
+            partitioning.validate(g)
+
+    def test_disconnected_components_stay_separate_blocks(self):
+        g = Digraph([(0, 1), (2, 3)])
+        partitioning = partition_graph(g, 10)
+        partitioning.validate(g)
+        assert partitioning.block_of[0] == partitioning.block_of[1]
+        assert partitioning.block_of[2] == partitioning.block_of[3]
+
+
+class TestPartitionProperties:
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=15),
+    )
+    def test_disjoint_cover_and_size_bound(self, seed, nodes, max_size):
+        g = random_digraph(seed, nodes)
+        partitioning = partition_graph(g, max_size)
+        partitioning.validate(g)
+        for block in partitioning.blocks:
+            assert 1 <= len(block) <= max_size
+
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=2, max_value=40),
+    )
+    def test_cut_edges_exactly_the_crossing_ones(self, seed, nodes):
+        g = random_tree(seed, nodes)
+        partitioning = partition_graph(g, max(2, nodes // 3))
+        expected = {
+            (u, v)
+            for u, v in g.edges()
+            if partitioning.block_of[u] != partitioning.block_of[v]
+        }
+        assert set(partitioning.cut_edges) == expected
+
+    def test_refinement_never_worsens_cut(self):
+        for seed in range(10):
+            g = random_digraph(seed, 40, edge_factor=2.0)
+            rough = partition_graph(g, 8, refine=False)
+            refined = partition_graph(g, 8, refine=True)
+            assert refined.cut_size <= rough.cut_size + 2  # merge may shift slightly
+
+    def test_tree_partition_cuts_few_edges(self):
+        """On a 60-node tree with blocks of 20, at most ~n/20 edges cut * slack."""
+        g = random_tree(9, 60)
+        partitioning = partition_graph(g, 20)
+        # A tree of 60 nodes has 59 edges; a sane partitioner cuts far fewer
+        # than half of them.
+        assert partitioning.cut_size < 20

@@ -1,0 +1,77 @@
+"""Unit and property tests for Tarjan SCC and condensation."""
+
+from hypothesis import given
+
+from repro.graph.digraph import Digraph
+from repro.graph.scc import condensation, strongly_connected_components
+from repro.graph.traversal import bfs_distances, topological_sort
+from tests.conftest import cycle_graph, diamond_graph, graph_params, random_digraph
+
+
+class TestScc:
+    def test_dag_gives_singletons(self):
+        components = strongly_connected_components(diamond_graph())
+        assert sorted(len(c) for c in components) == [1, 1, 1, 1]
+
+    def test_cycle_is_one_component(self):
+        components = strongly_connected_components(cycle_graph(4))
+        assert len(components) == 1
+        assert sorted(components[0]) == [0, 1, 2, 3]
+
+    def test_two_cycles_with_bridge(self):
+        g = Digraph([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        components = {frozenset(c) for c in strongly_connected_components(g)}
+        assert components == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_self_loop_is_component(self):
+        g = Digraph([(0, 0), (0, 1)])
+        components = {frozenset(c) for c in strongly_connected_components(g)}
+        assert frozenset({0}) in components
+
+    def test_empty_graph(self):
+        assert strongly_connected_components(Digraph()) == []
+
+    def test_deep_chain_no_recursion_error(self):
+        g = Digraph([(i, i + 1) for i in range(5000)])
+        components = strongly_connected_components(g)
+        assert len(components) == 5001
+
+
+class TestCondensation:
+    def test_condensation_is_acyclic(self):
+        g = Digraph([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)])
+        dag, _component_of = condensation(g)
+        topological_sort(dag)  # raises on a cycle
+
+    def test_component_mapping_consistent(self):
+        g = cycle_graph(3)
+        _dag, component_of = condensation(g)
+        assert component_of[0] == component_of[1] == component_of[2]
+
+    def test_cross_edges_preserved(self):
+        g = Digraph([(0, 1), (1, 0), (1, 2)])
+        dag, component_of = condensation(g)
+        assert dag.has_edge(component_of[0], component_of[2])
+
+    @given(graph_params)
+    def test_mutual_reachability_iff_same_component(self, params):
+        seed, n = params
+        g = random_digraph(seed, n)
+        _dag, component_of = condensation(g)
+        forward = {node: bfs_distances(g, node) for node in g}
+        for u in g:
+            for v in g:
+                mutual = v in forward[u] and u in forward[v]
+                assert mutual == (component_of[u] == component_of[v])
+
+    @given(graph_params)
+    def test_condensation_edge_implies_data_edge(self, params):
+        seed, n = params
+        g = random_digraph(seed, n)
+        dag, component_of = condensation(g)
+        data_pairs = {
+            (component_of[u], component_of[v])
+            for u, v in g.edges()
+            if component_of[u] != component_of[v]
+        }
+        assert set(dag.edges()) == data_pairs

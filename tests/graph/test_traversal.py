@@ -1,0 +1,116 @@
+"""Unit tests for BFS/DFS/Dijkstra/topological sort."""
+
+import pytest
+
+from repro.graph.digraph import Digraph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_reverse_distances,
+    dfs_preorder,
+    dijkstra,
+    topological_sort,
+)
+from tests.conftest import chain_graph, cycle_graph, diamond_graph
+
+
+class TestBfsDistances:
+    def test_source_at_distance_zero(self):
+        g = diamond_graph()
+        assert bfs_distances(g, 0)[0] == 0
+
+    def test_diamond_distances(self):
+        assert bfs_distances(diamond_graph(), 0) == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_unreachable_nodes_absent(self):
+        g = Digraph([(0, 1)])
+        g.add_node(2)
+        assert 2 not in bfs_distances(g, 0)
+
+    def test_cycle_terminates_with_correct_distances(self):
+        dist = bfs_distances(cycle_graph(5), 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_max_distance_truncates(self):
+        dist = bfs_distances(chain_graph(10), 0, max_distance=3)
+        assert max(dist.values()) == 3
+        assert len(dist) == 4
+
+    def test_missing_source_raises(self):
+        with pytest.raises(KeyError):
+            bfs_distances(Digraph(), "nope")
+
+
+class TestBfsReverse:
+    def test_reverse_matches_forward_on_reversed_graph(self):
+        g = diamond_graph()
+        assert bfs_reverse_distances(g, 3) == bfs_distances(g.reversed(), 3)
+
+    def test_reverse_on_chain(self):
+        assert bfs_reverse_distances(chain_graph(3), 3) == {3: 0, 2: 1, 1: 2, 0: 3}
+
+    def test_missing_target_raises(self):
+        with pytest.raises(KeyError):
+            bfs_reverse_distances(Digraph(), 0)
+
+
+class TestDfsPreorder:
+    def test_visits_every_node_once(self):
+        g = diamond_graph()
+        order = list(dfs_preorder(g, [0]))
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_parent_before_child(self):
+        g = chain_graph(5)
+        order = list(dfs_preorder(g, [0]))
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_multiple_roots(self):
+        g = Digraph([(0, 1), (2, 3)])
+        order = list(dfs_preorder(g, [0, 2]))
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_deterministic(self):
+        g = diamond_graph()
+        assert list(dfs_preorder(g, [0])) == list(dfs_preorder(g, [0]))
+
+
+class TestDijkstra:
+    def test_matches_bfs_on_unit_weights(self):
+        g = diamond_graph()
+
+        def neighbours(node):
+            return [(succ, 1) for succ in g.successors(node)]
+
+        assert dijkstra(4, 0, neighbours) == bfs_distances(g, 0)
+
+    def test_prefers_cheaper_path(self):
+        weights = {("a", "b"): 10, ("a", "c"): 1, ("c", "b"): 2}
+
+        def neighbours(node):
+            return [(v, w) for (u, v), w in weights.items() if u == node]
+
+        dist = dijkstra(3, "a", neighbours)
+        assert dist["b"] == 3
+
+    def test_negative_weight_rejected(self):
+        def neighbours(node):
+            return [("b", -1)] if node == "a" else []
+
+        with pytest.raises(ValueError):
+            dijkstra(2, "a", neighbours)
+
+
+class TestTopologicalSort:
+    def test_respects_edges(self):
+        g = diamond_graph()
+        order = topological_sort(g)
+        position = {node: i for i, node in enumerate(order)}
+        for u, v in g.edges():
+            assert position[u] < position[v]
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            topological_sort(cycle_graph(3))
+
+    def test_empty_graph(self):
+        assert topological_sort(Digraph()) == []

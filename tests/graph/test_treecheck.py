@@ -1,0 +1,79 @@
+"""Tests for tree/forest detection — the PPO admissibility predicate."""
+
+from hypothesis import given
+
+from repro.graph.digraph import Digraph
+from repro.graph.treecheck import forest_roots, is_forest, is_tree
+from tests.conftest import chain_graph, cycle_graph, random_tree, tree_params
+
+
+class TestIsForest:
+    def test_empty_graph_is_forest(self):
+        assert is_forest(Digraph())
+
+    def test_single_node(self):
+        g = Digraph()
+        g.add_node(0)
+        assert is_forest(g)
+        assert is_tree(g)
+
+    def test_chain_is_tree(self):
+        assert is_tree(chain_graph(5))
+
+    def test_two_trees_are_forest_not_tree(self):
+        g = Digraph([(0, 1), (2, 3)])
+        assert is_forest(g)
+        assert not is_tree(g)
+
+    def test_diamond_rejected(self):
+        g = Digraph([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert not is_forest(g)  # node 3 has two parents
+
+    def test_cycle_rejected(self):
+        assert not is_forest(cycle_graph(3))
+
+    def test_self_loop_rejected(self):
+        assert not is_forest(Digraph([(0, 0)]))
+
+    def test_cycle_hanging_off_tree_rejected(self):
+        g = Digraph([(0, 1), (1, 2), (2, 1)])
+        assert not is_forest(g)  # node 1 has in-degree 2
+
+    def test_rho_shape_rejected(self):
+        # 0 -> 1 -> 2 -> 3 -> 1: cycle reachable from a root
+        g = Digraph([(0, 1), (1, 2), (2, 3), (3, 1)])
+        assert not is_forest(g)
+
+    def test_disconnected_cycle_rejected(self):
+        g = Digraph([(0, 1)])
+        g.add_edge(2, 3)
+        g.add_edge(3, 2)
+        assert not is_forest(g)
+
+    @given(tree_params)
+    def test_random_trees_accepted(self, params):
+        seed, n = params
+        assert is_tree(random_tree(seed, n))
+
+    @given(tree_params)
+    def test_tree_plus_cross_edge_rejected(self, params):
+        seed, n = params
+        if n < 3:
+            return
+        g = random_tree(seed, n)
+        # Adding an edge into any non-root node breaks unique parenthood.
+        g.add_edge(n - 1, 1) if not g.has_edge(n - 1, 1) else None
+        if g.edge_count == n:  # the edge was actually new
+            assert not is_forest(g)
+
+
+class TestForestRoots:
+    def test_roots_of_forest(self):
+        g = Digraph([(0, 1), (2, 3)])
+        assert forest_roots(g) == [0, 2]
+
+    def test_cycle_has_no_roots(self):
+        assert forest_roots(cycle_graph(3)) == []
+
+    def test_single_tree_root(self):
+        assert forest_roots(chain_graph(3)) == [0]

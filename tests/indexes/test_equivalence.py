@@ -1,0 +1,93 @@
+"""Cross-index property test: every strategy answers like the oracle.
+
+This is the suite's strongest guarantee: PPO (on forests), HOPI (both
+builders), APEX, the 1-index, the A(1)-index, the DataGuide, and the
+materialized closure all produce identical reachability, distances, and
+tag-filtered descendant sets on random inputs.
+"""
+
+from hypothesis import given, settings
+
+from repro.graph.closure import transitive_closure
+from repro.indexes.apex import ApexIndex
+from repro.indexes.dataguide import DataGuideIndex
+from repro.indexes.hopi import HopiIndex
+from repro.indexes.kindex import KBisimulationIndex
+from repro.indexes.ppo import PpoIndex
+from repro.indexes.transitive import TransitiveClosureIndex
+from repro.storage.memory import MemoryBackend
+from tests.conftest import (
+    graph_params,
+    random_digraph,
+    random_tags,
+    random_tree,
+    tree_params,
+)
+
+GRAPH_STRATEGIES = (
+    HopiIndex,
+    ApexIndex,
+    KBisimulationIndex,
+    TransitiveClosureIndex,
+)
+
+
+@given(graph_params)
+@settings(max_examples=25, deadline=None)
+def test_all_graph_indexes_agree_with_oracle(params):
+    seed, n = params
+    graph = random_digraph(seed, n)
+    tags = random_tags(seed, n)
+    closure = transitive_closure(graph)
+    indexes = [cls.build(graph, tags, MemoryBackend()) for cls in GRAPH_STRATEGIES]
+    indexes.append(
+        HopiIndex.build_divide_and_conquer(
+            graph, tags, MemoryBackend(), partition_size=max(2, n // 3)
+        )
+    )
+    for u in graph:
+        expected = closure.descendants(u)
+        for index in indexes:
+            assert dict(index.find_descendants_by_tag(u, None)) == expected, (
+                type(index).__name__
+            )
+
+
+@given(tree_params)
+@settings(max_examples=25, deadline=None)
+def test_tree_indexes_agree_with_oracle(params):
+    seed, n = params
+    graph = random_tree(seed, n)
+    tags = random_tags(seed, n)
+    closure = transitive_closure(graph)
+    indexes = [
+        PpoIndex.build(graph, tags, MemoryBackend()),
+        DataGuideIndex.build(graph, tags, MemoryBackend()),
+        HopiIndex.build(graph, tags, MemoryBackend()),
+    ]
+    for u in graph:
+        expected = closure.descendants(u)
+        for index in indexes:
+            assert dict(index.find_descendants_by_tag(u, None)) == expected
+        for tag in "ab":
+            tag_expected = [
+                (v, d)
+                for v, d in sorted(expected.items(), key=lambda p: (p[1], p[0]))
+                if tags[v] == tag
+            ]
+            for index in indexes:
+                assert index.find_descendants_by_tag(u, tag) == tag_expected
+
+
+@given(graph_params)
+@settings(max_examples=15, deadline=None)
+def test_ancestor_descendant_duality(params):
+    """v in descendants(u) iff u in ancestors(v), with equal distances."""
+    seed, n = params
+    graph = random_digraph(seed, n)
+    tags = random_tags(seed, n)
+    index = HopiIndex.build(graph, tags, MemoryBackend())
+    for u in graph:
+        for v, d in index.find_descendants_by_tag(u, None):
+            ancestors = dict(index.find_ancestors_by_tag(v, None))
+            assert ancestors[u] == d

@@ -1,0 +1,144 @@
+"""Integration tests for the top-k relaxed-query engine."""
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.query.engine import QueryEngine
+from repro.query.parser import parse_query
+from repro.query.scoring import ScoringModel
+
+
+@pytest.fixture(scope="module")
+def movie_flix(movie_collection):
+    return Flix.build(movie_collection, FlixConfig.naive())
+
+
+@pytest.fixture(scope="module")
+def engine(movie_flix):
+    return QueryEngine(movie_flix)
+
+
+def titles_of(collection, matches):
+    out = []
+    for match in matches:
+        element = collection.element(match.node)
+        title = element.find("title")
+        out.append(title.text if title is not None else element.name)
+    return out
+
+
+class TestStrictQueries:
+    def test_child_path_within_one_document(self, engine, movie_collection):
+        matches = engine.evaluate("/science-fiction/cast/actor")
+        assert matches
+        for match in matches:
+            assert movie_collection.tag(match.node) == "actor"
+            assert match.score == 1.0
+
+    def test_predicate_filters(self, engine, movie_collection):
+        matches = engine.evaluate('/movie[title = "The Matrix"]')
+        assert len(matches) == 1
+        assert titles_of(movie_collection, matches) == ["The Matrix"]
+
+    def test_paper_strict_query_returns_nothing(self, engine):
+        """The motivating failure: the strict Matrix query has no answer."""
+        matches = engine.evaluate(
+            '/movie[title = "Matrix: Revolutions"]/actor/movie'
+        )
+        assert matches == []
+
+    def test_wildcard_step(self, engine, movie_collection):
+        matches = engine.evaluate("/film/*", top_k=20)
+        tags = {movie_collection.tag(m.node) for m in matches}
+        assert "title" in tags
+        assert "credits" in tags
+
+
+class TestRelaxedQueries:
+    def test_paper_example_finds_costar_movies(self, engine, movie_collection):
+        matches = engine.evaluate(
+            '/movie[title = "Matrix: Revolutions"]/actor/movie',
+            top_k=10,
+            auto_relax=True,
+        )
+        found = set(titles_of(movie_collection, matches))
+        # Keanu Reeves and Carrie-Anne Moss co-star in these:
+        assert "The Matrix" in found
+        assert "Speed" in found or "John Wick" in found or "Memento" in found
+
+    def test_science_fiction_matches_movie_via_ontology(self, engine, movie_collection):
+        matches = engine.evaluate("//~movie", top_k=20)
+        tags = {movie_collection.tag(m.node) for m in matches}
+        assert "science-fiction" in tags
+        assert "movie" in tags
+        assert "film" in tags
+
+    def test_similarity_lowers_score(self, engine, movie_collection):
+        matches = engine.evaluate("//~movie", top_k=20)
+        by_tag = {}
+        for m in matches:
+            by_tag.setdefault(movie_collection.tag(m.node), m.score)
+        assert by_tag["movie"] == 1.0
+        assert by_tag["science-fiction"] < 1.0
+
+    def test_alternative_title_via_vague_predicate(self, engine, movie_collection):
+        """[title ~= 'Matrix 3'] finds the film titled 'Matrix: Revolutions'."""
+        matches = engine.evaluate('//~movie[title ~= "Matrix 3"]', top_k=5)
+        assert matches
+        top_titles = titles_of(movie_collection, matches[:1])
+        assert top_titles == ["Matrix: Revolutions"]
+
+    def test_longer_paths_score_lower(self, engine, movie_collection):
+        matches = engine.evaluate("//~movie//name", top_k=50)
+        assert matches
+        # flat schema: movie/actor/name (distance 2); nested schema:
+        # science-fiction/cast/actor/name (distance 3) -> lower score
+        flat = [m for m in matches if movie_collection.info(m.node).document == "matrix1.xml"]
+        nested = [m for m in matches if movie_collection.info(m.node).document == "matrix3.xml"]
+        assert flat and nested
+        assert max(m.score for m in flat) > max(m.score for m in nested)
+
+    def test_results_sorted_by_score(self, engine):
+        matches = engine.evaluate("//~movie//~actor", top_k=30)
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_respected(self, engine):
+        assert len(engine.evaluate("//*", top_k=3)) == 3
+
+    def test_bindings_chain_length(self, engine):
+        matches = engine.evaluate("//movie//name", top_k=5)
+        for match in matches:
+            assert len(match.bindings) == 2
+            assert match.bindings[-1] == match.node
+
+
+class TestEngineConfiguration:
+    def test_invalid_top_k(self, engine):
+        with pytest.raises(ValueError):
+            engine.evaluate("//movie", top_k=0)
+
+    def test_invalid_beam(self, movie_flix):
+        with pytest.raises(ValueError):
+            QueryEngine(movie_flix, beam_width=0)
+
+    def test_min_score_prunes(self, movie_flix):
+        strict = QueryEngine(movie_flix, scoring=ScoringModel(min_score=0.99))
+        lax = QueryEngine(movie_flix, scoring=ScoringModel(min_score=0.01))
+        query = "//~movie//~actor"
+        assert len(strict.evaluate(query, top_k=50)) <= len(
+            lax.evaluate(query, top_k=50)
+        )
+
+    def test_accepts_parsed_query_objects(self, engine):
+        parsed = parse_query("//movie")
+        assert engine.evaluate(parsed, top_k=3)
+
+    def test_works_on_dblp(self, dblp_collection):
+        flix = Flix.build(dblp_collection, FlixConfig.maximal_ppo())
+        engine = QueryEngine(flix)
+        matches = engine.evaluate('//inproceedings//~paper', top_k=10)
+        assert matches
+        tags = {dblp_collection.tag(m.node) for m in matches}
+        assert tags <= {"article", "inproceedings"}

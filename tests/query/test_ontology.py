@@ -1,0 +1,96 @@
+"""Unit tests for the ontology (XXL's similarity source)."""
+
+import pytest
+
+from repro.query.ontology import Ontology, default_ontology
+
+
+class TestOntology:
+    def test_identity_similarity(self):
+        onto = Ontology()
+        assert onto.similarity("x", "x") == 1.0
+
+    def test_unknown_terms_zero(self):
+        onto = Ontology()
+        assert onto.similarity("x", "y") == 0.0
+
+    def test_direct_relation(self):
+        onto = Ontology()
+        onto.relate("a", "b", 0.8)
+        assert onto.similarity("a", "b") == pytest.approx(0.8)
+        assert onto.similarity("b", "a") == pytest.approx(0.8)
+
+    def test_weight_validation(self):
+        onto = Ontology()
+        with pytest.raises(ValueError):
+            onto.relate("a", "b", 0.0)
+        with pytest.raises(ValueError):
+            onto.relate("a", "b", 1.5)
+
+    def test_self_relation_ignored(self):
+        onto = Ontology()
+        onto.relate("a", "a", 0.5)
+        assert onto.terms() == []
+
+    def test_transitive_product(self):
+        onto = Ontology()
+        onto.relate("a", "b", 0.8)
+        onto.relate("b", "c", 0.5)
+        assert onto.similarity("a", "c") == pytest.approx(0.4)
+
+    def test_best_path_wins(self):
+        onto = Ontology()
+        onto.relate("a", "b", 0.9)
+        onto.relate("b", "c", 0.9)
+        onto.relate("a", "c", 0.5)
+        assert onto.similarity("a", "c") == pytest.approx(0.81)
+
+    def test_max_hops_cap(self):
+        onto = Ontology()
+        onto.relate("a", "b", 0.9)
+        onto.relate("b", "c", 0.9)
+        onto.relate("c", "d", 0.9)
+        onto.relate("d", "e", 0.9)
+        assert onto.similarity("a", "e", max_hops=2) == 0.0
+        assert onto.similarity("a", "e", max_hops=4) > 0.0
+
+    def test_duplicate_relation_keeps_max(self):
+        onto = Ontology()
+        onto.relate("a", "b", 0.3)
+        onto.relate("a", "b", 0.7)
+        assert onto.similarity("a", "b") == pytest.approx(0.7)
+
+    def test_case_insensitive(self):
+        onto = Ontology()
+        onto.relate("Movie", "FILM", 0.9)
+        assert onto.similarity("movie", "film") == pytest.approx(0.9)
+
+    def test_similar_terms_sorted(self):
+        onto = Ontology()
+        onto.relate("a", "b", 0.6)
+        onto.relate("a", "c", 0.9)
+        assert onto.similar_terms("a", threshold=0.5) == [("c", 0.9), ("b", 0.6)]
+
+    def test_expand_tag_includes_self(self):
+        onto = Ontology()
+        onto.relate("movie", "film", 0.9)
+        expanded = onto.expand_tag("movie", threshold=0.5)
+        assert expanded[0] == ("movie", 1.0)
+        assert ("film", 0.9) in expanded
+
+
+class TestDefaultOntology:
+    def test_paper_movie_relations(self):
+        onto = default_ontology()
+        assert onto.similarity("science-fiction", "movie") >= 0.8
+        assert onto.similarity("actor", "performer") == 1.0
+        assert onto.similarity("matrix: revolutions", "matrix 3") >= 0.9
+
+    def test_publication_relations(self):
+        onto = default_ontology()
+        assert onto.similarity("article", "inproceedings") > 0.5  # via paper/publication
+        assert onto.similarity("booktitle", "venue") == 1.0
+
+    def test_unrelated_domains_far_apart(self):
+        onto = default_ontology()
+        assert onto.similarity("actor", "journal") < 0.3

@@ -1,0 +1,107 @@
+"""Unit tests for the query language parser and AST."""
+
+import pytest
+
+from repro.query.ast import LocationStep, PathQuery, Predicate
+from repro.query.parser import QueryParseError, parse_query
+
+
+class TestAstValidation:
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            LocationStep("sibling", "a")
+
+    def test_wildcard_cannot_be_similar(self):
+        with pytest.raises(ValueError):
+            LocationStep("child", None, similar=True)
+
+    def test_bad_predicate_op(self):
+        with pytest.raises(ValueError):
+            Predicate("t", "!=", "x")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            PathQuery(())
+
+    def test_str_roundtrip(self):
+        text = '//~movie[title ~= "Matrix 3"]//actor/*'
+        assert str(parse_query(text)) == text
+
+
+class TestParsing:
+    def test_simple_child_path(self):
+        query = parse_query("/movie/actor")
+        assert len(query.steps) == 2
+        assert query.steps[0].axis == "child"
+        assert query.steps[0].tag == "movie"
+        assert not query.steps[0].similar
+
+    def test_descendant_axis(self):
+        query = parse_query("//movie//actor")
+        assert all(step.axis == "descendant" for step in query.steps)
+        assert query.is_fully_relaxed
+
+    def test_mixed_axes(self):
+        query = parse_query("/a//b/c")
+        assert [s.axis for s in query.steps] == ["child", "descendant", "child"]
+        assert not query.is_fully_relaxed
+
+    def test_similarity_operator(self):
+        query = parse_query("//~movie")
+        assert query.steps[0].similar
+        assert query.steps[0].tag == "movie"
+
+    def test_wildcard(self):
+        query = parse_query("//a//*")
+        assert query.steps[1].tag is None
+
+    def test_the_paper_example(self):
+        query = parse_query(
+            '//~movie[title ~= "Matrix: Revolutions"]//~actor//~movie'
+        )
+        assert len(query.steps) == 3
+        first = query.steps[0]
+        assert first.similar
+        assert first.predicates == (
+            Predicate("title", "~=", "Matrix: Revolutions"),
+        )
+
+    def test_equality_predicate(self):
+        query = parse_query('/a[b = "x"]')
+        assert query.steps[0].predicates[0].op == "="
+
+    def test_contains_predicate(self):
+        query = parse_query('/a[b contains "x"]')
+        assert query.steps[0].predicates[0].op == "contains"
+
+    def test_multiple_predicates(self):
+        query = parse_query('/a[b = "1"][c ~= "2"]')
+        assert len(query.steps[0].predicates) == 2
+
+    def test_single_quoted_string(self):
+        query = parse_query("/a[b = 'x y']")
+        assert query.steps[0].predicates[0].value == "x y"
+
+    def test_hyphenated_tag(self):
+        query = parse_query("//science-fiction")
+        assert query.steps[0].tag == "science-fiction"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "movie",  # missing leading axis
+            "/",  # missing name
+            "//~*",  # similar wildcard
+            '/a[b = x]',  # unquoted value
+            '/a[b = "x"',  # missing ]
+            '/a[b ! "x"]',  # bad operator
+            '/a[= "x"]',  # missing child tag
+            '/a[b = "x]',  # unterminated string
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(QueryParseError):
+            parse_query(text)

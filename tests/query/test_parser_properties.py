@@ -1,0 +1,69 @@
+"""Property tests: the query language round-trips through its printer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.query.ast import LocationStep, PathQuery, Predicate
+from repro.query.parser import parse_query
+
+tag_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.-]{0,10}", fullmatch=True)
+# predicate values: anything without quotes/brackets that won't confuse
+# the single-quote-free string literal syntax
+values = st.text(
+    alphabet=st.characters(
+        min_codepoint=0x20,
+        max_codepoint=0x7E,
+        blacklist_characters='"\'[]',
+    ),
+    max_size=15,
+)
+
+predicates = st.builds(
+    Predicate,
+    child_tag=tag_names,
+    op=st.sampled_from(["=", "~=", "contains"]),
+    value=values,
+)
+
+steps = st.builds(
+    LocationStep,
+    axis=st.sampled_from(["child", "descendant"]),
+    tag=tag_names,
+    similar=st.booleans(),
+    predicates=st.tuples() | st.tuples(predicates) | st.tuples(predicates, predicates),
+)
+
+wildcard_steps = st.builds(
+    LocationStep,
+    axis=st.sampled_from(["child", "descendant"]),
+    tag=st.none(),
+    similar=st.just(False),
+    predicates=st.just(()),
+)
+
+queries = st.lists(steps | wildcard_steps, min_size=1, max_size=4).map(
+    lambda items: PathQuery(tuple(items))
+)
+
+
+@given(queries)
+def test_parse_str_roundtrip(query):
+    assert parse_query(str(query)) == query
+
+
+@given(queries)
+def test_str_is_stable(query):
+    reparsed = parse_query(str(query))
+    assert str(reparsed) == str(query)
+
+
+@given(queries)
+def test_relaxation_preserves_step_count(query):
+    from repro.query.relaxation import relax
+
+    for add_similarity in (False, True):
+        relaxed = relax(query, add_similarity=add_similarity)
+        assert len(relaxed.steps) == len(query.steps)
+        assert relaxed.is_fully_relaxed
+        # relaxation is idempotent
+        assert relax(relaxed, add_similarity=add_similarity) == relaxed

@@ -1,0 +1,56 @@
+"""Unit tests for structural query relaxation."""
+
+from repro.query.parser import parse_query
+from repro.query.relaxation import relax, relaxation_depth
+
+
+class TestRelax:
+    def test_child_becomes_descendant(self):
+        relaxed = relax(parse_query("/movie/actor"))
+        assert all(step.axis == "descendant" for step in relaxed.steps)
+        assert relaxed.is_fully_relaxed
+
+    def test_tags_preserved(self):
+        relaxed = relax(parse_query("/a/b//c"))
+        assert [s.tag for s in relaxed.steps] == ["a", "b", "c"]
+
+    def test_predicates_preserved(self):
+        relaxed = relax(parse_query('/movie[title = "Matrix 3"]/actor'))
+        assert relaxed.steps[0].predicates[0].value == "Matrix 3"
+
+    def test_add_similarity(self):
+        relaxed = relax(parse_query("/movie/actor"), add_similarity=True)
+        assert all(step.similar for step in relaxed.steps)
+
+    def test_wildcard_stays_plain(self):
+        relaxed = relax(parse_query("/movie/*"), add_similarity=True)
+        assert relaxed.steps[1].tag is None
+        assert not relaxed.steps[1].similar
+
+    def test_paper_example_full_rewrite(self):
+        original = parse_query('/movie[title ~= "Matrix: Revolutions"]/actor/movie')
+        relaxed = relax(original, add_similarity=True)
+        assert str(relaxed) == (
+            '//~movie[title ~= "Matrix: Revolutions"]//~actor//~movie'
+        )
+
+    def test_idempotent(self):
+        query = parse_query("//a//b")
+        assert relax(query) == relax(relax(query))
+
+
+class TestRelaxationDepth:
+    def test_counts_rewritten_steps(self):
+        original = parse_query("/a//b/c")
+        relaxed = relax(original)
+        assert relaxation_depth(original, relaxed) == 2
+
+    def test_zero_for_already_relaxed(self):
+        query = parse_query("//a//b")
+        assert relaxation_depth(query, relax(query)) == 0
+
+    def test_length_mismatch_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            relaxation_depth(parse_query("/a"), parse_query("/a/b"))

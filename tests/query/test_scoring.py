@@ -1,0 +1,119 @@
+"""Unit tests for the relevance scoring model."""
+
+import pytest
+
+from repro.query.ontology import default_ontology
+from repro.query.scoring import ScoringModel
+
+
+class TestPathScore:
+    def test_direct_child_full_score(self):
+        model = ScoringModel(decay=0.8)
+        assert model.path_score(1) == 1.0
+
+    def test_self_match_scores_like_child(self):
+        model = ScoringModel(decay=0.8)
+        assert model.path_score(0) == 1.0
+
+    def test_paper_example_movie_cast_actor(self):
+        """movie/cast/actor (2 hops) ~ 0.8 with the default decay."""
+        model = ScoringModel(decay=0.8)
+        assert model.path_score(2) == pytest.approx(0.8)
+
+    def test_paper_example_long_path(self):
+        """movie/follows/movie/cast/actor (4 hops) ~ 0.5 structurally; with
+        the link penalty for the follows-hop it drops toward the paper's 0.2
+        illustration."""
+        model = ScoringModel(decay=0.8, link_penalty=0.5)
+        assert model.path_score(4, link_traversals=1) == pytest.approx(0.256)
+
+    def test_link_penalty_applied_per_traversal(self):
+        model = ScoringModel(decay=1.0, link_penalty=0.5)
+        assert model.path_score(3, link_traversals=2) == pytest.approx(0.25)
+
+    def test_monotone_decreasing(self):
+        model = ScoringModel()
+        scores = [model.path_score(d) for d in range(10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            ScoringModel().path_score(-1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ScoringModel(decay=0.0)
+        with pytest.raises(ValueError):
+            ScoringModel(link_penalty=1.5)
+
+
+class TestMaxUsefulDistance:
+    def test_threshold_consistency(self):
+        model = ScoringModel(decay=0.8, min_score=0.05)
+        limit = model.max_useful_distance()
+        assert model.path_score(limit) >= model.min_score
+        assert model.path_score(limit + 1) < model.min_score
+
+    def test_stricter_threshold_shorter_reach(self):
+        lax = ScoringModel(min_score=0.01).max_useful_distance()
+        strict = ScoringModel(min_score=0.3).max_useful_distance()
+        assert strict < lax
+
+
+class TestTagScore:
+    def test_exact_match(self):
+        model = ScoringModel()
+        onto = default_ontology()
+        assert model.tag_score("movie", "movie", False, onto) == 1.0
+
+    def test_wildcard(self):
+        model = ScoringModel()
+        assert model.tag_score(None, "anything", False, default_ontology()) == 1.0
+
+    def test_strict_mismatch_zero(self):
+        model = ScoringModel()
+        onto = default_ontology()
+        assert model.tag_score("movie", "science-fiction", False, onto) == 0.0
+
+    def test_similar_mismatch_uses_ontology(self):
+        model = ScoringModel()
+        onto = default_ontology()
+        score = model.tag_score("movie", "science-fiction", True, onto)
+        assert 0.5 < score < 1.0
+
+
+class TestTextScore:
+    onto = default_ontology()
+    model = ScoringModel()
+
+    def test_exact_equality(self):
+        assert self.model.text_score("=", "x", " x ", self.onto) == 1.0
+        assert self.model.text_score("=", "x", "y", self.onto) == 0.0
+
+    def test_contains(self):
+        assert self.model.text_score("contains", "Matrix", "The Matrix", self.onto) == 1.0
+        assert self.model.text_score("contains", "matrix", "THE MATRIX", self.onto) == 1.0
+        assert self.model.text_score("contains", "zz", "matrix", self.onto) == 0.0
+
+    def test_vague_exact_is_one(self):
+        assert self.model.text_score("~=", "Matrix 3", "matrix 3", self.onto) == 1.0
+
+    def test_vague_alternative_title(self):
+        """IMDB's alternative-title knowledge: 'Matrix 3' ~ the real title."""
+        score = self.model.text_score(
+            "~=", "Matrix: Revolutions", "Matrix 3", self.onto
+        )
+        assert score >= 0.9
+
+    def test_vague_token_overlap(self):
+        score = self.model.text_score(
+            "~=", "Transaction Recovery", "A Transaction Recovery Method", self.onto
+        )
+        assert 0.3 < score < 1.0
+
+    def test_vague_no_overlap(self):
+        assert self.model.text_score("~=", "abc", "xyz", self.onto) == 0.0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.text_score("!!", "a", "b", self.onto)

@@ -1,0 +1,46 @@
+"""Every index strategy must serialize through the SQLite backend."""
+
+import pytest
+
+from repro.graph.closure import transitive_closure
+from repro.indexes.registry import available_strategies, build_index
+from repro.storage.sqlite_backend import SqliteBackend
+from tests.conftest import random_tags, random_tree
+
+
+@pytest.mark.parametrize("strategy", sorted(available_strategies()))
+def test_strategy_builds_and_answers_on_sqlite(strategy):
+    graph = random_tree(11, 25)  # a tree satisfies every strategy
+    tags = random_tags(11, 25)
+    backend = SqliteBackend()
+    index = build_index(strategy, graph, tags, backend)
+    oracle = transitive_closure(graph)
+    for u in list(graph)[:8]:
+        assert dict(index.find_descendants_by_tag(u, None)) == oracle.descendants(u)
+    assert index.size_bytes() > 0
+    assert backend.table_names()
+
+
+@pytest.mark.parametrize("strategy", ["hopi", "apex", "transitive_closure"])
+def test_graph_strategies_on_sqlite_with_cycles(strategy):
+    from tests.conftest import random_digraph
+
+    graph = random_digraph(5, 18)
+    tags = random_tags(5, 18)
+    index = build_index(strategy, graph, tags, SqliteBackend())
+    oracle = transitive_closure(graph)
+    for u in graph:
+        for v in graph:
+            assert index.distance(u, v) == oracle.distance(u, v)
+
+
+def test_sqlite_rows_scannable_after_build():
+    graph = random_tree(3, 12)
+    backend = SqliteBackend()
+    build_index("hopi", graph, {n: "t" for n in graph}, backend)
+    rows = list(backend.table("hopi_in_labels").scan())
+    assert rows
+    for node, hub, dist in rows:
+        assert isinstance(node, int)
+        assert isinstance(hub, int)
+        assert dist >= 0

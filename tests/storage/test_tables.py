@@ -1,0 +1,142 @@
+"""Unit tests for schemas and both storage backends."""
+
+import pytest
+
+from repro.storage.memory import MemoryBackend
+from repro.storage.sqlite_backend import SqliteBackend
+from repro.storage.table import Column, TableSchema
+
+
+def simple_schema(name="t"):
+    return TableSchema(
+        name=name,
+        columns=(Column("k", "int"), Column("v", "str"), Column("w", "float")),
+        indexed=("k",),
+    )
+
+
+class TestSchemaValidation:
+    def test_bad_column_kind(self):
+        with pytest.raises(ValueError):
+            Column("x", "blob")
+
+    def test_bad_column_name(self):
+        with pytest.raises(ValueError):
+            Column("1x", "int")
+
+    def test_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", (Column("a", "int"), Column("a", "int")))
+
+    def test_indexed_must_exist(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", (Column("a", "int"),), indexed=("b",))
+
+    def test_no_columns(self):
+        with pytest.raises(ValueError):
+            TableSchema("t", ())
+
+    def test_column_index(self):
+        schema = simple_schema()
+        assert schema.column_index("v") == 1
+        with pytest.raises(KeyError):
+            schema.column_index("zzz")
+
+    def test_check_row_arity(self):
+        schema = simple_schema()
+        with pytest.raises(ValueError):
+            schema.check_row((1, "x"))
+
+    def test_check_row_types(self):
+        schema = simple_schema()
+        with pytest.raises(TypeError):
+            schema.check_row(("no", "x", 1.0))
+        with pytest.raises(TypeError):
+            schema.check_row((1, 2, 1.0))
+        schema.check_row((1, "x", 2))  # int acceptable for float column
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request):
+    if request.param == "memory":
+        return MemoryBackend()
+    return SqliteBackend()
+
+
+class TestBackends:
+    def test_insert_and_scan_order(self, backend):
+        table = backend.create_table(simple_schema())
+        table.insert((2, "b", 0.5))
+        table.insert((1, "a", 1.5))
+        assert list(table.scan()) == [(2, "b", 0.5), (1, "a", 1.5)]
+        assert table.row_count() == 2
+
+    def test_scan_eq_indexed_column(self, backend):
+        table = backend.create_table(simple_schema())
+        table.insert_many([(1, "a", 0.0), (2, "b", 0.0), (1, "c", 0.0)])
+        rows = list(table.scan_eq("k", 1))
+        assert [r[1] for r in rows] == ["a", "c"]
+
+    def test_scan_eq_unindexed_column(self, backend):
+        table = backend.create_table(simple_schema())
+        table.insert_many([(1, "a", 0.0), (2, "a", 0.0), (3, "b", 0.0)])
+        assert len(list(table.scan_eq("v", "a"))) == 2
+
+    def test_scan_eq_no_match(self, backend):
+        table = backend.create_table(simple_schema())
+        table.insert((1, "a", 0.0))
+        assert list(table.scan_eq("k", 99)) == []
+
+    def test_duplicate_table_rejected(self, backend):
+        backend.create_table(simple_schema())
+        with pytest.raises(ValueError):
+            backend.create_table(simple_schema())
+
+    def test_drop_table(self, backend):
+        backend.create_table(simple_schema())
+        backend.drop_table("t")
+        assert backend.table_names() == []
+        with pytest.raises(KeyError):
+            backend.table("t")
+
+    def test_table_names_sorted(self, backend):
+        backend.create_table(simple_schema("zz"))
+        backend.create_table(simple_schema("aa"))
+        assert backend.table_names() == ["aa", "zz"]
+
+    def test_size_grows_with_rows(self, backend):
+        table = backend.create_table(simple_schema())
+        empty = table.size_bytes()
+        table.insert_many([(i, "payload", 1.0) for i in range(200)])
+        assert table.size_bytes() > empty
+
+    def test_total_bytes_aggregates(self, backend):
+        t1 = backend.create_table(simple_schema("one"))
+        t2 = backend.create_table(simple_schema("two"))
+        t1.insert((1, "x", 0.0))
+        t2.insert((2, "y", 0.0))
+        total = backend.total_bytes()
+        assert total >= t1.size_bytes()
+        assert total >= t2.size_bytes()
+
+    def test_type_enforcement_on_insert(self, backend):
+        table = backend.create_table(simple_schema())
+        with pytest.raises(TypeError):
+            table.insert(("bad", "x", 0.0))
+
+
+class TestMemoryByteAccounting:
+    def test_exact_row_accounting(self):
+        backend = MemoryBackend()
+        table = backend.create_table(simple_schema())
+        table.insert((1, "abc", 2.0))
+        # int 8 + str (4 + 3) + float 8 = 23
+        assert table.size_bytes() == 23
+
+    def test_unicode_strings_counted_in_utf8(self):
+        backend = MemoryBackend()
+        table = backend.create_table(
+            TableSchema("t", (Column("s", "str"),))
+        )
+        table.insert(("é",))  # 2 bytes in UTF-8 + 4 prefix
+        assert table.size_bytes() == 6

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.collection.io import save_collection
+from repro.datasets.movies import generate_movie_collection
+
+
+@pytest.fixture(scope="module")
+def movie_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("movies")
+    save_collection(generate_movie_collection(), directory)
+    return str(directory)
+
+
+class TestStats:
+    def test_prints_summary(self, movie_dir, capsys):
+        assert main(["stats", movie_dir]) == 0
+        out = capsys.readouterr().out
+        assert "15 documents" in out
+        assert "link density" in out
+        assert "most frequent tags" in out
+
+
+class TestBuild:
+    def test_auto_config(self, movie_dir, capsys):
+        assert main(["build", movie_dir]) == 0
+        out = capsys.readouterr().out
+        assert "meta documents" in out
+
+    def test_explicit_config(self, movie_dir, capsys):
+        assert main(["build", movie_dir, "--config", "naive"]) == 0
+        out = capsys.readouterr().out
+        assert "config=naive" in out
+
+    def test_partition_size_forwarded(self, movie_dir, capsys):
+        assert main(
+            ["build", movie_dir, "--config", "unconnected_hopi",
+             "--partition-size", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "unconnected_hopi_40" in out
+
+
+class TestQuery:
+    def test_document_root_start(self, movie_dir, capsys):
+        assert main(
+            ["query", movie_dir, "matrix3.xml", "actor", "--config", "naive"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "<actor>" in out
+        assert "results" in out
+
+    def test_wildcard_and_limit(self, movie_dir, capsys):
+        assert main(
+            ["query", movie_dir, "matrix1.xml", "*", "--limit", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "-- 3 results" in out
+
+    def test_exact_order_flag(self, movie_dir, capsys):
+        assert main(
+            ["query", movie_dir, "matrix3.xml", "*", "--exact-order"]
+        ) == 0
+        out = capsys.readouterr().out
+        distances = [
+            int(line.split()[1]) for line in out.splitlines()
+            if line.startswith("distance")
+        ]
+        assert distances == sorted(distances)
+
+    def test_index_dir_builds_then_loads(self, movie_dir, tmp_path, capsys):
+        index_dir = str(tmp_path / "idx")
+        assert main(
+            ["query", movie_dir, "matrix3.xml", "actor",
+             "--config", "naive", "--index-dir", index_dir]
+        ) == 0
+        first = capsys.readouterr().out
+        assert "built and saved" in first
+        assert main(
+            ["query", movie_dir, "matrix3.xml", "actor",
+             "--config", "naive", "--index-dir", index_dir]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "loaded persisted index" in second
+        # identical result lines either way
+        strip = lambda out: [l for l in out.splitlines() if l.startswith("distance")]
+        assert strip(first) == strip(second)
+
+    def test_unknown_document_exits(self, movie_dir):
+        with pytest.raises(SystemExit):
+            main(["query", movie_dir, "ghost.xml", "actor"])
+
+    def test_unknown_anchor_exits(self, movie_dir):
+        with pytest.raises(SystemExit):
+            main(["query", movie_dir, "matrix1.xml#nope", "actor"])
+
+
+class TestRelaxed:
+    def test_relaxed_query(self, movie_dir, capsys):
+        assert main(
+            ["relaxed", movie_dir,
+             '/movie[title = "Matrix: Revolutions"]/actor/movie',
+             "--top-k", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "score" in out
+        assert "results" in out
+
+
+class TestDemoDblp:
+    def test_demo_runs(self, capsys):
+        assert main(["demo-dblp", "--documents", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "index sizes" in out
+        assert "HOPI" in out
+        assert "seconds to k results" in out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_config_rejected(self, movie_dir):
+        with pytest.raises(SystemExit):
+            main(["build", movie_dir, "--config", "nope"])

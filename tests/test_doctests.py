@@ -1,0 +1,22 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.graph.digraph
+import repro.xmlmodel.dom
+
+MODULES_WITH_DOCTESTS = [
+    repro.graph.digraph,
+    repro.xmlmodel.dom,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

@@ -1,0 +1,187 @@
+"""End-to-end integration scenarios crossing every module boundary."""
+
+import pytest
+
+from repro import (
+    Flix,
+    FlixConfig,
+    XmlDocument,
+    build_collection,
+    collect_statistics,
+)
+from repro.collection.io import load_collection, save_collection
+from repro.datasets.dblp import DblpSpec, find_aries, generate_dblp
+from repro.graph.closure import transitive_closure
+from repro.query.engine import QueryEngine
+from repro.storage.sqlite_backend import SqliteBackend
+
+
+class TestPaperPipeline:
+    """The full section 6 pipeline: corpus -> build -> query -> verify."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_dblp(DblpSpec(documents=200))
+
+    @pytest.fixture(scope="class")
+    def oracle(self, corpus):
+        return transitive_closure(corpus.graph)
+
+    @pytest.mark.parametrize(
+        "config_name",
+        ["naive", "maximal_ppo", "unconnected_hopi", "hybrid", "auto"],
+    )
+    def test_figure5_query_correct_under_all_configs(
+        self, corpus, oracle, config_name
+    ):
+        configs = {
+            "naive": FlixConfig.naive(),
+            "maximal_ppo": FlixConfig.maximal_ppo(),
+            "unconnected_hopi": FlixConfig.unconnected_hopi(100),
+            "hybrid": FlixConfig.hybrid(100),
+            "auto": None,
+        }
+        flix = Flix.build(corpus, configs[config_name])
+        aries = find_aries(corpus)
+        got = {r.node for r in flix.find_descendants(aries, tag="article")}
+        expected = {
+            v
+            for v in oracle.descendants(aries)
+            if corpus.tag(v) == "article" and v != aries
+        }
+        assert got == expected
+
+    def test_exact_order_mode_still_complete(self, corpus, oracle):
+        flix = Flix.build(corpus, FlixConfig.unconnected_hopi(100))
+        aries = find_aries(corpus)
+        ordered = list(
+            flix.find_descendants(aries, tag="article", exact_order=True)
+        )
+        distances = [r.distance for r in ordered]
+        assert distances == sorted(distances)
+        assert {r.node for r in ordered} == {
+            v
+            for v in oracle.descendants(aries)
+            if corpus.tag(v) == "article" and v != aries
+        }
+
+
+class TestSqliteBackedBuild:
+    """The paper's prototype is database-backed; ours can be too."""
+
+    def test_full_build_and_query_on_sqlite(self, figure1_collection):
+        flix = Flix.build(
+            figure1_collection,
+            FlixConfig.hybrid(100),
+            backend_factory=SqliteBackend,
+        )
+        oracle = transitive_closure(figure1_collection.graph)
+        start = figure1_collection.document_root("d05.xml")
+        got = {r.node for r in flix.find_descendants(start)}
+        assert got == set(oracle.descendants(start)) - {start}
+        assert flix.size_bytes() > 0
+
+    def test_sqlite_and_memory_sizes_same_order(self, figure1_collection):
+        from repro.storage.memory import MemoryBackend
+
+        memory = Flix.build(
+            figure1_collection, FlixConfig.naive(), backend_factory=MemoryBackend
+        )
+        sqlite = Flix.build(
+            figure1_collection, FlixConfig.naive(), backend_factory=SqliteBackend
+        )
+        # SQLite pages add overhead but stay within an order of magnitude
+        assert sqlite.size_bytes() < 50 * memory.size_bytes()
+
+
+class TestDiskRoundTripPipeline:
+    def test_generate_save_load_index_query(self, tmp_path):
+        corpus = generate_dblp(DblpSpec(documents=60))
+        save_collection(corpus, tmp_path / "dblp")
+        loaded = load_collection(tmp_path / "dblp")
+        assert loaded.link_edge_count == corpus.link_edge_count
+        flix = Flix.build(loaded, FlixConfig.maximal_ppo())
+        aries = find_aries(loaded)
+        fresh = Flix.build(corpus, FlixConfig.maximal_ppo())
+        assert {r.node for r in flix.find_descendants(aries)} == {
+            r.node for r in fresh.find_descendants(find_aries(corpus))
+        }
+
+
+class TestHeterogeneousScenario:
+    """The paper's Figure 1 story, end to end."""
+
+    def test_hybrid_uses_both_strategy_families(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.hybrid(120))
+        strategies = {m.strategy for m in flix.meta_documents}
+        assert "ppo" in strategies
+        assert "hopi" in strategies
+
+    def test_stats_drive_recommendation(self, figure1_collection):
+        stats = collect_statistics(figure1_collection)
+        config = FlixConfig.recommend(
+            stats.link_density,
+            stats.intra_document_links,
+            stats.mean_document_size,
+        )
+        flix = Flix.build(figure1_collection, config)
+        oracle = transitive_closure(figure1_collection.graph)
+        start = figure1_collection.document_root("d01.xml")
+        got = {r.node for r in flix.find_descendants(start)}
+        assert got == set(oracle.descendants(start)) - {start}
+
+
+class TestSelfTuningLoop:
+    def test_monitor_rebuild_improves_link_traversals(self):
+        """Run the §7 loop: bad config -> advice -> rebuild -> fewer hops."""
+        corpus = generate_dblp(DblpSpec(documents=120))
+        bad = Flix.build(corpus, FlixConfig.unconnected_hopi(30))
+        aries = find_aries(corpus)
+        for _ in range(25):
+            list(bad.find_descendants(aries))
+        advice = bad.tuning_advice(link_traversal_threshold=5.0)
+        assert advice.should_rebuild
+        better = bad.rebuild(advice.recommended_config)
+        list(better.find_descendants(aries))
+        assert (
+            better.pee.last_stats.link_traversals
+            < bad.pee.last_stats.link_traversals
+        )
+
+
+class TestRelaxedQueryOverDblp:
+    def test_ontology_bridges_article_and_inproceedings(self):
+        corpus = generate_dblp(DblpSpec(documents=80))
+        flix = Flix.build(corpus, FlixConfig.maximal_ppo())
+        engine = QueryEngine(flix)
+        # ~paper expands to article + inproceedings via the ontology
+        matches = engine.evaluate("//~paper", top_k=30)
+        tags = {corpus.tag(m.node) for m in matches}
+        assert tags == {"article", "inproceedings"}
+
+    def test_predicate_on_year(self):
+        corpus = generate_dblp(DblpSpec(documents=80))
+        flix = Flix.build(corpus, FlixConfig.maximal_ppo())
+        engine = QueryEngine(flix)
+        matches = engine.evaluate('//inproceedings[booktitle = "VLDB"]', top_k=50)
+        for match in matches:
+            element = corpus.element(match.node)
+            assert element.find("booktitle").text == "VLDB"
+
+
+class TestUnresolvedLinkResilience:
+    def test_broken_links_do_not_break_indexing(self):
+        documents = [
+            XmlDocument.from_text(
+                "a.xml",
+                '<doc><l xlink:href="missing.xml"/>'
+                '<m idref="ghost"/><p>text</p></doc>',
+            ),
+            XmlDocument.from_text("b.xml", '<doc><l xlink:href="a.xml"/></doc>'),
+        ]
+        collection = build_collection(documents)
+        assert len(collection.unresolved_links) == 2
+        flix = Flix.build(collection, FlixConfig.naive())
+        start = collection.document_root("b.xml")
+        results = {r.node for r in flix.find_descendants(start, tag="p")}
+        assert len(results) == 1

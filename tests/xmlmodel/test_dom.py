@@ -1,0 +1,111 @@
+"""Unit tests for the minimal DOM."""
+
+import pytest
+
+from repro.xmlmodel.dom import XmlElement
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            XmlElement("")
+
+    def test_attributes_copied(self):
+        attrs = {"a": "1"}
+        element = XmlElement("x", attrs)
+        attrs["a"] = "2"
+        assert element.get("a") == "1"
+
+    def test_append_child_sets_parent(self):
+        parent = XmlElement("p")
+        child = XmlElement("c")
+        parent.append_child(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_reparenting_rejected(self):
+        a, b, c = XmlElement("a"), XmlElement("b"), XmlElement("c")
+        a.append_child(c)
+        with pytest.raises(ValueError):
+            b.append_child(c)
+
+    def test_make_child_with_text(self):
+        root = XmlElement("r")
+        child = root.make_child("t", {"k": "v"}, text="hello")
+        assert child.name == "t"
+        assert child.get("k") == "v"
+        assert child.text == "hello"
+
+
+class TestText:
+    def test_text_interleaving(self):
+        root = XmlElement("r")
+        root.append_text("a")
+        root.make_child("x")
+        root.append_text("b")
+        root.make_child("y")
+        root.append_text("c")
+        assert root.texts == ["a", "b", "c"]
+        assert root.text == "abc"
+
+    def test_full_text_includes_descendants(self):
+        root = XmlElement("r")
+        root.append_text("1")
+        child = root.make_child("c", text="2")
+        child.make_child("g", text="3")
+        root.append_text("4")
+        assert root.full_text == "1234"
+
+    def test_consecutive_append_text_merges(self):
+        root = XmlElement("r")
+        root.append_text("a")
+        root.append_text("b")
+        assert root.texts == ["ab"]
+
+
+class TestNavigation:
+    @pytest.fixture()
+    def tree(self):
+        root = XmlElement("root")
+        a = root.make_child("a")
+        a.make_child("leaf", text="one")
+        a.make_child("leaf", text="two")
+        root.make_child("b")
+        return root
+
+    def test_iter_is_preorder(self, tree):
+        names = [e.name for e in tree.iter()]
+        assert names == ["root", "a", "leaf", "leaf", "b"]
+
+    def test_find_first_match(self, tree):
+        a = tree.find("a")
+        assert a is not None
+        assert a.find("leaf").text == "one"
+
+    def test_find_missing_returns_none(self, tree):
+        assert tree.find("nope") is None
+
+    def test_find_all(self, tree):
+        leaves = tree.find("a").find_all("leaf")
+        assert [l.text for l in leaves] == ["one", "two"]
+
+    def test_ancestors_and_depth(self, tree):
+        leaf = tree.find("a").find("leaf")
+        assert [e.name for e in leaf.ancestors()] == ["a", "root"]
+        assert leaf.depth == 2
+        assert tree.depth == 0
+
+    def test_root_property(self, tree):
+        leaf = tree.find("a").find("leaf")
+        assert leaf.root is tree
+        assert tree.root is tree
+
+    def test_subtree_size(self, tree):
+        assert tree.subtree_size() == 5
+        assert tree.find("b").subtree_size() == 1
+
+    def test_get_with_default(self):
+        element = XmlElement("x", {"id": "e1"})
+        assert element.get("id") == "e1"
+        assert element.get("missing") is None
+        assert element.get("missing", "d") == "d"

@@ -1,0 +1,92 @@
+"""Unit tests for link extraction."""
+
+from repro.xmlmodel.links import LinkKind, collect_anchors, extract_links
+from repro.xmlmodel.parser import parse_document
+
+
+class TestAnchors:
+    def test_collects_all_ids(self):
+        root = parse_document('<a id="r"><b id="x"/><c id="y"/></a>')
+        anchors = collect_anchors(root)
+        assert set(anchors) == {"r", "x", "y"}
+        assert anchors["x"].name == "b"
+
+    def test_first_duplicate_wins(self):
+        root = parse_document('<a><b id="x">first</b><c id="x">second</c></a>')
+        assert collect_anchors(root)["x"].name == "b"
+
+    def test_empty_id_ignored(self):
+        root = parse_document('<a id=""/>')
+        assert collect_anchors(root) == {}
+
+
+class TestIdrefLinks:
+    def test_single_idref(self):
+        root = parse_document('<a><b idref="x"/></a>')
+        (link,) = extract_links(root)
+        assert link.kind is LinkKind.IDREF
+        assert link.is_intra_document
+        assert link.target_fragment == "x"
+        assert link.source.name == "b"
+
+    def test_idrefs_splits_on_whitespace(self):
+        root = parse_document('<a><b idrefs="x y  z"/></a>')
+        fragments = [l.target_fragment for l in extract_links(root)]
+        assert fragments == ["x", "y", "z"]
+
+
+class TestXlinkLinks:
+    def test_document_link(self):
+        root = parse_document('<a><b xlink:href="other.xml"/></a>')
+        (link,) = extract_links(root)
+        assert link.kind is LinkKind.XLINK
+        assert link.target_document == "other.xml"
+        assert link.target_fragment is None
+        assert not link.is_intra_document
+
+    def test_document_fragment_link(self):
+        root = parse_document('<a><b xlink:href="other.xml#sec2"/></a>')
+        (link,) = extract_links(root)
+        assert link.target_document == "other.xml"
+        assert link.target_fragment == "sec2"
+
+    def test_same_document_fragment(self):
+        root = parse_document('<a><b xlink:href="#sec2"/></a>')
+        (link,) = extract_links(root)
+        assert link.is_intra_document
+        assert link.target_fragment == "sec2"
+
+    def test_plain_href_treated_as_xlink(self):
+        root = parse_document('<a><b href="doc.xml"/></a>')
+        (link,) = extract_links(root)
+        assert link.target_document == "doc.xml"
+
+    def test_external_urls_skipped(self):
+        root = parse_document(
+            '<a><b href="http://x.example/p"/><c href="mailto:x@y"/></a>'
+        )
+        assert extract_links(root) == []
+
+    def test_empty_href_skipped(self):
+        root = parse_document('<a><b xlink:href=""/></a>')
+        assert extract_links(root) == []
+
+    def test_xlink_preferred_over_plain_href(self):
+        root = parse_document('<a><b xlink:href="x.xml" href="y.xml"/></a>')
+        (link,) = extract_links(root)
+        assert link.target_document == "x.xml"
+
+
+class TestMixed:
+    def test_document_order(self):
+        root = parse_document(
+            '<a><b idref="i1"/><c><d xlink:href="z.xml"/></c><e idref="i2"/></a>'
+        )
+        kinds = [l.kind for l in extract_links(root)]
+        assert kinds == [LinkKind.IDREF, LinkKind.XLINK, LinkKind.IDREF]
+
+    def test_element_with_both_idref_and_href(self):
+        root = parse_document('<a><b idref="x" xlink:href="d.xml"/></a>')
+        links = extract_links(root)
+        assert len(links) == 2
+        assert {l.kind for l in links} == {LinkKind.IDREF, LinkKind.XLINK}

@@ -1,0 +1,125 @@
+"""Unit tests for the hand-written XML parser."""
+
+import pytest
+
+from repro.xmlmodel.parser import XmlParseError, parse_document, parse_fragment
+
+
+class TestBasicParsing:
+    def test_minimal_document(self):
+        root = parse_document("<a/>")
+        assert root.name == "a"
+        assert root.children == []
+        assert root.text == ""
+
+    def test_nested_elements(self):
+        root = parse_document("<a><b><c/></b><d/></a>")
+        assert [c.name for c in root.children] == ["b", "d"]
+        assert root.children[0].children[0].name == "c"
+
+    def test_attributes_double_and_single_quotes(self):
+        root = parse_document("""<a x="1" y='2'/>""")
+        assert root.attributes == {"x": "1", "y": "2"}
+
+    def test_text_content(self):
+        root = parse_document("<a>hello <b>world</b>!</a>")
+        assert root.texts == ["hello ", "!"]
+        assert root.find("b").text == "world"
+        assert root.full_text == "hello world!"
+
+    def test_whitespace_in_tags(self):
+        root = parse_document('<a  x="1"  ></a >')
+        assert root.get("x") == "1"
+
+    def test_xml_declaration_and_doctype_skipped(self):
+        text = (
+            '<?xml version="1.0"?>\n'
+            "<!DOCTYPE doc [ <!ELEMENT doc (#PCDATA)> ]>\n"
+            "<doc>x</doc>"
+        )
+        assert parse_document(text).text == "x"
+
+    def test_comments_skipped(self):
+        root = parse_document("<a><!-- comment -->text<!-- more --></a>")
+        assert root.text == "text"
+
+    def test_processing_instruction_skipped(self):
+        root = parse_document("<a><?target data?>x</a>")
+        assert root.text == "x"
+
+    def test_cdata_verbatim(self):
+        root = parse_document("<a><![CDATA[<not> &parsed;]]></a>")
+        assert root.text == "<not> &parsed;"
+
+    def test_deeply_nested_no_recursion_error(self):
+        depth = 3000
+        text = "".join(f"<e{i}>" for i in range(depth))
+        text += "".join(f"</e{i}>" for i in reversed(range(depth)))
+        root = parse_document(text)
+        assert root.name == "e0"
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        root = parse_document("<a>&amp;&lt;&gt;&quot;&apos;</a>")
+        assert root.text == "&<>\"'"
+
+    def test_numeric_references(self):
+        root = parse_document("<a>&#65;&#x42;</a>")
+        assert root.text == "AB"
+
+    def test_entities_in_attributes(self):
+        root = parse_document('<a x="&lt;&amp;&gt;"/>')
+        assert root.get("x") == "<&>"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_document("<a>&nosuch;</a>")
+
+    def test_bad_numeric_reference_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_document("<a>&#xZZ;</a>")
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a>",  # unterminated
+            "<a></b>",  # mismatched end tag
+            "<a><b></a></b>",  # crossed nesting
+            "<a/><b/>",  # two roots
+            "<a x=1/>",  # unquoted attribute
+            '<a x="1" x="2"/>',  # duplicate attribute
+            "text<a/>",  # content before root
+            "<a/>trailing",  # content after root
+            "<a><!-- -- --></a>",  # double hyphen in comment
+            "<1tag/>",  # invalid name start
+            '<a x="<"/>',  # < in attribute
+            "",  # empty input
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(XmlParseError):
+            parse_document(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse_document("<a>\n<b></c></a>")
+        except XmlParseError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected XmlParseError")
+
+
+class TestFragments:
+    def test_multiple_roots(self):
+        roots = parse_fragment("<a/><b>x</b><c/>")
+        assert [r.name for r in roots] == ["a", "b", "c"]
+
+    def test_empty_fragment(self):
+        assert parse_fragment("   ") == []
+
+    def test_fragment_with_comments_between(self):
+        roots = parse_fragment("<a/><!-- sep --><b/>")
+        assert [r.name for r in roots] == ["a", "b"]

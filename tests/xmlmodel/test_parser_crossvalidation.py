@@ -1,0 +1,101 @@
+"""Cross-validation of the hand-written parser against xml.etree.
+
+For any document our serializer emits, stdlib ElementTree and our parser
+must agree on names, attributes, text, and structure.  This catches whole
+classes of parser bugs that self-round-trip tests cannot (a bug shared by
+our parser and serializer would cancel out).
+"""
+
+import random
+import xml.etree.ElementTree as stdlib_etree
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlmodel.dom import XmlElement
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import serialize
+from tests.conftest import xml_names
+
+# stdlib-safe text: ElementTree rejects control chars; stick to printable
+safe_text = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x2FF),
+    max_size=30,
+)
+
+# names without ':' (ElementTree treats colons as namespaces)
+plain_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.-]{0,8}", fullmatch=True).filter(
+    lambda s: not s.lower().startswith("xml")
+)
+
+
+def random_element(rng, names, texts, depth=0):
+    element = XmlElement(rng.choice(names))
+    for _ in range(rng.randrange(3)):
+        element.attributes[rng.choice(names)] = rng.choice(texts)
+    element.append_text(rng.choice(texts))
+    if depth < 3:
+        for _ in range(rng.randrange(3)):
+            element.append_child(random_element(rng, names, texts, depth + 1))
+            element.append_text(rng.choice(texts))
+    return element
+
+
+def agree(ours: XmlElement, theirs: stdlib_etree.Element) -> bool:
+    if ours.name != theirs.tag:
+        return False
+    if ours.attributes != dict(theirs.attrib):
+        return False
+    if ours.texts[0] != (theirs.text or ""):
+        return False
+    if len(ours.children) != len(theirs):
+        return False
+    for i, (our_child, their_child) in enumerate(zip(ours.children, theirs)):
+        if not agree(our_child, their_child):
+            return False
+        if ours.texts[i + 1] != (their_child.tail or ""):
+            return False
+    return True
+
+
+class TestAgainstElementTree:
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.lists(plain_names, min_size=1, max_size=4, unique=True),
+        st.lists(safe_text, min_size=1, max_size=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_both_parsers_agree_on_serialized_documents(self, seed, names, texts):
+        rng = random.Random(seed)
+        original = random_element(rng, names, texts)
+        text = serialize(original)
+        ours = parse_document(text)
+        theirs = stdlib_etree.fromstring(text)
+        assert agree(ours, theirs), text
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.lists(plain_names, min_size=1, max_size=3, unique=True),
+        st.lists(safe_text, min_size=1, max_size=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stdlib_reparses_our_serialization_of_stdlib_output(
+        self, seed, names, texts
+    ):
+        """serialize(parse(x)) stays stdlib-parseable and equivalent."""
+        rng = random.Random(seed)
+        text = serialize(random_element(rng, names, texts))
+        once = parse_document(text)
+        again = stdlib_etree.fromstring(serialize(once))
+        assert agree(once, again)
+
+    def test_entity_handling_matches_stdlib(self):
+        text = "<a x=\"1 &amp; 2\">&lt;tag&gt; &#65;</a>"
+        ours = parse_document(text)
+        theirs = stdlib_etree.fromstring(text)
+        assert ours.text == theirs.text
+        assert ours.get("x") == theirs.get("x")
+
+    def test_cdata_matches_stdlib(self):
+        text = "<a><![CDATA[x < y & z]]></a>"
+        assert parse_document(text).text == stdlib_etree.fromstring(text).text

@@ -1,0 +1,88 @@
+"""Serializer tests, including the property-based round trip."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlmodel.dom import XmlElement
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serializer import escape_attribute, escape_text, serialize
+from tests.conftest import xml_names, xml_text
+
+
+def trees_equal(a: XmlElement, b: XmlElement) -> bool:
+    if a.name != b.name or a.attributes != b.attributes:
+        return False
+    if a.texts != b.texts or len(a.children) != len(b.children):
+        return False
+    return all(trees_equal(x, y) for x, y in zip(a.children, b.children))
+
+
+class TestSerializeBasics:
+    def test_empty_element_self_closes(self):
+        assert serialize(XmlElement("a")) == "<a/>"
+
+    def test_attributes_serialized_in_order(self):
+        e = XmlElement("a", {"x": "1", "y": "2"})
+        assert serialize(e) == '<a x="1" y="2"/>'
+
+    def test_text_escaped(self):
+        e = XmlElement("a")
+        e.append_text("<&>")
+        assert serialize(e) == "<a>&lt;&amp;&gt;</a>"
+
+    def test_attribute_escaped(self):
+        e = XmlElement("a", {"x": '<"&>'})
+        assert serialize(e) == '<a x="&lt;&quot;&amp;&gt;"/>'
+
+    def test_declaration_flag(self):
+        assert serialize(XmlElement("a"), declaration=True).startswith("<?xml")
+
+    def test_mixed_content_order_preserved(self):
+        root = XmlElement("r")
+        root.append_text("a")
+        root.make_child("x", text="y")
+        root.append_text("b")
+        assert serialize(root) == "<r>a<x>y</x>b</r>"
+
+    def test_escape_helpers(self):
+        assert escape_text("a&b") == "a&amp;b"
+        assert escape_attribute('a"b') == "a&quot;b"
+
+
+def random_element(rng: random.Random, names, texts, depth: int = 0) -> XmlElement:
+    element = XmlElement(rng.choice(names))
+    for _ in range(rng.randrange(3)):
+        element.attributes[rng.choice(names)] = rng.choice(texts)
+    element.append_text(rng.choice(texts))
+    if depth < 3:
+        for _ in range(rng.randrange(3)):
+            element.append_child(random_element(rng, names, texts, depth + 1))
+            element.append_text(rng.choice(texts))
+    return element
+
+
+class TestRoundTrip:
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.lists(xml_names, min_size=1, max_size=4, unique=True),
+        st.lists(xml_text, min_size=1, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_parse_serialize_parse_fixpoint(self, seed, names, texts):
+        rng = random.Random(seed)
+        original = random_element(rng, names, texts)
+        text = serialize(original)
+        reparsed = parse_document(text)
+        assert trees_equal(original, reparsed), text
+        # serialize is deterministic: a second round trip is a fixpoint
+        assert serialize(reparsed) == text
+
+    def test_dblp_like_record(self):
+        text = (
+            '<article key="journals/tods/x"><author>A B</author>'
+            "<title>Indexing &amp; Querying</title><year>1999</year>"
+            '<cite xlink:href="other.xml"/></article>'
+        )
+        assert serialize(parse_document(text)) == text
