@@ -35,6 +35,11 @@ class SystemUnderTest:
     def build_seconds(self) -> float:
         return self.flix.report.total_seconds
 
+    @property
+    def build_phase_totals(self) -> Dict[str, float]:
+        """Per-phase build seconds summed across meta documents."""
+        return self.flix.report.phase_totals()
+
 
 def paper_partition_sizes(collection: XmlCollection) -> Tuple[int, int]:
     """Scaled analogues of the paper's 5,000- and 20,000-node partitions.
@@ -78,6 +83,79 @@ def build_all_systems(
             ),
         )
     return systems
+
+
+def profile_build(
+    collection: XmlCollection,
+    config: FlixConfig,
+    jobs_options: Sequence[int] = (1, 4),
+    repeats: int = 3,
+) -> Dict:
+    """Build ``collection`` under each jobs setting; return a comparison.
+
+    Each setting is built ``repeats`` times and reported at its fastest
+    wall-clock sample (best-of-N suppresses scheduler noise, which on
+    small corpora easily exceeds the build itself).  The returned dict is
+    JSON-serializable — ``benchmarks/bench_build_time.py`` writes it to
+    ``BENCH_build_time.json``.
+
+    Every run's index fingerprint is included: identical fingerprints
+    across jobs settings are the determinism guarantee, so a speedup
+    never comes at the price of a different index.  ``speedup`` is
+    measured against the first jobs setting (the sequential baseline);
+    values above 1.0 require actual spare cores — ``effective_cpus``
+    records what the machine offered.
+    """
+    import os
+
+    runs: List[Dict] = []
+    for jobs in jobs_options:
+        samples: List[float] = []
+        flix: Optional[Flix] = None
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            flix = Flix.build(collection, config, jobs=jobs)
+            samples.append(time.perf_counter() - started)
+        assert flix is not None
+        report = flix.report
+        runs.append(
+            {
+                "jobs": jobs,
+                "executor": report.executor,
+                "wall_seconds": round(min(samples), 6),
+                "samples": [round(s, 6) for s in samples],
+                "meta_documents": len(report.meta_documents),
+                "strategies": sorted(
+                    {m.strategy for m in report.meta_documents}
+                ),
+                "index_bytes": report.total_index_bytes,
+                "phase_totals": {
+                    phase: round(seconds, 6)
+                    for phase, seconds in report.phase_totals().items()
+                },
+                "fingerprint": flix.index_fingerprint(),
+            }
+        )
+    baseline = runs[0]["wall_seconds"]
+    for run in runs:
+        run["speedup"] = round(baseline / max(run["wall_seconds"], 1e-9), 4)
+    try:
+        effective_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        effective_cpus = os.cpu_count() or 1
+    return {
+        "workload": {
+            "documents": collection.document_count,
+            "elements": collection.node_count,
+            "links": collection.link_edge_count,
+            "config": config.name,
+            "partition_size": config.partition_size,
+        },
+        "repeats": max(1, repeats),
+        "effective_cpus": effective_cpus,
+        "deterministic": len({run["fingerprint"] for run in runs}) == 1,
+        "runs": runs,
+    }
 
 
 def time_to_k(

@@ -82,13 +82,32 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print collection statistics")
     stats.add_argument("directory")
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
     def add_build_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--config", choices=_CONFIG_CHOICES, default="auto")
         p.add_argument("--partition-size", type=int, default=5000)
+        p.add_argument(
+            "--jobs",
+            type=positive_int,
+            default=1,
+            help="worker processes for the per-meta-document index builds "
+            "(1 = sequential; any value yields an identical index)",
+        )
 
     build = sub.add_parser("build", help="run the build phase, print the report")
     build.add_argument("directory")
     add_build_options(build)
+    build.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase build timings (queue wait, graph, "
+        "selection, index) and the slowest meta documents",
+    )
 
     query = sub.add_parser("query", help="evaluate start//tag")
     query.add_argument("directory")
@@ -132,8 +151,29 @@ def _cmd_stats(args) -> int:
 def _cmd_build(args) -> int:
     collection = load_collection(args.directory)
     config = _make_config(args.config, args.partition_size)
-    flix = Flix.build(collection, config)
+    flix = Flix.build(collection, config, jobs=args.jobs)
     print(flix.describe())
+    if getattr(args, "profile", False):
+        report = flix.report
+        totals = report.phase_totals()
+        print()
+        print(
+            f"build profile ({report.jobs} jobs, {report.executor} executor, "
+            f"{report.total_seconds:.3f}s wall):"
+        )
+        for phase in ("graph", "selection", "index", "queue_wait"):
+            print(f"  {phase:<11} {totals[phase]:8.3f}s summed across metas")
+        slowest = sorted(
+            report.meta_documents,
+            key=lambda m: m.profile.busy_seconds,
+            reverse=True,
+        )[:5]
+        for meta in slowest:
+            p = meta.profile
+            print(
+                f"  slowest meta {meta.meta_id}: {p.busy_seconds:.3f}s "
+                f"({meta.strategy}, {meta.node_count} nodes, on {p.worker})"
+            )
     return 0
 
 
@@ -147,7 +187,7 @@ def _cmd_query(args) -> int:
         flix = Flix.load(collection, index_dir)
         print(f"(loaded persisted index from {index_dir})")
     else:
-        flix = Flix.build(collection, config)
+        flix = Flix.build(collection, config, jobs=args.jobs)
         if index_dir:
             flix.save(index_dir)
             print(f"(built and saved index to {index_dir})")
@@ -179,7 +219,7 @@ def _cmd_relaxed(args) -> int:
 
     collection = load_collection(args.directory)
     config = _make_config(args.config, args.partition_size)
-    flix = Flix.build(collection, config)
+    flix = Flix.build(collection, config, jobs=args.jobs)
     engine = QueryEngine(flix)
     matches = engine.evaluate(args.query, top_k=args.top_k, auto_relax=True)
     for match in matches:

@@ -26,6 +26,9 @@ from typing import Optional, Tuple
 #: meta-document building strategies the MDB understands
 MDB_STRATEGIES = ("naive", "maximal_ppo", "unconnected_hopi", "hybrid")
 
+#: build-executor kinds the Index Builder understands
+BUILD_EXECUTORS = ("auto", "process", "thread", "serial")
+
 
 @dataclass(frozen=True)
 class FlixConfig:
@@ -47,6 +50,13 @@ class FlixConfig:
     #: self paths (the structural-vagueness scenario of section 1.1); biases
     #: the ISS toward HOPI over APEX
     expect_long_paths: bool = True
+    #: worker count for the Index Builder's per-meta-document builds
+    #: (1 = sequential); the merged result is identical at any value
+    jobs: int = 1
+    #: how jobs > 1 builds execute: "process" (CPU-bound default), "thread"
+    #: (shared-object fallback), "serial", or "auto" (process when the
+    #: hand-off pickles, thread otherwise)
+    build_executor: str = "auto"
 
     def __post_init__(self) -> None:
         if self.mdb_strategy not in MDB_STRATEGIES:
@@ -58,6 +68,23 @@ class FlixConfig:
             raise ValueError("partition_size must be positive")
         if not self.allowed_strategies:
             raise ValueError("at least one index strategy must be allowed")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.build_executor not in BUILD_EXECUTORS:
+            raise ValueError(
+                f"unknown build executor {self.build_executor!r}; "
+                f"expected one of {BUILD_EXECUTORS}"
+            )
+
+    def with_jobs(
+        self, jobs: int, build_executor: Optional[str] = None
+    ) -> "FlixConfig":
+        """This configuration with a different build parallelism."""
+        from dataclasses import replace
+
+        if build_executor is None:
+            return replace(self, jobs=jobs)
+        return replace(self, jobs=jobs, build_executor=build_executor)
 
     # ------------------------------------------------------------------
     # the paper's predefined configurations

@@ -60,11 +60,16 @@ class Flix:
         collection: XmlCollection,
         config: Optional[FlixConfig] = None,
         backend_factory: Callable[[], StorageBackend] = MemoryBackend,
+        jobs: Optional[int] = None,
     ) -> "Flix":
         """Run the full build phase: MDB -> ISS -> IB.
 
         ``config`` defaults to the automatic recommendation derived from the
         collection's statistics (the paper's future-work goal, section 4.1).
+        ``jobs`` overrides ``config.jobs`` for this build only: with more
+        than one worker the per-meta-document builds run on a worker pool,
+        with results merged in spec order — the built index is identical to
+        a sequential build at any ``jobs`` value.
         """
         if config is None:
             from repro.collection.stats import collect_statistics
@@ -78,7 +83,7 @@ class Flix:
             )
         specs = MetaDocumentBuilder(collection, config).build_specs()
         builder = IndexBuilder(collection, config, backend_factory)
-        meta_documents, meta_of, report = builder.build(specs)
+        meta_documents, meta_of, report = builder.build(specs, jobs=jobs)
         flix = cls(collection, config, meta_documents, meta_of, report)
         flix._builder = builder
         flix._backend_factory = backend_factory
@@ -233,21 +238,26 @@ class Flix:
         """
         if not tags:
             raise ValueError("at least one step tag is required")
+        from repro.core.pee import QueryStats
+
+        aggregate = QueryStats()
         frontier: Dict[NodeId, int] = {start: 0}
         for tag in tags:
             next_frontier: Dict[NodeId, int] = {}
             for node, distance in sorted(frontier.items(), key=lambda kv: kv[1]):
-                for result in self.pee.find_descendants(
+                stream = self.pee.find_descendants(
                     node, tag, max_distance_per_step
-                ):
+                )
+                for result in stream:
                     total = distance + result.distance
                     current = next_frontier.get(result.node)
                     if current is None or total < current:
                         next_frontier[result.node] = total
+                aggregate.merge(stream.stats)
             if not next_frontier:
                 return []
             frontier = next_frontier
-        self.monitor.record(self.pee.last_stats)
+        self.monitor.record(aggregate)
         return sorted(frontier.items(), key=lambda kv: (kv[1], kv[0]))
 
     def find_connections(
@@ -293,13 +303,18 @@ class Flix:
     ) -> Optional[int]:
         """Is ``target`` reachable from ``source``?  Approximate distance or
         ``None``."""
+        from repro.core.pee import QueryStats
+
+        stats = QueryStats()
         if bidirectional:
             result = self.pee.connection_test_bidirectional(
-                source, target, max_distance
+                source, target, max_distance, stats=stats
             )
         else:
-            result = self.pee.connection_test(source, target, max_distance)
-        self.monitor.record(self.pee.last_stats)
+            result = self.pee.connection_test(
+                source, target, max_distance, stats=stats
+            )
+        self.monitor.record(stats)
         return result
 
     def _limited(
@@ -308,6 +323,9 @@ class Flix:
         limit: Optional[int],
         cache_key: Optional[tuple] = None,
     ) -> Iterator[QueryResult]:
+        # per-query stats travel on the PEE's QueryStream; fall back to the
+        # evaluator-level snapshot for plain iterators (tests, custom PEEs)
+        stats = getattr(stream, "stats", None)
         if limit is not None:
             stream = itertools.islice(stream, limit)
         collected: Optional[List[QueryResult]] = (
@@ -317,7 +335,9 @@ class Flix:
             if collected is not None:
                 collected.append(item)
             yield item
-        self.monitor.record(self.pee.last_stats)
+        self.monitor.record(
+            stats.snapshot() if stats is not None else self.pee.last_stats
+        )
         if collected is not None and limit is None:
             self._cache_store(cache_key, collected)
 
@@ -411,6 +431,24 @@ class Flix:
         """Total storage of all meta-document indexes + residual links."""
         return self.report.total_index_bytes
 
+    def index_fingerprint(self) -> str:
+        """Content hash over every meta-document index and the residual
+        links — byte-for-byte identical for builds of the same collection
+        and configuration regardless of ``jobs`` (the parallel builder's
+        determinism guarantee)."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for meta in self.meta_documents:
+            digest.update(str(meta.meta_id).encode("utf-8"))
+            digest.update(meta.strategy.encode("utf-8"))
+            digest.update(meta.index.backend.fingerprint().encode("utf-8"))
+        if self._builder is not None:
+            digest.update(
+                self._builder.framework_backend.fingerprint().encode("utf-8")
+            )
+        return digest.hexdigest()
+
     def meta_document_of(self, node: NodeId) -> MetaDocument:
         return self.meta_documents[self.meta_of[node]]
 
@@ -422,9 +460,17 @@ class Flix:
         self,
         config: Optional[FlixConfig] = None,
         backend_factory: Callable[[], StorageBackend] = MemoryBackend,
+        jobs: Optional[int] = None,
     ) -> "Flix":
-        """Run the build phase again (e.g. following tuning advice)."""
-        return Flix.build(self.collection, config or self.config, backend_factory)
+        """Run the build phase again (e.g. following tuning advice).
+
+        The returned instance starts with a cold result cache: cached
+        results describe the old meta-document layout and must not survive
+        a rebuild.
+        """
+        return Flix.build(
+            self.collection, config or self.config, backend_factory, jobs=jobs
+        )
 
     # ------------------------------------------------------------------
     # incremental growth

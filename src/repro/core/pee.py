@@ -24,7 +24,7 @@ this at 8-13%).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.meta_document import MetaDocument
@@ -50,6 +50,44 @@ class QueryStats:
     entries_dropped: int = 0
     results_returned: int = 0
     results_suppressed: int = 0
+    covered_probes: int = 0
+
+    def snapshot(self) -> "QueryStats":
+        """An immutable-by-convention copy (what ``last_stats`` publishes)."""
+        return replace(self)
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another query's counters (multi-step evaluations)."""
+        self.meta_document_visits += other.meta_document_visits
+        self.link_traversals += other.link_traversals
+        self.entries_dropped += other.entries_dropped
+        self.results_returned += other.results_returned
+        self.results_suppressed += other.results_suppressed
+        self.covered_probes += other.covered_probes
+
+
+class QueryStream:
+    """An in-flight query: the result iterator plus its private stats.
+
+    Each query owns its :class:`QueryStats` instance, so concurrent queries
+    against one evaluator never share mutable counters; read ``.stats`` at
+    (or after) any point of consumption for this query's numbers.
+    """
+
+    __slots__ = ("_iterator", "stats")
+
+    def __init__(self, iterator: Iterator[QueryResult], stats: QueryStats) -> None:
+        self._iterator = iterator
+        self.stats = stats
+
+    def __iter__(self) -> "QueryStream":
+        return self
+
+    def __next__(self) -> QueryResult:
+        return next(self._iterator)
+
+    def close(self) -> None:
+        self._iterator.close()
 
 
 class PathExpressionEvaluator:
@@ -62,6 +100,8 @@ class PathExpressionEvaluator:
     ) -> None:
         self._meta_documents = list(meta_documents)
         self._meta_of = dict(meta_of)
+        #: snapshot of the most recently *completed* query's counters; the
+        #: live per-query counters travel on the :class:`QueryStream`
         self.last_stats = QueryStats()
 
     # ------------------------------------------------------------------
@@ -89,15 +129,19 @@ class PathExpressionEvaluator:
         stream is non-decreasing in the reported distance — at the price of
         the early-first-results advantage FliX otherwise has.
         """
-        stream = self._search(
-            seeds=[start],
-            tag=tag,
-            max_distance=max_distance,
-            forward=True,
-            skip_nodes=() if include_self else (start,),
-            exact_order=exact_order,
+        stats = QueryStats()
+        return QueryStream(
+            self._search(
+                seeds=[start],
+                tag=tag,
+                max_distance=max_distance,
+                forward=True,
+                skip_nodes=() if include_self else (start,),
+                stats=stats,
+                exact_order=exact_order,
+            ),
+            stats,
         )
-        yield from stream
 
     def find_ancestors(
         self,
@@ -110,13 +154,18 @@ class PathExpressionEvaluator:
         """Stream ancestors of ``start`` (section 5.1: "a similar algorithm
         can be applied to find ancestors"); distances are path lengths from
         the ancestor down to ``start``."""
-        yield from self._search(
-            seeds=[start],
-            tag=tag,
-            max_distance=max_distance,
-            forward=False,
-            skip_nodes=() if include_self else (start,),
-            exact_order=exact_order,
+        stats = QueryStats()
+        return QueryStream(
+            self._search(
+                seeds=[start],
+                tag=tag,
+                max_distance=max_distance,
+                forward=False,
+                skip_nodes=() if include_self else (start,),
+                stats=stats,
+                exact_order=exact_order,
+            ),
+            stats,
         )
 
     def evaluate_type_query(
@@ -131,12 +180,17 @@ class PathExpressionEvaluator:
         Results are the distinct ``B`` elements reachable from *some* seed,
         each reported once with (approximately) its smallest seed distance.
         """
-        yield from self._search(
-            seeds=list(source_tag_nodes),
-            tag=tag,
-            max_distance=max_distance,
-            forward=True,
-            skip_nodes=(),
+        stats = QueryStats()
+        return QueryStream(
+            self._search(
+                seeds=list(source_tag_nodes),
+                tag=tag,
+                max_distance=max_distance,
+                forward=True,
+                skip_nodes=(),
+                stats=stats,
+            ),
+            stats,
         )
 
     # ------------------------------------------------------------------
@@ -149,10 +203,28 @@ class PathExpressionEvaluator:
         max_distance: Optional[int],
         forward: bool,
         skip_nodes: Tuple[NodeId, ...],
+        stats: QueryStats,
         exact_order: bool = False,
     ) -> Iterator[QueryResult]:
-        stats = QueryStats()
-        self.last_stats = stats
+        try:
+            yield from self._search_inner(
+                seeds, tag, max_distance, forward, skip_nodes, stats, exact_order
+            )
+        finally:
+            # Publish a frozen copy only: concurrent readers of last_stats
+            # must never observe another query's counters mid-mutation.
+            self.last_stats = stats.snapshot()
+
+    def _search_inner(
+        self,
+        seeds: Sequence[NodeId],
+        tag: Optional[str],
+        max_distance: Optional[int],
+        forward: bool,
+        skip_nodes: Tuple[NodeId, ...],
+        stats: QueryStats,
+        exact_order: bool,
+    ) -> Iterator[QueryResult]:
         # entry points already expanded, per meta document
         entries: Dict[int, List[NodeId]] = {}
         heap: List[Tuple[int, int, NodeId]] = []
@@ -178,7 +250,7 @@ class PathExpressionEvaluator:
             meta = self._meta_documents[self._meta_of[entry]]
             index = meta.index
             previous = entries.setdefault(meta.meta_id, [])
-            if self._covered(index, previous, entry, forward):
+            if self._covered(index, previous, entry, forward, stats):
                 stats.entries_dropped += 1
                 continue
             stats.meta_document_visits += 1
@@ -194,7 +266,7 @@ class PathExpressionEvaluator:
                 total = priority + local_distance
                 if max_distance is not None and total > max_distance:
                     continue
-                if self._covered(index, previous, node, forward):
+                if self._covered(index, previous, node, forward, stats):
                     stats.results_suppressed += 1
                     continue
                 stats.results_returned += 1
@@ -240,14 +312,24 @@ class PathExpressionEvaluator:
         previous_entries: List[NodeId],
         node: NodeId,
         forward: bool,
+        stats: QueryStats,
     ) -> bool:
         """Is ``node``'s result set already covered by an earlier entry?
 
         Forward: a previous entry that reaches ``node`` has already returned
         all of ``node``'s descendants.  Backward: a previous entry reachable
         *from* ``node`` has already returned all of ``node``'s ancestors.
+
+        Entries are probed most-recently-added first: the queue pops entries
+        in ascending priority, and a popped node is far more likely to hang
+        off the subtree the evaluator just expanded than off an entry from
+        many blocks ago, so late entries resolve most positive probes in one
+        ``reachable`` call.  Every probe is counted in ``stats``.
         """
-        for entry in previous_entries:
+        if not previous_entries:
+            return False
+        for entry in reversed(previous_entries):
+            stats.covered_probes += 1
             if forward:
                 if index.reachable(entry, node):
                     return True
@@ -279,6 +361,7 @@ class PathExpressionEvaluator:
         source: NodeId,
         target: NodeId,
         max_distance: Optional[int] = None,
+        stats: Optional[QueryStats] = None,
     ) -> Optional[int]:
         """Approximate distance from ``source`` to ``target``; None if not
         connected (within the threshold).
@@ -287,10 +370,22 @@ class PathExpressionEvaluator:
         path discovered is reported, so the returned distance can exceed the
         true shortest path when that crosses meta documents differently.
         The client limits the depth via ``max_distance`` because "the
-        resulting relevance is negligible" beyond it.
+        resulting relevance is negligible" beyond it.  ``stats`` is an
+        optional caller-owned counter sink (per-query, never shared).
         """
-        stats = QueryStats()
-        self.last_stats = stats
+        stats = stats if stats is not None else QueryStats()
+        try:
+            return self._connection_test(source, target, max_distance, stats)
+        finally:
+            self.last_stats = stats.snapshot()
+
+    def _connection_test(
+        self,
+        source: NodeId,
+        target: NodeId,
+        max_distance: Optional[int],
+        stats: QueryStats,
+    ) -> Optional[int]:
         entries: Dict[int, List[NodeId]] = {}
         heap: List[Tuple[int, int, NodeId]] = [(0, 0, source)]
         counter = 1
@@ -305,7 +400,7 @@ class PathExpressionEvaluator:
             meta = self._meta_documents[self._meta_of[entry]]
             index = meta.index
             previous = entries.setdefault(meta.meta_id, [])
-            if self._covered(index, previous, entry, forward=True):
+            if self._covered(index, previous, entry, True, stats):
                 stats.entries_dropped += 1
                 continue
             stats.meta_document_visits += 1
@@ -333,19 +428,21 @@ class PathExpressionEvaluator:
         source: NodeId,
         target: NodeId,
         max_distance: Optional[int] = None,
+        stats: Optional[QueryStats] = None,
     ) -> Optional[int]:
         """The optimization sketched in section 5.2: run a descendants
         search from ``source`` and an ancestors search from ``target``
         simultaneously, alternating steps, and stop at the first meeting
         element.  Depending on the data's shape either direction may win, so
         alternation bounds the work by twice the cheaper side."""
+        stats = stats if stats is not None else QueryStats()
         forward = self._search(
             seeds=[source], tag=None, max_distance=max_distance,
-            forward=True, skip_nodes=(),
+            forward=True, skip_nodes=(), stats=stats,
         )
         backward = self._search(
             seeds=[target], tag=None, max_distance=max_distance,
-            forward=False, skip_nodes=(),
+            forward=False, skip_nodes=(), stats=stats,
         )
         seen_forward: Dict[NodeId, int] = {}
         seen_backward: Dict[NodeId, int] = {}

@@ -100,6 +100,8 @@ def save_flix(flix: Flix, directory) -> Path:
             "single_tree": flix.config.single_tree,
             "hopi_pairs_per_node_budget": flix.config.hopi_pairs_per_node_budget,
             "expect_long_paths": flix.config.expect_long_paths,
+            "jobs": flix.config.jobs,
+            "build_executor": flix.config.build_executor,
         },
         "meta_documents": [
             {"meta_id": meta.meta_id, "strategy": meta.strategy}
@@ -137,6 +139,8 @@ def load_flix(collection: XmlCollection, directory) -> Flix:
         single_tree=config_data["single_tree"],
         hopi_pairs_per_node_budget=config_data["hopi_pairs_per_node_budget"],
         expect_long_paths=config_data["expect_long_paths"],
+        jobs=config_data.get("jobs", 1),
+        build_executor=config_data.get("build_executor", "auto"),
     )
 
     tags = {node: collection.tag(node) for node in collection.node_ids()}

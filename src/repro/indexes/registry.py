@@ -7,7 +7,8 @@ Strategy Selector picks among whatever is registered.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Type
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 from repro.graph.digraph import Digraph
 from repro.indexes.apex import ApexIndex
@@ -53,6 +54,64 @@ def build_index(
 ) -> PathIndex:
     """Build an index of the named strategy over ``graph``."""
     return strategy_class(name).build(graph, tags, backend)
+
+
+@dataclass(frozen=True)
+class IndexBuildRequest:
+    """A picklable description of one index build.
+
+    This is the hand-off unit of the parallel Index Builder: it names the
+    strategy instead of carrying the class (worker processes resolve it
+    against their own registry after import) and describes the graph with
+    primitives, so the request crosses process boundaries cheaply.  When
+    the caller already holds a built :class:`Digraph` — the IB builds one
+    for strategy selection anyway — ``nodes``/``edges`` may stay empty and
+    the graph is passed to :func:`execute_build_request` directly.
+    """
+
+    strategy: str
+    tags: Mapping[NodeId, str]
+    nodes: Tuple[NodeId, ...] = ()
+    edges: Tuple[Tuple[NodeId, NodeId], ...] = ()
+
+    def to_graph(self) -> Digraph:
+        graph = Digraph()
+        for node in self.nodes:
+            graph.add_node(node)
+        for u, v in self.edges:
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_graph(
+        cls,
+        strategy: str,
+        graph: Digraph,
+        tags: Mapping[NodeId, str],
+    ) -> "IndexBuildRequest":
+        return cls(
+            strategy=strategy,
+            tags=dict(tags),
+            nodes=tuple(graph),
+            edges=tuple(graph.edges()),
+        )
+
+
+def execute_build_request(
+    request: IndexBuildRequest,
+    backend_factory: Callable[[], StorageBackend],
+    graph: Optional[Digraph] = None,
+) -> PathIndex:
+    """Run one :class:`IndexBuildRequest` against a fresh backend.
+
+    ``graph`` short-circuits the rebuild from primitives when the caller
+    already materialized it (the IB's workers do, for strategy selection).
+    """
+    if graph is None:
+        graph = request.to_graph()
+    return strategy_class(request.strategy).build(
+        graph, request.tags, backend_factory()
+    )
 
 
 for _cls in (

@@ -101,6 +101,21 @@ class Table(abc.ABC):
     def size_bytes(self) -> int:
         """Storage the table occupies, in bytes."""
 
+    def fingerprint(self) -> str:
+        """Content hash over schema and rows (insertion order included).
+
+        Two tables fingerprint equal iff they hold the same rows in the
+        same order under the same schema — the check the parallel Index
+        Builder's determinism guarantee is asserted with.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(repr(self.schema).encode("utf-8"))
+        for row in self.scan():
+            digest.update(repr(row).encode("utf-8"))
+        return digest.hexdigest()
+
 
 class StorageBackend(abc.ABC):
     """A namespace of tables with aggregate size accounting."""
@@ -124,3 +139,13 @@ class StorageBackend(abc.ABC):
     def total_bytes(self) -> int:
         """Aggregate storage of all tables — the Table 1 measurement."""
         return sum(self.table(name).size_bytes() for name in self.table_names())
+
+    def fingerprint(self) -> str:
+        """Content hash over every table (names, schemas, rows, order)."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for name in self.table_names():
+            digest.update(name.encode("utf-8"))
+            digest.update(self.table(name).fingerprint().encode("utf-8"))
+        return digest.hexdigest()

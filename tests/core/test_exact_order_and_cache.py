@@ -58,6 +58,23 @@ class TestExactOrder:
         assert distances == sorted(distances)
         assert all(d <= 4 for d in distances)
 
+    def test_non_decreasing_across_meta_document_boundaries(
+        self, flix, figure1_collection
+    ):
+        """The guarantee that matters is *cross*-meta: distances must stay
+        non-decreasing even where the stream hops residual links between
+        meta documents (within one meta the local index orders for free)."""
+        for name in ("d01.xml", "d05.xml", "d08.xml"):
+            start = figure1_collection.document_root(name)
+            results = list(flix.find_descendants(start, exact_order=True))
+            metas_spanned = {flix.meta_of[r.node] for r in results}
+            assert len(metas_spanned) >= 2, (
+                f"query from {name} stayed inside one meta document; "
+                "the test collection no longer exercises the boundary"
+            )
+            distances = [r.distance for r in results]
+            assert distances == sorted(distances)
+
 
 class TestResultCache:
     def test_cache_disabled_by_default(self, figure1_collection):
@@ -130,6 +147,66 @@ class TestResultCache:
         hits_before = flix.cache_hits
         list(flix.find_descendants(start))
         assert flix.cache_hits == hits_before
+
+    def test_add_document_invalidates_cached_results(self):
+        """Cached results describe the pre-addition reachability; serving
+        them after ``add_document`` would hide the new document."""
+        from repro.collection.builder import build_collection
+        from repro.collection.document import XmlDocument
+
+        collection = build_collection(
+            [
+                XmlDocument.from_text(
+                    "a.xml", '<doc><l xlink:href="b.xml"/><p>alpha</p></doc>'
+                ),
+                XmlDocument.from_text("b.xml", "<doc><p>beta</p></doc>"),
+            ]
+        )
+        flix = Flix.build(collection, FlixConfig.naive())
+        flix.enable_cache()
+        start = collection.document_root("a.xml")
+        before = list(flix.find_descendants(start, tag="p"))
+        list(flix.find_descendants(start, tag="p"))
+        assert flix.cache_hits == 1
+
+        flix.add_document(
+            XmlDocument.from_text(
+                "c.xml", '<doc><p>gamma</p></doc>'
+            )
+        )
+        # the cache was cleared: same query is a miss, not a stale hit
+        after = list(flix.find_descendants(start, tag="p"))
+        assert flix.cache_hits == 1
+        assert flix.cache_misses >= 2
+        assert {r.node for r in after} == {r.node for r in before}
+
+        # a document the cached result could never contain
+        flix.add_document(
+            XmlDocument.from_text(
+                "d.xml", '<doc><l xlink:href="a.xml"/><p>delta</p></doc>'
+            )
+        )
+        start_d = collection.document_root("d.xml")
+        texts = {
+            collection.text(r.node)
+            for r in flix.find_descendants(start_d, tag="p")
+        }
+        assert texts == {"alpha", "beta", "delta"}
+
+    def test_rebuild_starts_with_cold_cache(self, figure1_collection):
+        flix = Flix.build(figure1_collection, FlixConfig.hybrid(60))
+        flix.enable_cache()
+        start = figure1_collection.document_root("d05.xml")
+        original = list(flix.find_descendants(start))
+        list(flix.find_descendants(start))
+        assert flix.cache_hits == 1
+
+        rebuilt = flix.rebuild()
+        assert rebuilt is not flix
+        assert rebuilt.cache_hits == 0 and rebuilt.cache_misses == 0
+        fresh = list(rebuilt.find_descendants(start))
+        assert rebuilt.cache_hits == 0  # caching is opt-in per instance
+        assert [r.node for r in fresh] == [r.node for r in original]
 
 
 class TestChildAxis:

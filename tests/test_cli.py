@@ -42,6 +42,36 @@ class TestBuild:
         out = capsys.readouterr().out
         assert "unconnected_hopi_40" in out
 
+    def test_jobs_flag(self, movie_dir, capsys):
+        assert main(
+            ["build", movie_dir, "--config", "unconnected_hopi",
+             "--partition-size", "40", "--jobs", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "meta documents" in out
+
+    def test_profile_flag(self, movie_dir, capsys):
+        assert main(
+            ["build", movie_dir, "--config", "unconnected_hopi",
+             "--partition-size", "40", "--jobs", "2", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "build profile (2 jobs" in out
+        for phase in ("graph", "selection", "index", "queue_wait"):
+            assert phase in out
+        assert "slowest meta" in out
+
+    def test_jobs_match_sequential_output(self, movie_dir, capsys):
+        assert main(
+            ["query", movie_dir, "matrix3.xml", "actor", "--jobs", "4"]
+        ) == 0
+        parallel = capsys.readouterr().out
+        assert main(
+            ["query", movie_dir, "matrix3.xml", "actor", "--jobs", "1"]
+        ) == 0
+        sequential = capsys.readouterr().out
+        assert parallel == sequential
+
 
 class TestQuery:
     def test_document_root_start(self, movie_dir, capsys):
