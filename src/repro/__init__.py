@@ -46,6 +46,7 @@ from repro.core import (
     QueryResult,
     StreamedList,
 )
+from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.xmlmodel import XmlElement, parse_document, serialize
 
 __version__ = "1.0.0"
@@ -54,10 +55,13 @@ __all__ = [
     "Flix",
     "FlixConfig",
     "MetaDocument",
+    "MetricsRegistry",
+    "Observability",
     "PathExpressionEvaluator",
     "QueryResult",
     "QueryLoadMonitor",
     "StreamedList",
+    "Tracer",
     "XmlCollection",
     "XmlDocument",
     "XmlElement",

@@ -158,6 +158,104 @@ def profile_build(
     }
 
 
+def profile_query_overhead(
+    collection: XmlCollection,
+    config: FlixConfig,
+    queries: int = 20,
+    repeats: int = 5,
+) -> Dict:
+    """Measure query latency with observability on vs off.
+
+    Builds the same configuration twice — once with
+    ``observability=True``, once with ``observability=False`` — and runs
+    an identical wildcard-descendants workload (the first ``queries``
+    document roots, in sorted name order) against each, ``repeats``
+    times.  Per mode the fastest full-workload sample is reported
+    (best-of-N, as in :func:`profile_build`); samples alternate between
+    the modes after a warm-up pass so clock drift hits both equally.
+
+    Because the instrumented code path *is* the shipped code path, the
+    disabled-mode run doubles as the "no worse than the uninstrumented
+    seed" check: with the knob off every hot-loop branch reduces to a
+    single attribute test, so its latency is the seed's latency up to
+    measurement noise.  To make that noise visible the disabled mode is
+    sampled as two interleaved series and the spread between them is
+    reported as ``noise_pct`` — an overhead smaller than the noise floor
+    is indistinguishable from zero.  The returned dict is
+    JSON-serializable; ``benchmarks/bench_query_overhead.py`` writes it
+    to ``BENCH_query_overhead.json``.
+    """
+
+    def build(enabled: bool) -> Flix:
+        return Flix.build(collection, config.with_observability(enabled))
+
+    starts = [
+        collection.document_root(name)
+        for name in sorted(collection.documents)[: max(1, queries)]
+    ]
+
+    def one_pass(flix: Flix) -> Tuple[float, int]:
+        results = 0
+        started = time.perf_counter()
+        for start in starts:
+            for _result in flix.find_descendants(start):
+                results += 1
+        return time.perf_counter() - started, results
+
+    flix_off = build(False)
+    flix_on = build(True)
+    # warm both systems, then sample them alternately: clock drift (CPU
+    # frequency scaling, background load) hits all modes equally instead
+    # of whichever mode happens to be measured last
+    one_pass(flix_off)
+    one_pass(flix_on)
+    off_samples: List[float] = []
+    off_again_samples: List[float] = []
+    on_samples: List[float] = []
+    off_results = on_results = 0
+    for _ in range(max(1, repeats)):
+        seconds, off_results = one_pass(flix_off)
+        off_samples.append(seconds)
+        seconds, on_results = one_pass(flix_on)
+        on_samples.append(seconds)
+        seconds, _ = one_pass(flix_off)
+        off_again_samples.append(seconds)
+    off_seconds = min(off_samples)
+    off_again_seconds = min(off_again_samples)
+    on_seconds = min(on_samples)
+    assert on_results == off_results, "observability changed query results"
+
+    base = max(min(off_seconds, off_again_seconds), 1e-9)
+    return {
+        "workload": {
+            "documents": collection.document_count,
+            "elements": collection.node_count,
+            "links": collection.link_edge_count,
+            "config": config.name,
+            "queries": len(starts),
+            "results_per_pass": off_results,
+        },
+        "repeats": max(1, repeats),
+        "method": (
+            "best-of-N wall clock over an identical wildcard-descendants "
+            "workload, modes sampled alternately after a warm-up pass; "
+            "observability=False is the seed-equivalent baseline (disabled "
+            "instrumentation reduces to attribute tests), and a second "
+            "interleaved disabled series bounds measurement noise"
+        ),
+        "disabled_seconds": round(off_seconds, 6),
+        "disabled_rerun_seconds": round(off_again_seconds, 6),
+        "enabled_seconds": round(on_seconds, 6),
+        "noise_pct": round(
+            abs(off_seconds - off_again_seconds) / base * 100.0, 3
+        ),
+        "disabled_regression_pct": round(
+            (off_seconds - off_again_seconds) / base * 100.0, 3
+        ),
+        "enabled_overhead_pct": round((on_seconds - base) / base * 100.0, 3),
+    }
+
+
 def time_to_k(
     query: Callable[[], Iterable],
     checkpoints: Sequence[int],

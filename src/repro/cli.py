@@ -23,6 +23,13 @@ Commands
 ``demo-dblp [--documents N]``
     Generate the synthetic DBLP corpus and print the paper's section 6
     comparison (index sizes + Figure 5 series) on it.
+
+``metrics <dir> [--config ...] [--queries N] [--format json|prom]
+          [--no-observability] [--trace]``
+    Build the collection, run ``N`` sample descendant queries (one per
+    document root, wildcard tag), and print the collected metrics in the
+    chosen exporter format (see ``docs/OBSERVABILITY.md``).  ``--trace``
+    additionally prints the last query's span tree.
 """
 
 from __future__ import annotations
@@ -132,6 +139,35 @@ def _build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo-dblp", help="run the paper's DBLP comparison")
     demo.add_argument("--documents", type=int, default=300)
+
+    metrics = sub.add_parser(
+        "metrics", help="build, run sample queries, print collected metrics"
+    )
+    metrics.add_argument("directory")
+    add_build_options(metrics)
+    metrics.add_argument(
+        "--queries",
+        type=int,
+        default=3,
+        help="sample descendant queries to run before exporting (default 3)",
+    )
+    metrics.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="exporter: structured JSON or Prometheus text format",
+    )
+    metrics.add_argument(
+        "--no-observability",
+        action="store_true",
+        help="build with FlixConfig.observability off (the export is then "
+        "empty; useful for verifying the opt-out)",
+    )
+    metrics.add_argument(
+        "--trace",
+        action="store_true",
+        help="also print the last query's span tree",
+    )
     return parser
 
 
@@ -257,12 +293,40 @@ def _cmd_demo_dblp(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    collection = load_collection(args.directory)
+    config = _make_config(args.config, args.partition_size)
+    if config is None:
+        config = FlixConfig.recommend_for(collection, args.partition_size)
+    if args.no_observability:
+        config = config.with_observability(False)
+    flix = Flix.build(collection, config, jobs=args.jobs)
+    roots = [
+        collection.document_root(name)
+        for name in sorted(collection.documents)[: max(0, args.queries)]
+    ]
+    for root in roots:
+        for _ in flix.find_descendants(root):
+            pass
+    output = flix.export_metrics(args.format)
+    if output:
+        print(output, end="" if output.endswith("\n") else "\n")
+    else:
+        print("(no metrics: observability is disabled)")
+    if args.trace:
+        trace = flix.trace_last_query()
+        print()
+        print(trace.render() if trace is not None else "(no query trace)")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "build": _cmd_build,
     "query": _cmd_query,
     "relaxed": _cmd_relaxed,
     "demo-dblp": _cmd_demo_dblp,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -57,6 +57,10 @@ class FlixConfig:
     #: (shared-object fallback), "serial", or "auto" (process when the
     #: hand-off pickles, thread otherwise)
     build_executor: str = "auto"
+    #: collect metrics and query traces (see ``repro.obs``); turning this
+    #: off makes ``Flix.metrics()`` empty and skips all instrumentation
+    #: branches, so disabled runs pay near-zero overhead
+    observability: bool = True
 
     def __post_init__(self) -> None:
         if self.mdb_strategy not in MDB_STRATEGIES:
@@ -85,6 +89,12 @@ class FlixConfig:
         if build_executor is None:
             return replace(self, jobs=jobs)
         return replace(self, jobs=jobs, build_executor=build_executor)
+
+    def with_observability(self, enabled: bool) -> "FlixConfig":
+        """This configuration with observability on or off."""
+        from dataclasses import replace
+
+        return replace(self, observability=enabled)
 
     # ------------------------------------------------------------------
     # the paper's predefined configurations
@@ -169,3 +179,22 @@ class FlixConfig:
         if link_density > 0.05:
             return cls.unconnected_hopi(partition_size)
         return cls.hybrid(partition_size)
+
+    @classmethod
+    def recommend_for(cls, collection, partition_size: int = 5000) -> "FlixConfig":
+        """:meth:`recommend`, fed from a collection's measured statistics.
+
+        This is what ``Flix.build(collection)`` uses when no configuration
+        is given; exposed so callers (the CLI, benchmarks) can obtain the
+        recommendation and adjust knobs before building.
+        """
+        from repro.collection.stats import collect_statistics
+
+        stats = collect_statistics(collection)
+        return cls.recommend(
+            link_density=stats.link_density,
+            intra_document_links=stats.intra_document_links,
+            mean_document_size=stats.mean_document_size,
+            partition_size=partition_size,
+            intra_link_fraction=stats.intra_link_fraction,
+        )

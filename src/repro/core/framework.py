@@ -25,6 +25,7 @@ from repro.core.meta_document import MetaDocument
 from repro.core.pee import PathExpressionEvaluator, QueryResult
 from repro.core.results import StreamedList
 from repro.core.selftune import QueryLoadMonitor, TuningAdvice
+from repro.obs import MetricsRegistry, Observability, Trace, render
 from repro.storage.memory import MemoryBackend
 from repro.storage.table import StorageBackend
 
@@ -39,17 +40,43 @@ class Flix:
         meta_documents: List[MetaDocument],
         meta_of: Dict[NodeId, int],
         report: BuildReport,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.collection = collection
         self.config = config
         self.meta_documents = meta_documents
         self.meta_of = meta_of
         self.report = report
-        self.pee = PathExpressionEvaluator(meta_documents, meta_of)
+        #: the observability bundle (metrics registry + tracer); honours
+        #: ``config.observability`` unless an explicit bundle is passed
+        self.obs = (
+            obs
+            if obs is not None
+            else Observability(getattr(config, "observability", True))
+        )
+        self.pee = PathExpressionEvaluator(meta_documents, meta_of, self.obs)
         self.monitor = QueryLoadMonitor()
         # set by Flix.build for incremental document addition
         self._builder: Optional[IndexBuilder] = None
         self._backend_factory: Callable[[], StorageBackend] = MemoryBackend
+        if self.obs.enabled:
+            self._attach_storage_observers()
+            self.obs.registry.gauge(
+                "flix_meta_documents",
+                "Meta documents in the current index layout.",
+            ).set(len(meta_documents))
+
+    def _attach_storage_observers(self) -> None:
+        """Count query-time storage traffic on every meta-document backend.
+
+        Runs after the build merge, so it also covers indexes built in
+        process-pool workers (whose build-time traffic is unobservable —
+        their registries die with the worker process).
+        """
+        for meta in self.meta_documents:
+            backend = getattr(meta.index, "backend", None)
+            if backend is not None:
+                backend.attach_observer(self.obs.storage_instruments(backend))
 
     # ------------------------------------------------------------------
     # build phase
@@ -72,19 +99,12 @@ class Flix:
         a sequential build at any ``jobs`` value.
         """
         if config is None:
-            from repro.collection.stats import collect_statistics
-
-            stats = collect_statistics(collection)
-            config = FlixConfig.recommend(
-                link_density=stats.link_density,
-                intra_document_links=stats.intra_document_links,
-                mean_document_size=stats.mean_document_size,
-                intra_link_fraction=stats.intra_link_fraction,
-            )
+            config = FlixConfig.recommend_for(collection)
+        obs = Observability(getattr(config, "observability", True))
         specs = MetaDocumentBuilder(collection, config).build_specs()
-        builder = IndexBuilder(collection, config, backend_factory)
+        builder = IndexBuilder(collection, config, backend_factory, obs=obs)
         meta_documents, meta_of, report = builder.build(specs, jobs=jobs)
-        flix = cls(collection, config, meta_documents, meta_of, report)
+        flix = cls(collection, config, meta_documents, meta_of, report, obs=obs)
         flix._builder = builder
         flix._backend_factory = backend_factory
         return flix
@@ -404,8 +424,17 @@ class Flix:
     ) -> StreamedList:
         """Run the query in a background thread; results appear on the
         returned :class:`StreamedList` as soon as they are found."""
-        results: StreamedList[QueryResult] = StreamedList()
-        evaluator = PathExpressionEvaluator(self.meta_documents, self.meta_of)
+        observe = None
+        if self.obs.enabled:
+            streamed = self.obs.registry.counter(
+                "flix_streamed_results_total",
+                "Results delivered through background StreamedLists.",
+            )
+            observe = streamed.inc
+        results: StreamedList[QueryResult] = StreamedList(observe=observe)
+        evaluator = PathExpressionEvaluator(
+            self.meta_documents, self.meta_of, self.obs
+        )
 
         def produce() -> None:
             try:
@@ -423,6 +452,28 @@ class Flix:
         thread = threading.Thread(target=produce, name="flix-pee", daemon=True)
         thread.start()
         return results
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricsRegistry:
+        """The live metrics registry (empty forever when observability is
+        off); render it with :meth:`export_metrics` or ``repro.obs.render``.
+        """
+        return self.obs.registry
+
+    def export_metrics(self, format: str = "json") -> str:
+        """Serialize the registry: ``"json"`` or ``"prom"`` (Prometheus
+        text exposition format).  An empty/disabled registry renders to an
+        empty document in either format."""
+        return render(self.obs.registry, format)
+
+    def trace_last_query(self) -> Optional[Trace]:
+        """The span tree of the most recently completed query, or ``None``
+        (no query yet, or observability off).  ``trace.render()`` gives an
+        indented ASCII view; see ``docs/OBSERVABILITY.md`` for reading it.
+        """
+        return self.obs.tracer.last_trace("pee.query")
 
     # ------------------------------------------------------------------
     # introspection & tuning
@@ -522,7 +573,10 @@ class Flix:
             graph.add_edge(u, v)
         choice = IndexingStrategySelector(self.config).choose(graph)
         tags = {node: self.collection.tag(node) for node in nodes}
-        index = build_index(choice.strategy, graph, tags, self._backend_factory())
+        backend = self._backend_factory()
+        if self.obs.enabled:
+            backend.attach_observer(self.obs.storage_instruments(backend))
+        index = build_index(choice.strategy, graph, tags, backend)
 
         meta = MetaDocument(
             meta_id=len(self.meta_documents),
@@ -569,7 +623,18 @@ class Flix:
         self.report.residual_link_bytes = links_table.size_bytes()
 
         # Refresh the evaluator's view and drop stale cached results.
-        self.pee = PathExpressionEvaluator(self.meta_documents, self.meta_of)
+        self.pee = PathExpressionEvaluator(
+            self.meta_documents, self.meta_of, self.obs
+        )
+        if self.obs.enabled:
+            self.obs.registry.gauge(
+                "flix_meta_documents",
+                "Meta documents in the current index layout.",
+            ).set(len(self.meta_documents))
+            self.obs.registry.counter(
+                "flix_index_builds_total",
+                "Per-meta-document index builds, by chosen strategy.",
+            ).inc(strategy=choice.strategy)
         if self._cache is not None:
             self._cache.clear()
         return meta

@@ -51,6 +51,7 @@ from repro.core.iss import IndexingStrategySelector, StrategyChoice
 from repro.core.meta_document import Edge, MetaDocument, MetaDocumentSpec
 from repro.indexes.base import PathIndex
 from repro.indexes.registry import IndexBuildRequest, execute_build_request
+from repro.obs import OBS_OFF, Observability
 from repro.storage.memory import MemoryBackend
 from repro.storage.table import Column, StorageBackend, TableSchema
 
@@ -197,8 +198,15 @@ def _execute_task(
     selector: IndexingStrategySelector,
     backend_factory: Callable[[], StorageBackend],
     worker: str,
+    obs: Optional[Observability] = None,
 ) -> _BuildResult:
-    """Build one meta document: graph -> strategy selection -> index."""
+    """Build one meta document: graph -> strategy selection -> index.
+
+    ``obs`` flows to the fresh index backend only for in-process execution
+    (serial / thread builds); process-pool workers leave it ``None`` — a
+    worker's registry cannot reach the parent, so their build-time storage
+    traffic is intentionally uncounted (the merged phase timings are not).
+    """
     started = time.perf_counter()
     profile = BuildProfile(
         queue_wait_seconds=max(0.0, started - task.submitted_at),
@@ -218,6 +226,7 @@ def _execute_task(
         IndexBuildRequest(strategy=choice.strategy, tags=task.tags),
         backend_factory,
         graph=graph,
+        obs=obs,
     )
     profile.index_seconds = time.perf_counter() - checkpoint
     return _BuildResult(task.meta_id, choice, index, profile)
@@ -257,13 +266,19 @@ class IndexBuilder:
         config: FlixConfig,
         backend_factory: Callable[[], StorageBackend] = MemoryBackend,
         selector: Optional[IndexingStrategySelector] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self._collection = collection
         self._config = config
         self._backend_factory = backend_factory
         self._selector = selector or IndexingStrategySelector(config)
+        self._obs = obs if obs is not None else OBS_OFF
         #: backend holding framework-level tables (the residual link table)
         self.framework_backend = backend_factory()
+        if self._obs.enabled:
+            self.framework_backend.attach_observer(
+                self._obs.storage_instruments(self.framework_backend)
+            )
 
     def build(
         self,
@@ -276,6 +291,11 @@ class IndexBuilder:
         sequential build (see the module docstring's determinism notes).
         """
         started = time.perf_counter()
+        build_trace = (
+            self._obs.tracer.trace("ib.build", specs=len(specs))
+            if self._obs.enabled
+            else None
+        )
         collection = self._collection
         self._check_disjoint_cover(specs)
 
@@ -354,7 +374,47 @@ class IndexBuilder:
         report.residual_link_count = len(residual)
         report.residual_link_bytes = links_table.size_bytes()
         report.total_seconds = time.perf_counter() - started
+        if build_trace is not None:
+            build_trace.root.meta.update(
+                executor=report.executor, jobs=report.jobs
+            )
+            build_trace.finish()
+            self._publish_build(report)
         return meta_documents, meta_of, report
+
+    def _publish_build(self, report: BuildReport) -> None:
+        """Fold one build's merged profiles into the metrics registry.
+
+        Runs in the main process after the merge, so the numbers cover
+        every meta document regardless of which executor built it.
+        """
+        reg = self._obs.registry
+        phases = reg.histogram(
+            "flix_build_phase_seconds",
+            "Per-meta-document build phase durations, by phase.",
+        )
+        builds = reg.counter(
+            "flix_index_builds_total",
+            "Per-meta-document index builds, by chosen strategy.",
+        )
+        for meta in report.meta_documents:
+            profile = meta.profile
+            phases.observe(profile.queue_wait_seconds, phase="queue_wait")
+            phases.observe(profile.graph_seconds, phase="graph")
+            phases.observe(profile.selection_seconds, phase="selection")
+            phases.observe(profile.index_seconds, phase="index")
+            builds.inc(strategy=meta.strategy)
+        reg.counter(
+            "flix_builds_total", "Whole-collection builds, by executor kind."
+        ).inc(executor=report.executor)
+        reg.gauge(
+            "flix_residual_links",
+            "Residual links of the most recent build.",
+        ).set(report.residual_link_count)
+        reg.gauge(
+            "flix_index_bytes",
+            "Total index + residual-link bytes of the most recent build.",
+        ).set(report.total_index_bytes)
 
     # ------------------------------------------------------------------
     # executor selection and dispatch
@@ -410,11 +470,14 @@ class IndexBuilder:
         return self._run_serial(tasks), "serial"
 
     def _run_serial(self, tasks: List[_BuildTask]) -> List[_BuildResult]:
+        obs = self._obs if self._obs.enabled else None
         results = []
         for task in tasks:
             stamped = _restamp(task)
             results.append(
-                _execute_task(stamped, self._selector, self._backend_factory, "main")
+                _execute_task(
+                    stamped, self._selector, self._backend_factory, "main", obs
+                )
             )
         return results
 
@@ -426,10 +489,11 @@ class IndexBuilder:
 
         selector = self._selector
         factory = self._backend_factory
+        obs = self._obs if self._obs.enabled else None
 
         def run_one(task: _BuildTask) -> _BuildResult:
             worker = f"thread-{threading.current_thread().name}"
-            return _execute_task(task, selector, factory, worker)
+            return _execute_task(task, selector, factory, worker, obs)
 
         with ThreadPoolExecutor(
             max_workers=jobs, thread_name_prefix="flix-ib"

@@ -19,16 +19,39 @@ Results therefore stream in *approximately* ascending distance: within one
 meta document they are exact, across meta documents the block-wise delivery
 can invert neighbours (the error-rate experiment of section 6 quantifies
 this at 8-13%).
+
+**Statistics and ``last_stats`` snapshot semantics.**  Every query owns a
+private :class:`QueryStats` instance that travels on its
+:class:`QueryStream` — concurrent queries never share counters.  When a
+query *completes* (its generator is exhausted or closed), the evaluator
+publishes ``stats.snapshot()`` — a frozen copy — to ``self.last_stats``.
+Reading ``last_stats`` therefore always observes a finished query's final
+numbers, never a half-updated live counter; while a stream is still being
+consumed, read its own ``.stats`` instead.  Interleaved streams each keep
+their own counters and overwrite ``last_stats`` in completion order.
+
+**Observability.**  When the evaluator is built with an enabled
+:class:`repro.obs.Observability` bundle, each query additionally emits a
+``pee.query`` trace (with ``pee.probe`` spans per index probe and
+``pee.link_hop`` spans per residual-link expansion) and publishes its
+counters to the metrics registry on completion (``flix_queries_total``,
+``flix_pee_*_total``, ``flix_query_seconds``).  The :class:`QueryStats`
+numbers are the source of truth; the registry is a cumulative view over
+them.  With observability disabled (the default for a bare evaluator)
+every instrumentation branch is skipped.
 """
 
 from __future__ import annotations
 
+import copy
 import heapq
-from dataclasses import dataclass, field, replace
+import time
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.meta_document import MetaDocument
 from repro.indexes.base import NodeId
+from repro.obs import OBS_OFF, Observability
 
 
 @dataclass(frozen=True)
@@ -43,18 +66,39 @@ class QueryResult:
 
 @dataclass
 class QueryStats:
-    """Run-time counters for one query (feeds the self-tuning monitor)."""
+    """Run-time counters for one query (feeds the self-tuning monitor).
 
+    The counters are plain ints mutated in the evaluator's inner loop (no
+    locks, no registry calls on the hot path); when observability is on
+    they are published to the metrics registry once, on query completion.
+    """
+
+    #: meta documents whose local index was actually probed (entries that
+    #: survived duplicate elimination)
     meta_document_visits: int = 0
+    #: residual links followed across meta-document boundaries
     link_traversals: int = 0
+    #: popped entry elements dropped because an earlier entry of the same
+    #: meta document already covered them (section 5.1)
     entries_dropped: int = 0
+    #: results yielded to the client
     results_returned: int = 0
+    #: individual matches suppressed as descendants of an earlier entry
+    #: point (per-result duplicate elimination)
     results_suppressed: int = 0
+    #: ``index.reachable`` calls made by the coverage check — the price
+    #: paid for hash-free duplicate elimination
     covered_probes: int = 0
+    #: priority-queue pops, covered or not (total queue traffic)
+    queue_pops: int = 0
 
     def snapshot(self) -> "QueryStats":
-        """An immutable-by-convention copy (what ``last_stats`` publishes)."""
-        return replace(self)
+        """An immutable-by-convention copy (what ``last_stats`` publishes).
+
+        ``copy.copy`` rather than ``dataclasses.replace``: the fields are
+        all plain ints and a snapshot is taken on every query completion.
+        """
+        return copy.copy(self)
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another query's counters (multi-step evaluations)."""
@@ -64,6 +108,7 @@ class QueryStats:
         self.results_returned += other.results_returned
         self.results_suppressed += other.results_suppressed
         self.covered_probes += other.covered_probes
+        self.queue_pops += other.queue_pops
 
 
 class QueryStream:
@@ -97,9 +142,15 @@ class PathExpressionEvaluator:
         self,
         meta_documents: Sequence[MetaDocument],
         meta_of: Dict[NodeId, int],
+        obs: Optional[Observability] = None,
     ) -> None:
         self._meta_documents = list(meta_documents)
         self._meta_of = dict(meta_of)
+        #: the observability bundle (metrics + tracing); disabled by default
+        #: for a bare evaluator, supplied by ``Flix`` when configured on
+        self._obs = obs if obs is not None else OBS_OFF
+        # per-query instruments, bound lazily on the first publish
+        self._instruments: Optional[Dict[str, object]] = None
         #: snapshot of the most recently *completed* query's counters; the
         #: live per-query counters travel on the :class:`QueryStream`
         self.last_stats = QueryStats()
@@ -139,6 +190,7 @@ class PathExpressionEvaluator:
                 skip_nodes=() if include_self else (start,),
                 stats=stats,
                 exact_order=exact_order,
+                axis="descendants",
             ),
             stats,
         )
@@ -164,6 +216,7 @@ class PathExpressionEvaluator:
                 skip_nodes=() if include_self else (start,),
                 stats=stats,
                 exact_order=exact_order,
+                axis="ancestors",
             ),
             stats,
         )
@@ -189,6 +242,7 @@ class PathExpressionEvaluator:
                 forward=True,
                 skip_nodes=(),
                 stats=stats,
+                axis="type",
             ),
             stats,
         )
@@ -205,15 +259,34 @@ class PathExpressionEvaluator:
         skip_nodes: Tuple[NodeId, ...],
         stats: QueryStats,
         exact_order: bool = False,
+        axis: Optional[str] = None,
     ) -> Iterator[QueryResult]:
+        """Run the core loop; ``axis=None`` marks an internal sub-search
+        whose caller owns publication (no trace, no registry writes)."""
+        obs = self._obs
+        trace = None
+        started = 0.0
+        if obs.enabled and axis is not None:
+            started = time.perf_counter()
+            trace = obs.tracer.trace(
+                "pee.query",
+                axis=axis,
+                tag=tag if tag is not None else "*",
+                seeds=len(seeds),
+            )
         try:
             yield from self._search_inner(
-                seeds, tag, max_distance, forward, skip_nodes, stats, exact_order
+                seeds, tag, max_distance, forward, skip_nodes, stats,
+                exact_order, trace,
             )
         finally:
             # Publish a frozen copy only: concurrent readers of last_stats
             # must never observe another query's counters mid-mutation.
             self.last_stats = stats.snapshot()
+            if trace is not None:
+                trace.root.meta["results"] = stats.results_returned
+                trace.finish()
+                self._publish(stats, axis, time.perf_counter() - started)
 
     def _search_inner(
         self,
@@ -224,6 +297,7 @@ class PathExpressionEvaluator:
         skip_nodes: Tuple[NodeId, ...],
         stats: QueryStats,
         exact_order: bool,
+        trace=None,
     ) -> Iterator[QueryResult]:
         # entry points already expanded, per meta document
         entries: Dict[int, List[NodeId]] = {}
@@ -239,6 +313,7 @@ class PathExpressionEvaluator:
 
         while heap:
             priority, _, entry = heapq.heappop(heap)
+            stats.queue_pops += 1
             if exact_order:
                 # Every later result is found through an entry of priority
                 # >= this one and local distances are non-negative, so the
@@ -255,11 +330,8 @@ class PathExpressionEvaluator:
                 continue
             stats.meta_document_visits += 1
 
-            matches = (
-                index.find_descendants_by_tag(entry, tag)
-                if forward
-                else index.find_ancestors_by_tag(entry, tag)
-            )
+            matches = self._probe(index, entry, tag, forward, trace,
+                                  meta.meta_id, priority)
             for node, local_distance in matches:
                 if node in skip and node == entry and local_distance == 0:
                     continue
@@ -281,30 +353,140 @@ class PathExpressionEvaluator:
 
             # Follow residual links out of (forward) / into (backward) the
             # meta document.
-            if forward:
-                link_elements = index.reachable_subset(entry, meta.link_sources)
-                for element, local_distance in link_elements:
-                    for target in meta.outgoing_links[element]:
-                        stats.link_traversals += 1
-                        counter += 1
-                        heapq.heappush(
-                            heap,
-                            (priority + local_distance + 1, counter, target),
+            link_candidates = meta.link_sources if forward else meta.link_targets
+            if link_candidates:
+                if trace is not None:
+                    with trace.span("pee.link_hop", meta_id=meta.meta_id) as span:
+                        counter, hops = self._follow_links(
+                            index, meta, entry, priority, forward, stats,
+                            heap, counter,
                         )
-            else:
-                for element, local_distance in self._reverse_reachable_subset(
-                    index, entry, meta.link_targets
-                ):
-                    for source in meta.incoming_links[element]:
-                        stats.link_traversals += 1
-                        counter += 1
-                        heapq.heappush(
-                            heap,
-                            (priority + local_distance + 1, counter, source),
-                        )
+                        span.meta["hops"] = hops
+                else:
+                    counter, _ = self._follow_links(
+                        index, meta, entry, priority, forward, stats,
+                        heap, counter,
+                    )
 
         while buffer:
             yield heapq.heappop(buffer)[2]
+
+    def _follow_links(
+        self,
+        index,
+        meta: MetaDocument,
+        entry: NodeId,
+        priority: int,
+        forward: bool,
+        stats: QueryStats,
+        heap: List[Tuple[int, int, NodeId]],
+        counter: int,
+    ) -> Tuple[int, int]:
+        """Enqueue the residual-link neighbours reachable from ``entry``.
+
+        Returns the updated tiebreak counter and the number of links
+        followed (the latter feeds the ``pee.link_hop`` span annotation).
+        """
+        if forward:
+            link_elements = index.reachable_subset(entry, meta.link_sources)
+            link_map = meta.outgoing_links
+        else:
+            link_elements = self._reverse_reachable_subset(
+                index, entry, meta.link_targets
+            )
+            link_map = meta.incoming_links
+        hops = 0
+        for element, local_distance in link_elements:
+            for neighbour in link_map[element]:
+                hops += 1
+                counter += 1
+                heapq.heappush(
+                    heap, (priority + local_distance + 1, counter, neighbour)
+                )
+        stats.link_traversals += hops
+        return counter, hops
+
+    def _probe(
+        self,
+        index,
+        entry: NodeId,
+        tag: Optional[str],
+        forward: bool,
+        trace,
+        meta_id: int,
+        priority: int,
+    ):
+        """One local-index probe, wrapped in a ``pee.probe`` span if traced."""
+        if trace is None:
+            return (
+                index.find_descendants_by_tag(entry, tag)
+                if forward
+                else index.find_ancestors_by_tag(entry, tag)
+            )
+        with trace.span("pee.probe", meta_id=meta_id, priority=priority) as span:
+            matches = (
+                index.find_descendants_by_tag(entry, tag)
+                if forward
+                else index.find_ancestors_by_tag(entry, tag)
+            )
+            try:
+                span.meta["matches"] = len(matches)
+            except TypeError:
+                pass
+            return matches
+
+    def _query_instruments(self) -> Dict[str, object]:
+        """Bind the per-query instruments once (one publish per query)."""
+        if self._instruments is None:
+            reg = self._obs.registry
+            self._instruments = {
+                "queries": reg.counter(
+                    "flix_queries_total", "Queries evaluated, by axis."
+                ),
+                "pops": reg.counter(
+                    "flix_pee_queue_pops_total",
+                    "Priority-queue pops across all queries.",
+                ),
+                "visits": reg.counter(
+                    "flix_pee_meta_visits_total",
+                    "Meta documents probed through their local index.",
+                ),
+                "hops": reg.counter(
+                    "flix_pee_link_hops_total",
+                    "Residual links traversed across meta-document boundaries.",
+                ),
+                "probes": reg.counter(
+                    "flix_pee_covered_probes_total",
+                    "reachable() calls made by duplicate elimination.",
+                ),
+                "dupes": reg.counter(
+                    "flix_pee_duplicates_eliminated_total",
+                    "Entries dropped and results suppressed by coverage checks.",
+                ),
+                "results": reg.counter(
+                    "flix_pee_results_total",
+                    "Results streamed to clients, by axis.",
+                ),
+                "seconds": reg.histogram(
+                    "flix_query_seconds",
+                    "Wall time from first consumption to stream completion, "
+                    "by axis.",
+                ),
+            }
+        return self._instruments
+
+    def _publish(self, stats: QueryStats, axis: str, duration: float) -> None:
+        """Fold one finished query's counters into the metrics registry."""
+        inst = self._query_instruments()
+        inst["queries"].inc(axis=axis)
+        inst["pops"].inc(stats.queue_pops)
+        inst["visits"].inc(stats.meta_document_visits)
+        inst["hops"].inc(stats.link_traversals)
+        inst["probes"].inc(stats.covered_probes)
+        inst["dupes"].inc(stats.entries_dropped, kind="entry")
+        inst["dupes"].inc(stats.results_suppressed, kind="result")
+        inst["results"].inc(stats.results_returned, axis=axis)
+        inst["seconds"].observe(duration, axis=axis)
 
     @staticmethod
     def _covered(
@@ -374,10 +556,15 @@ class PathExpressionEvaluator:
         optional caller-owned counter sink (per-query, never shared).
         """
         stats = stats if stats is not None else QueryStats()
+        started = time.perf_counter() if self._obs.enabled else 0.0
         try:
             return self._connection_test(source, target, max_distance, stats)
         finally:
             self.last_stats = stats.snapshot()
+            if self._obs.enabled:
+                self._publish(
+                    stats, "connection", time.perf_counter() - started
+                )
 
     def _connection_test(
         self,
@@ -395,6 +582,7 @@ class PathExpressionEvaluator:
 
         while heap:
             priority, _, entry = heapq.heappop(heap)
+            stats.queue_pops += 1
             if max_distance is not None and priority > max_distance:
                 return None
             meta = self._meta_documents[self._meta_of[entry]]
@@ -436,36 +624,46 @@ class PathExpressionEvaluator:
         element.  Depending on the data's shape either direction may win, so
         alternation bounds the work by twice the cheaper side."""
         stats = stats if stats is not None else QueryStats()
-        forward = self._search(
-            seeds=[source], tag=None, max_distance=max_distance,
-            forward=True, skip_nodes=(), stats=stats,
-        )
-        backward = self._search(
-            seeds=[target], tag=None, max_distance=max_distance,
-            forward=False, skip_nodes=(), stats=stats,
-        )
-        seen_forward: Dict[NodeId, int] = {}
-        seen_backward: Dict[NodeId, int] = {}
-        streams = [(forward, seen_forward, seen_backward),
-                   (backward, seen_backward, seen_forward)]
-        active = [True, True]
-        best: Optional[int] = None
-        while any(active):
-            for side, (stream, mine, theirs) in enumerate(streams):
-                if not active[side]:
-                    continue
-                try:
-                    result = next(stream)
-                except StopIteration:
-                    active[side] = False
-                    continue
-                node, distance = result.node, result.distance
-                if node not in mine or distance < mine[node]:
-                    mine[node] = distance
-                if node in theirs:
-                    candidate = distance + theirs[node]
-                    if max_distance is None or candidate <= max_distance:
-                        if best is None or candidate < best:
-                            best = candidate
-                            return best
-        return best
+        started = time.perf_counter() if self._obs.enabled else 0.0
+        try:
+            # The two sub-searches share this query's stats and publish
+            # nothing themselves (axis=None) — the single registry/trace
+            # publication below covers the whole bidirectional run.
+            forward = self._search(
+                seeds=[source], tag=None, max_distance=max_distance,
+                forward=True, skip_nodes=(), stats=stats,
+            )
+            backward = self._search(
+                seeds=[target], tag=None, max_distance=max_distance,
+                forward=False, skip_nodes=(), stats=stats,
+            )
+            seen_forward: Dict[NodeId, int] = {}
+            seen_backward: Dict[NodeId, int] = {}
+            streams = [(forward, seen_forward, seen_backward),
+                       (backward, seen_backward, seen_forward)]
+            active = [True, True]
+            best: Optional[int] = None
+            while any(active):
+                for side, (stream, mine, theirs) in enumerate(streams):
+                    if not active[side]:
+                        continue
+                    try:
+                        result = next(stream)
+                    except StopIteration:
+                        active[side] = False
+                        continue
+                    node, distance = result.node, result.distance
+                    if node not in mine or distance < mine[node]:
+                        mine[node] = distance
+                    if node in theirs:
+                        candidate = distance + theirs[node]
+                        if max_distance is None or candidate <= max_distance:
+                            if best is None or candidate < best:
+                                best = candidate
+                                return best
+            return best
+        finally:
+            if self._obs.enabled:
+                self._publish(
+                    stats, "connection", time.perf_counter() - started
+                )

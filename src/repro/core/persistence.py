@@ -102,6 +102,7 @@ def save_flix(flix: Flix, directory) -> Path:
             "expect_long_paths": flix.config.expect_long_paths,
             "jobs": flix.config.jobs,
             "build_executor": flix.config.build_executor,
+            "observability": flix.config.observability,
         },
         "meta_documents": [
             {"meta_id": meta.meta_id, "strategy": meta.strategy}
@@ -141,6 +142,7 @@ def load_flix(collection: XmlCollection, directory) -> Flix:
         expect_long_paths=config_data["expect_long_paths"],
         jobs=config_data.get("jobs", 1),
         build_executor=config_data.get("build_executor", "auto"),
+        observability=config_data.get("observability", True),
     )
 
     tags = {node: collection.tag(node) for node in collection.node_ids()}

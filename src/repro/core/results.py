@@ -11,19 +11,25 @@ cancel the query at any point — "when the user decides to stop the query".
 from __future__ import annotations
 
 import threading
-from typing import Generic, Iterator, List, Optional, TypeVar
+from typing import Callable, Generic, Iterator, List, Optional, TypeVar
 
 T = TypeVar("T")
 
 
 class StreamedList(Generic[T]):
-    """Thread-safe, append-only result list with blocking iteration."""
+    """Thread-safe, append-only result list with blocking iteration.
 
-    def __init__(self) -> None:
+    ``observe`` is an optional per-append callback (e.g. a metrics-counter
+    increment); it runs outside the lock, on the producer thread, so a
+    slow or reentrant observer can never stall consumers.
+    """
+
+    def __init__(self, observe: Optional[Callable[[], None]] = None) -> None:
         self._items: List[T] = []
         self._closed = False
         self._cancelled = False
         self._condition = threading.Condition()
+        self._observe = observe
 
     # ------------------------------------------------------------------
     # producer side
@@ -34,6 +40,8 @@ class StreamedList(Generic[T]):
                 raise RuntimeError("cannot append to a closed StreamedList")
             self._items.append(item)
             self._condition.notify_all()
+        if self._observe is not None:
+            self._observe()
 
     def close(self) -> None:
         """Mark the stream complete; idempotent."""

@@ -101,17 +101,22 @@ def execute_build_request(
     request: IndexBuildRequest,
     backend_factory: Callable[[], StorageBackend],
     graph: Optional[Digraph] = None,
+    obs=None,
 ) -> PathIndex:
     """Run one :class:`IndexBuildRequest` against a fresh backend.
 
     ``graph`` short-circuits the rebuild from primitives when the caller
     already materialized it (the IB's workers do, for strategy selection).
+    ``obs`` (a ``repro.obs.Observability``) attaches storage instruments
+    to the fresh backend so the build's table writes are counted; only
+    useful in-process — a process-pool worker's registry dies with it.
     """
     if graph is None:
         graph = request.to_graph()
-    return strategy_class(request.strategy).build(
-        graph, request.tags, backend_factory()
-    )
+    backend = backend_factory()
+    if obs is not None and obs.enabled:
+        backend.attach_observer(obs.storage_instruments(backend))
+    return strategy_class(request.strategy).build(graph, request.tags, backend)
 
 
 for _cls in (

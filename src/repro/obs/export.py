@@ -1,0 +1,144 @@
+"""Exporters: structured JSON and the Prometheus text exposition format.
+
+Both exporters read a :class:`~repro.obs.registry.MetricsRegistry` snapshot
+and serialize every instrument; a disabled (or simply empty) registry
+renders to an empty document in either format.
+
+The Prometheus output follows the text exposition format version 0.0.4:
+
+* ``# HELP`` / ``# TYPE`` comment lines per metric (help text with ``\\``
+  and newlines escaped);
+* label values escaped for ``\\``, ``"`` and newlines;
+* histograms as cumulative ``_bucket{le="..."}`` samples ending in the
+  mandatory ``le="+Inf"`` bucket, plus ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelKey,
+    MetricsRegistry,
+)
+
+#: formats accepted by :func:`render` (and the ``repro metrics`` CLI)
+EXPORT_FORMATS = ("json", "prom")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: LabelKey, extra: str = "") -> str:
+    parts = [f'{key}="{_escape_label_value(value)}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for labels, counts, total, total_sum in metric.series():
+                cumulative = 0
+                for bound, count in zip(metric.bounds, counts):
+                    cumulative += count
+                    le = f'le="{_format_value(bound)}"'
+                    lines.append(
+                        f"{metric.name}_bucket{_format_labels(labels, le)} "
+                        f"{cumulative}"
+                    )
+                inf_label = 'le="+Inf"'
+                lines.append(
+                    f"{metric.name}_bucket{_format_labels(labels, inf_label)} "
+                    f"{total}"
+                )
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(total_sum)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(labels)} {total}"
+                )
+        elif isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_format_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def registry_to_dict(registry: MetricsRegistry) -> Dict:
+    """A JSON-serializable snapshot of every instrument."""
+    metrics: List[Dict] = []
+    for metric in registry.metrics():
+        entry: Dict = {
+            "name": metric.name,
+            "kind": metric.kind,
+            "help": metric.help,
+        }
+        if isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.bounds)
+            entry["series"] = [
+                {
+                    "labels": dict(labels),
+                    "counts": counts,
+                    "count": total,
+                    "sum": total_sum,
+                    "quantiles": metric.quantiles(**dict(labels)),
+                }
+                for labels, counts, total, total_sum in metric.series()
+            ]
+        elif isinstance(metric, (Counter, Gauge)):
+            entry["samples"] = [
+                {"labels": dict(labels), "value": value}
+                for labels, value in metric.samples()
+            ]
+        metrics.append(entry)
+    return {"metrics": metrics}
+
+
+def render_json(registry: MetricsRegistry) -> str:
+    """The registry as pretty-printed, key-sorted JSON."""
+    return json.dumps(registry_to_dict(registry), indent=2, sort_keys=True)
+
+
+def render(registry: MetricsRegistry, format: str = "json") -> str:
+    """Serialize ``registry`` in the named format (``json`` or ``prom``)."""
+    if format in ("prom", "prometheus"):
+        return render_prometheus(registry)
+    if format == "json":
+        return render_json(registry)
+    raise ValueError(
+        f"unknown export format {format!r}; expected one of {EXPORT_FORMATS}"
+    )

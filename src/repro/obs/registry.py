@@ -1,0 +1,363 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named collection of instruments.  Every
+instrument supports optional labels (``counter.inc(axis="descendants")``),
+kept as one independent sample series per distinct label set — the same
+model Prometheus clients use, so the text exporter in
+:mod:`repro.obs.export` is a straight serialization.
+
+Instruments are cheap, dependency-free, and thread-safe (a lock per
+instrument; queries may stream from background threads, see
+:class:`repro.core.results.StreamedList`).  A registry built with
+``enabled=False`` hands out shared no-op instruments and reports no
+metrics at all — the opt-out behind ``FlixConfig.observability`` — so
+disabled instrumentation costs one attribute check at the call site.
+
+Histograms use **fixed buckets**: a tuple of ascending upper bounds plus
+an implicit overflow bucket.  Quantiles (p50/p95/p99) are estimated by
+linear interpolation inside the bucket that contains the requested rank,
+which is exact at bucket boundaries and bounded by the bucket width in
+between; observations beyond the last bound are reported *at* the last
+bound (the estimate never extrapolates into the open overflow bucket).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: default upper bounds (seconds) for latency histograms: sub-millisecond
+#: index probes up to ten-second full-collection builds, roughly 2.5x apart
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: a label set, normalized to sorted (key, value) pairs
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    # zero- and one-label sets dominate (every per-query publish hits
+    # this), so skip the sort for them
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        ((key, value),) = labels.items()
+        return ((key, str(value)),)
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Instrument:
+    """Common shape of every metric: a name, a help line, sample series."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name or not name.replace("_", "a").replace(":", "a").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+
+class Counter(Instrument):
+    """A monotonically increasing value (optionally per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (>= 0) to the sample selected by ``labels``."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge instead")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of one sample (0.0 when never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Gauge(Instrument):
+    """A value that can go up and down (current sizes, last-seen counts)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class _HistogramSeries:
+    """One label set's buckets: non-cumulative counts + sum + count."""
+
+    __slots__ = ("counts", "total", "sum")
+
+    def __init__(self, bucket_count: int) -> None:
+        # one slot per finite bound, plus the overflow bucket
+        self.counts = [0] * (bucket_count + 1)
+        self.total = 0
+        self.sum = 0.0
+
+
+class Histogram(Instrument):
+    """Fixed-bucket histogram with interpolated quantile estimates."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if bounds[0] <= 0:
+            raise ValueError("bucket bounds must be positive")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        # linear scan: bucket counts are small and the common case (latency
+        # histograms) lands in the first few buckets anyway
+        position = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                position = i
+                break
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.bounds))
+            series.counts[position] += 1
+            series.total += 1
+            series.sum += value
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.total if series else 0
+
+    def sum(self, **labels: object) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.sum if series else 0.0
+
+    def percentile(self, p: float, **labels: object) -> float:
+        """Estimated ``p``-quantile (``p`` in (0, 1], e.g. ``0.95``).
+
+        Linear interpolation between the containing bucket's bounds; the
+        lower bound of the first bucket is taken as 0.  Returns 0.0 for an
+        empty series and the last finite bound when the rank falls into
+        the overflow bucket.
+        """
+        if not 0 < p <= 1:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        series = self._series.get(_label_key(labels))
+        if series is None or series.total == 0:
+            return 0.0
+        rank = p * series.total
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, series.counts):
+            cumulative += count
+            if count and cumulative >= rank:
+                fraction = (rank - (cumulative - count)) / count
+                return lower + (bound - lower) * fraction
+            lower = bound
+        return self.bounds[-1]
+
+    def quantiles(self, **labels: object) -> Dict[str, float]:
+        """The conventional p50/p95/p99 triple for one label set."""
+        return {
+            "p50": self.percentile(0.50, **labels),
+            "p95": self.percentile(0.95, **labels),
+            "p99": self.percentile(0.99, **labels),
+        }
+
+    def series(self) -> List[Tuple[LabelKey, List[int], int, float]]:
+        """``(labels, non-cumulative counts, count, sum)`` per label set."""
+        with self._lock:
+            return sorted(
+                (key, list(s.counts), s.total, s.sum)
+                for key, s in self._series.items()
+            )
+
+
+# ----------------------------------------------------------------------
+# the disabled fast path: shared no-op instruments
+# ----------------------------------------------------------------------
+class _NullCounter(Counter):
+    def __init__(self) -> None:
+        super().__init__("null_counter")
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    def __init__(self) -> None:
+        super().__init__("null_gauge")
+
+    def set(self, value: float, **labels: object) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def __init__(self) -> None:
+        super().__init__("null_histogram", buckets=(1.0,))
+
+    def observe(self, value: float, **labels: object) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """A named set of instruments; the unit the exporters serialize.
+
+    ``counter``/``gauge``/``histogram`` get-or-create by name, so call
+    sites never coordinate instrument creation; asking for an existing
+    name with a different kind raises.  A disabled registry (``enabled=
+    False``) returns shared no-op instruments and ``metrics()`` stays
+    empty forever — both exporters render it as "no metrics".
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # instrument access
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self._get_or_create(name, help, Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self._get_or_create(name, help, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            instrument = Histogram(name, help, buckets)
+            self._metrics[name] = instrument
+            return instrument
+
+    def _get_or_create(self, name: str, help: str, cls) -> Instrument:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            instrument = cls(name, help)
+            self._metrics[name] = instrument
+            return instrument
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Instrument]:
+        """The named instrument, or ``None``."""
+        return self._metrics.get(name)
+
+    def metrics(self) -> List[Instrument]:
+        """Every registered instrument, sorted by name."""
+        with self._lock:
+            return sorted(self._metrics.values(), key=lambda m: m.name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self.metrics())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh registry without re-wiring)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: shared disabled registry for callers that want an explicit null sink
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -28,13 +28,22 @@ class MemoryTable(Table):
         for name, access_path in self._indexes.items():
             value = row[self.schema.column_index(name)]
             access_path.setdefault(value, []).append(position)
+        if self._observer is not None:
+            self._observer.write(self.schema.name)
 
     def scan(self) -> Iterator[Row]:
+        if self._observer is not None:
+            self._observer.read(self.schema.name)
         return iter(self._rows)
 
     def scan_eq(self, column: str, value: Any) -> Iterator[Row]:
+        observer = self._observer
+        if observer is not None:
+            observer.read(self.schema.name)
         access_path = self._indexes.get(column)
         if access_path is not None:
+            if observer is not None:
+                observer.hit(self.schema.name)
             for position in access_path.get(value, ()):
                 yield self._rows[position]
             return
@@ -59,6 +68,7 @@ class MemoryTable(Table):
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["_indexes"] = tuple(self._indexes)  # keep only the names
+        state["_observer"] = None  # instruments hold locks; re-attach on arrival
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -81,6 +91,8 @@ class MemoryBackend(StorageBackend):
         if schema.name in self._tables:
             raise ValueError(f"table {schema.name!r} already exists")
         table = MemoryTable(schema)
+        if self._observer is not None:
+            table.attach_observer(self._observer)
         self._tables[schema.name] = table
         return table
 
@@ -92,3 +104,8 @@ class MemoryBackend(StorageBackend):
 
     def table_names(self) -> List[str]:
         return sorted(self._tables)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_observer"] = None  # instruments hold locks; re-attach on arrival
+        return state

@@ -44,6 +44,8 @@ class SqliteTable(Table):
         row = tuple(row)
         self.schema.check_row(row)
         self._conn.execute(self._insert_sql, row)
+        if self._observer is not None:
+            self._observer.write(self.schema.name)
 
     def insert_many(self, rows) -> None:
         validated = []
@@ -59,13 +61,21 @@ class SqliteTable(Table):
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
+        if self._observer is not None and validated:
+            self._observer.write(self.schema.name, len(validated))
 
     def scan(self) -> Iterator[Row]:
+        if self._observer is not None:
+            self._observer.read(self.schema.name)
         cursor = self._conn.execute(f"SELECT * FROM {self.schema.name} ORDER BY rowid")
         return iter(cursor.fetchall())
 
     def scan_eq(self, column: str, value: Any) -> Iterator[Row]:
         self.schema.column_index(column)  # validate the name
+        if self._observer is not None:
+            self._observer.read(self.schema.name)
+            if column in self.schema.indexed:
+                self._observer.hit(self.schema.name)
         cursor = self._conn.execute(
             f"SELECT * FROM {self.schema.name} WHERE {column} = ? ORDER BY rowid",
             (value,),
@@ -146,6 +156,8 @@ class SqliteBackend(StorageBackend):
         if schema.name in self._tables:
             raise ValueError(f"table {schema.name!r} already exists")
         table = SqliteTable(schema, self._conn)
+        if self._observer is not None:
+            table.attach_observer(self._observer)
         self._tables[schema.name] = table
         return table
 

@@ -72,10 +72,22 @@ class TableSchema:
 
 
 class Table(abc.ABC):
-    """Insert/scan interface every backend provides."""
+    """Insert/scan interface every backend provides.
+
+    Tables optionally report their traffic to an attached observer (a
+    ``repro.obs.StorageInstruments``): one ``write`` per inserted row, one
+    ``read`` per ``scan``/``scan_eq`` call, one ``hit`` when a point
+    lookup was answered through an access path.  No observer (the
+    default) means no instrumentation branch is taken.
+    """
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
+        self._observer = None
+
+    def attach_observer(self, observer) -> None:
+        """Report reads/writes/hits to ``observer`` (``None`` detaches)."""
+        self._observer = observer
 
     @abc.abstractmethod
     def insert(self, row: Row) -> None:
@@ -119,6 +131,15 @@ class Table(abc.ABC):
 
 class StorageBackend(abc.ABC):
     """A namespace of tables with aggregate size accounting."""
+
+    #: storage instruments shared by this backend's tables (None = off)
+    _observer = None
+
+    def attach_observer(self, observer) -> None:
+        """Attach storage instruments to every current and future table."""
+        self._observer = observer
+        for name in self.table_names():
+            self.table(name).attach_observer(observer)
 
     @abc.abstractmethod
     def create_table(self, schema: TableSchema) -> Table:

@@ -1,0 +1,121 @@
+"""Exporter tests: Prometheus text format (escaping!) and JSON."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    render,
+    render_json,
+    render_prometheus,
+    registry_to_dict,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def test_empty_registry_renders_empty_prom():
+    assert render_prometheus(MetricsRegistry()) == ""
+    assert render_prometheus(MetricsRegistry(enabled=False)) == ""
+
+
+def test_counter_and_gauge_lines():
+    reg = MetricsRegistry()
+    reg.counter("hits_total", "Total hits.").inc(3, axis="descendants")
+    reg.gauge("depth", "Current depth.").set(7)
+    text = render_prometheus(reg)
+    assert "# HELP hits_total Total hits." in text
+    assert "# TYPE hits_total counter" in text
+    assert 'hits_total{axis="descendants"} 3' in text
+    assert "# TYPE depth gauge" in text
+    assert "depth 7" in text
+    assert text.endswith("\n")
+
+
+def test_histogram_cumulative_buckets_and_inf():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)  # overflow
+    text = render_prometheus(reg)
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="1"} 2' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+    assert "lat_seconds_count 3" in text
+    assert "lat_seconds_sum 5.55" in text
+
+
+def test_label_value_escaping():
+    reg = MetricsRegistry()
+    reg.counter("c_total").inc(table='we"ird\\name\nline')
+    text = render_prometheus(reg)
+    # backslash, double quote and newline must all be escaped
+    assert 'table="we\\"ird\\\\name\\nline"' in text
+    assert "\nline" not in text.replace("\\nline", "")
+
+
+def test_help_text_escaping():
+    reg = MetricsRegistry()
+    reg.counter("c_total", "line one\nline two \\ backslash").inc()
+    text = render_prometheus(reg)
+    assert "# HELP c_total line one\\nline two \\\\ backslash" in text
+
+
+def test_multiple_labels_sorted_and_quoted():
+    reg = MetricsRegistry()
+    reg.counter("c_total").inc(backend="memory", table="elements")
+    text = render_prometheus(reg)
+    assert 'c_total{backend="memory",table="elements"} 1' in text
+
+
+def test_integral_values_render_without_decimal_point():
+    reg = MetricsRegistry()
+    reg.gauge("g").set(4.0)
+    assert "g 4\n" in render_prometheus(reg)
+
+
+def test_json_roundtrip_and_quantiles():
+    reg = MetricsRegistry()
+    reg.counter("hits_total", "Hits.").inc(2, axis="type")
+    h = reg.histogram("lat_seconds", buckets=(1.0, 2.0))
+    h.observe(0.5)
+    payload = json.loads(render_json(reg))
+    by_name = {m["name"]: m for m in payload["metrics"]}
+    assert by_name["hits_total"]["samples"] == [
+        {"labels": {"axis": "type"}, "value": 2}
+    ]
+    hist = by_name["lat_seconds"]
+    assert hist["buckets"] == [1.0, 2.0]
+    series = hist["series"][0]
+    assert series["count"] == 1
+    assert series["quantiles"]["p50"] == pytest.approx(0.5)
+
+
+def test_registry_to_dict_empty():
+    assert registry_to_dict(MetricsRegistry()) == {"metrics": []}
+
+
+def test_render_dispatch():
+    reg = MetricsRegistry()
+    reg.counter("c_total").inc()
+    assert render(reg, "prom") == render_prometheus(reg)
+    assert render(reg, "prometheus") == render_prometheus(reg)
+    assert render(reg, "json") == render_json(reg)
+    with pytest.raises(ValueError):
+        render(reg, "xml")
+
+
+def test_prometheus_output_parses_line_shape():
+    """Every non-comment line must be ``name{labels} value`` parseable."""
+    reg = MetricsRegistry()
+    reg.counter("a_total", "A.").inc(axis="x")
+    reg.gauge("b").set(1.5)
+    reg.histogram("c_seconds", buckets=(1.0,)).observe(0.5)
+    for line in render_prometheus(reg).strip().splitlines():
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE "))
+            continue
+        name_part, value_part = line.rsplit(" ", 1)
+        float(value_part)  # must parse
+        metric_name = name_part.split("{", 1)[0]
+        assert metric_name.replace("_", "").isalnum()

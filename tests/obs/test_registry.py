@@ -1,0 +1,197 @@
+"""Unit tests for the metrics registry, with a focus on percentile math."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("hits_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_are_independent_series(self):
+        c = Counter("hits_total")
+        c.inc(axis="descendants")
+        c.inc(3, axis="ancestors")
+        assert c.value(axis="descendants") == 1
+        assert c.value(axis="ancestors") == 3
+        assert c.value(axis="type") == 0.0
+        assert c.total() == 4
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("hits_total")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(b="2", a="1") == 2
+
+    def test_negative_increment_rejected(self):
+        c = Counter("hits_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("not a metric name")
+        with pytest.raises(ValueError):
+            Counter("")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+
+    def test_gauge_may_go_negative(self):
+        g = Gauge("delta")
+        g.dec(4)
+        assert g.value() == -4
+
+
+class TestHistogramPercentiles:
+    def test_empty_series_is_zero(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        assert h.percentile(0.5) == 0.0
+        assert h.quantiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_observation_interpolates_within_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)  # lands in (1, 2]
+        # rank 1 of 1: the full bucket is consumed -> its upper bound
+        assert h.percentile(1.0) == pytest.approx(2.0)
+        # p50 -> halfway through the containing bucket
+        assert h.percentile(0.5) == pytest.approx(1.5)
+
+    def test_uniform_fill_matches_exact_quantiles(self):
+        # 100 observations evenly spread over (0, 10] in 10 unit buckets:
+        # interpolation should recover the exact empirical quantiles.
+        bounds = tuple(float(b) for b in range(1, 11))
+        h = Histogram("lat", buckets=bounds)
+        for i in range(100):
+            h.observe(i / 10.0 + 0.05)
+        assert h.percentile(0.50) == pytest.approx(5.0, abs=0.1)
+        assert h.percentile(0.95) == pytest.approx(9.5, abs=0.1)
+        assert h.percentile(0.99) == pytest.approx(9.9, abs=0.1)
+
+    def test_first_bucket_lower_bound_is_zero(self):
+        h = Histogram("lat", buckets=(10.0,))
+        h.observe(3.0)
+        h.observe(7.0)
+        # two observations in [0, 10]: p50 interpolates at rank 1 of 2
+        assert h.percentile(0.5) == pytest.approx(5.0)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(50.0)
+        h.observe(60.0)
+        assert h.percentile(0.99) == 2.0
+        assert h.count() == 2
+        assert h.sum() == pytest.approx(110.0)
+
+    def test_percentile_validates_p(self):
+        h = Histogram("lat", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_bounds_must_be_increasing_and_positive(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(0.0, 1.0))
+
+    def test_per_label_series(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5, axis="descendants")
+        h.observe(1.5, axis="ancestors")
+        assert h.count(axis="descendants") == 1
+        assert h.count(axis="ancestors") == 1
+        assert h.count() == 0
+        assert h.percentile(1.0, axis="descendants") == pytest.approx(1.0)
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert len(set(DEFAULT_LATENCY_BUCKETS)) == len(DEFAULT_LATENCY_BUCKETS)
+        assert DEFAULT_LATENCY_BUCKETS[0] > 0
+
+    def test_thread_safety_of_observe(self):
+        h = Histogram("lat", buckets=(0.5, 1.0))
+
+        def hammer():
+            for _ in range(1000):
+                h.observe(0.25)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count() == 4000
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+        reg.histogram("h")
+        with pytest.raises(ValueError):
+            reg.counter("h")
+
+    def test_metrics_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total")
+        reg.counter("a_total")
+        assert [m.name for m in reg.metrics()] == ["a_total", "z_total"]
+        assert reg.names() == ["a_total", "z_total"]
+        assert len(reg) == 2
+
+    def test_disabled_registry_stays_empty(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a_total").inc(5)
+        reg.gauge("g").set(3)
+        reg.histogram("h").observe(1.0)
+        assert reg.metrics() == []
+        assert len(reg) == 0
+
+    def test_null_registry_instruments_are_inert(self):
+        c = NULL_REGISTRY.counter("a_total")
+        c.inc(100)
+        assert c.value() == 0.0
+        h = NULL_REGISTRY.histogram("h")
+        h.observe(5.0)
+        assert h.count() == 0
+
+    def test_reset_drops_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.reset()
+        assert reg.metrics() == []

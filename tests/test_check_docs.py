@@ -1,0 +1,34 @@
+"""The docs-consistency checker itself must work (CI runs it directly)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+
+def test_checker_passes_on_current_docs():
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_checker_resolves_and_rejects():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from check_docs import resolve
+
+        assert resolve("repro.core.framework.Flix")
+        assert resolve("repro.obs.MetricsRegistry")
+        assert resolve("repro.obs")
+        assert not resolve("repro.not_a_module.thing")
+        assert not resolve("repro.core.framework.NotAClass")
+    finally:
+        sys.path.remove(str(REPO_ROOT / "tools"))

@@ -148,6 +148,57 @@ class TestDemoDblp:
         assert "seconds to k results" in out
 
 
+class TestMetrics:
+    def test_json_format_default(self, movie_dir, capsys):
+        assert main(["metrics", movie_dir, "--config", "naive"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        payload = json.loads(out)
+        names = {m["name"] for m in payload["metrics"]}
+        assert "flix_queries_total" in names
+        assert "flix_query_seconds" in names
+        assert "flix_meta_documents" in names
+
+    def test_prom_format(self, movie_dir, capsys):
+        assert main(
+            ["metrics", movie_dir, "--config", "naive", "--format", "prom"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE flix_queries_total counter" in out
+        assert "# TYPE flix_meta_documents gauge" in out
+        assert "# TYPE flix_query_seconds histogram" in out
+        assert 'flix_query_seconds_bucket{axis="descendants",le="+Inf"} 3' in out
+
+    def test_queries_knob(self, movie_dir, capsys):
+        import json
+
+        assert main(
+            ["metrics", movie_dir, "--config", "naive", "--queries", "1"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        queries = next(
+            m for m in payload["metrics"] if m["name"] == "flix_queries_total"
+        )
+        assert queries["samples"][0]["value"] == 1
+
+    def test_no_observability(self, movie_dir, capsys):
+        assert main(
+            ["metrics", movie_dir, "--config", "naive",
+             "--format", "prom", "--no-observability"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "no metrics" in out
+
+    def test_trace_flag_renders_tree(self, movie_dir, capsys):
+        assert main(
+            ["metrics", movie_dir, "--config", "naive", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pee.query" in out
+        assert "pee.probe" in out
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fail if the documentation names symbols that do not exist.
+
+Two checks, run from the repository root (``python tools/check_docs.py``;
+CI runs it on one Python version):
+
+1. every name in ``repro.obs.__all__`` must resolve to an attribute of
+   the package (the observability surface is documented by name in
+   docs/OBSERVABILITY.md and docs/API.md, so a rename that forgets the
+   export list must break the build);
+2. every backticked dotted reference matching ``repro(.module)+`` in
+   docs/API.md must import/resolve — call parentheses and argument
+   lists are ignored, only the dotted path is checked.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+API_MD = REPO_ROOT / "docs" / "API.md"
+
+#: a backticked reference starting with ``repro.``: keep the leading
+#: dotted-identifier run, drop any call syntax or trailing prose
+REFERENCE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)")
+
+
+def resolve(path: str) -> bool:
+    """Can ``path`` be reached by importing modules and getattr-ing?"""
+    parts = path.split(".")
+    # find the longest importable module prefix
+    obj = None
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        break
+    if obj is None:
+        return False
+    for attr in parts[cut:]:
+        try:
+            obj = getattr(obj, attr)
+        except AttributeError:
+            return False
+    return True
+
+
+def check_obs_exports() -> list[str]:
+    import repro.obs as obs
+
+    errors = []
+    for name in obs.__all__:
+        if not hasattr(obs, name):
+            errors.append(f"repro.obs.__all__ names missing symbol {name!r}")
+    return errors
+
+
+def check_api_references() -> list[str]:
+    text = API_MD.read_text(encoding="utf-8")
+    errors = []
+    for path in sorted(set(REFERENCE.findall(text))):
+        if not resolve(path):
+            errors.append(f"docs/API.md references unresolvable {path!r}")
+    return errors
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    errors = check_obs_exports() + check_api_references()
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    if not errors:
+        print("check_docs: repro.obs exports and docs/API.md references OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
