@@ -1,0 +1,61 @@
+"""Resilience idle-overhead check.
+
+The fault-tolerance layer promises to be free when unused: without a
+``ResilienceConfig`` nothing changes at all, and with one attached but
+no faults occurring the hot-loop additions reduce to attribute tests
+(budget checks against ``None`` limits, completeness bookkeeping) plus
+the storage wrapper's pass-through on the build path.
+``test_fault_overhead`` measures both claims over the session DBLP
+workload and writes the machine-readable comparison to
+``BENCH_fault_overhead.json`` at the repository root.
+
+As in ``bench_query_overhead.py`` the plain mode is measured as two
+interleaved series and their spread (``noise_pct``) is the yardstick:
+an overhead smaller than the noise floor is indistinguishable from
+zero.  Transparency is asserted outright — the resilient build must be
+fingerprint-identical to the plain one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.harness import profile_fault_overhead
+from repro.core.config import FlixConfig
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fault_overhead.json"
+
+
+def test_fault_overhead(dblp_collection):
+    payload = profile_fault_overhead(
+        dblp_collection, FlixConfig.naive(), queries=20, repeats=5
+    )
+    payload["generated_by"] = "benchmarks/bench_fault_overhead.py"
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(
+        f"build plain {payload['plain_build_seconds']:.4f}s, "
+        f"resilient {payload['resilient_build_seconds']:.4f}s "
+        f"(+{payload['build_overhead_pct']:.2f}%); "
+        f"query plain {payload['plain_seconds']:.4f}s "
+        f"(rerun {payload['plain_rerun_seconds']:.4f}s, "
+        f"noise {payload['noise_pct']:.2f}%), "
+        f"resilient {payload['resilient_seconds']:.4f}s "
+        f"(+{payload['query_overhead_pct']:.2f}%)"
+    )
+    print(f"-> {BENCH_JSON}")
+
+    # transparency: the wrapper may not change what gets built or found
+    assert payload["fingerprint_identical"]
+    assert payload["workload"]["results_per_pass"] > 0
+    # The idle query-side machinery must sit within the noise floor of
+    # the plain path (micro-benchmark noise on shared runners dwarfs a
+    # few attribute tests); the bound is a catastrophe guard against the
+    # layer accidentally growing per-result work.
+    assert payload["query_overhead_pct"] <= max(10.0, 3 * payload["noise_pct"])
+    # The build-side wrapper adds one delegation layer per storage call;
+    # it must stay a modest fraction of build time.
+    assert payload["build_overhead_pct"] < 50.0

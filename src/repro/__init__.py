@@ -42,10 +42,13 @@ from repro.core import (
     FlixConfig,
     MetaDocument,
     PathExpressionEvaluator,
+    QueryBudget,
     QueryLoadMonitor,
     QueryResult,
+    ResilienceConfig,
     StreamedList,
 )
+from repro.faults import FaultPlan, FaultyBackend, FaultyFactory
 from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.xmlmodel import XmlElement, parse_document, serialize
 
@@ -54,6 +57,11 @@ __version__ = "1.0.0"
 __all__ = [
     "Flix",
     "FlixConfig",
+    "ResilienceConfig",
+    "QueryBudget",
+    "FaultPlan",
+    "FaultyBackend",
+    "FaultyFactory",
     "MetaDocument",
     "MetricsRegistry",
     "Observability",

@@ -256,6 +256,116 @@ def profile_query_overhead(
     }
 
 
+def profile_fault_overhead(
+    collection: XmlCollection,
+    config: FlixConfig,
+    queries: int = 20,
+    repeats: int = 5,
+) -> Dict:
+    """Measure the idle cost of the resilience machinery.
+
+    Builds the same configuration twice — once plain, once with a
+    resilience config attached (``with_resilience()``) but **no faults
+    injected** — and compares both build wall clock and an identical
+    wildcard-descendants query workload, sampled alternately after a
+    warm-up pass as in :func:`profile_query_overhead`.  The plain mode
+    is sampled as two interleaved series whose spread (``noise_pct``)
+    bounds measurement noise.
+
+    With no faults the resilient wrapper's only query-side costs are
+    attribute tests (budget checks against ``None`` limits, the
+    completeness bookkeeping); the storage wrapper sits on the build
+    path only.  Both builds must produce fingerprint-identical indexes —
+    asserted here, since transparency is the wrapper's core contract.
+    The returned dict is JSON-serializable;
+    ``benchmarks/bench_fault_overhead.py`` writes it to
+    ``BENCH_fault_overhead.json``.
+    """
+
+    def timed_build(resilient: bool) -> Tuple[Flix, float]:
+        cfg = config.with_resilience() if resilient else config
+        started = time.perf_counter()
+        flix = Flix.build(collection, cfg)
+        return flix, time.perf_counter() - started
+
+    plain, plain_build_seconds = timed_build(False)
+    guarded, guarded_build_seconds = timed_build(True)
+    assert plain.index_fingerprint() == guarded.index_fingerprint(), (
+        "resilience wrapper changed the built index"
+    )
+
+    starts = [
+        collection.document_root(name)
+        for name in sorted(collection.documents)[: max(1, queries)]
+    ]
+
+    def one_pass(flix: Flix) -> Tuple[float, int]:
+        results = 0
+        started = time.perf_counter()
+        for start in starts:
+            for _result in flix.pee.find_descendants(start):
+                results += 1
+        return time.perf_counter() - started, results
+
+    one_pass(plain)
+    one_pass(guarded)
+    plain_samples: List[float] = []
+    plain_again_samples: List[float] = []
+    guarded_samples: List[float] = []
+    plain_results = guarded_results = 0
+    for _ in range(max(1, repeats)):
+        seconds, plain_results = one_pass(plain)
+        plain_samples.append(seconds)
+        seconds, guarded_results = one_pass(guarded)
+        guarded_samples.append(seconds)
+        seconds, _ = one_pass(plain)
+        plain_again_samples.append(seconds)
+    plain_seconds = min(plain_samples)
+    plain_again_seconds = min(plain_again_samples)
+    guarded_seconds = min(guarded_samples)
+    assert guarded_results == plain_results, (
+        "resilience wrapper changed query results"
+    )
+
+    base = max(min(plain_seconds, plain_again_seconds), 1e-9)
+    build_base = max(plain_build_seconds, 1e-9)
+    return {
+        "workload": {
+            "documents": collection.document_count,
+            "elements": collection.node_count,
+            "links": collection.link_edge_count,
+            "config": config.name,
+            "queries": len(starts),
+            "results_per_pass": plain_results,
+        },
+        "repeats": max(1, repeats),
+        "method": (
+            "best-of-N wall clock over an identical wildcard-descendants "
+            "workload, plain vs resilience-enabled-but-idle (no injected "
+            "faults), modes sampled alternately after a warm-up pass; a "
+            "second interleaved plain series bounds measurement noise, "
+            "and both builds are asserted fingerprint-identical"
+        ),
+        "fingerprint_identical": True,
+        "plain_build_seconds": round(plain_build_seconds, 6),
+        "resilient_build_seconds": round(guarded_build_seconds, 6),
+        "build_overhead_pct": round(
+            (guarded_build_seconds - plain_build_seconds)
+            / build_base * 100.0,
+            3,
+        ),
+        "plain_seconds": round(plain_seconds, 6),
+        "plain_rerun_seconds": round(plain_again_seconds, 6),
+        "resilient_seconds": round(guarded_seconds, 6),
+        "noise_pct": round(
+            abs(plain_seconds - plain_again_seconds) / base * 100.0, 3
+        ),
+        "query_overhead_pct": round(
+            (guarded_seconds - base) / base * 100.0, 3
+        ),
+    }
+
+
 def time_to_k(
     query: Callable[[], Iterable],
     checkpoints: Sequence[int],

@@ -30,6 +30,12 @@ Commands
     document root, wildcard tag), and print the collected metrics in the
     chosen exporter format (see ``docs/OBSERVABILITY.md``).  ``--trace``
     additionally prints the last query's span tree.
+
+``repair <dir> <index_dir> [--check]``
+    Verify a persisted index's per-file checksums against its manifest
+    and rebuild only the damaged files from the collection (see
+    ``docs/RESILIENCE.md``).  ``--check`` reports damage without
+    repairing (exit status 1 when damage is found).
 """
 
 from __future__ import annotations
@@ -167,6 +173,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace",
         action="store_true",
         help="also print the last query's span tree",
+    )
+
+    repair = sub.add_parser(
+        "repair", help="verify a persisted index and rebuild damaged files"
+    )
+    repair.add_argument("directory", help="the XML collection directory")
+    repair.add_argument("index_dir", help="the persisted-index directory")
+    repair.add_argument(
+        "--check",
+        action="store_true",
+        help="only report damaged files (exit 1 when any), do not rebuild",
     )
     return parser
 
@@ -320,6 +337,22 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_repair(args) -> int:
+    from repro.core.persistence import repair_flix, verify_flix
+
+    collection = load_collection(args.directory)
+    damaged = verify_flix(collection, args.index_dir)
+    if not damaged:
+        print("index is intact; nothing to repair")
+        return 0
+    print("damaged files: " + ", ".join(damaged))
+    if args.check:
+        return 1
+    repaired = repair_flix(collection, args.index_dir)
+    print(f"rebuilt {len(repaired)} file(s): " + ", ".join(repaired))
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "build": _cmd_build,
@@ -327,6 +360,7 @@ _COMMANDS = {
     "relaxed": _cmd_relaxed,
     "demo-dblp": _cmd_demo_dblp,
     "metrics": _cmd_metrics,
+    "repair": _cmd_repair,
 }
 
 

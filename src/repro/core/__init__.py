@@ -15,13 +15,19 @@ streaming results in approximately ascending distance.
 :class:`~repro.core.framework.Flix` is the facade tying both phases together.
 """
 
-from repro.core.config import FlixConfig
+from repro.core.config import FlixConfig, ResilienceConfig
 from repro.core.connections import ConnectionEvaluator, ConnectionModel
+from repro.core.fallback import BfsFallbackIndex, FallbackContext
 from repro.core.meta_document import MetaDocument, MetaDocumentSpec
 from repro.core.mdb import MetaDocumentBuilder
 from repro.core.iss import IndexingStrategySelector, StrategyChoice
 from repro.core.ib import IndexBuilder
-from repro.core.pee import PathExpressionEvaluator, QueryResult
+from repro.core.pee import (
+    PathExpressionEvaluator,
+    QueryBudget,
+    QueryResult,
+    QueryStream,
+)
 from repro.core.results import StreamedList
 from repro.core.framework import Flix
 from repro.core.selftune import QueryLoadMonitor, TuningAdvice
@@ -34,6 +40,11 @@ from repro.core.subcollections import (
 __all__ = [
     "Flix",
     "FlixConfig",
+    "ResilienceConfig",
+    "QueryBudget",
+    "QueryStream",
+    "BfsFallbackIndex",
+    "FallbackContext",
     "ConnectionModel",
     "ConnectionEvaluator",
     "Subcollection",

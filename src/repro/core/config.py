@@ -31,6 +31,98 @@ BUILD_EXECUTORS = ("auto", "process", "thread", "serial")
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerance knobs: storage retries, circuit breaking, query
+    budgets, and build-time fallback (see ``docs/RESILIENCE.md``).
+
+    Attached to a configuration via :attr:`FlixConfig.resilience` (or
+    :meth:`FlixConfig.with_resilience`); ``None`` there means the
+    resilience layer is fully disabled and FliX behaves exactly as
+    before — every knob here only matters once the config is present.
+    """
+
+    # -- storage retry (see repro.storage.resilient.RetryPolicy) --------
+    max_attempts: int = 4
+    backoff_base_seconds: float = 0.002
+    backoff_max_seconds: float = 0.25
+    backoff_jitter: float = 0.5
+    retry_seed: int = 0
+    # -- per-table circuit breaker --------------------------------------
+    breaker_failure_threshold: int = 5
+    breaker_reset_seconds: float = 30.0
+    # -- query budgets (graceful degradation, section 5's run-time side) --
+    #: wall-clock deadline per query; exceeded -> stop, flag ``truncated``
+    query_deadline_seconds: Optional[float] = None
+    #: residual-link traversals allowed per query (cyclic link graphs!)
+    max_link_hops: Optional[int] = None
+    #: priority-queue pops allowed per query
+    max_queue_pops: Optional[int] = None
+    #: whether the PEE may fall back to on-the-fly BFS over the element
+    #: graph when a meta document's index is missing or failing
+    allow_query_fallback: bool = True
+    # -- build-time resilience ------------------------------------------
+    #: extra in-place attempts for a failed per-meta index build before
+    #: the strategy fallback engages
+    build_retry_attempts: int = 1
+    #: safe strategy rebuilt per-meta after the selected one fails
+    #: (``None`` disables the fallback)
+    build_fallback_strategy: Optional[str] = "transitive_closure"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_seconds < 0 or self.backoff_max_seconds < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_reset_seconds < 0:
+            raise ValueError("breaker_reset_seconds must be non-negative")
+        for name in ("query_deadline_seconds", "max_link_hops", "max_queue_pops"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set")
+        if self.build_retry_attempts < 0:
+            raise ValueError("build_retry_attempts must be non-negative")
+
+    # ------------------------------------------------------------------
+    # adapters for the storage layer
+    # ------------------------------------------------------------------
+    def retry_policy(self):
+        from repro.storage.resilient import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            base_delay=self.backoff_base_seconds,
+            max_delay=self.backoff_max_seconds,
+            jitter=self.backoff_jitter,
+            seed=self.retry_seed,
+        )
+
+    def breaker_policy(self):
+        from repro.storage.resilient import BreakerPolicy
+
+        return BreakerPolicy(
+            failure_threshold=self.breaker_failure_threshold,
+            reset_timeout=self.breaker_reset_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # persistence (manifest round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResilienceConfig":
+        known = {f.name for f in cls.__dataclass_fields__.values()}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
 class FlixConfig:
     """One configuration of the framework."""
 
@@ -61,6 +153,10 @@ class FlixConfig:
     #: off makes ``Flix.metrics()`` empty and skips all instrumentation
     #: branches, so disabled runs pay near-zero overhead
     observability: bool = True
+    #: fault-tolerance layer (storage retry/backoff + circuit breaker,
+    #: query budgets with graceful degradation, build fallback); ``None``
+    #: disables it entirely — see ``docs/RESILIENCE.md``
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.mdb_strategy not in MDB_STRATEGIES:
@@ -95,6 +191,29 @@ class FlixConfig:
         from dataclasses import replace
 
         return replace(self, observability=enabled)
+
+    def with_resilience(
+        self, resilience: Optional[ResilienceConfig] = None, **overrides
+    ) -> "FlixConfig":
+        """This configuration with the fault-tolerance layer enabled.
+
+        With no arguments the defaults apply; keyword overrides build a
+        custom :class:`ResilienceConfig` (``with_resilience(max_link_hops=
+        1000)``); use :meth:`without_resilience` to disable the layer.
+        """
+        from dataclasses import replace
+
+        if resilience is None and overrides:
+            resilience = ResilienceConfig(**overrides)
+        elif resilience is None and not overrides:
+            resilience = ResilienceConfig()
+        return replace(self, resilience=resilience)
+
+    def without_resilience(self) -> "FlixConfig":
+        """This configuration with the fault-tolerance layer disabled."""
+        from dataclasses import replace
+
+        return replace(self, resilience=None)
 
     # ------------------------------------------------------------------
     # the paper's predefined configurations

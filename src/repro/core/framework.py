@@ -54,7 +54,7 @@ class Flix:
             if obs is not None
             else Observability(getattr(config, "observability", True))
         )
-        self.pee = PathExpressionEvaluator(meta_documents, meta_of, self.obs)
+        self.pee = self._make_pee()
         self.monitor = QueryLoadMonitor()
         # set by Flix.build for incremental document addition
         self._builder: Optional[IndexBuilder] = None
@@ -66,17 +66,56 @@ class Flix:
                 "Meta documents in the current index layout.",
             ).set(len(meta_documents))
 
+    def _make_pee(self) -> PathExpressionEvaluator:
+        """A fresh evaluator over the current meta-document layout, with
+        the query budget and BFS-fallback context the configuration's
+        resilience settings imply (both absent without a resilience
+        config, which keeps the classic zero-overhead behaviour)."""
+        from repro.core.fallback import FallbackContext
+        from repro.core.pee import QueryBudget
+
+        resilience = getattr(self.config, "resilience", None)
+        budget = QueryBudget.from_resilience(resilience)
+        fallback = None
+        if resilience is not None and resilience.allow_query_fallback:
+            fallback = FallbackContext(
+                self.collection.graph, self.collection.tag
+            )
+        return PathExpressionEvaluator(
+            self.meta_documents,
+            self.meta_of,
+            self.obs,
+            budget=budget,
+            fallback=fallback,
+        )
+
+    @property
+    def degraded_meta_ids(self) -> List[int]:
+        """Meta documents currently answered by the PEE's BFS fallback."""
+        return self.pee.degraded_meta_ids
+
     def _attach_storage_observers(self) -> None:
         """Count query-time storage traffic on every meta-document backend.
 
         Runs after the build merge, so it also covers indexes built in
         process-pool workers (whose build-time traffic is unobservable —
-        their registries die with the worker process).
+        their registries die with the worker process).  Resilient wrappers
+        additionally get the metrics bundle (re)bound here: products of a
+        pickled factory arrive from workers with observability unbound.
         """
-        for meta in self.meta_documents:
-            backend = getattr(meta.index, "backend", None)
-            if backend is not None:
-                backend.attach_observer(self.obs.storage_instruments(backend))
+        backends = [
+            getattr(meta.index, "backend", None)
+            for meta in self.meta_documents
+        ]
+        if self._builder is not None:
+            backends.append(self._builder.framework_backend)
+        for backend in backends:
+            if backend is None:
+                continue
+            backend.attach_observer(self.obs.storage_instruments(backend))
+            bind = getattr(backend, "set_observability", None)
+            if bind is not None:
+                bind(self.obs)
 
     # ------------------------------------------------------------------
     # build phase
@@ -97,9 +136,37 @@ class Flix:
         than one worker the per-meta-document builds run on a worker pool,
         with results merged in spec order — the built index is identical to
         a sequential build at any ``jobs`` value.
+
+        Fault tolerance: when ``config.resilience`` is set, every backend
+        the factory produces is wrapped in a retrying, circuit-breaking
+        :class:`repro.storage.ResilientBackend`.  When the ``FLIX_FAULT_
+        PLAN`` / ``FAULT_PLAN`` environment variable names a fault plan
+        (CI's chaos job), a fault-injecting layer is inserted *under* the
+        resilient wrapper — and resilience is force-enabled so the injected
+        faults are actually absorbed.
         """
         if config is None:
             config = FlixConfig.recommend_for(collection)
+
+        from repro.faults import plan_from_env
+
+        plan = plan_from_env()
+        if plan is not None and not plan.is_noop:
+            from repro.faults import FaultyFactory
+
+            backend_factory = FaultyFactory(backend_factory, plan)
+            if getattr(config, "resilience", None) is None:
+                config = config.with_resilience()
+        resilience = getattr(config, "resilience", None)
+        if resilience is not None:
+            from repro.storage.resilient import ResilientFactory
+
+            backend_factory = ResilientFactory(
+                backend_factory,
+                retry_policy=resilience.retry_policy(),
+                breaker_policy=resilience.breaker_policy(),
+            )
+
         obs = Observability(getattr(config, "observability", True))
         specs = MetaDocumentBuilder(collection, config).build_specs()
         builder = IndexBuilder(collection, config, backend_factory, obs=obs)
@@ -107,6 +174,9 @@ class Flix:
         flix = cls(collection, config, meta_documents, meta_of, report, obs=obs)
         flix._builder = builder
         flix._backend_factory = backend_factory
+        if flix.obs.enabled:
+            # rebind now that the builder (and its framework backend) is known
+            flix._attach_storage_observers()
         return flix
 
     @classmethod
@@ -432,9 +502,7 @@ class Flix:
             )
             observe = streamed.inc
         results: StreamedList[QueryResult] = StreamedList(observe=observe)
-        evaluator = PathExpressionEvaluator(
-            self.meta_documents, self.meta_of, self.obs
-        )
+        evaluator = self._make_pee()
 
         def produce() -> None:
             try:
@@ -493,7 +561,10 @@ class Flix:
         for meta in self.meta_documents:
             digest.update(str(meta.meta_id).encode("utf-8"))
             digest.update(meta.strategy.encode("utf-8"))
-            digest.update(meta.index.backend.fingerprint().encode("utf-8"))
+            if meta.index is None:  # build failed past every fallback
+                digest.update(b"<unindexed>")
+            else:
+                digest.update(meta.index.backend.fingerprint().encode("utf-8"))
         if self._builder is not None:
             digest.update(
                 self._builder.framework_backend.fingerprint().encode("utf-8")
@@ -623,9 +694,7 @@ class Flix:
         self.report.residual_link_bytes = links_table.size_bytes()
 
         # Refresh the evaluator's view and drop stale cached results.
-        self.pee = PathExpressionEvaluator(
-            self.meta_documents, self.meta_of, self.obs
-        )
+        self.pee = self._make_pee()
         if self.obs.enabled:
             self.obs.registry.gauge(
                 "flix_meta_documents",
@@ -647,11 +716,26 @@ class Flix:
         return save_flix(self, directory)
 
     @classmethod
-    def load(cls, collection: XmlCollection, directory) -> "Flix":
-        """Reconstruct a saved index against the unchanged collection."""
+    def load(
+        cls, collection: XmlCollection, directory, verify: bool = True
+    ) -> "Flix":
+        """Reconstruct a saved index against the unchanged collection.
+
+        ``verify`` checks the manifest's per-file checksums first and
+        raises :class:`repro.core.persistence.IntegrityError` on damage
+        (see ``repro repair``)."""
         from repro.core.persistence import load_flix
 
-        return load_flix(collection, directory)
+        return load_flix(collection, directory, verify=verify)
+
+    @classmethod
+    def repair(cls, collection: XmlCollection, directory) -> List[str]:
+        """Rebuild the damaged files of a saved index in place; returns
+        the repaired file names (see :func:`repro.core.persistence
+        .repair_flix`)."""
+        from repro.core.persistence import repair_flix
+
+        return repair_flix(collection, directory)
 
     def self_check(self, samples: int = 20, seed: int = 0) -> Dict[str, int]:
         """Verify the index against direct graph traversal on a sample.

@@ -102,6 +102,15 @@ class MetaDocumentReport:
     index_bytes: int
     build_seconds: float
     profile: BuildProfile = field(default_factory=BuildProfile)
+    #: the ISS-selected strategy this meta document *should* have used,
+    #: set only when its build failed and the safe fallback strategy was
+    #: built instead
+    fallback_from: Optional[str] = None
+    #: build attempts consumed (1 = first try succeeded)
+    attempts: int = 1
+    #: the final build error when even the fallback failed (index is then
+    #: missing and the PEE serves this meta document via BFS at query time)
+    error: Optional[str] = None
 
 
 @dataclass
@@ -117,6 +126,20 @@ class BuildReport:
     jobs: int = 1
     #: executor kind actually used: "serial", "thread" or "process"
     executor: str = "serial"
+    #: human-readable build failures that were absorbed (retries that
+    #: eventually succeeded, strategy fallbacks, chunks rebuilt after a
+    #: worker crash, meta documents left without an index)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def fallback_count(self) -> int:
+        """Meta documents built with the safe fallback strategy."""
+        return sum(1 for m in self.meta_documents if m.fallback_from)
+
+    @property
+    def unindexed_count(self) -> int:
+        """Meta documents that ended up with no index at all."""
+        return sum(1 for m in self.meta_documents if m.error)
 
     @property
     def total_index_bytes(self) -> int:
@@ -157,11 +180,14 @@ class BuildReport:
         parallel = (
             f", {self.jobs} jobs ({self.executor})" if self.jobs > 1 else ""
         )
+        trouble = (
+            f", {len(self.failures)} absorbed failures" if self.failures else ""
+        )
         return (
             f"config={self.config_name}: {len(self.meta_documents)} meta "
             f"documents ({strategies}), {self.residual_link_count} residual "
             f"links, {self.total_index_bytes} bytes, "
-            f"{self.total_seconds:.2f}s build{parallel}"
+            f"{self.total_seconds:.2f}s build{parallel}{trouble}"
         )
 
 
@@ -189,8 +215,16 @@ class _BuildTask:
 class _BuildResult:
     meta_id: int
     choice: StrategyChoice
-    index: PathIndex
+    index: Optional[PathIndex]
     profile: BuildProfile
+    #: the ISS choice that failed when the fallback strategy was built
+    fallback_from: Optional[str] = None
+    #: build attempts consumed across strategies (1 = clean first try)
+    attempts: int = 1
+    #: final error message when no index could be built at all
+    error: Optional[str] = None
+    #: absorbed-failure notes for the merged ``BuildReport.failures``
+    notes: Tuple[str, ...] = ()
 
 
 def _execute_task(
@@ -199,6 +233,7 @@ def _execute_task(
     backend_factory: Callable[[], StorageBackend],
     worker: str,
     obs: Optional[Observability] = None,
+    resilience=None,
 ) -> _BuildResult:
     """Build one meta document: graph -> strategy selection -> index.
 
@@ -206,6 +241,14 @@ def _execute_task(
     (serial / thread builds); process-pool workers leave it ``None`` — a
     worker's registry cannot reach the parent, so their build-time storage
     traffic is intentionally uncounted (the merged phase timings are not).
+
+    ``resilience`` (a :class:`repro.core.config.ResilienceConfig`) turns
+    build failures from fatal into absorbed: the selected strategy is
+    retried ``build_retry_attempts`` times on a fresh backend, then the
+    safe ``build_fallback_strategy`` is tried, and if even that fails the
+    meta document is returned *without* an index (the PEE answers it with
+    its BFS fallback at query time).  Without ``resilience`` the first
+    failure propagates, exactly as before.
     """
     started = time.perf_counter()
     profile = BuildProfile(
@@ -222,18 +265,72 @@ def _execute_task(
     now = time.perf_counter()
     profile.selection_seconds = now - checkpoint
     checkpoint = now
-    index = execute_build_request(
-        IndexBuildRequest(strategy=choice.strategy, tags=task.tags),
-        backend_factory,
-        graph=graph,
-        obs=obs,
-    )
+
+    def attempt(strategy: str) -> PathIndex:
+        return execute_build_request(
+            IndexBuildRequest(strategy=strategy, tags=task.tags),
+            backend_factory,
+            graph=graph,
+            obs=obs,
+        )
+
+    notes: List[str] = []
+    attempts = 0
+    index: Optional[PathIndex] = None
+    fallback_from: Optional[str] = None
+    error: Optional[str] = None
+    tries = 1 + (resilience.build_retry_attempts if resilience else 0)
+    for _ in range(tries):
+        attempts += 1
+        try:
+            index = attempt(choice.strategy)
+            break
+        except Exception as exc:
+            if resilience is None:
+                raise
+            error = f"{type(exc).__name__}: {exc}"
+            notes.append(
+                f"meta {task.meta_id}: {choice.strategy} build attempt "
+                f"{attempts} failed ({error})"
+            )
+    if index is None and resilience is not None:
+        fallback = resilience.build_fallback_strategy
+        if fallback and fallback != choice.strategy:
+            attempts += 1
+            try:
+                index = attempt(fallback)
+                fallback_from = choice.strategy
+                error = None
+                notes.append(
+                    f"meta {task.meta_id}: fell back to {fallback} "
+                    f"after {choice.strategy} failed"
+                )
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                notes.append(
+                    f"meta {task.meta_id}: fallback {fallback} failed "
+                    f"too ({error}); left unindexed for query-time BFS"
+                )
+        else:
+            notes.append(
+                f"meta {task.meta_id}: left unindexed for query-time BFS"
+            )
     profile.index_seconds = time.perf_counter() - checkpoint
-    return _BuildResult(task.meta_id, choice, index, profile)
+    return _BuildResult(
+        task.meta_id,
+        choice,
+        index,
+        profile,
+        fallback_from=fallback_from,
+        attempts=attempts,
+        error=error if index is None else None,
+        notes=tuple(notes),
+    )
 
 
-#: per-process state installed by the pool initializer: (selector, factory)
-_WORKER_STATE: Optional[Tuple[IndexingStrategySelector, Callable]] = None
+#: per-process state installed by the pool initializer:
+#: (selector, factory, resilience)
+_WORKER_STATE: Optional[Tuple[IndexingStrategySelector, Callable, object]] = None
 
 
 def _init_process_worker(payload: bytes) -> None:
@@ -249,10 +346,12 @@ def _init_process_worker(payload: bytes) -> None:
 
 
 def _run_chunk_in_process(chunk: List[_BuildTask]) -> List[_BuildResult]:
-    selector, backend_factory = _WORKER_STATE
+    selector, backend_factory, resilience = _WORKER_STATE
     worker = f"process-{os.getpid()}"
     return [
-        _execute_task(task, selector, backend_factory, worker)
+        _execute_task(
+            task, selector, backend_factory, worker, resilience=resilience
+        )
         for task in chunk
     ]
 
@@ -272,6 +371,7 @@ class IndexBuilder:
         self._config = config
         self._backend_factory = backend_factory
         self._selector = selector or IndexingStrategySelector(config)
+        self._resilience = getattr(config, "resilience", None)
         self._obs = obs if obs is not None else OBS_OFF
         #: backend holding framework-level tables (the residual link table)
         self.framework_backend = backend_factory()
@@ -343,11 +443,16 @@ class IndexBuilder:
                     f"worker results out of order: expected meta "
                     f"{spec.meta_id}, got {result.meta_id}"
                 )
+            built_strategy = (
+                result.index.strategy_name
+                if result.index is not None
+                else result.choice.strategy
+            )
             meta = MetaDocument(
                 meta_id=spec.meta_id,
                 nodes=frozenset(spec.nodes),
                 index=result.index,
-                strategy=result.choice.strategy,
+                strategy=built_strategy,
             )
             meta_documents.append(meta)
             report.meta_documents.append(
@@ -355,13 +460,21 @@ class IndexBuilder:
                     meta_id=spec.meta_id,
                     node_count=len(spec.nodes),
                     internal_edge_count=len(spec.internal_edges),
-                    strategy=result.choice.strategy,
+                    strategy=built_strategy,
                     rationale=result.choice.rationale,
-                    index_bytes=result.index.size_bytes(),
+                    index_bytes=(
+                        result.index.size_bytes()
+                        if result.index is not None
+                        else 0
+                    ),
                     build_seconds=result.profile.busy_seconds,
                     profile=result.profile,
+                    fallback_from=result.fallback_from,
+                    attempts=result.attempts,
+                    error=result.error,
                 )
             )
+            report.failures.extend(result.notes)
 
         links_table = self.framework_backend.create_table(_LINKS_SCHEMA)
         for u, v in residual:
@@ -476,7 +589,8 @@ class IndexBuilder:
             stamped = _restamp(task)
             results.append(
                 _execute_task(
-                    stamped, self._selector, self._backend_factory, "main", obs
+                    stamped, self._selector, self._backend_factory, "main",
+                    obs, resilience=self._resilience,
                 )
             )
         return results
@@ -490,10 +604,13 @@ class IndexBuilder:
         selector = self._selector
         factory = self._backend_factory
         obs = self._obs if self._obs.enabled else None
+        resilience = self._resilience
 
         def run_one(task: _BuildTask) -> _BuildResult:
             worker = f"thread-{threading.current_thread().name}"
-            return _execute_task(task, selector, factory, worker, obs)
+            return _execute_task(
+                task, selector, factory, worker, obs, resilience=resilience
+            )
 
         with ThreadPoolExecutor(
             max_workers=jobs, thread_name_prefix="flix-ib"
@@ -513,7 +630,9 @@ class IndexBuilder:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = multiprocessing.get_context()
-        payload = pickle.dumps((self._selector, self._backend_factory))
+        payload = pickle.dumps(
+            (self._selector, self._backend_factory, self._resilience)
+        )
         # More workers than granted CPUs only oversubscribes the scheduler;
         # chunking follows the worker count that will actually run.
         workers = max(1, min(jobs, _available_cpus()))
@@ -529,8 +648,25 @@ class IndexBuilder:
                 for chunk in chunks
             ]
             results: List[_BuildResult] = []
-            for future in futures:
-                results.extend(future.result())
+            for chunk, future in zip(chunks, futures):
+                try:
+                    results.extend(future.result())
+                except Exception as exc:
+                    if self._resilience is None:
+                        raise
+                    # A crashed worker (OOM-killed, segfaulted C extension,
+                    # broken pool) takes its whole chunk down; rebuild that
+                    # chunk in the parent process instead of failing the
+                    # build.  A BrokenProcessPool poisons the remaining
+                    # futures too — each lands here and is rebuilt in turn.
+                    rebuilt = self._run_serial(chunk)
+                    for result in rebuilt:
+                        result.notes = result.notes + (
+                            f"meta {result.meta_id}: rebuilt in-parent after "
+                            f"worker chunk failure "
+                            f"({type(exc).__name__}: {exc})",
+                        )
+                    results.extend(rebuilt)
         return results
 
     def _check_disjoint_cover(self, specs: List[MetaDocumentSpec]) -> None:

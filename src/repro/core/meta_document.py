@@ -10,7 +10,7 @@ applicability (a link that would destroy tree shape under PPO) — are
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.graph.digraph import Digraph
 from repro.indexes.base import NodeId, PathIndex
@@ -58,7 +58,10 @@ class MetaDocument:
 
     meta_id: int
     nodes: FrozenSet[NodeId]
-    index: PathIndex
+    #: ``None`` when every build attempt (including the resilience
+    #: fallback strategy) failed — the PEE then answers this meta document
+    #: with an on-the-fly BFS fallback and flags queries ``degraded``
+    index: Optional[PathIndex]
     strategy: str
     outgoing_links: Dict[NodeId, List[NodeId]] = field(default_factory=dict)
     incoming_links: Dict[NodeId, List[NodeId]] = field(default_factory=dict)
@@ -75,7 +78,8 @@ class MetaDocument:
         """
         self._link_sources_cache = frozenset(self.outgoing_links)
         self._link_targets_cache = frozenset(self.incoming_links)
-        self.index.prepare_link_candidates(self._link_sources_cache)
+        if self.index is not None:
+            self.index.prepare_link_candidates(self._link_sources_cache)
 
     @property
     def link_sources(self) -> FrozenSet[NodeId]:

@@ -47,11 +47,16 @@ import copy
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.meta_document import MetaDocument
 from repro.indexes.base import NodeId
 from repro.obs import OBS_OFF, Observability
+from repro.storage.errors import PermanentStorageError, StorageError
+
+#: completeness levels, worst-last (merging keeps the worst)
+COMPLETENESS_LEVELS = ("complete", "truncated", "degraded")
+_COMPLETENESS_RANK = {level: rank for rank, level in enumerate(COMPLETENESS_LEVELS)}
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,51 @@ class QueryResult:
     node: NodeId
     distance: int
     meta_id: int
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Per-query work limits (graceful degradation, ``docs/RESILIENCE.md``).
+
+    A query that hits any limit stops expanding and finishes with whatever
+    it found so far, flagged ``truncated`` on its :class:`QueryStats` —
+    bounded work on runaway cross-meta traversals (cyclic residual-link
+    graphs can otherwise enqueue forever) instead of an unbounded search.
+    """
+
+    #: wall-clock limit from the first consumption of the stream
+    deadline_seconds: Optional[float] = None
+    #: residual-link traversals allowed before the search stops
+    max_link_hops: Optional[int] = None
+    #: priority-queue pops allowed before the search stops
+    max_queue_pops: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("deadline_seconds", "max_link_hops", "max_queue_pops"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set")
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.deadline_seconds is None
+            and self.max_link_hops is None
+            and self.max_queue_pops is None
+        )
+
+    @classmethod
+    def from_resilience(cls, resilience) -> Optional["QueryBudget"]:
+        """The budget a :class:`repro.core.config.ResilienceConfig` implies
+        (``None`` when no limit is configured)."""
+        if resilience is None:
+            return None
+        budget = cls(
+            deadline_seconds=resilience.query_deadline_seconds,
+            max_link_hops=resilience.max_link_hops,
+            max_queue_pops=resilience.max_queue_pops,
+        )
+        return None if budget.is_noop else budget
 
 
 @dataclass
@@ -91,6 +141,14 @@ class QueryStats:
     covered_probes: int = 0
     #: priority-queue pops, covered or not (total queue traffic)
     queue_pops: int = 0
+    #: how trustworthy the result set is: ``complete`` (everything the
+    #: index knows), ``truncated`` (a query budget stopped the search
+    #: early), or ``degraded`` (at least one meta document was answered by
+    #: the BFS fallback instead of its real index)
+    completeness: str = "complete"
+    #: BFS fallback activations this query triggered (later queries reuse
+    #: a sticky fallback without re-counting; they are still ``degraded``)
+    fallback_meta_documents: int = 0
 
     def snapshot(self) -> "QueryStats":
         """An immutable-by-convention copy (what ``last_stats`` publishes).
@@ -99,6 +157,20 @@ class QueryStats:
         all plain ints and a snapshot is taken on every query completion.
         """
         return copy.copy(self)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completeness == "complete"
+
+    def mark_truncated(self) -> None:
+        self._mark("truncated")
+
+    def mark_degraded(self) -> None:
+        self._mark("degraded")
+
+    def _mark(self, level: str) -> None:
+        if _COMPLETENESS_RANK[level] > _COMPLETENESS_RANK[self.completeness]:
+            self.completeness = level
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another query's counters (multi-step evaluations)."""
@@ -109,6 +181,8 @@ class QueryStats:
         self.results_suppressed += other.results_suppressed
         self.covered_probes += other.covered_probes
         self.queue_pops += other.queue_pops
+        self.fallback_meta_documents += other.fallback_meta_documents
+        self._mark(other.completeness)  # keep the worst completeness
 
 
 class QueryStream:
@@ -117,13 +191,26 @@ class QueryStream:
     Each query owns its :class:`QueryStats` instance, so concurrent queries
     against one evaluator never share mutable counters; read ``.stats`` at
     (or after) any point of consumption for this query's numbers.
+
+    ``close()`` is idempotent and guarantees the query's stats are
+    finalized (published to ``last_stats`` / the metrics registry) exactly
+    once — even when the underlying generator was abandoned mid-iteration
+    or never started at all, in which case the generator's own ``finally``
+    block would not run.
     """
 
-    __slots__ = ("_iterator", "stats")
+    __slots__ = ("_iterator", "stats", "_finalize", "_closed")
 
-    def __init__(self, iterator: Iterator[QueryResult], stats: QueryStats) -> None:
+    def __init__(
+        self,
+        iterator: Iterator[QueryResult],
+        stats: QueryStats,
+        finalize: Optional[Callable[[], None]] = None,
+    ) -> None:
         self._iterator = iterator
         self.stats = stats
+        self._finalize = finalize
+        self._closed = False
 
     def __iter__(self) -> "QueryStream":
         return self
@@ -131,8 +218,29 @@ class QueryStream:
     def __next__(self) -> QueryResult:
         return next(self._iterator)
 
+    @property
+    def completeness(self) -> str:
+        """Shortcut for ``stats.completeness`` (see :class:`QueryStats`)."""
+        return self.stats.completeness
+
     def close(self) -> None:
-        self._iterator.close()
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._iterator.close()
+        finally:
+            # a never-started generator skips its finally block on close();
+            # the finalizer below is idempotent, so completed streams whose
+            # generator already published are unaffected
+            if self._finalize is not None:
+                self._finalize()
+
+    def __enter__(self) -> "QueryStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class PathExpressionEvaluator:
@@ -143,12 +251,22 @@ class PathExpressionEvaluator:
         meta_documents: Sequence[MetaDocument],
         meta_of: Dict[NodeId, int],
         obs: Optional[Observability] = None,
+        budget: Optional[QueryBudget] = None,
+        fallback: Optional["FallbackContext"] = None,
     ) -> None:
         self._meta_documents = list(meta_documents)
         self._meta_of = dict(meta_of)
         #: the observability bundle (metrics + tracing); disabled by default
         #: for a bare evaluator, supplied by ``Flix`` when configured on
         self._obs = obs if obs is not None else OBS_OFF
+        #: per-query work limits (None = unlimited, the classic behaviour)
+        self._budget = budget if budget is not None and not budget.is_noop else None
+        #: where BFS fallback indexes come from when a meta document's real
+        #: index is missing or failing (None = degradation disabled: such
+        #: a meta document raises instead)
+        self._fallback_ctx = fallback
+        #: activated fallbacks, per meta id (sticky for this evaluator)
+        self._fallbacks: Dict[int, object] = {}
         # per-query instruments, bound lazily on the first publish
         self._instruments: Optional[Dict[str, object]] = None
         #: snapshot of the most recently *completed* query's counters; the
@@ -180,19 +298,15 @@ class PathExpressionEvaluator:
         stream is non-decreasing in the reported distance — at the price of
         the early-first-results advantage FliX otherwise has.
         """
-        stats = QueryStats()
-        return QueryStream(
-            self._search(
-                seeds=[start],
-                tag=tag,
-                max_distance=max_distance,
-                forward=True,
-                skip_nodes=() if include_self else (start,),
-                stats=stats,
-                exact_order=exact_order,
-                axis="descendants",
-            ),
-            stats,
+        return self._search(
+            seeds=[start],
+            tag=tag,
+            max_distance=max_distance,
+            forward=True,
+            skip_nodes=() if include_self else (start,),
+            stats=QueryStats(),
+            exact_order=exact_order,
+            axis="descendants",
         )
 
     def find_ancestors(
@@ -206,19 +320,15 @@ class PathExpressionEvaluator:
         """Stream ancestors of ``start`` (section 5.1: "a similar algorithm
         can be applied to find ancestors"); distances are path lengths from
         the ancestor down to ``start``."""
-        stats = QueryStats()
-        return QueryStream(
-            self._search(
-                seeds=[start],
-                tag=tag,
-                max_distance=max_distance,
-                forward=False,
-                skip_nodes=() if include_self else (start,),
-                stats=stats,
-                exact_order=exact_order,
-                axis="ancestors",
-            ),
-            stats,
+        return self._search(
+            seeds=[start],
+            tag=tag,
+            max_distance=max_distance,
+            forward=False,
+            skip_nodes=() if include_self else (start,),
+            stats=QueryStats(),
+            exact_order=exact_order,
+            axis="ancestors",
         )
 
     def evaluate_type_query(
@@ -233,18 +343,14 @@ class PathExpressionEvaluator:
         Results are the distinct ``B`` elements reachable from *some* seed,
         each reported once with (approximately) its smallest seed distance.
         """
-        stats = QueryStats()
-        return QueryStream(
-            self._search(
-                seeds=list(source_tag_nodes),
-                tag=tag,
-                max_distance=max_distance,
-                forward=True,
-                skip_nodes=(),
-                stats=stats,
-                axis="type",
-            ),
-            stats,
+        return self._search(
+            seeds=list(source_tag_nodes),
+            tag=tag,
+            max_distance=max_distance,
+            forward=True,
+            skip_nodes=(),
+            stats=QueryStats(),
+            axis="type",
         )
 
     # ------------------------------------------------------------------
@@ -260,9 +366,10 @@ class PathExpressionEvaluator:
         stats: QueryStats,
         exact_order: bool = False,
         axis: Optional[str] = None,
-    ) -> Iterator[QueryResult]:
-        """Run the core loop; ``axis=None`` marks an internal sub-search
-        whose caller owns publication (no trace, no registry writes)."""
+    ) -> QueryStream:
+        """Build the query stream; ``axis=None`` marks an internal
+        sub-search whose caller owns publication (no trace, no registry
+        writes — ``last_stats`` is still refreshed on completion)."""
         obs = self._obs
         trace = None
         started = 0.0
@@ -274,19 +381,46 @@ class PathExpressionEvaluator:
                 tag=tag if tag is not None else "*",
                 seeds=len(seeds),
             )
-        try:
-            yield from self._search_inner(
-                seeds, tag, max_distance, forward, skip_nodes, stats,
-                exact_order, trace,
-            )
-        finally:
+        finalize = self._make_finalizer(stats, axis, trace, started)
+
+        def run() -> Iterator[QueryResult]:
+            try:
+                yield from self._search_inner(
+                    seeds, tag, max_distance, forward, skip_nodes, stats,
+                    exact_order, trace,
+                )
+            finally:
+                finalize()
+
+        return QueryStream(run(), stats, finalize)
+
+    def _make_finalizer(
+        self, stats: QueryStats, axis: Optional[str], trace, started: float
+    ) -> Callable[[], None]:
+        """One-shot publication of a finished query's stats.
+
+        Shared by the search generator's ``finally`` block and
+        :meth:`QueryStream.close`, whichever runs first; the ``done`` guard
+        makes the pair publish exactly once, covering streams that are
+        exhausted, closed mid-iteration, or closed before the first
+        ``next()`` (a never-started generator skips its ``finally``).
+        """
+        done = [False]
+
+        def finalize() -> None:
+            if done[0]:
+                return
+            done[0] = True
             # Publish a frozen copy only: concurrent readers of last_stats
             # must never observe another query's counters mid-mutation.
             self.last_stats = stats.snapshot()
             if trace is not None:
                 trace.root.meta["results"] = stats.results_returned
+                trace.root.meta["completeness"] = stats.completeness
                 trace.finish()
                 self._publish(stats, axis, time.perf_counter() - started)
+
+        return finalize
 
     def _search_inner(
         self,
@@ -310,8 +444,17 @@ class PathExpressionEvaluator:
         skip = set(skip_nodes)
         # exact-order buffering: (distance, tiebreak, result)
         buffer: List[Tuple[int, int, QueryResult]] = []
+        budget = self._budget
+        deadline = None
+        if budget is not None and budget.deadline_seconds is not None:
+            deadline = time.monotonic() + budget.deadline_seconds
 
         while heap:
+            if budget is not None and self._budget_exhausted(
+                budget, deadline, stats
+            ):
+                stats.mark_truncated()
+                break
             priority, _, entry = heapq.heappop(heap)
             stats.queue_pops += 1
             if exact_order:
@@ -323,70 +466,140 @@ class PathExpressionEvaluator:
             if max_distance is not None and priority > max_distance:
                 break  # queue head beyond the client's threshold
             meta = self._meta_documents[self._meta_of[entry]]
-            index = meta.index
             previous = entries.setdefault(meta.meta_id, [])
-            if self._covered(index, previous, entry, forward, stats):
+            outcome = self._expand_entry(
+                meta, entry, priority, tag, forward, skip, max_distance,
+                previous, stats, trace,
+            )
+            if outcome is None:
                 stats.entries_dropped += 1
                 continue
             stats.meta_document_visits += 1
+            emit, link_pushes = outcome
 
-            matches = self._probe(index, entry, tag, forward, trace,
-                                  meta.meta_id, priority)
-            for node, local_distance in matches:
-                if node in skip and node == entry and local_distance == 0:
-                    continue
-                total = priority + local_distance
-                if max_distance is not None and total > max_distance:
-                    continue
-                if self._covered(index, previous, node, forward, stats):
-                    stats.results_suppressed += 1
-                    continue
+            for result in emit:
                 stats.results_returned += 1
-                result = QueryResult(node, total, meta.meta_id)
                 if exact_order:
                     counter += 1
-                    heapq.heappush(buffer, (total, counter, result))
+                    heapq.heappush(buffer, (result.distance, counter, result))
                 else:
                     yield result
 
             previous.append(entry)
-
-            # Follow residual links out of (forward) / into (backward) the
-            # meta document.
-            link_candidates = meta.link_sources if forward else meta.link_targets
-            if link_candidates:
-                if trace is not None:
-                    with trace.span("pee.link_hop", meta_id=meta.meta_id) as span:
-                        counter, hops = self._follow_links(
-                            index, meta, entry, priority, forward, stats,
-                            heap, counter,
-                        )
-                        span.meta["hops"] = hops
-                else:
-                    counter, _ = self._follow_links(
-                        index, meta, entry, priority, forward, stats,
-                        heap, counter,
-                    )
+            for local_distance, neighbour in link_pushes:
+                stats.link_traversals += 1
+                counter += 1
+                heapq.heappush(
+                    heap, (priority + local_distance + 1, counter, neighbour)
+                )
 
         while buffer:
             yield heapq.heappop(buffer)[2]
 
-    def _follow_links(
+    @staticmethod
+    def _budget_exhausted(
+        budget: QueryBudget, deadline: Optional[float], stats: QueryStats
+    ) -> bool:
+        if (
+            budget.max_queue_pops is not None
+            and stats.queue_pops >= budget.max_queue_pops
+        ):
+            return True
+        if (
+            budget.max_link_hops is not None
+            and stats.link_traversals >= budget.max_link_hops
+        ):
+            return True
+        return deadline is not None and time.monotonic() >= deadline
+
+    # ------------------------------------------------------------------
+    # per-entry expansion (all index access happens here)
+    # ------------------------------------------------------------------
+    def _expand_entry(
+        self,
+        meta: MetaDocument,
+        entry: NodeId,
+        priority: int,
+        tag: Optional[str],
+        forward: bool,
+        skip,
+        max_distance: Optional[int],
+        previous: List[NodeId],
+        stats: QueryStats,
+        trace,
+    ):
+        """Expand one popped entry: coverage check, local probe, residual-
+        link lookup.  Returns ``None`` when the entry is covered, else
+        ``(results_to_emit, link_pushes)``.
+
+        Every index access for the entry runs *before* any result is
+        yielded and before any heap/``previous`` mutation, so when the real
+        index raises a :class:`StorageError` mid-expansion the whole entry
+        is retried once on the BFS fallback without duplicating emitted
+        results or queue pushes (diagnostic counters such as
+        ``covered_probes`` may over-count the aborted attempt).
+        """
+        index = self._local_index(meta, stats)
+        try:
+            return self._expand_with(
+                index, meta, entry, priority, tag, forward, skip,
+                max_distance, previous, stats, trace,
+            )
+        except StorageError as exc:
+            index = self._activate_fallback(meta, stats, exc)
+            return self._expand_with(
+                index, meta, entry, priority, tag, forward, skip,
+                max_distance, previous, stats, trace,
+            )
+
+    def _expand_with(
         self,
         index,
         meta: MetaDocument,
         entry: NodeId,
         priority: int,
+        tag: Optional[str],
         forward: bool,
+        skip,
+        max_distance: Optional[int],
+        previous: List[NodeId],
         stats: QueryStats,
-        heap: List[Tuple[int, int, NodeId]],
-        counter: int,
-    ) -> Tuple[int, int]:
-        """Enqueue the residual-link neighbours reachable from ``entry``.
+        trace,
+    ):
+        if self._covered(index, previous, entry, forward, stats):
+            return None
+        matches = self._probe(index, entry, tag, forward, trace,
+                              meta.meta_id, priority)
+        emit: List[QueryResult] = []
+        for node, local_distance in matches:
+            if node in skip and node == entry and local_distance == 0:
+                continue
+            total = priority + local_distance
+            if max_distance is not None and total > max_distance:
+                continue
+            if self._covered(index, previous, node, forward, stats):
+                stats.results_suppressed += 1
+                continue
+            emit.append(QueryResult(node, total, meta.meta_id))
 
-        Returns the updated tiebreak counter and the number of links
-        followed (the latter feeds the ``pee.link_hop`` span annotation).
-        """
+        # Residual links out of (forward) / into (backward) the meta
+        # document; pushes are applied by the caller after emission.
+        link_pushes: List[Tuple[int, NodeId]] = []
+        link_candidates = meta.link_sources if forward else meta.link_targets
+        if link_candidates:
+            if trace is not None:
+                with trace.span("pee.link_hop", meta_id=meta.meta_id) as span:
+                    link_pushes = self._link_pushes(index, meta, entry, forward)
+                    span.meta["hops"] = len(link_pushes)
+            else:
+                link_pushes = self._link_pushes(index, meta, entry, forward)
+        return emit, link_pushes
+
+    def _link_pushes(
+        self, index, meta: MetaDocument, entry: NodeId, forward: bool
+    ) -> List[Tuple[int, NodeId]]:
+        """The residual-link neighbours reachable from ``entry``, as
+        ``(local_distance, neighbour)`` pairs ready for enqueueing."""
         if forward:
             link_elements = index.reachable_subset(entry, meta.link_sources)
             link_map = meta.outgoing_links
@@ -395,16 +608,64 @@ class PathExpressionEvaluator:
                 index, entry, meta.link_targets
             )
             link_map = meta.incoming_links
-        hops = 0
+        pushes: List[Tuple[int, NodeId]] = []
         for element, local_distance in link_elements:
             for neighbour in link_map[element]:
-                hops += 1
-                counter += 1
-                heapq.heappush(
-                    heap, (priority + local_distance + 1, counter, neighbour)
-                )
-        stats.link_traversals += hops
-        return counter, hops
+                pushes.append((local_distance, neighbour))
+        return pushes
+
+    # ------------------------------------------------------------------
+    # graceful degradation (missing / failing meta-document indexes)
+    # ------------------------------------------------------------------
+    def _local_index(self, meta: MetaDocument, stats: QueryStats):
+        """The index to answer ``meta``'s probes with.
+
+        Prefers the real index; a meta document whose index is missing
+        (failed build) or previously failed gets its sticky BFS fallback,
+        and every query that reads through a fallback is flagged
+        ``degraded``.
+        """
+        fallback = self._fallbacks.get(meta.meta_id)
+        if fallback is not None:
+            stats.mark_degraded()
+            return fallback
+        if meta.index is None:
+            return self._activate_fallback(meta, stats, None)
+        return meta.index
+
+    def _activate_fallback(self, meta: MetaDocument, stats: QueryStats, exc):
+        """Swap ``meta`` onto a BFS fallback index (sticky), or re-raise.
+
+        ``exc`` is the triggering :class:`StorageError` (``None`` for a
+        missing index).  Without a :class:`FallbackContext` degradation is
+        disabled and the failure propagates unchanged.
+        """
+        ctx = self._fallback_ctx
+        if ctx is None:
+            if exc is not None:
+                raise exc
+            raise PermanentStorageError(
+                f"meta document {meta.meta_id} has no usable index and "
+                "query fallback is disabled (no resilience configuration)"
+            )
+        fallback = self._fallbacks.get(meta.meta_id)
+        if fallback is None:
+            fallback = ctx.build_for(meta)
+            self._fallbacks[meta.meta_id] = fallback
+            stats.fallback_meta_documents += 1
+            if self._obs.enabled:
+                self._obs.registry.counter(
+                    "flix_query_fallbacks_total",
+                    "BFS fallback activations for unusable meta-document "
+                    "indexes, by cause.",
+                ).inc(cause="missing" if exc is None else "storage_error")
+        stats.mark_degraded()
+        return fallback
+
+    @property
+    def degraded_meta_ids(self) -> List[int]:
+        """Meta documents currently served by a BFS fallback, sorted."""
+        return sorted(self._fallbacks)
 
     def _probe(
         self,
@@ -472,6 +733,11 @@ class PathExpressionEvaluator:
                     "Wall time from first consumption to stream completion, "
                     "by axis.",
                 ),
+                "completeness": reg.counter(
+                    "flix_query_completeness_total",
+                    "Finished queries by completeness level "
+                    "(complete / truncated / degraded).",
+                ),
             }
         return self._instruments
 
@@ -487,6 +753,7 @@ class PathExpressionEvaluator:
         inst["dupes"].inc(stats.results_suppressed, kind="result")
         inst["results"].inc(stats.results_returned, axis=axis)
         inst["seconds"].observe(duration, axis=axis)
+        inst["completeness"].inc(level=stats.completeness)
 
     @staticmethod
     def _covered(
@@ -579,37 +846,99 @@ class PathExpressionEvaluator:
         if source not in self._meta_of or target not in self._meta_of:
             raise KeyError("both endpoints must belong to the collection")
         target_meta = self._meta_of[target]
+        budget = self._budget
+        deadline = None
+        if budget is not None and budget.deadline_seconds is not None:
+            deadline = time.monotonic() + budget.deadline_seconds
 
         while heap:
+            if budget is not None and self._budget_exhausted(
+                budget, deadline, stats
+            ):
+                stats.mark_truncated()
+                return None
             priority, _, entry = heapq.heappop(heap)
             stats.queue_pops += 1
             if max_distance is not None and priority > max_distance:
                 return None
             meta = self._meta_documents[self._meta_of[entry]]
-            index = meta.index
             previous = entries.setdefault(meta.meta_id, [])
-            if self._covered(index, previous, entry, True, stats):
+            outcome = self._connection_probe(
+                meta, entry, priority, target, target_meta, max_distance,
+                previous, stats,
+            )
+            if outcome is None:
                 stats.entries_dropped += 1
                 continue
             stats.meta_document_visits += 1
-            if meta.meta_id == target_meta:
-                local = index.distance(entry, target)
-                if local is not None:
-                    total = priority + local
-                    if max_distance is None or total <= max_distance:
-                        stats.results_returned = 1
-                        return total
+            found, link_pushes = outcome
+            if found is not None:
+                stats.results_returned = 1
+                return found
             previous.append(entry)
+            for local_distance, out_target in link_pushes:
+                stats.link_traversals += 1
+                counter += 1
+                heapq.heappush(
+                    heap, (priority + local_distance + 1, counter, out_target)
+                )
+        return None
+
+    def _connection_probe(
+        self,
+        meta: MetaDocument,
+        entry: NodeId,
+        priority: int,
+        target: NodeId,
+        target_meta: int,
+        max_distance: Optional[int],
+        previous: List[NodeId],
+        stats: QueryStats,
+    ):
+        """Connection-test expansion of one entry, with the same
+        retry-on-fallback contract as :meth:`_expand_entry`."""
+        index = self._local_index(meta, stats)
+        try:
+            return self._connection_probe_with(
+                index, meta, entry, priority, target, target_meta,
+                max_distance, previous, stats,
+            )
+        except StorageError as exc:
+            index = self._activate_fallback(meta, stats, exc)
+            return self._connection_probe_with(
+                index, meta, entry, priority, target, target_meta,
+                max_distance, previous, stats,
+            )
+
+    def _connection_probe_with(
+        self,
+        index,
+        meta: MetaDocument,
+        entry: NodeId,
+        priority: int,
+        target: NodeId,
+        target_meta: int,
+        max_distance: Optional[int],
+        previous: List[NodeId],
+        stats: QueryStats,
+    ):
+        if self._covered(index, previous, entry, True, stats):
+            return None
+        found: Optional[int] = None
+        if meta.meta_id == target_meta:
+            local = index.distance(entry, target)
+            if local is not None:
+                total = priority + local
+                if max_distance is None or total <= max_distance:
+                    found = total
+        link_pushes: List[Tuple[int, NodeId]] = []
+        if found is None:
             for element, local_distance in index.reachable_subset(
                 entry, meta.link_sources
             ):
                 for out_target in meta.outgoing_links[element]:
-                    stats.link_traversals += 1
-                    counter += 1
-                    heapq.heappush(
-                        heap, (priority + local_distance + 1, counter, out_target)
-                    )
-        return None
+                    link_pushes.append((local_distance, out_target))
+        return found, link_pushes
 
     def connection_test_bidirectional(
         self,
@@ -625,18 +954,18 @@ class PathExpressionEvaluator:
         alternation bounds the work by twice the cheaper side."""
         stats = stats if stats is not None else QueryStats()
         started = time.perf_counter() if self._obs.enabled else 0.0
+        # The two sub-searches share this query's stats and publish
+        # nothing themselves (axis=None) — the single registry/trace
+        # publication below covers the whole bidirectional run.
+        forward = self._search(
+            seeds=[source], tag=None, max_distance=max_distance,
+            forward=True, skip_nodes=(), stats=stats,
+        )
+        backward = self._search(
+            seeds=[target], tag=None, max_distance=max_distance,
+            forward=False, skip_nodes=(), stats=stats,
+        )
         try:
-            # The two sub-searches share this query's stats and publish
-            # nothing themselves (axis=None) — the single registry/trace
-            # publication below covers the whole bidirectional run.
-            forward = self._search(
-                seeds=[source], tag=None, max_distance=max_distance,
-                forward=True, skip_nodes=(), stats=stats,
-            )
-            backward = self._search(
-                seeds=[target], tag=None, max_distance=max_distance,
-                forward=False, skip_nodes=(), stats=stats,
-            )
             seen_forward: Dict[NodeId, int] = {}
             seen_backward: Dict[NodeId, int] = {}
             streams = [(forward, seen_forward, seen_backward),
@@ -663,6 +992,9 @@ class PathExpressionEvaluator:
                                 return best
             return best
         finally:
+            # finalize both sub-streams (their finalizers are idempotent)
+            forward.close()
+            backward.close()
             if self._obs.enabled:
                 self._publish(
                     stats, "connection", time.perf_counter() - started

@@ -19,24 +19,43 @@ Supported strategies: every ISS-selectable one (ppo, hopi, apex, kindex,
 fbindex, transitive_closure).  DataGuide and Fabric persist their tables
 too, but their specialized lookup structures are rebuilt cheaper from the
 documents, so they are not reconstructed here and are rejected explicitly.
+
+Integrity and repair
+--------------------
+
+The manifest records a content fingerprint (SHA-256 over table schemas and
+rows) for every SQLite file it references.  :func:`load_flix` re-computes
+them by default and refuses to load a damaged save with an
+:class:`IntegrityError` that names the broken files.  :func:`repair_flix`
+(CLI: ``repro repair``) then re-derives the meta-document specs from the
+collection — the MDB is deterministic — and rebuilds *only* the damaged
+files, leaving intact ones untouched, so a repaired save is
+fingerprint-identical to the original.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.collection.collection import XmlCollection
-from repro.core.config import FlixConfig
+from repro.core.config import FlixConfig, ResilienceConfig
 from repro.core.framework import Flix
-from repro.core.ib import BuildReport, IndexBuilder, MetaDocumentReport
-from repro.core.meta_document import MetaDocument
+from repro.core.ib import (
+    _LINKS_SCHEMA,
+    BuildReport,
+    IndexBuilder,
+    MetaDocumentReport,
+)
+from repro.core.meta_document import MetaDocument, MetaDocumentSpec
 from repro.indexes.apex import ApexIndex
 from repro.indexes.hopi import HopiIndex
 from repro.indexes.kindex import ForwardBackwardIndex, KBisimulationIndex
 from repro.indexes.ppo import PpoIndex
+from repro.indexes.registry import IndexBuildRequest, execute_build_request
 from repro.indexes.transitive import TransitiveClosureIndex
+from repro.storage.memory import MemoryBackend
 from repro.storage.sqlite_backend import SqliteBackend
 from repro.storage.table import StorageBackend
 
@@ -46,6 +65,23 @@ FORMAT_VERSION = 1
 
 class PersistenceError(RuntimeError):
     """Raised on unsupported strategies or manifest/collection mismatches."""
+
+
+class IntegrityError(PersistenceError):
+    """A saved index failed checksum verification.
+
+    ``damaged`` lists the offending file names (missing, unreadable, or
+    fingerprint-mismatched); :func:`repair_flix` rebuilds exactly those.
+    """
+
+    def __init__(self, directory: Path, damaged: List[str]) -> None:
+        self.damaged = list(damaged)
+        super().__init__(
+            f"saved index under {directory} failed integrity verification: "
+            + ", ".join(self.damaged)
+            + " — run `repro repair` (or repair_flix) to rebuild the "
+            "damaged files"
+        )
 
 
 def _copy_tables(source: StorageBackend, target: StorageBackend) -> None:
@@ -67,6 +103,12 @@ def save_flix(flix: Flix, directory) -> Path:
     """Persist ``flix`` under ``directory``; returns the manifest path."""
     loaders = _loaders()
     for meta in flix.meta_documents:
+        if meta.index is None:
+            raise PersistenceError(
+                f"meta document {meta.meta_id} has no index (every build "
+                "attempt failed and it is answered by the query-time BFS "
+                "fallback); rebuild it before saving"
+            )
         if meta.strategy not in loaders:
             raise PersistenceError(
                 f"meta document {meta.meta_id} uses strategy "
@@ -75,20 +117,23 @@ def save_flix(flix: Flix, directory) -> Path:
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
 
+    integrity: Dict[str, str] = {}
     for meta in flix.meta_documents:
-        target = SqliteBackend(str(root / f"meta_{meta.meta_id:04d}.sqlite"))
+        filename = f"meta_{meta.meta_id:04d}.sqlite"
+        target = SqliteBackend(str(root / filename))
         _copy_tables(meta.index.backend, target)
+        integrity[filename] = target.fingerprint()
         target.close()
     framework_target = SqliteBackend(str(root / "framework.sqlite"))
     if flix._builder is not None:
         _copy_tables(flix._builder.framework_backend, framework_target)
     else:
         # monolithic builds carry no residual links; write an empty table
-        from repro.core.ib import _LINKS_SCHEMA
-
         framework_target.create_table(_LINKS_SCHEMA)
+    integrity["framework.sqlite"] = framework_target.fingerprint()
     framework_target.close()
 
+    resilience = flix.config.resilience
     manifest = {
         "format_version": FORMAT_VERSION,
         "collection": _fingerprint(flix.collection),
@@ -103,6 +148,11 @@ def save_flix(flix: Flix, directory) -> Path:
             "jobs": flix.config.jobs,
             "build_executor": flix.config.build_executor,
             "observability": flix.config.observability,
+            "resilience": resilience.to_dict() if resilience else None,
+        },
+        "integrity": {
+            "algorithm": "sha256-table-content",
+            "files": integrity,
         },
         "meta_documents": [
             {"meta_id": meta.meta_id, "strategy": meta.strategy}
@@ -114,9 +164,42 @@ def save_flix(flix: Flix, directory) -> Path:
     return manifest_path
 
 
-def load_flix(collection: XmlCollection, directory) -> Flix:
-    """Reconstruct a saved index against the (unchanged) collection."""
-    root = Path(directory)
+# ----------------------------------------------------------------------
+# integrity verification and repair
+# ----------------------------------------------------------------------
+def _file_fingerprint(path: Path) -> Optional[str]:
+    """Content fingerprint of one saved SQLite file; ``None`` when the
+    file is missing or too broken to read (both count as damaged)."""
+    if not path.is_file():
+        return None
+    backend = None
+    try:
+        backend = SqliteBackend.attach(str(path))
+        return backend.fingerprint()
+    except Exception:
+        return None
+    finally:
+        if backend is not None:
+            try:
+                backend.close()
+            except Exception:
+                pass
+
+
+def _damaged_files(root: Path, manifest: dict) -> List[str]:
+    """File names whose current content does not match the manifest.
+
+    Saves from before the integrity section existed verify vacuously.
+    """
+    recorded = manifest.get("integrity", {}).get("files", {})
+    return [
+        filename
+        for filename in sorted(recorded)
+        if _file_fingerprint(root / filename) != recorded[filename]
+    ]
+
+
+def _read_manifest(root: Path, collection: XmlCollection) -> dict:
     manifest_path = root / MANIFEST_NAME
     if not manifest_path.is_file():
         raise PersistenceError(f"no {MANIFEST_NAME} under {root}")
@@ -130,20 +213,134 @@ def load_flix(collection: XmlCollection, directory) -> Flix:
             "collection fingerprint mismatch: the index was saved for "
             f"{manifest['collection']}, got {_fingerprint(collection)}"
         )
+    return manifest
 
-    config_data = manifest["config"]
-    config = FlixConfig(
-        name=config_data["name"],
-        mdb_strategy=config_data["mdb_strategy"],
-        allowed_strategies=tuple(config_data["allowed_strategies"]),
-        partition_size=config_data["partition_size"],
-        single_tree=config_data["single_tree"],
-        hopi_pairs_per_node_budget=config_data["hopi_pairs_per_node_budget"],
-        expect_long_paths=config_data["expect_long_paths"],
-        jobs=config_data.get("jobs", 1),
-        build_executor=config_data.get("build_executor", "auto"),
-        observability=config_data.get("observability", True),
+
+def verify_flix(collection: XmlCollection, directory) -> List[str]:
+    """Check a saved index; returns the damaged file names (empty = intact)."""
+    root = Path(directory)
+    return _damaged_files(root, _read_manifest(root, collection))
+
+
+def repair_flix(collection: XmlCollection, directory) -> List[str]:
+    """Rebuild the damaged files of a saved index in place.
+
+    Re-derives the meta-document specs from the (unchanged) collection —
+    the Meta Document Builder is deterministic, so spec ``i`` is the meta
+    document ``meta_iiii.sqlite`` was built from — and re-runs the
+    manifest-recorded strategy for each damaged file only.  The residual
+    link table (``framework.sqlite``) is likewise reconstructible as the
+    collection edges internal to no meta document.  Intact files are not
+    touched, so the repaired save is fingerprint-identical to the
+    original.  Requires a readable manifest (a destroyed manifest means a
+    full rebuild).  Returns the repaired file names.
+    """
+    root = Path(directory)
+    manifest = _read_manifest(root, collection)
+    damaged = _damaged_files(root, manifest)
+    if not damaged:
+        return []
+
+    config = _config_from_manifest(manifest["config"])
+    from repro.core.mdb import MetaDocumentBuilder
+
+    specs = MetaDocumentBuilder(collection, config).build_specs()
+    spec_of: Dict[int, MetaDocumentSpec] = {spec.meta_id: spec for spec in specs}
+    strategy_of = {
+        entry["meta_id"]: entry["strategy"]
+        for entry in manifest["meta_documents"]
+    }
+
+    recorded = manifest["integrity"]["files"]
+    for filename in damaged:
+        path = root / filename
+        if path.exists():
+            path.unlink()
+        if filename == "framework.sqlite":
+            _rebuild_framework_file(path, collection, specs)
+        else:
+            meta_id = int(filename[len("meta_") : -len(".sqlite")])
+            spec = spec_of.get(meta_id)
+            strategy = strategy_of.get(meta_id)
+            if spec is None or strategy is None:
+                raise PersistenceError(
+                    f"cannot repair {filename}: the manifest or the "
+                    "re-derived specs know no meta document "
+                    f"{meta_id}; rebuild the index instead"
+                )
+            _rebuild_meta_file(path, spec, strategy, collection)
+        rebuilt = _file_fingerprint(path)
+        if rebuilt is None:
+            raise PersistenceError(f"repair of {filename} produced no data")
+        if rebuilt != recorded[filename]:
+            # A strategy whose output depends on anything beyond the spec
+            # would land here; today's loaders are all deterministic.
+            raise PersistenceError(
+                f"repaired {filename} does not match its recorded "
+                "fingerprint; the collection or configuration has drifted "
+                "since the save"
+            )
+
+    manifest_path = root / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    return damaged
+
+
+def _rebuild_meta_file(
+    path: Path, spec: MetaDocumentSpec, strategy: str, collection: XmlCollection
+) -> None:
+    """Re-run one meta document's index build and persist it at ``path``."""
+    graph = spec.build_graph()
+    tags = {node: collection.tag(node) for node in spec.nodes}
+    index = execute_build_request(
+        IndexBuildRequest(strategy=strategy, tags=tags),
+        MemoryBackend,
+        graph=graph,
     )
+    target = SqliteBackend(str(path))
+    _copy_tables(index.backend, target)
+    target.close()
+
+
+def _rebuild_framework_file(
+    path: Path, collection: XmlCollection, specs: List[MetaDocumentSpec]
+) -> None:
+    """Reconstruct the residual-link table exactly as the IB wrote it:
+    every collection edge internal to no meta document, sorted."""
+    meta_of: Dict[int, int] = {}
+    internal = set()
+    for spec in specs:
+        internal.update(spec.internal_edges)
+        for node in spec.nodes:
+            meta_of[node] = spec.meta_id
+    residual = sorted(
+        edge for edge in collection.graph.edges() if edge not in internal
+    )
+    target = SqliteBackend(str(path))
+    table = target.create_table(_LINKS_SCHEMA)
+    for u, v in residual:
+        table.insert((u, v, meta_of[u], meta_of[v]))
+    target.close()
+
+
+def load_flix(collection: XmlCollection, directory, verify: bool = True) -> Flix:
+    """Reconstruct a saved index against the (unchanged) collection.
+
+    ``verify`` (default) re-fingerprints every referenced SQLite file
+    against the manifest's integrity section and raises
+    :class:`IntegrityError` naming the damaged ones — pass ``False`` to
+    skip the check (e.g. right after a successful :func:`repair_flix`,
+    or for saves predating the integrity section, which verify vacuously
+    anyway).
+    """
+    root = Path(directory)
+    manifest = _read_manifest(root, collection)
+    if verify:
+        damaged = _damaged_files(root, manifest)
+        if damaged:
+            raise IntegrityError(root, damaged)
+
+    config = _config_from_manifest(manifest["config"])
 
     tags = {node: collection.tag(node) for node in collection.node_ids()}
     loaders = _loaders()
@@ -204,6 +401,27 @@ def load_flix(collection: XmlCollection, directory) -> Flix:
     flix._builder = builder
     flix._backend_factory = SqliteBackend
     return flix
+
+
+def _config_from_manifest(config_data: dict) -> FlixConfig:
+    resilience_data = config_data.get("resilience")
+    return FlixConfig(
+        name=config_data["name"],
+        mdb_strategy=config_data["mdb_strategy"],
+        allowed_strategies=tuple(config_data["allowed_strategies"]),
+        partition_size=config_data["partition_size"],
+        single_tree=config_data["single_tree"],
+        hopi_pairs_per_node_budget=config_data["hopi_pairs_per_node_budget"],
+        expect_long_paths=config_data["expect_long_paths"],
+        jobs=config_data.get("jobs", 1),
+        build_executor=config_data.get("build_executor", "auto"),
+        observability=config_data.get("observability", True),
+        resilience=(
+            ResilienceConfig.from_dict(resilience_data)
+            if resilience_data
+            else None
+        ),
+    )
 
 
 def _loaders() -> Dict[str, Callable]:

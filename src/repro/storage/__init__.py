@@ -16,7 +16,22 @@ relative sizes are apples-to-apples across strategies.
 """
 
 from repro.storage.table import Column, Table, TableSchema, StorageBackend
+from repro.storage.errors import (
+    CircuitOpenError,
+    CorruptionError,
+    PermanentStorageError,
+    StorageError,
+    TransientStorageError,
+)
 from repro.storage.memory import MemoryBackend
+from repro.storage.resilient import (
+    BreakerPolicy,
+    CircuitBreaker,
+    ResilientBackend,
+    ResilientFactory,
+    ResilientTable,
+    RetryPolicy,
+)
 from repro.storage.sqlite_backend import SqliteBackend
 from repro.storage.sizing import format_bytes, row_bytes
 
@@ -27,6 +42,17 @@ __all__ = [
     "StorageBackend",
     "MemoryBackend",
     "SqliteBackend",
+    "StorageError",
+    "TransientStorageError",
+    "PermanentStorageError",
+    "CorruptionError",
+    "CircuitOpenError",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ResilientBackend",
+    "ResilientFactory",
+    "ResilientTable",
     "row_bytes",
     "format_bytes",
 ]

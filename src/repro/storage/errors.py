@@ -1,0 +1,91 @@
+"""Typed storage errors: the stable contract the resilience layer retries on.
+
+The paper targets web-scale collections whose storage is inherently
+unreliable; surviving that needs a *classification* of failures, not just an
+exception.  Every backend maps its native errors into this hierarchy so the
+retry layer (:mod:`repro.storage.resilient`) can decide mechanically:
+
+* :class:`TransientStorageError` — worth retrying (lock contention, injected
+  flakiness, I/O hiccups).  Retry with backoff; repeated transients trip the
+  per-table circuit breaker.
+* :class:`PermanentStorageError` — retrying cannot help (schema violations,
+  misuse, missing tables).  Propagated immediately.
+* :class:`CorruptionError` — the stored bytes are damaged (malformed
+  database image, checksum mismatch).  Propagated immediately; the repair
+  path (:func:`repro.core.persistence.repair_flix`) is the cure.
+* :class:`CircuitOpenError` — raised *by the resilience layer itself* when a
+  table's breaker is open: calls fail fast instead of hammering a backend
+  that has been failing persistently.  Query-side callers treat it like any
+  other :class:`StorageError` and degrade.
+
+Raw backend exceptions (``sqlite3.OperationalError``, ...) must not leak to
+callers of the storage API; the SQLite backend converts them at every
+public entry point.
+"""
+
+from __future__ import annotations
+
+
+class StorageError(RuntimeError):
+    """Base class of every storage-layer failure."""
+
+
+class TransientStorageError(StorageError):
+    """A failure that may succeed on retry (contention, flaky I/O)."""
+
+
+class PermanentStorageError(StorageError):
+    """A failure retrying cannot fix (misuse, constraint violations)."""
+
+
+class CorruptionError(StorageError):
+    """The stored data itself is damaged (malformed image, bad checksum)."""
+
+
+class CircuitOpenError(StorageError):
+    """Fail-fast signal: the table's circuit breaker is open.
+
+    Carries ``table`` (the protected table's name) and ``retry_after``
+    (seconds until the breaker next admits a probe call).
+    """
+
+    def __init__(self, table: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit breaker for table {table!r} is open; "
+            f"next probe in {retry_after:.3f}s"
+        )
+        self.table = table
+        self.retry_after = retry_after
+
+
+#: sqlite3.OperationalError messages that indicate a retryable condition
+_TRANSIENT_SQLITE_MARKERS = (
+    "locked",
+    "busy",
+    "disk i/o error",
+    "unable to open",
+    "interrupted",
+)
+
+
+def classify_sqlite_error(exc: BaseException) -> StorageError:
+    """Map a ``sqlite3`` exception onto the typed hierarchy.
+
+    ``OperationalError`` splits on its message: lock/busy/I-O conditions are
+    transient, everything else (missing table, syntax) is permanent.
+    ``DatabaseError`` outside that — notably ``"database disk image is
+    malformed"`` — is corruption.  Anything else is permanent.
+    """
+    import sqlite3
+
+    message = str(exc)
+    lowered = message.lower()
+    if isinstance(exc, sqlite3.OperationalError):
+        if any(marker in lowered for marker in _TRANSIENT_SQLITE_MARKERS):
+            return TransientStorageError(message)
+        return PermanentStorageError(message)
+    if isinstance(exc, (sqlite3.IntegrityError, sqlite3.ProgrammingError)):
+        return PermanentStorageError(message)
+    if isinstance(exc, sqlite3.DatabaseError):
+        return CorruptionError(message)
+    return PermanentStorageError(message)

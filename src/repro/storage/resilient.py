@@ -1,0 +1,384 @@
+"""Retrying, circuit-breaking wrapper around any storage backend.
+
+``ResilientBackend`` decorates a :class:`repro.storage.table.StorageBackend`
+so that transient failures (classified by the backend as
+:class:`repro.storage.errors.TransientStorageError`) are retried with
+exponential backoff plus deterministic jitter, and persistently failing
+tables trip a per-table circuit breaker that fails fast
+(:class:`repro.storage.errors.CircuitOpenError`) instead of hammering a
+broken backend.  Permanent errors and corruption pass through untouched —
+retrying cannot fix either.
+
+The wrapper is transparent to the rest of the system: schemas, row
+contents, iteration order, fingerprints and observer wiring are the
+inner backend's, so an index built through a ``ResilientBackend`` is
+byte-identical to one built directly on the wrapped backend.
+
+Observability: when built with an enabled :class:`repro.obs.Observability`
+bundle, the wrapper emits
+
+* ``flix_storage_retries_total{table=...}`` — one increment per retried
+  attempt (not per call);
+* ``flix_storage_giveups_total{table=...}`` — calls that exhausted their
+  retry budget;
+* ``flix_circuit_state{table=...}`` — 0 closed, 1 half-open, 2 open.
+
+Retry safety: write retries rely on the inner backend making failed writes
+atomic (the SQLite backend wraps multi-row inserts in one transaction; the
+fault injector raises before delegating), so a retried ``insert_many``
+never double-applies a prefix.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.storage.errors import (
+    CircuitOpenError,
+    StorageError,
+    TransientStorageError,
+)
+from repro.storage.table import Row, StorageBackend, Table, TableSchema
+
+#: circuit-breaker states, also the ``flix_circuit_state`` gauge values
+CIRCUIT_CLOSED = 0
+CIRCUIT_HALF_OPEN = 1
+CIRCUIT_OPEN = 2
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    Attempt ``k`` (0-based) sleeps ``base_delay * 2**k``, capped at
+    ``max_delay``, then multiplied by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]`` by a seeded PRNG — deterministic, so a
+    fault-injected run is exactly reproducible.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.002
+    max_delay: float = 0.25
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_delay * (2.0 ** attempt), self.max_delay)
+        if self.jitter == 0.0:
+            return raw
+        return raw * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to open a table's circuit and when to probe it again.
+
+    ``failure_threshold`` consecutive given-up calls open the circuit;
+    after ``reset_timeout`` seconds one probe call is admitted
+    (half-open): success closes the circuit, failure re-opens it for
+    another timeout.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.reset_timeout < 0:
+            raise ValueError("reset_timeout must be non-negative")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding one table."""
+
+    __slots__ = ("policy", "_state", "_failures", "_opened_at", "_clock")
+
+    def __init__(
+        self,
+        policy: BreakerPolicy,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self._state = CIRCUIT_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._clock = clock
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def admit(self, table: str) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        if self._state == CIRCUIT_CLOSED:
+            return
+        elapsed = self._clock() - self._opened_at
+        if self._state == CIRCUIT_OPEN:
+            if elapsed < self.policy.reset_timeout:
+                raise CircuitOpenError(
+                    table, self.policy.reset_timeout - elapsed
+                )
+            self._state = CIRCUIT_HALF_OPEN  # admit one probe call
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = CIRCUIT_CLOSED
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if (
+            self._state == CIRCUIT_HALF_OPEN
+            or self._failures >= self.policy.failure_threshold
+        ):
+            self._state = CIRCUIT_OPEN
+            self._opened_at = self._clock()
+
+
+class ResilientTable(Table):
+    """Table decorator: every delegated call runs under retry + breaker."""
+
+    def __init__(self, inner: Table, backend: "ResilientBackend") -> None:
+        super().__init__(inner.schema)
+        self._inner = inner
+        self._owner = backend
+        self._breaker = CircuitBreaker(backend.breaker_policy, backend._clock)
+
+    # -- instrumentation plumbing --------------------------------------
+    def attach_observer(self, observer) -> None:
+        """Observer traffic counts belong to the inner table."""
+        self._inner.attach_observer(observer)
+
+    @property
+    def breaker_state(self) -> int:
+        return self._breaker.state
+
+    # -- the guard ------------------------------------------------------
+    def _call(self, operation: Callable[[], Any]) -> Any:
+        owner = self._owner
+        name = self.schema.name
+        self._breaker.admit(name)
+        policy = owner.retry_policy
+        attempt = 0
+        while True:
+            try:
+                result = operation()
+            except TransientStorageError:
+                if attempt + 1 >= policy.max_attempts:
+                    self._breaker.record_failure()
+                    owner._record_giveup(name, self._breaker.state)
+                    raise
+                owner._record_retry(name)
+                owner._sleep(policy.delay(attempt, owner._rng))
+                attempt += 1
+            except StorageError:
+                # permanent / corruption: not the breaker's business —
+                # retrying or isolating the table cannot fix caller misuse
+                raise
+            else:
+                was = self._breaker.state
+                self._breaker.record_success()
+                if was != CIRCUIT_CLOSED:  # emit only on state transitions
+                    owner._record_state(name, self._breaker.state)
+                return result
+
+    # -- Table interface -----------------------------------------------
+    def insert(self, row: Row) -> None:
+        self._call(lambda: self._inner.insert(row))
+
+    def insert_many(self, rows) -> None:
+        materialized = list(rows)  # replayable across retries
+        self._call(lambda: self._inner.insert_many(materialized))
+
+    def scan(self) -> Iterator[Row]:
+        # materialize inside the guard: a lazily-failing inner iterator
+        # would otherwise raise outside the retry loop
+        return iter(self._call(lambda: list(self._inner.scan())))
+
+    def scan_eq(self, column: str, value: Any) -> Iterator[Row]:
+        return iter(self._call(lambda: list(self._inner.scan_eq(column, value))))
+
+    def row_count(self) -> int:
+        return self._call(self._inner.row_count)
+
+    def size_bytes(self) -> int:
+        return self._call(self._inner.size_bytes)
+
+    def fingerprint(self) -> str:
+        return self._call(self._inner.fingerprint)
+
+
+class ResilientBackend(StorageBackend):
+    """Backend decorator applying :class:`ResilientTable` to every table."""
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+        obs=None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._inner = inner
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker_policy = breaker_policy or BreakerPolicy()
+        self._rng = random.Random(self.retry_policy.seed)
+        self._sleep = sleep
+        self._clock = clock
+        self._wrapped: dict = {}
+        self._retries = 0
+        self._obs = None
+        self._metrics = None
+        self.set_observability(obs)
+
+    # -- observability ---------------------------------------------------
+    def set_observability(self, obs) -> None:
+        """Bind (or clear) the metrics bundle retries are reported to."""
+        self._obs = obs if obs is not None and obs.enabled else None
+        self._metrics = None
+
+    def _instruments(self):
+        if self._metrics is None and self._obs is not None:
+            reg = self._obs.registry
+            self._metrics = (
+                reg.counter(
+                    "flix_storage_retries_total",
+                    "Retried storage calls after a transient failure.",
+                ),
+                reg.counter(
+                    "flix_storage_giveups_total",
+                    "Storage calls that exhausted their retry budget.",
+                ),
+                reg.gauge(
+                    "flix_circuit_state",
+                    "Per-table circuit state: 0 closed, 1 half-open, 2 open.",
+                ),
+            )
+        return self._metrics
+
+    def _record_retry(self, table: str) -> None:
+        self._retries += 1
+        inst = self._instruments()
+        if inst is not None:
+            inst[0].inc(table=table)
+
+    def _record_giveup(self, table: str, state: int) -> None:
+        inst = self._instruments()
+        if inst is not None:
+            inst[1].inc(table=table)
+            inst[2].set(state, table=table)
+
+    def _record_state(self, table: str, state: int) -> None:
+        inst = self._instruments()
+        if inst is not None:
+            inst[2].set(state, table=table)
+
+    @property
+    def total_retries(self) -> int:
+        """Retried attempts since construction (works with obs off)."""
+        return self._retries
+
+    @property
+    def inner(self) -> StorageBackend:
+        return self._inner
+
+    # -- StorageBackend interface ----------------------------------------
+    def attach_observer(self, observer) -> None:
+        self._observer = observer
+        self._inner.attach_observer(observer)
+
+    def _wrap(self, table: Table) -> ResilientTable:
+        wrapped = self._wrapped.get(table.schema.name)
+        if wrapped is None or wrapped._inner is not table:
+            wrapped = ResilientTable(table, self)
+            self._wrapped[table.schema.name] = wrapped
+        return wrapped
+
+    def create_table(self, schema: TableSchema) -> Table:
+        return self._wrap(self._inner.create_table(schema))
+
+    def table(self, name: str) -> Table:
+        return self._wrap(self._inner.table(name))
+
+    def drop_table(self, name: str) -> None:
+        self._wrapped.pop(name, None)
+        self._inner.drop_table(name)
+
+    def table_names(self) -> List[str]:
+        return self._inner.table_names()
+
+    def breaker_states(self) -> dict:
+        """Current per-table circuit states (tables touched so far)."""
+        return {
+            name: table.breaker_state
+            for name, table in sorted(self._wrapped.items())
+        }
+
+    # -- pass-through accounting -----------------------------------------
+    def total_bytes(self) -> int:
+        return self._inner.total_bytes()
+
+    def fingerprint(self) -> str:
+        """The inner backend's content hash, each table read under retry."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for name in self.table_names():
+            digest.update(name.encode("utf-8"))
+            digest.update(self.table(name).fingerprint().encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- pickling (process-pool builds ship the factory's product) -------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # metrics registries hold locks and belong to the parent process
+        state["_obs"] = None
+        state["_metrics"] = None
+        state["_sleep"] = None
+        state["_clock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._sleep = time.sleep
+        self._clock = time.monotonic
+
+
+class ResilientFactory:
+    """Picklable ``backend_factory`` decorator: every product is resilient.
+
+    A class (not a closure) so process-pool builds can ship it to workers;
+    worker-side products start with observability unbound (each worker
+    process owns no registry) — the parent re-binds metrics on the merged
+    backends after the build.
+    """
+
+    def __init__(
+        self,
+        inner_factory: Callable[[], StorageBackend],
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
+    ) -> None:
+        self.inner_factory = inner_factory
+        self.retry_policy = retry_policy
+        self.breaker_policy = breaker_policy
+
+    def __call__(self) -> ResilientBackend:
+        return ResilientBackend(
+            self.inner_factory(),
+            retry_policy=self.retry_policy,
+            breaker_policy=self.breaker_policy,
+        )

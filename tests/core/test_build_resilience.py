@@ -1,0 +1,164 @@
+"""Build-time resilience: retries, strategy fallback, absorbed failures.
+
+The Index Builder's failure ladder under a resilience config: retry the
+selected strategy in place, fall back to the safe strategy, and as a last
+resort hand the meta document to the PEE unindexed (query-time BFS).
+Without a resilience config the first failure stays fatal, as before.
+"""
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.faults import FaultPlan, FaultyFactory
+from repro.storage.errors import TransientStorageError
+from repro.storage.memory import MemoryBackend
+
+#: make the ppo strategy (what FlixConfig.naive selects for every meta
+#: document of the figure-1 collection) fail on its very first write
+PPO_KILLER = FaultPlan(write_error_rate=1.0).restricted_to("ppo_nodes")
+
+FAST_RESILIENCE = dict(
+    backoff_base_seconds=0.0, backoff_max_seconds=0.0, backoff_jitter=0.0
+)
+
+
+def results_of(stream):
+    return [(r.node, r.distance) for r in stream]
+
+
+class TestStrategyFallback:
+    def test_falls_back_to_safe_strategy(self, figure1_collection):
+        config = FlixConfig.naive().with_resilience(**FAST_RESILIENCE)
+        flix = Flix.build(
+            figure1_collection,
+            config,
+            backend_factory=FaultyFactory(MemoryBackend, PPO_KILLER),
+        )
+        assert all(
+            meta.strategy == "transitive_closure"
+            for meta in flix.meta_documents
+        )
+        report = flix.report
+        assert report.fallback_count == len(flix.meta_documents)
+        assert report.failures  # absorbed failures are named, not silent
+        for meta_report in report.meta_documents:
+            assert meta_report.fallback_from == "ppo"
+            assert meta_report.attempts > 1
+        assert "absorbed failures" in report.summary()
+
+    def test_fallback_results_match_healthy_build(self, figure1_collection):
+        healthy = Flix.build(figure1_collection, FlixConfig.naive())
+        config = FlixConfig.naive().with_resilience(**FAST_RESILIENCE)
+        fellback = Flix.build(
+            figure1_collection,
+            config,
+            backend_factory=FaultyFactory(MemoryBackend, PPO_KILLER),
+        )
+        for name in sorted(figure1_collection.documents)[:4]:
+            start = figure1_collection.document_root(name)
+            assert results_of(fellback.pee.find_descendants(start)) == (
+                results_of(healthy.pee.find_descendants(start))
+            )
+
+    def test_without_resilience_failure_is_fatal(
+        self, figure1_collection, monkeypatch
+    ):
+        # pin injection off so CI's FAULT_PLAN=moderate chaos run cannot
+        # force-enable resilience and defeat the point of this test
+        monkeypatch.setenv("FLIX_FAULT_PLAN", "off")
+        with pytest.raises(TransientStorageError):
+            Flix.build(
+                figure1_collection,
+                FlixConfig.naive(),
+                backend_factory=FaultyFactory(MemoryBackend, PPO_KILLER),
+            )
+
+
+class TestUnindexedLastResort:
+    def build_unindexed(self, collection, **config_overrides):
+        plan = FaultPlan(write_error_rate=1.0).restricted_to(
+            "ppo_nodes", "closure_pairs"
+        )
+        config = FlixConfig.naive().with_resilience(
+            **FAST_RESILIENCE, **config_overrides
+        )
+        return Flix.build(
+            collection,
+            config,
+            backend_factory=FaultyFactory(MemoryBackend, plan),
+        )
+
+    def test_every_strategy_failing_leaves_meta_unindexed(
+        self, figure1_collection
+    ):
+        flix = self.build_unindexed(figure1_collection)
+        assert all(meta.index is None for meta in flix.meta_documents)
+        report = flix.report
+        assert report.unindexed_count == len(flix.meta_documents)
+        assert all(m.error for m in report.meta_documents)
+
+    def test_unindexed_metas_answer_queries_degraded(self, figure1_collection):
+        healthy = Flix.build(figure1_collection, FlixConfig.naive())
+        flix = self.build_unindexed(figure1_collection)
+        for name in sorted(figure1_collection.documents)[:4]:
+            start = figure1_collection.document_root(name)
+            stream = flix.pee.find_descendants(start)
+            assert results_of(stream) == results_of(
+                healthy.pee.find_descendants(start)
+            )
+            assert stream.completeness == "degraded"
+
+    def test_disabled_fallback_strategy_skips_ladder_rung(
+        self, figure1_collection
+    ):
+        flix = self.build_unindexed(
+            figure1_collection, build_fallback_strategy=None
+        )
+        assert all(meta.index is None for meta in flix.meta_documents)
+
+
+class TestBuildRetries:
+    def test_transient_build_failure_retried_in_place(self, figure1_collection):
+        # fail_first=1 per site: the first ppo write of each fresh backend
+        # dies once; the storage-level retry absorbs it invisibly, so the
+        # builder sees a clean first attempt
+        plan = FaultPlan(fail_first=1).restricted_to("ppo_nodes")
+        config = FlixConfig.naive().with_resilience(**FAST_RESILIENCE)
+        flix = Flix.build(
+            figure1_collection,
+            config,
+            backend_factory=FaultyFactory(MemoryBackend, plan),
+        )
+        assert all(meta.strategy == "ppo" for meta in flix.meta_documents)
+        assert flix.report.fallback_count == 0
+
+    def test_fingerprint_identical_to_fault_free(self, figure1_collection):
+        plan = FaultPlan(fail_first=1).restricted_to("ppo_nodes")
+        config = FlixConfig.naive().with_resilience(**FAST_RESILIENCE)
+        shaken = Flix.build(
+            figure1_collection,
+            config,
+            backend_factory=FaultyFactory(MemoryBackend, plan),
+        )
+        clean = Flix.build(figure1_collection, FlixConfig.naive())
+        assert shaken.index_fingerprint() == clean.index_fingerprint()
+
+
+class TestParallelExecutors:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_fallback_identical_across_executors(
+        self, figure1_collection, jobs
+    ):
+        config = FlixConfig.naive().with_resilience(**FAST_RESILIENCE)
+        flix = Flix.build(
+            figure1_collection,
+            config,
+            backend_factory=FaultyFactory(MemoryBackend, PPO_KILLER),
+            jobs=jobs,
+        )
+        assert all(
+            meta.strategy == "transitive_closure"
+            for meta in flix.meta_documents
+        )
+        assert flix.report.fallback_count == len(flix.meta_documents)

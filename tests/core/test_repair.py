@@ -1,0 +1,171 @@
+"""Self-healing persistence: checksums, integrity verification, repair."""
+
+import json
+
+import pytest
+
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.core.persistence import (
+    IntegrityError,
+    PersistenceError,
+    load_flix,
+    repair_flix,
+    save_flix,
+    verify_flix,
+)
+
+
+@pytest.fixture()
+def saved(figure1_collection, tmp_path):
+    config = FlixConfig.hybrid(40).with_resilience(max_link_hops=5000)
+    flix = Flix.build(figure1_collection, config)
+    directory = tmp_path / "idx"
+    save_flix(flix, directory)
+    return figure1_collection, directory, flix.index_fingerprint()
+
+
+class TestIntegritySection:
+    def test_manifest_records_per_file_checksums(self, saved):
+        _, directory, _ = saved
+        manifest = json.loads((directory / "manifest.json").read_text())
+        files = manifest["integrity"]["files"]
+        on_disk = {
+            p.name for p in directory.iterdir() if p.suffix == ".sqlite"
+        }
+        assert set(files) == on_disk
+        assert all(len(v) == 64 for v in files.values())  # sha256 hex
+
+    def test_intact_save_verifies_clean(self, saved):
+        collection, directory, _ = saved
+        assert verify_flix(collection, directory) == []
+
+    def test_resilience_config_round_trips(self, saved):
+        collection, directory, _ = saved
+        loaded = load_flix(collection, directory)
+        assert loaded.config.resilience is not None
+        assert loaded.config.resilience.max_link_hops == 5000
+
+    def test_save_refuses_unindexed_meta(self, figure1_collection, tmp_path):
+        flix = Flix.build(figure1_collection, FlixConfig.naive())
+        flix.meta_documents[0].index = None
+        with pytest.raises(PersistenceError, match="no index"):
+            save_flix(flix, tmp_path / "broken")
+
+
+class TestVerificationOnLoad:
+    def test_corrupted_file_rejected_by_name(self, saved):
+        collection, directory, _ = saved
+        victim = sorted(directory.glob("meta_*.sqlite"))[1]
+        victim.write_bytes(b"\x00garbage\x00" * 64)
+        with pytest.raises(IntegrityError) as excinfo:
+            load_flix(collection, directory)
+        assert excinfo.value.damaged == [victim.name]
+
+    def test_missing_file_rejected(self, saved):
+        collection, directory, _ = saved
+        (directory / "framework.sqlite").unlink()
+        assert verify_flix(collection, directory) == ["framework.sqlite"]
+
+    def test_silent_row_tamper_detected(self, saved):
+        import sqlite3
+
+        collection, directory, _ = saved
+        victim = sorted(directory.glob("meta_*.sqlite"))[0]
+        conn = sqlite3.connect(victim)
+        table = conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' LIMIT 1"
+        ).fetchone()[0]
+        conn.execute(f"DELETE FROM {table} WHERE rowid = 1")
+        conn.commit()
+        conn.close()
+        assert verify_flix(collection, directory) == [victim.name]
+
+    def test_verification_can_be_skipped(self, saved):
+        collection, directory, fingerprint = saved
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        name = sorted(manifest["integrity"]["files"])[0]
+        manifest["integrity"]["files"][name] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(IntegrityError):
+            load_flix(collection, directory)
+        loaded = load_flix(collection, directory, verify=False)
+        assert loaded.index_fingerprint() == fingerprint
+
+    def test_pre_integrity_saves_still_load(self, saved):
+        collection, directory, fingerprint = saved
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        del manifest["integrity"]  # simulate an older save
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = load_flix(collection, directory)
+        assert loaded.index_fingerprint() == fingerprint
+
+
+class TestRepair:
+    def test_repair_of_intact_save_is_a_noop(self, saved):
+        collection, directory, _ = saved
+        before = {
+            p.name: p.read_bytes() for p in directory.glob("*.sqlite")
+        }
+        assert repair_flix(collection, directory) == []
+        after = {p.name: p.read_bytes() for p in directory.glob("*.sqlite")}
+        assert before == after
+
+    def test_repair_restores_fingerprint_identical_index(self, saved):
+        collection, directory, fingerprint = saved
+        victims = sorted(directory.glob("meta_*.sqlite"))[:2]
+        victims[0].write_bytes(b"ruined")
+        victims[1].unlink()
+        (directory / "framework.sqlite").write_bytes(b"also ruined")
+
+        repaired = repair_flix(collection, directory)
+        assert repaired == [
+            "framework.sqlite",
+            victims[0].name,
+            victims[1].name,
+        ]
+        assert verify_flix(collection, directory) == []
+        loaded = load_flix(collection, directory)
+        assert loaded.index_fingerprint() == fingerprint
+
+    def test_repair_leaves_intact_files_untouched(self, saved):
+        collection, directory, _ = saved
+        intact = sorted(directory.glob("meta_*.sqlite"))[1:]
+        before = {p.name: p.read_bytes() for p in intact}
+        sorted(directory.glob("meta_*.sqlite"))[0].write_bytes(b"zap")
+        repair_flix(collection, directory)
+        assert {p.name: p.read_bytes() for p in intact} == before
+
+    def test_repaired_save_answers_like_original(self, saved):
+        collection, directory, _ = saved
+        original = load_flix(collection, directory)
+        starts = [
+            collection.document_root(name)
+            for name in sorted(collection.documents)[:3]
+        ]
+        expected = {
+            s: [(r.node, r.distance) for r in original.find_descendants(s)]
+            for s in starts
+        }
+        sorted(directory.glob("meta_*.sqlite"))[0].write_bytes(b"zap")
+        repair_flix(collection, directory)
+        repaired = load_flix(collection, directory)
+        for s in starts:
+            assert [
+                (r.node, r.distance) for r in repaired.find_descendants(s)
+            ] == expected[s]
+
+    def test_flix_repair_classmethod(self, saved):
+        collection, directory, _ = saved
+        (directory / "framework.sqlite").unlink()
+        assert Flix.repair(collection, directory) == ["framework.sqlite"]
+
+    def test_repair_rejects_wrong_collection(self, saved):
+        from repro.datasets.dblp import DblpSpec, generate_dblp
+
+        _, directory, _ = saved
+        other = generate_dblp(DblpSpec(documents=10))
+        with pytest.raises(PersistenceError, match="fingerprint mismatch"):
+            repair_flix(other, directory)

@@ -1,0 +1,209 @@
+"""Tests for the retrying, circuit-breaking storage wrapper."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultyBackend
+from repro.obs import Observability
+from repro.storage.errors import (
+    CircuitOpenError,
+    PermanentStorageError,
+    TransientStorageError,
+)
+from repro.storage.memory import MemoryBackend
+from repro.storage.resilient import (
+    CIRCUIT_CLOSED,
+    CIRCUIT_OPEN,
+    BreakerPolicy,
+    ResilientBackend,
+    ResilientFactory,
+    RetryPolicy,
+)
+from repro.storage.table import Column, TableSchema
+
+SCHEMA = TableSchema(name="t", columns=(Column("a", "int"), Column("b", "str")))
+
+FAST = RetryPolicy(max_attempts=4, base_delay=0.0, max_delay=0.0, jitter=0.0)
+
+
+def resilient(plan: FaultPlan, **kwargs) -> ResilientBackend:
+    kwargs.setdefault("retry_policy", FAST)
+    kwargs.setdefault("sleep", lambda _: None)
+    return ResilientBackend(FaultyBackend(MemoryBackend(), plan), **kwargs)
+
+
+class TestRetries:
+    def test_transient_failures_absorbed(self):
+        backend = resilient(FaultPlan(fail_first=3))
+        table = backend.create_table(SCHEMA)
+        table.insert((1, "x"))  # 3 injected failures + 1 success
+        assert table.row_count() == 1
+        assert backend.total_retries == 3
+
+    def test_retry_budget_exhaustion_raises(self):
+        backend = resilient(FaultPlan(fail_first=10))
+        table = backend.create_table(SCHEMA)
+        with pytest.raises(TransientStorageError):
+            table.insert((1, "x"))
+
+    def test_permanent_errors_not_retried(self):
+        backend = resilient(FaultPlan(break_after=0))
+        table = backend.create_table(SCHEMA)
+        with pytest.raises(PermanentStorageError):
+            table.insert((1, "x"))
+        assert backend.total_retries == 0
+
+    def test_scan_failures_caught_inside_guard(self):
+        # the inner table raises when the scan is *consumed*; materializing
+        # inside the guard is what lets the retry loop see and absorb it
+        plan = FaultPlan(fail_first=2).restricted_to("t")
+        backend = ResilientBackend(
+            FaultyBackend(MemoryBackend(), plan),
+            retry_policy=FAST,
+            sleep=lambda _: None,
+        )
+        table = backend.create_table(SCHEMA)
+        assert list(table.scan()) == []
+        assert backend.total_retries == 2
+
+    def test_backoff_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.01, max_delay=0.04, jitter=0.0
+        )
+        import random
+
+        rng = random.Random(0)
+        delays = [policy.delay(k, rng) for k in range(4)]
+        assert delays == [0.01, 0.02, 0.04, 0.04]
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(jitter=0.5, seed=3)
+        import random
+
+        a = [policy.delay(k, random.Random(3)) for k in range(3)]
+        b = [policy.delay(k, random.Random(3)) for k in range(3)]
+        assert a == b
+
+
+class TestCircuitBreaker:
+    def make_broken(self, clock):
+        backend = resilient(
+            FaultPlan(break_after=0),
+            breaker_policy=BreakerPolicy(failure_threshold=2, reset_timeout=10.0),
+            clock=clock,
+        )
+        return backend, backend.create_table(SCHEMA)
+
+    def test_opens_after_threshold_and_fails_fast(self):
+        now = [0.0]
+        backend = resilient(
+            FaultPlan(fail_first=10 ** 6),
+            breaker_policy=BreakerPolicy(failure_threshold=2, reset_timeout=10.0),
+            clock=lambda: now[0],
+        )
+        table = backend.create_table(SCHEMA)
+        for _ in range(2):
+            with pytest.raises(TransientStorageError):
+                table.row_count()
+        assert backend.breaker_states()["t"] == CIRCUIT_OPEN
+        with pytest.raises(CircuitOpenError):  # no call reaches the backend
+            table.row_count()
+
+    def test_half_open_probe_recovers(self):
+        now = [0.0]
+        plan = FaultPlan(fail_first=8)  # 2 calls x 4 attempts, then healthy
+        backend = resilient(
+            plan,
+            breaker_policy=BreakerPolicy(failure_threshold=2, reset_timeout=5.0),
+            clock=lambda: now[0],
+        )
+        table = backend.create_table(SCHEMA)
+        for _ in range(2):
+            with pytest.raises(TransientStorageError):
+                table.row_count()
+        assert backend.breaker_states()["t"] == CIRCUIT_OPEN
+        now[0] = 6.0  # past the reset timeout: one probe is admitted
+        assert table.row_count() == 0
+        assert backend.breaker_states()["t"] == CIRCUIT_CLOSED
+
+    def test_breakers_are_per_table(self):
+        now = [0.0]
+        plan = FaultPlan(fail_first=10 ** 6).restricted_to("t")
+        backend = ResilientBackend(
+            FaultyBackend(MemoryBackend(), plan),
+            retry_policy=FAST,
+            breaker_policy=BreakerPolicy(failure_threshold=1, reset_timeout=99.0),
+            sleep=lambda _: None,
+            clock=lambda: now[0],
+        )
+        broken = backend.create_table(SCHEMA)
+        healthy = backend.create_table(
+            TableSchema(name="u", columns=(Column("a", "int"),))
+        )
+        with pytest.raises(TransientStorageError):
+            broken.row_count()
+        with pytest.raises(CircuitOpenError):
+            broken.row_count()
+        healthy.insert((1,))  # sibling table is unaffected
+        assert healthy.row_count() == 1
+
+
+class TestObservability:
+    def test_retry_metric(self):
+        obs = Observability(True)
+        backend = resilient(FaultPlan(fail_first=2), obs=obs)
+        table = backend.create_table(SCHEMA)
+        table.insert((1, "x"))  # 2 transient failures then success
+        retries = obs.registry.counter("flix_storage_retries_total")
+        assert retries.value(table="t") == 2
+
+    def test_giveup_metric_and_circuit_gauge(self):
+        obs = Observability(True)
+        backend = resilient(
+            FaultPlan(fail_first=10 ** 6),
+            obs=obs,
+            breaker_policy=BreakerPolicy(failure_threshold=1, reset_timeout=9.0),
+        )
+        table = backend.create_table(SCHEMA)
+        with pytest.raises(TransientStorageError):
+            table.row_count()
+        assert (
+            obs.registry.counter("flix_storage_giveups_total").value(table="t")
+            == 1
+        )
+        assert (
+            obs.registry.gauge("flix_circuit_state").value(table="t")
+            == CIRCUIT_OPEN
+        )
+
+    def test_disabled_observability_still_counts(self):
+        backend = resilient(FaultPlan(fail_first=1), obs=Observability(False))
+        table = backend.create_table(SCHEMA)
+        table.insert((1, "x"))
+        assert backend.total_retries == 1
+
+
+class TestTransparency:
+    def test_fingerprint_matches_inner_backend(self):
+        from repro.graph.digraph import Digraph
+        from repro.indexes.transitive import TransitiveClosureIndex
+
+        graph = Digraph([(0, 1), (1, 2), (0, 3)])
+        tags = {0: "a", 1: "b", 2: "c", 3: "d"}
+
+        plain = MemoryBackend()
+        TransitiveClosureIndex.build(graph, tags, plain)
+
+        wrapped = resilient(FaultPlan(seed=4, write_error_rate=0.3))
+        TransitiveClosureIndex.build(graph, tags, wrapped)
+
+        assert wrapped.fingerprint() == plain.fingerprint()
+        assert wrapped.total_bytes() == plain.total_bytes()
+
+    def test_factory_is_picklable(self):
+        import pickle
+
+        factory = ResilientFactory(MemoryBackend, retry_policy=FAST)
+        clone = pickle.loads(pickle.dumps(factory))
+        backend = clone()
+        assert isinstance(backend, ResilientBackend)
+        assert backend.retry_policy == FAST

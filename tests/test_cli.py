@@ -199,6 +199,46 @@ class TestMetrics:
         assert "pee.probe" in out
 
 
+class TestRepair:
+    @pytest.fixture()
+    def index_dir(self, movie_dir, tmp_path):
+        from repro.collection.io import load_collection
+        from repro.core.framework import Flix
+
+        directory = tmp_path / "idx"
+        flix = Flix.build(load_collection(movie_dir))
+        flix.save(directory)
+        return str(directory)
+
+    def test_intact_index_reports_clean(self, movie_dir, index_dir, capsys):
+        assert main(["repair", movie_dir, index_dir]) == 0
+        assert "intact" in capsys.readouterr().out
+
+    def test_check_flag_reports_without_repairing(
+        self, movie_dir, index_dir, capsys
+    ):
+        from pathlib import Path
+
+        victim = sorted(Path(index_dir).glob("meta_*.sqlite"))[0]
+        victim.write_bytes(b"zap")
+        assert main(["repair", movie_dir, index_dir, "--check"]) == 1
+        assert victim.read_bytes() == b"zap"  # untouched
+        assert victim.name in capsys.readouterr().out
+
+    def test_repairs_damage(self, movie_dir, index_dir, capsys):
+        from pathlib import Path
+
+        from repro.collection.io import load_collection
+        from repro.core.persistence import verify_flix
+
+        victim = sorted(Path(index_dir).glob("meta_*.sqlite"))[0]
+        victim.write_bytes(b"zap")
+        assert main(["repair", movie_dir, index_dir]) == 0
+        out = capsys.readouterr().out
+        assert "rebuilt 1 file(s)" in out
+        assert verify_flix(load_collection(movie_dir), index_dir) == []
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -9,8 +9,9 @@ CI runs it on one Python version):
    docs/OBSERVABILITY.md and docs/API.md, so a rename that forgets the
    export list must break the build);
 2. every backticked dotted reference matching ``repro(.module)+`` in
-   docs/API.md must import/resolve — call parentheses and argument
-   lists are ignored, only the dotted path is checked.
+   the checked documentation files (``CHECKED_DOCS``) must
+   import/resolve — call parentheses and argument lists are ignored,
+   only the dotted path is checked.
 """
 
 from __future__ import annotations
@@ -21,7 +22,12 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-API_MD = REPO_ROOT / "docs" / "API.md"
+
+#: documentation files whose ``repro.*`` references must resolve
+CHECKED_DOCS = (
+    REPO_ROOT / "docs" / "API.md",
+    REPO_ROOT / "docs" / "RESILIENCE.md",
+)
 
 #: a backticked reference starting with ``repro.``: keep the leading
 #: dotted-identifier run, drop any call syntax or trailing prose
@@ -59,22 +65,27 @@ def check_obs_exports() -> list[str]:
     return errors
 
 
-def check_api_references() -> list[str]:
-    text = API_MD.read_text(encoding="utf-8")
+def check_doc_references() -> list[str]:
     errors = []
-    for path in sorted(set(REFERENCE.findall(text))):
-        if not resolve(path):
-            errors.append(f"docs/API.md references unresolvable {path!r}")
+    for doc in CHECKED_DOCS:
+        label = doc.relative_to(REPO_ROOT)
+        text = doc.read_text(encoding="utf-8")
+        for path in sorted(set(REFERENCE.findall(text))):
+            if not resolve(path):
+                errors.append(f"{label} references unresolvable {path!r}")
     return errors
 
 
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    errors = check_obs_exports() + check_api_references()
+    errors = check_obs_exports() + check_doc_references()
     for error in errors:
         print(f"ERROR: {error}", file=sys.stderr)
     if not errors:
-        print("check_docs: repro.obs exports and docs/API.md references OK")
+        checked = ", ".join(
+            str(doc.relative_to(REPO_ROOT)) for doc in CHECKED_DOCS
+        )
+        print(f"check_docs: repro.obs exports and {checked} references OK")
     return 1 if errors else 0
 
 
