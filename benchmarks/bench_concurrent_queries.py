@@ -1,0 +1,53 @@
+"""Concurrent query-serving benchmark (the ``repro.serve`` layer).
+
+Measures ``FlixService`` throughput at 1/2/4/8 workers over a
+lookup-latency-bound workload, cold cache vs warm, and verifies every
+concurrent configuration returns byte-identical results to the serial
+baseline.  The machine-readable profile lands in
+``BENCH_concurrent_queries.json`` at the repository root (published as a
+CI artifact by the ``concurrent-bench`` job).
+
+The latency model and its rationale live in
+:mod:`repro.bench.serving`: a GIL-releasing stall in front of every
+evaluator call stands in for the I/O round trip of a disk- or
+network-backed index, which is what lets thread workers scale on a
+single-core runner — and what the shared cache lets warm runs skip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.serving import profile_concurrent_queries, render_profile
+
+BENCH_JSON = (
+    Path(__file__).resolve().parent.parent / "BENCH_concurrent_queries.json"
+)
+
+
+def test_concurrent_queries():
+    payload = profile_concurrent_queries(
+        documents=12,
+        lookup_latency_seconds=0.0005,
+        worker_counts=(1, 2, 4, 8),
+        repeats=3,
+    )
+    payload["generated_by"] = "benchmarks/bench_concurrent_queries.py"
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(render_profile(payload))
+    print(f"-> {BENCH_JSON}")
+
+    # correctness first: concurrency and caching must be invisible in the
+    # answers — every configuration byte-identical to the serial pass
+    assert payload["all_results_identical_to_serial"]
+    # the acceptance floor: 4 workers must at least double 1-worker
+    # throughput on the latency-bound workload...
+    assert payload["speedup_4_workers_vs_1"] >= 2.0, payload
+    # ...and a warm cache must beat a cold one by 5x or more
+    assert payload["best_warm_over_cold"] >= 5.0, payload
+    # the cache must actually have been exercised, not bypassed
+    assert payload["cache"]["hits"] > 0

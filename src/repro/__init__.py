@@ -38,18 +38,22 @@ from repro.collection import (
     collect_statistics,
 )
 from repro.core import (
+    CacheConfig,
     Flix,
     FlixConfig,
     MetaDocument,
     PathExpressionEvaluator,
     QueryBudget,
     QueryLoadMonitor,
+    QueryRequest,
+    QueryResponse,
     QueryResult,
     ResilienceConfig,
     StreamedList,
 )
 from repro.faults import FaultPlan, FaultyBackend, FaultyFactory
 from repro.obs import MetricsRegistry, Observability, Tracer
+from repro.serve import FlixService, ShardedLRUCache
 from repro.xmlmodel import XmlElement, parse_document, serialize
 
 __version__ = "1.0.0"
@@ -57,8 +61,13 @@ __version__ = "1.0.0"
 __all__ = [
     "Flix",
     "FlixConfig",
+    "FlixService",
+    "CacheConfig",
+    "ShardedLRUCache",
     "ResilienceConfig",
     "QueryBudget",
+    "QueryRequest",
+    "QueryResponse",
     "FaultPlan",
     "FaultyBackend",
     "FaultyFactory",

@@ -31,6 +31,13 @@ Commands
     chosen exporter format (see ``docs/OBSERVABILITY.md``).  ``--trace``
     additionally prints the last query's span tree.
 
+``serve-bench [--documents N] [--workers 1,2,4,8] [--latency-ms MS]
+              [--json]``
+    Profile the concurrent query-serving layer (``docs/SERVING.md``):
+    build a latency-bound synthetic DBLP collection, replay a repetitive
+    query mix through ``FlixService`` at each worker count, cold and warm
+    cache, and print throughput plus a result-integrity check.
+
 ``repair <dir> <index_dir> [--check]``
     Verify a persisted index's per-file checksums against its manifest
     and rebuild only the damaged files from the collection (see
@@ -173,6 +180,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace",
         action="store_true",
         help="also print the last query's span tree",
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="profile the concurrent query-serving layer "
+        "(workers x cold/warm cache)",
+    )
+    serve_bench.add_argument(
+        "--documents",
+        type=positive_int,
+        default=24,
+        help="synthetic DBLP documents to serve queries over (default 24)",
+    )
+    serve_bench.add_argument(
+        "--workers",
+        default="1,2,4,8",
+        help="comma-separated worker counts to profile (default 1,2,4,8)",
+    )
+    serve_bench.add_argument(
+        "--latency-ms",
+        type=float,
+        default=0.4,
+        help="injected storage read latency in milliseconds; the workload "
+        "is I/O-bound so threads overlap these stalls (default 0.4)",
+    )
+    serve_bench.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw profile as JSON instead of the table",
     )
 
     repair = sub.add_parser(
@@ -337,6 +373,31 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from repro.bench.serving import profile_concurrent_queries, render_profile
+
+    try:
+        worker_counts = tuple(
+            int(part) for part in args.workers.split(",") if part.strip()
+        )
+    except ValueError:
+        raise SystemExit(f"error: bad --workers list {args.workers!r}")
+    if not worker_counts or any(count < 1 for count in worker_counts):
+        raise SystemExit("error: --workers needs positive integers")
+    profile = profile_concurrent_queries(
+        documents=args.documents,
+        lookup_latency_seconds=args.latency_ms / 1000.0,
+        worker_counts=worker_counts,
+    )
+    if args.json:
+        print(json.dumps(profile, indent=2))
+    else:
+        print(render_profile(profile))
+    return 0
+
+
 def _cmd_repair(args) -> int:
     from repro.core.persistence import repair_flix, verify_flix
 
@@ -360,6 +421,7 @@ _COMMANDS = {
     "relaxed": _cmd_relaxed,
     "demo-dblp": _cmd_demo_dblp,
     "metrics": _cmd_metrics,
+    "serve-bench": _cmd_serve_bench,
     "repair": _cmd_repair,
 }
 

@@ -15,7 +15,12 @@ streaming results in approximately ascending distance.
 :class:`~repro.core.framework.Flix` is the facade tying both phases together.
 """
 
-from repro.core.config import FlixConfig, ResilienceConfig
+from repro.core.api import (
+    QUERY_KINDS,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.core.config import CacheConfig, FlixConfig, ResilienceConfig
 from repro.core.connections import ConnectionEvaluator, ConnectionModel
 from repro.core.fallback import BfsFallbackIndex, FallbackContext
 from repro.core.meta_document import MetaDocument, MetaDocumentSpec
@@ -40,7 +45,11 @@ from repro.core.subcollections import (
 __all__ = [
     "Flix",
     "FlixConfig",
+    "CacheConfig",
     "ResilienceConfig",
+    "QUERY_KINDS",
+    "QueryRequest",
+    "QueryResponse",
     "QueryBudget",
     "QueryStream",
     "BfsFallbackIndex",

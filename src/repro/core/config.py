@@ -123,6 +123,50 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class CacheConfig:
+    """Result/connection-cache knobs (see ``docs/SERVING.md``).
+
+    Attached to a configuration via :attr:`FlixConfig.cache` (or
+    :meth:`FlixConfig.with_cache`); ``None`` there means no cache at all.
+    The cache itself is a :class:`repro.serve.cache.ShardedLRUCache`:
+    ``maxsize`` bounds the total entry count, ``shards`` sets how many
+    independently locked LRU shards share it (1 = exact global LRU
+    order; more shards = less lock contention under concurrent serving).
+    """
+
+    #: total cached entries across all shards (full query result lists
+    #: and connection cost/test scalars alike)
+    maxsize: int = 1024
+    #: independently locked LRU shards (clamped to ``maxsize``)
+    shards: int = 8
+
+    def __post_init__(self) -> None:
+        if self.maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        if self.shards < 1:
+            raise ValueError("shards must be positive")
+
+    def build(self):
+        """Materialize the configured :class:`ShardedLRUCache`."""
+        from repro.serve.cache import ShardedLRUCache
+
+        return ShardedLRUCache(maxsize=self.maxsize, shards=self.shards)
+
+    # ------------------------------------------------------------------
+    # persistence (manifest round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheConfig":
+        known = {f.name for f in cls.__dataclass_fields__.values()}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
 class FlixConfig:
     """One configuration of the framework."""
 
@@ -157,6 +201,10 @@ class FlixConfig:
     #: query budgets with graceful degradation, build fallback); ``None``
     #: disables it entirely — see ``docs/RESILIENCE.md``
     resilience: Optional[ResilienceConfig] = None
+    #: shared result/connection cache for the query phase (sharded LRU
+    #: with generation-based invalidation, see ``docs/SERVING.md``);
+    #: ``None`` disables caching — the classic zero-memory behaviour
+    cache: Optional[CacheConfig] = None
 
     def __post_init__(self) -> None:
         if self.mdb_strategy not in MDB_STRATEGIES:
@@ -214,6 +262,27 @@ class FlixConfig:
         from dataclasses import replace
 
         return replace(self, resilience=None)
+
+    def with_cache(
+        self, cache: Optional[CacheConfig] = None, **overrides
+    ) -> "FlixConfig":
+        """This configuration with the shared query cache enabled.
+
+        With no arguments the defaults apply; keyword overrides build a
+        custom :class:`CacheConfig` (``with_cache(maxsize=4096,
+        shards=16)``); use :meth:`without_cache` to disable caching.
+        """
+        from dataclasses import replace
+
+        if cache is None:
+            cache = CacheConfig(**overrides) if overrides else CacheConfig()
+        return replace(self, cache=cache)
+
+    def without_cache(self) -> "FlixConfig":
+        """This configuration with the shared query cache disabled."""
+        from dataclasses import replace
+
+        return replace(self, cache=None)
 
     # ------------------------------------------------------------------
     # the paper's predefined configurations

@@ -2,27 +2,44 @@
 
 Typical use::
 
-    from repro import Flix, FlixConfig, build_collection
+    from repro import Flix, FlixConfig, QueryRequest, build_collection
 
     collection = build_collection(documents)
     flix = Flix.build(collection, FlixConfig.hybrid(partition_size=5000))
-    for result in flix.find_descendants(start, tag="article", limit=100):
+    response = flix.query(QueryRequest.descendants(start, tag="article",
+                                                   limit=100))
+    for result in response:
         ...
+
+The unified entry points are :meth:`Flix.query` (materialized
+:class:`~repro.core.api.QueryResponse`) and :meth:`Flix.query_stream`
+(lazy iteration for the streaming kinds); the classic ``find_*`` /
+``connection_*`` methods remain as thin compatibility shims over them.
+For concurrent serving, :meth:`Flix.serve` wraps the instance in a
+:class:`repro.serve.FlixService` worker pool.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+import time
+import warnings
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.collection.collection import NodeId, XmlCollection
-from repro.core.config import FlixConfig
+from repro.core.api import QueryRequest, QueryResponse, STREAMING_KINDS
+from repro.core.config import CacheConfig, FlixConfig
 from repro.graph.digraph import Digraph
 from repro.core.ib import BuildReport, IndexBuilder
 from repro.core.mdb import MetaDocumentBuilder
 from repro.core.meta_document import MetaDocument
-from repro.core.pee import PathExpressionEvaluator, QueryResult
+from repro.core.pee import (
+    PathExpressionEvaluator,
+    QueryBudget,
+    QueryResult,
+    QueryStats,
+)
 from repro.core.results import StreamedList
 from repro.core.selftune import QueryLoadMonitor, TuningAdvice
 from repro.obs import MetricsRegistry, Observability, Trace, render
@@ -59,6 +76,17 @@ class Flix:
         # set by Flix.build for incremental document addition
         self._builder: Optional[IndexBuilder] = None
         self._backend_factory: Callable[[], StorageBackend] = MemoryBackend
+        #: the shared result/connection cache (sharded LRU, generation-
+        #: invalidated); configured through ``config.cache``, or later via
+        #: the deprecated ``enable_cache`` shim
+        cache_config = getattr(config, "cache", None)
+        self._result_cache = (
+            cache_config.build() if cache_config is not None else None
+        )
+        # counters retired from a cache dropped by disable_cache(), so the
+        # cache_hits / cache_misses totals survive a disable
+        self._retired_hits = 0
+        self._retired_misses = 0
         if self.obs.enabled:
             self._attach_storage_observers()
             self.obs.registry.gauge(
@@ -232,7 +260,250 @@ class Flix:
         return cls(collection, config, [meta], meta_of, report)
 
     # ------------------------------------------------------------------
-    # query phase
+    # query phase — the unified API
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        request: QueryRequest,
+        budget: Optional[QueryBudget] = None,
+    ) -> QueryResponse:
+        """Evaluate one :class:`~repro.core.api.QueryRequest`, materialized.
+
+        This is the primary query entry point: every kind the framework
+        understands goes through here (the legacy ``find_*`` /
+        ``connection_*`` methods are shims over it or over
+        :meth:`query_stream`).  The shared result cache — when configured —
+        is consulted first and fed afterwards; the response carries the
+        query's private stats and its completeness flag.
+
+        ``budget`` overrides ``request.budget`` for this call (the serving
+        layer uses it to charge queue wait against the deadline).  Any
+        budget makes the request uncacheable: a truncated answer must
+        never be replayed to an unbudgeted caller.
+        """
+        started = time.perf_counter()
+        effective_budget = budget if budget is not None else request.budget
+        key = (
+            request.cache_key() if self._result_cache is not None else None
+        )
+        if key is not None:
+            # A complete cached answer is always servable, even to a
+            # budget-bearing call — the budget bounds *work*, and a replay
+            # does none.
+            boxed = self._cache_get(key, request.kind)
+            if boxed is not None:
+                return self._replay(request, boxed[0], started)
+        payload, stats = self._evaluate(request, effective_budget)
+        self.monitor.record(stats)
+        if (
+            key is not None
+            and effective_budget is None
+            and (request.is_scalar or request.limit is None)
+        ):
+            self._cache_put(key, (payload, stats))
+        if request.is_scalar:
+            return QueryResponse(
+                request, [], payload, stats, False,
+                time.perf_counter() - started,
+            )
+        results = list(payload)
+        return QueryResponse(
+            request, results, None, stats, False,
+            time.perf_counter() - started,
+        )
+
+    def query_stream(self, request: QueryRequest) -> Iterator[Any]:
+        """Lazily evaluate a streaming-kind request (descendants,
+        ancestors, type queries, connections), yielding results as the
+        evaluator finds them — the classic FliX delivery of section 3.1.
+
+        The shared cache participates exactly as in :meth:`query`: a hit
+        replays the stored (full) result list, a fully-consumed unlimited
+        stream is stored on completion; an abandoned stream stores
+        nothing.  Scalar and aggregate kinds have nothing to stream —
+        use :meth:`query` for those.
+        """
+        if request.kind not in STREAMING_KINDS:
+            raise ValueError(
+                f"kind {request.kind!r} has no streaming form; use query()"
+            )
+        key = (
+            request.cache_key() if self._result_cache is not None else None
+        )
+        if key is not None:
+            boxed = self._cache_get(key, request.kind)
+            if boxed is not None:
+                results, _ = boxed[0]
+                if request.limit is not None:
+                    results = results[: request.limit]
+                yield from results
+                return
+        stream, finish = self._raw_stream(request)
+        iterator: Iterator[Any] = iter(stream)
+        if request.limit is not None:
+            iterator = itertools.islice(iterator, request.limit)
+        collected: Optional[List[Any]] = (
+            [] if (key is not None and request.limit is None) else None
+        )
+        for item in iterator:
+            if collected is not None:
+                collected.append(item)
+            yield item
+        stats = finish()
+        self.monitor.record(stats)
+        if collected is not None:
+            self._cache_put(key, (collected, stats))
+
+    # ------------------------------------------------------------------
+    # evaluation engine behind query()/query_stream()
+    # ------------------------------------------------------------------
+    def _raw_stream(
+        self, request: QueryRequest, budget: Optional[QueryBudget] = None
+    ) -> Tuple[Iterator[Any], Callable[[], QueryStats]]:
+        """The uncached stream for a streaming-kind request, plus a
+        ``finish()`` callback returning the query's final stats snapshot
+        (call it only after consumption stops)."""
+        budget = budget if budget is not None else request.budget
+        if request.kind == "descendants" and request.source_tag is not None:
+            seeds = self.collection.nodes_with_tag(request.source_tag)
+            stream = self.pee.evaluate_type_query(
+                seeds, request.tag, request.max_distance, budget=budget
+            )
+            return stream, lambda: stream.stats.snapshot()
+        if request.kind == "descendants":
+            stream = self.pee.find_descendants(
+                request.source, request.tag, request.max_distance,
+                request.include_self, request.exact_order, budget=budget,
+            )
+            return stream, lambda: stream.stats.snapshot()
+        if request.kind == "ancestors":
+            stream = self.pee.find_ancestors(
+                request.source, request.tag, request.max_distance,
+                request.include_self, request.exact_order, budget=budget,
+            )
+            return stream, lambda: stream.stats.snapshot()
+        if request.kind == "connections":
+            from repro.core.connections import ConnectionEvaluator
+
+            stats = QueryStats()
+            inner = ConnectionEvaluator(self.collection).find_connected(
+                request.source, tag=request.tag, model=request.model,
+                max_cost=request.max_cost,
+            )
+
+            def counted() -> Iterator[Tuple[NodeId, float]]:
+                for pair in inner:
+                    stats.results_returned += 1
+                    yield pair
+
+            return counted(), lambda: stats.snapshot()
+        raise ValueError(f"kind {request.kind!r} is not a streaming kind")
+
+    def _evaluate(
+        self, request: QueryRequest, budget: Optional[QueryBudget]
+    ) -> Tuple[Any, QueryStats]:
+        """Evaluate without cache involvement: ``(payload, stats)`` where
+        the payload is the result list (list kinds) or the scalar value."""
+        kind = request.kind
+        if kind in STREAMING_KINDS:
+            stream, finish = self._raw_stream(request, budget)
+            iterator: Iterator[Any] = iter(stream)
+            if request.limit is not None:
+                iterator = itertools.islice(iterator, request.limit)
+            results = list(iterator)
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()  # finalize an early-stopped (limited) stream
+            return results, finish()
+        if kind == "children":
+            children = []
+            for successor in sorted(
+                self.collection.graph.successors(request.source)
+            ):
+                if request.tag is None or (
+                    self.collection.tag(successor) == request.tag
+                ):
+                    children.append(
+                        QueryResult(successor, 1, self.meta_of[successor])
+                    )
+            return children, QueryStats(results_returned=len(children))
+        if kind == "path":
+            return self._evaluate_path(request, budget)
+        if kind == "cost":
+            from repro.core.connections import ConnectionEvaluator
+
+            value = ConnectionEvaluator(self.collection).connection_cost(
+                request.source, request.target, model=request.model,
+                max_cost=request.max_cost,
+            )
+            return value, QueryStats(
+                results_returned=0 if value is None else 1
+            )
+        if kind == "test":
+            stats = QueryStats()
+            if request.bidirectional:
+                value = self.pee.connection_test_bidirectional(
+                    request.source, request.target, request.max_distance,
+                    stats=stats, budget=budget,
+                )
+            else:
+                value = self.pee.connection_test(
+                    request.source, request.target, request.max_distance,
+                    stats=stats, budget=budget,
+                )
+            return value, stats.snapshot()
+        raise ValueError(f"unknown query kind {kind!r}")  # pragma: no cover
+
+    def _evaluate_path(
+        self, request: QueryRequest, budget: Optional[QueryBudget]
+    ) -> Tuple[List[Tuple[NodeId, int]], QueryStats]:
+        """Multi-step ``start//t1//…//tn``: one descendant query per
+        frontier element and step, frontiers deduplicated by best
+        distance (the unscored counterpart of the relaxed engine)."""
+        aggregate = QueryStats()
+        frontier: Dict[NodeId, int] = {request.source: 0}
+        for tag in request.path:
+            next_frontier: Dict[NodeId, int] = {}
+            for node, distance in sorted(
+                frontier.items(), key=lambda kv: kv[1]
+            ):
+                stream = self.pee.find_descendants(
+                    node, tag, request.max_distance, budget=budget
+                )
+                for result in stream:
+                    total = distance + result.distance
+                    current = next_frontier.get(result.node)
+                    if current is None or total < current:
+                        next_frontier[result.node] = total
+                aggregate.merge(stream.stats)
+            if not next_frontier:
+                return [], aggregate
+            frontier = next_frontier
+        pairs = sorted(frontier.items(), key=lambda kv: (kv[1], kv[0]))
+        return pairs, aggregate
+
+    def _replay(
+        self, request: QueryRequest, entry: Tuple[Any, QueryStats],
+        started: float,
+    ) -> QueryResponse:
+        """Build the response for a cache hit (stats are the original
+        evaluation's — the replay itself did no index work)."""
+        payload, stats = entry
+        if request.is_scalar:
+            return QueryResponse(
+                request, [], payload, stats, True,
+                time.perf_counter() - started,
+            )
+        results = list(payload)
+        if request.limit is not None:
+            results = results[: request.limit]
+        return QueryResponse(
+            request, results, None, stats, True,
+            time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # compatibility shims (the pre-unified-API query surface)
     # ------------------------------------------------------------------
     def find_descendants(
         self,
@@ -245,24 +516,15 @@ class Flix:
     ) -> Iterator[QueryResult]:
         """``a//b`` (or ``a//*`` with ``tag=None``), streamed.
 
-        ``limit`` implements the top-k early stop of section 3.1: iteration
-        ends after ``limit`` results without exhausting the queue.
-        ``exact_order`` buffers results so the stream is sorted by the
-        reported distance (section 7's first future-work item).
+        Shim over :meth:`query_stream`.  ``limit`` implements the top-k
+        early stop of section 3.1; ``exact_order`` buffers results so the
+        stream is sorted by the reported distance (section 7's first
+        future-work item).
         """
-        cached = self._cache_lookup(
-            ("desc", start, tag, max_distance, include_self, exact_order), limit
-        )
-        if cached is not None:
-            yield from cached
-            return
-        stream = self.pee.find_descendants(
-            start, tag, max_distance, include_self, exact_order
-        )
-        yield from self._limited(
-            stream,
-            limit,
-            cache_key=("desc", start, tag, max_distance, include_self, exact_order),
+        yield from self.query_stream(
+            QueryRequest.descendants(
+                start, tag, max_distance, limit, include_self, exact_order
+            )
         )
 
     def find_ancestors(
@@ -274,11 +536,13 @@ class Flix:
         include_self: bool = False,
         exact_order: bool = False,
     ) -> Iterator[QueryResult]:
-        """Reverse axis: ancestors of ``start``."""
-        stream = self.pee.find_ancestors(
-            start, tag, max_distance, include_self, exact_order
+        """Reverse axis: ancestors of ``start`` (shim over
+        :meth:`query_stream`)."""
+        yield from self.query_stream(
+            QueryRequest.ancestors(
+                start, tag, max_distance, limit, include_self, exact_order
+            )
         )
-        yield from self._limited(stream, limit)
 
     def find_children(
         self,
@@ -290,15 +554,9 @@ class Flix:
         In the linked data model, children are the direct successors in the
         union graph — sub-elements and immediate link targets alike, which
         is exactly how the paper treats referenced elements ("similarly to
-        normal child elements").
+        normal child elements").  Shim over :meth:`query`.
         """
-        children = []
-        for successor in sorted(self.collection.graph.successors(node)):
-            if tag is None or self.collection.tag(successor) == tag:
-                children.append(
-                    QueryResult(successor, 1, self.meta_of[successor])
-                )
-        return children
+        return self.query(QueryRequest.children(node, tag)).results
 
     def evaluate_type_query(
         self,
@@ -307,10 +565,11 @@ class Flix:
         max_distance: Optional[int] = None,
         limit: Optional[int] = None,
     ) -> Iterator[QueryResult]:
-        """``A//B``: descendants of *any* element with tag ``source_tag``."""
-        seeds = self.collection.nodes_with_tag(source_tag)
-        stream = self.pee.evaluate_type_query(seeds, target_tag, max_distance)
-        yield from self._limited(stream, limit)
+        """``A//B``: descendants of *any* element with tag ``source_tag``
+        (shim over :meth:`query_stream`)."""
+        yield from self.query_stream(
+            QueryRequest.type_query(source_tag, target_tag, max_distance, limit)
+        )
 
     def find_path(
         self,
@@ -321,34 +580,12 @@ class Flix:
         """Evaluate a multi-step path ``start//t1//t2//...//tn``.
 
         Returns the distinct elements matching the final step with the
-        smallest accumulated distance found, ascending.  Each step is one
-        FliX descendant query; intermediate frontiers are deduplicated by
-        keeping the best distance per element (the unscored counterpart of
-        the relaxed query engine's evaluation).
+        smallest accumulated distance found, ascending.  Shim over
+        :meth:`query` with the ``path`` kind.
         """
-        if not tags:
-            raise ValueError("at least one step tag is required")
-        from repro.core.pee import QueryStats
-
-        aggregate = QueryStats()
-        frontier: Dict[NodeId, int] = {start: 0}
-        for tag in tags:
-            next_frontier: Dict[NodeId, int] = {}
-            for node, distance in sorted(frontier.items(), key=lambda kv: kv[1]):
-                stream = self.pee.find_descendants(
-                    node, tag, max_distance_per_step
-                )
-                for result in stream:
-                    total = distance + result.distance
-                    current = next_frontier.get(result.node)
-                    if current is None or total < current:
-                        next_frontier[result.node] = total
-                aggregate.merge(stream.stats)
-            if not next_frontier:
-                return []
-            frontier = next_frontier
-        self.monitor.record(aggregate)
-        return sorted(frontier.items(), key=lambda kv: (kv[1], kv[0]))
+        return self.query(
+            QueryRequest.find_path(start, tags, max_distance_per_step)
+        ).results
 
     def find_connections(
         self,
@@ -363,11 +600,10 @@ class Flix:
         assigning costs to tree/link traversals and their reversals;
         results stream in exactly ascending cost.  Runs on the element
         graph directly (typed edge costs defeat uniform-hop indexes).
+        Shim over :meth:`query_stream`.
         """
-        from repro.core.connections import ConnectionEvaluator
-
-        return ConnectionEvaluator(self.collection).find_connected(
-            start, tag=tag, model=model, max_cost=max_cost
+        return self.query_stream(
+            QueryRequest.connections(start, tag, model, max_cost)
         )
 
     def connection_cost(
@@ -377,12 +613,12 @@ class Flix:
         model=None,
         max_cost: Optional[float] = None,
     ) -> Optional[float]:
-        """Cheapest generalized-connection cost between two elements."""
-        from repro.core.connections import ConnectionEvaluator
-
-        return ConnectionEvaluator(self.collection).connection_cost(
-            source, target, model=model, max_cost=max_cost
-        )
+        """Cheapest generalized-connection cost between two elements
+        (shim over :meth:`query` with the ``cost`` kind — repeated hot
+        pairs are answered from the shared cache)."""
+        return self.query(
+            QueryRequest.cost(source, target, model, max_cost)
+        ).value
 
     def connection_test(
         self,
@@ -392,95 +628,125 @@ class Flix:
         bidirectional: bool = False,
     ) -> Optional[int]:
         """Is ``target`` reachable from ``source``?  Approximate distance or
-        ``None``."""
-        from repro.core.pee import QueryStats
-
-        stats = QueryStats()
-        if bidirectional:
-            result = self.pee.connection_test_bidirectional(
-                source, target, max_distance, stats=stats
-            )
-        else:
-            result = self.pee.connection_test(
-                source, target, max_distance, stats=stats
-            )
-        self.monitor.record(stats)
-        return result
-
-    def _limited(
-        self,
-        stream: Iterator[QueryResult],
-        limit: Optional[int],
-        cache_key: Optional[tuple] = None,
-    ) -> Iterator[QueryResult]:
-        # per-query stats travel on the PEE's QueryStream; fall back to the
-        # evaluator-level snapshot for plain iterators (tests, custom PEEs)
-        stats = getattr(stream, "stats", None)
-        if limit is not None:
-            stream = itertools.islice(stream, limit)
-        collected: Optional[List[QueryResult]] = (
-            [] if (self._cache is not None and cache_key is not None) else None
-        )
-        for item in stream:
-            if collected is not None:
-                collected.append(item)
-            yield item
-        self.monitor.record(
-            stats.snapshot() if stats is not None else self.pee.last_stats
-        )
-        if collected is not None and limit is None:
-            self._cache_store(cache_key, collected)
+        ``None`` (shim over :meth:`query` with the ``test`` kind — repeated
+        hot pairs are answered from the shared cache)."""
+        return self.query(
+            QueryRequest.test(source, target, max_distance, bidirectional)
+        ).value
 
     # ------------------------------------------------------------------
     # result caching (section 7: "caching results of frequent
-    # (sub-)queries")
+    # (sub-)queries") — a sharded LRU shared by every worker thread
     # ------------------------------------------------------------------
-    _cache: Optional["collections.OrderedDict"] = None
-    _cache_maxsize: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
+    @property
+    def cache_hits(self) -> int:
+        """Lifetime cache hits (including caches since disabled)."""
+        if self._result_cache is None:
+            return self._retired_hits
+        return self._retired_hits + self._result_cache.stats().hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Lifetime cache misses (including caches since disabled)."""
+        if self._result_cache is None:
+            return self._retired_misses
+        return self._retired_misses + self._result_cache.stats().misses
+
+    @property
+    def cache(self):
+        """The live :class:`repro.serve.cache.ShardedLRUCache` (or None)."""
+        return self._result_cache
+
+    def cache_stats(self):
+        """Aggregate :class:`repro.serve.cache.CacheStats` (or ``None``
+        when no cache is configured)."""
+        if self._result_cache is None:
+            return None
+        return self._result_cache.stats()
+
+    def configure_cache(self, cache_config: Optional[CacheConfig]) -> None:
+        """(Re)configure the shared cache; ``None`` removes it.
+
+        Counters of a replaced cache are retired into the lifetime
+        ``cache_hits``/``cache_misses`` totals.
+        """
+        if self._result_cache is not None:
+            stats = self._result_cache.stats()
+            self._retired_hits += stats.hits
+            self._retired_misses += stats.misses
+        self._result_cache = (
+            cache_config.build() if cache_config is not None else None
+        )
+
+    def invalidate_caches(self) -> None:
+        """Generation-bump the shared cache: every cached entry becomes
+        unservable (O(1); entries are dropped lazily).  Called internally
+        by every index-layout mutation (``add_document``)."""
+        if self._result_cache is not None:
+            self._result_cache.invalidate_all()
 
     def enable_cache(self, maxsize: int = 128) -> None:
-        """Turn on LRU caching of complete (unlimited) query results.
+        """Deprecated: configure caching via ``FlixConfig.cache``
+        (:class:`CacheConfig`) or :meth:`configure_cache` instead.
 
-        Only fully-consumed, unlimited streams are cached; ``limit``-ed
-        queries replay a cached superset when one exists.  The cache lives
-        and dies with this ``Flix`` instance, so a rebuild starts fresh.
+        Installs a single-shard cache, preserving the historical exact
+        global LRU eviction order; hit/miss counters restart at zero as
+        they always did.
         """
-        import collections
-
+        warnings.warn(
+            "Flix.enable_cache is deprecated; set FlixConfig.cache = "
+            "CacheConfig(maxsize=..., shards=...) or call "
+            "Flix.configure_cache(CacheConfig(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
-        self._cache = collections.OrderedDict()
-        self._cache_maxsize = maxsize
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self._result_cache = CacheConfig(maxsize=maxsize, shards=1).build()
+        self._retired_hits = 0
+        self._retired_misses = 0
 
     def disable_cache(self) -> None:
-        self._cache = None
+        """Deprecated: use ``configure_cache(None)`` (or build with a
+        cache-less config)."""
+        warnings.warn(
+            "Flix.disable_cache is deprecated; call "
+            "Flix.configure_cache(None) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.configure_cache(None)
 
-    def _cache_lookup(
-        self, key: tuple, limit: Optional[int]
-    ) -> Optional[List[QueryResult]]:
-        if self._cache is None:
-            return None
-        cached = self._cache.get(key)
-        if cached is None:
-            self.cache_misses += 1
-            return None
-        self._cache.move_to_end(key)
-        self.cache_hits += 1
-        if limit is not None:
-            return cached[:limit]
-        return cached
+    def _cache_get(self, key: tuple, kind: str):
+        boxed = self._result_cache.get(key)
+        if self.obs.enabled:
+            if boxed is not None:
+                self.obs.registry.counter(
+                    "flix_cache_hits_total",
+                    "Query-cache hits, by query kind.",
+                ).inc(kind=kind)
+            else:
+                self.obs.registry.counter(
+                    "flix_cache_misses_total",
+                    "Query-cache misses, by query kind.",
+                ).inc(kind=kind)
+        return boxed
 
-    def _cache_store(self, key: tuple, results: List[QueryResult]) -> None:
-        if self._cache is None:
-            return
-        self._cache[key] = results
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._cache_maxsize:
-            self._cache.popitem(last=False)
+    def _cache_put(self, key: tuple, entry) -> None:
+        if self._result_cache is not None and key is not None:
+            self._result_cache.put(key, entry)
+
+    # ------------------------------------------------------------------
+    # concurrent serving
+    # ------------------------------------------------------------------
+    def serve(self, **kwargs):
+        """Wrap this instance in a :class:`repro.serve.FlixService`
+        worker pool (``workers``, ``max_pending``, ``default_budget``,
+        … — see ``docs/SERVING.md``).  The service shares this
+        instance's cache, metrics registry, and tracer."""
+        from repro.serve import FlixService
+
+        return FlixService(self, **kwargs)
 
     # ------------------------------------------------------------------
     # streamed (multithreaded) delivery, section 3.1
@@ -704,8 +970,7 @@ class Flix:
                 "flix_index_builds_total",
                 "Per-meta-document index builds, by chosen strategy.",
             ).inc(strategy=choice.strategy)
-        if self._cache is not None:
-            self._cache.clear()
+        self.invalidate_caches()
         return meta
 
     def save(self, directory) -> "Path":

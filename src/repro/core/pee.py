@@ -30,6 +30,17 @@ numbers, never a half-updated live counter; while a stream is still being
 consumed, read its own ``.stats`` instead.  Interleaved streams each keep
 their own counters and overwrite ``last_stats`` in completion order.
 
+**Reentrancy.**  One evaluator instance may run any number of queries
+concurrently from different threads (the serving layer's worker pool does
+exactly that).  All search state — the priority queue, the per-meta entry
+lists, the exact-order buffer, the deadline — lives in locals of the
+per-query generator; the only mutable evaluator-level structures are the
+sticky fallback map and the lazily-bound metric instruments, both guarded
+by a lock, plus the ``last_stats`` snapshot slot, which is written by a
+single atomic reference assignment.  Per-request
+:class:`QueryBudget` overrides are passed as call arguments, never stored
+on the evaluator.
+
 **Observability.**  When the evaluator is built with an enabled
 :class:`repro.obs.Observability` bundle, each query additionally emits a
 ``pee.query`` trace (with ``pee.probe`` spans per index probe and
@@ -45,6 +56,7 @@ from __future__ import annotations
 
 import copy
 import heapq
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -269,6 +281,9 @@ class PathExpressionEvaluator:
         self._fallbacks: Dict[int, object] = {}
         # per-query instruments, bound lazily on the first publish
         self._instruments: Optional[Dict[str, object]] = None
+        # guards the two shared mutable structures above; the search loop
+        # itself keeps all its state in per-query locals and never takes it
+        self._state_lock = threading.Lock()
         #: snapshot of the most recently *completed* query's counters; the
         #: live per-query counters travel on the :class:`QueryStream`
         self.last_stats = QueryStats()
@@ -283,6 +298,7 @@ class PathExpressionEvaluator:
         max_distance: Optional[int] = None,
         include_self: bool = False,
         exact_order: bool = False,
+        budget: Optional[QueryBudget] = None,
     ) -> Iterator[QueryResult]:
         """Stream descendants of ``start`` with the given tag.
 
@@ -307,6 +323,7 @@ class PathExpressionEvaluator:
             stats=QueryStats(),
             exact_order=exact_order,
             axis="descendants",
+            budget=budget,
         )
 
     def find_ancestors(
@@ -316,6 +333,7 @@ class PathExpressionEvaluator:
         max_distance: Optional[int] = None,
         include_self: bool = False,
         exact_order: bool = False,
+        budget: Optional[QueryBudget] = None,
     ) -> Iterator[QueryResult]:
         """Stream ancestors of ``start`` (section 5.1: "a similar algorithm
         can be applied to find ancestors"); distances are path lengths from
@@ -329,6 +347,7 @@ class PathExpressionEvaluator:
             stats=QueryStats(),
             exact_order=exact_order,
             axis="ancestors",
+            budget=budget,
         )
 
     def evaluate_type_query(
@@ -336,6 +355,7 @@ class PathExpressionEvaluator:
         source_tag_nodes: Sequence[NodeId],
         tag: Optional[str],
         max_distance: Optional[int] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> Iterator[QueryResult]:
         """``A//B`` evaluation (section 5.2): seed the queue with every
         element of type ``A`` at priority 0 and run the same algorithm.
@@ -351,6 +371,7 @@ class PathExpressionEvaluator:
             skip_nodes=(),
             stats=QueryStats(),
             axis="type",
+            budget=budget,
         )
 
     # ------------------------------------------------------------------
@@ -366,10 +387,14 @@ class PathExpressionEvaluator:
         stats: QueryStats,
         exact_order: bool = False,
         axis: Optional[str] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> QueryStream:
         """Build the query stream; ``axis=None`` marks an internal
         sub-search whose caller owns publication (no trace, no registry
-        writes — ``last_stats`` is still refreshed on completion)."""
+        writes — ``last_stats`` is still refreshed on completion).
+        ``budget`` overrides the evaluator's configured default for this
+        query only (per-request deadlines from the serving layer)."""
+        budget = self._effective_budget(budget)
         obs = self._obs
         trace = None
         started = 0.0
@@ -387,12 +412,20 @@ class PathExpressionEvaluator:
             try:
                 yield from self._search_inner(
                     seeds, tag, max_distance, forward, skip_nodes, stats,
-                    exact_order, trace,
+                    exact_order, trace, budget,
                 )
             finally:
                 finalize()
 
         return QueryStream(run(), stats, finalize)
+
+    def _effective_budget(
+        self, budget: Optional[QueryBudget]
+    ) -> Optional[QueryBudget]:
+        """The per-request override when given, else the configured default."""
+        if budget is not None:
+            return None if budget.is_noop else budget
+        return self._budget
 
     def _make_finalizer(
         self, stats: QueryStats, axis: Optional[str], trace, started: float
@@ -432,6 +465,7 @@ class PathExpressionEvaluator:
         stats: QueryStats,
         exact_order: bool,
         trace=None,
+        budget: Optional[QueryBudget] = None,
     ) -> Iterator[QueryResult]:
         # entry points already expanded, per meta document
         entries: Dict[int, List[NodeId]] = {}
@@ -444,7 +478,6 @@ class PathExpressionEvaluator:
         skip = set(skip_nodes)
         # exact-order buffering: (distance, tiebreak, result)
         buffer: List[Tuple[int, int, QueryResult]] = []
-        budget = self._budget
         deadline = None
         if budget is not None and budget.deadline_seconds is not None:
             deadline = time.monotonic() + budget.deadline_seconds
@@ -648,10 +681,14 @@ class PathExpressionEvaluator:
                 f"meta document {meta.meta_id} has no usable index and "
                 "query fallback is disabled (no resilience configuration)"
             )
-        fallback = self._fallbacks.get(meta.meta_id)
-        if fallback is None:
-            fallback = ctx.build_for(meta)
-            self._fallbacks[meta.meta_id] = fallback
+        activated = False
+        with self._state_lock:
+            fallback = self._fallbacks.get(meta.meta_id)
+            if fallback is None:
+                fallback = ctx.build_for(meta)
+                self._fallbacks[meta.meta_id] = fallback
+                activated = True
+        if activated:
             stats.fallback_meta_documents += 1
             if self._obs.enabled:
                 self._obs.registry.counter(
@@ -697,8 +734,19 @@ class PathExpressionEvaluator:
             return matches
 
     def _query_instruments(self) -> Dict[str, object]:
-        """Bind the per-query instruments once (one publish per query)."""
-        if self._instruments is None:
+        """Bind the per-query instruments once (one publish per query).
+
+        Double-checked under the state lock: concurrent first publishers
+        must agree on one instrument dict (the registry itself dedupes by
+        metric name, so the race would be benign, but a torn half-built
+        dict would not be).
+        """
+        instruments = self._instruments
+        if instruments is not None:
+            return instruments
+        with self._state_lock:
+            if self._instruments is not None:
+                return self._instruments
             reg = self._obs.registry
             self._instruments = {
                 "queries": reg.counter(
@@ -739,7 +787,7 @@ class PathExpressionEvaluator:
                     "(complete / truncated / degraded).",
                 ),
             }
-        return self._instruments
+            return self._instruments
 
     def _publish(self, stats: QueryStats, axis: str, duration: float) -> None:
         """Fold one finished query's counters into the metrics registry."""
@@ -811,6 +859,7 @@ class PathExpressionEvaluator:
         target: NodeId,
         max_distance: Optional[int] = None,
         stats: Optional[QueryStats] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> Optional[int]:
         """Approximate distance from ``source`` to ``target``; None if not
         connected (within the threshold).
@@ -825,7 +874,10 @@ class PathExpressionEvaluator:
         stats = stats if stats is not None else QueryStats()
         started = time.perf_counter() if self._obs.enabled else 0.0
         try:
-            return self._connection_test(source, target, max_distance, stats)
+            return self._connection_test(
+                source, target, max_distance, stats,
+                self._effective_budget(budget),
+            )
         finally:
             self.last_stats = stats.snapshot()
             if self._obs.enabled:
@@ -839,6 +891,7 @@ class PathExpressionEvaluator:
         target: NodeId,
         max_distance: Optional[int],
         stats: QueryStats,
+        budget: Optional[QueryBudget] = None,
     ) -> Optional[int]:
         entries: Dict[int, List[NodeId]] = {}
         heap: List[Tuple[int, int, NodeId]] = [(0, 0, source)]
@@ -846,7 +899,6 @@ class PathExpressionEvaluator:
         if source not in self._meta_of or target not in self._meta_of:
             raise KeyError("both endpoints must belong to the collection")
         target_meta = self._meta_of[target]
-        budget = self._budget
         deadline = None
         if budget is not None and budget.deadline_seconds is not None:
             deadline = time.monotonic() + budget.deadline_seconds
@@ -946,6 +998,7 @@ class PathExpressionEvaluator:
         target: NodeId,
         max_distance: Optional[int] = None,
         stats: Optional[QueryStats] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> Optional[int]:
         """The optimization sketched in section 5.2: run a descendants
         search from ``source`` and an ancestors search from ``target``
@@ -959,11 +1012,11 @@ class PathExpressionEvaluator:
         # publication below covers the whole bidirectional run.
         forward = self._search(
             seeds=[source], tag=None, max_distance=max_distance,
-            forward=True, skip_nodes=(), stats=stats,
+            forward=True, skip_nodes=(), stats=stats, budget=budget,
         )
         backward = self._search(
             seeds=[target], tag=None, max_distance=max_distance,
-            forward=False, skip_nodes=(), stats=stats,
+            forward=False, skip_nodes=(), stats=stats, budget=budget,
         )
         try:
             seen_forward: Dict[NodeId, int] = {}

@@ -40,7 +40,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.collection.collection import XmlCollection
-from repro.core.config import FlixConfig, ResilienceConfig
+from repro.core.config import CacheConfig, FlixConfig, ResilienceConfig
 from repro.core.framework import Flix
 from repro.core.ib import (
     _LINKS_SCHEMA,
@@ -149,6 +149,9 @@ def save_flix(flix: Flix, directory) -> Path:
             "build_executor": flix.config.build_executor,
             "observability": flix.config.observability,
             "resilience": resilience.to_dict() if resilience else None,
+            "cache": (
+                flix.config.cache.to_dict() if flix.config.cache else None
+            ),
         },
         "integrity": {
             "algorithm": "sha256-table-content",
@@ -419,6 +422,11 @@ def _config_from_manifest(config_data: dict) -> FlixConfig:
         resilience=(
             ResilienceConfig.from_dict(resilience_data)
             if resilience_data
+            else None
+        ),
+        cache=(
+            CacheConfig.from_dict(config_data["cache"])
+            if config_data.get("cache")
             else None
         ),
     )

@@ -12,6 +12,7 @@ rebuild is warranted and recommends the next configuration.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -36,33 +37,43 @@ class QueryLoadMonitor:
             raise ValueError("window must be positive")
         self._window = window
         self._stats: List[QueryStats] = []
+        # serving workers record concurrently (repro.serve); the window
+        # trim is a read-modify-write that must not interleave
+        self._lock = threading.Lock()
 
     def record(self, stats: QueryStats) -> None:
-        self._stats.append(stats)
-        if len(self._stats) > self._window:
-            del self._stats[: len(self._stats) - self._window]
+        with self._lock:
+            self._stats.append(stats)
+            if len(self._stats) > self._window:
+                del self._stats[: len(self._stats) - self._window]
 
     @property
     def query_count(self) -> int:
-        return len(self._stats)
+        with self._lock:
+            return len(self._stats)
 
     @property
     def mean_link_traversals(self) -> float:
-        if not self._stats:
-            return 0.0
-        return sum(s.link_traversals for s in self._stats) / len(self._stats)
+        with self._lock:
+            if not self._stats:
+                return 0.0
+            return sum(s.link_traversals for s in self._stats) / len(self._stats)
 
     @property
     def mean_meta_document_visits(self) -> float:
-        if not self._stats:
-            return 0.0
-        return sum(s.meta_document_visits for s in self._stats) / len(self._stats)
+        with self._lock:
+            if not self._stats:
+                return 0.0
+            return sum(s.meta_document_visits for s in self._stats) / len(
+                self._stats
+            )
 
     @property
     def mean_results(self) -> float:
-        if not self._stats:
-            return 0.0
-        return sum(s.results_returned for s in self._stats) / len(self._stats)
+        with self._lock:
+            if not self._stats:
+                return 0.0
+            return sum(s.results_returned for s in self._stats) / len(self._stats)
 
     def advice(
         self,

@@ -1,0 +1,36 @@
+"""``repro.serve`` — the concurrent query-serving layer.
+
+Three pieces, documented in ``docs/SERVING.md``:
+
+* :class:`ShardedLRUCache` (:mod:`repro.serve.cache`) — the process-wide
+  result/connection cache with generation-based invalidation, shared by
+  ``Flix.query`` and every service worker;
+* :class:`AdmissionQueue` (:mod:`repro.serve.admission`) — bounded
+  queueing with reject-on-full backpressure;
+* :class:`FlixService` (:mod:`repro.serve.service`) — the worker pool
+  tying both to a built :class:`~repro.core.framework.Flix`.
+
+``repro.core`` never imports this package at module level (the cache is
+built lazily via :meth:`repro.core.config.CacheConfig.build`), so the
+core stays importable on its own.
+"""
+
+from repro.serve.admission import (
+    AdmissionQueue,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.serve.cache import CacheStats, ShardedLRUCache
+from repro.serve.service import FlixService, PendingQuery
+
+__all__ = [
+    "AdmissionQueue",
+    "CacheStats",
+    "FlixService",
+    "PendingQuery",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ShardedLRUCache",
+]

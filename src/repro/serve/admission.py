@@ -1,0 +1,95 @@
+"""Admission control for the serving layer: bounded queueing.
+
+A service that accepts every request eventually holds them all in memory
+while its workers fall behind — the classic unbounded-queue failure.
+:class:`AdmissionQueue` is a thin, explicitly-bounded wrapper over
+:class:`queue.Queue` that turns "the queue is full" into an immediate,
+typed rejection (:class:`ServiceOverloadedError`) instead of an invisible
+wait, and "the service is closed" into :class:`ServiceClosedError`.
+
+Backpressure therefore happens at the door: a caller whose ``submit``
+raises ``ServiceOverloadedError`` knows *now* that the service is at
+capacity and can shed, retry with backoff, or fail upstream — all
+decisions only the caller can make.  Per-request deadlines
+(:class:`~repro.core.pee.QueryBudget`) complement this from the other
+side: work that waited too long in the queue is answered ``truncated``
+instead of evaluated late (see :mod:`repro.serve.service`).
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Any, Optional
+
+
+class ServiceError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service no longer accepts requests (``close()`` was called)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The pending-request queue is at capacity; the request was rejected.
+
+    Carries the queue bound so callers can log a meaningful message.
+    """
+
+    def __init__(self, max_pending: int) -> None:
+        super().__init__(
+            f"service queue is full ({max_pending} pending requests); "
+            "request rejected"
+        )
+        self.max_pending = max_pending
+
+
+class AdmissionQueue:
+    """A bounded FIFO of pending work with reject-on-full semantics.
+
+    ``max_pending`` bounds how many requests may wait for a worker; an
+    offer beyond that raises :class:`ServiceOverloadedError` immediately
+    (optionally after ``timeout`` seconds of waiting for space, when the
+    caller prefers brief blocking over rejection).
+    """
+
+    def __init__(self, max_pending: int) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        self.max_pending = max_pending
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max_pending)
+
+    def offer(self, item: Any, timeout: Optional[float] = None) -> None:
+        """Enqueue ``item`` or raise :class:`ServiceOverloadedError`.
+
+        ``timeout=None`` rejects immediately when full; a positive timeout
+        waits that long for space first.
+        """
+        try:
+            if timeout is None:
+                self._queue.put_nowait(item)
+            else:
+                self._queue.put(item, timeout=timeout)
+        except queue.Full:
+            raise ServiceOverloadedError(self.max_pending) from None
+
+    def force(self, item: Any) -> None:
+        """Enqueue unconditionally (internal: worker-stop sentinels must
+        never be rejected, or ``close()`` would hang)."""
+        self._queue.put(item)
+
+    def take(self, timeout: Optional[float] = None) -> Any:
+        """Dequeue the next item, blocking up to ``timeout`` (raises
+        :class:`queue.Empty` on timeout)."""
+        return self._queue.get(timeout=timeout)
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+
+__all__ = [
+    "AdmissionQueue",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+]

@@ -1,0 +1,194 @@
+"""The unified QueryRequest/QueryResponse API and its legacy shims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import QUERY_KINDS, QueryRequest
+from repro.core.config import CacheConfig, FlixConfig
+from repro.core.framework import Flix
+from repro.core.pee import QueryBudget
+
+
+class TestRequestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown query kind"):
+            QueryRequest(kind="siblings", source=0)
+
+    def test_descendants_needs_exactly_one_seed(self):
+        with pytest.raises(ValueError, match="exactly one of"):
+            QueryRequest(kind="descendants")
+        with pytest.raises(ValueError, match="exactly one of"):
+            QueryRequest(kind="descendants", source=0, source_tag="movie")
+
+    def test_scalar_kinds_need_target(self):
+        for kind in ("cost", "test"):
+            with pytest.raises(ValueError, match="target"):
+                QueryRequest(kind=kind, source=0)
+
+    def test_path_needs_steps(self):
+        with pytest.raises(ValueError, match="step tag"):
+            QueryRequest(kind="path", source=0)
+        with pytest.raises(ValueError, match="path kind"):
+            QueryRequest(kind="children", source=0, path=("a",))
+
+    def test_bidirectional_only_for_test(self):
+        with pytest.raises(ValueError, match="bidirectional"):
+            QueryRequest(kind="descendants", source=0, bidirectional=True)
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError, match="limit"):
+            QueryRequest.descendants(0, limit=0)
+        with pytest.raises(ValueError, match="max_distance"):
+            QueryRequest.descendants(0, max_distance=-1)
+
+    def test_requests_are_hashable_and_frozen(self):
+        request = QueryRequest.descendants(0, tag="p")
+        assert hash(request) == hash(QueryRequest.descendants(0, tag="p"))
+        with pytest.raises(Exception):
+            request.kind = "ancestors"
+
+    def test_cache_key_excludes_limit_and_rejects_budget(self):
+        full = QueryRequest.descendants(0, tag="p")
+        limited = full.with_limit(3)
+        assert full.cache_key() == limited.cache_key()
+        budgeted = full.with_budget(QueryBudget(max_queue_pops=5))
+        assert budgeted.cache_key() is None
+
+    def test_every_kind_is_constructible(self):
+        built = {
+            QueryRequest.descendants(0).kind,
+            QueryRequest.ancestors(0).kind,
+            QueryRequest.children(0).kind,
+            QueryRequest.find_path(0, ["a"]).kind,
+            QueryRequest.connections(0).kind,
+            QueryRequest.cost(0, 1).kind,
+            QueryRequest.test(0, 1).kind,
+            QueryRequest.type_query("movie").kind,
+        }
+        assert built == set(QUERY_KINDS) - {"path"} | {"path"}
+
+
+class TestShimParity:
+    """The eight legacy methods must return exactly what query() does."""
+
+    def test_descendants(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        unified = cached_flix.query(QueryRequest.descendants(start, tag="p"))
+        cached_flix.invalidate_caches()
+        legacy = list(cached_flix.find_descendants(start, tag="p"))
+        assert [r.node for r in legacy] == [r.node for r in unified.results]
+        assert len(unified.results) == 2  # alpha (local) + beta (via link)
+
+    def test_ancestors(self, cached_flix, linked_collection):
+        target = linked_collection.document_root("b.xml")
+        unified = cached_flix.query(QueryRequest.ancestors(target))
+        cached_flix.invalidate_caches()
+        legacy = list(cached_flix.find_ancestors(target))
+        assert [r.node for r in legacy] == [r.node for r in unified.results]
+
+    def test_children(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        unified = cached_flix.query(QueryRequest.children(start))
+        legacy = cached_flix.find_children(start)
+        assert [r.node for r in legacy] == [r.node for r in unified.results]
+
+    def test_type_query(self, cached_flix):
+        unified = cached_flix.query(QueryRequest.type_query("doc", "p"))
+        cached_flix.invalidate_caches()
+        legacy = list(cached_flix.evaluate_type_query("doc", "p"))
+        assert [r.node for r in legacy] == [r.node for r in unified.results]
+
+    def test_path(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        unified = cached_flix.query(QueryRequest.find_path(start, ["p"]))
+        legacy = cached_flix.find_path(start, ["p"])
+        assert legacy == unified.results
+
+    def test_connections(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        unified = cached_flix.query(QueryRequest.connections(start, tag="p"))
+        cached_flix.invalidate_caches()
+        legacy = list(cached_flix.find_connections(start, tag="p"))
+        assert legacy == unified.results
+
+    def test_scalars(self, cached_flix, linked_collection):
+        a = linked_collection.document_root("a.xml")
+        b = linked_collection.document_root("b.xml")
+        assert cached_flix.query(QueryRequest.test(a, b)).value == (
+            cached_flix.connection_test(a, b)
+        )
+        assert cached_flix.query(QueryRequest.cost(a, b)).value == (
+            cached_flix.connection_cost(a, b)
+        )
+
+    def test_response_shape(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        response = cached_flix.query(QueryRequest.descendants(start, tag="p"))
+        assert response.is_complete
+        assert response.completeness == "complete"
+        assert len(response) == len(response.results)
+        assert list(response) == response.results
+        assert response.elapsed_seconds >= 0.0
+        assert response.stats.results_returned == len(response.results)
+
+    def test_limited_response_is_prefix(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        full = cached_flix.query(QueryRequest.descendants(start))
+        limited = cached_flix.query(
+            QueryRequest.descendants(start).with_limit(2)
+        )
+        assert [r.node for r in limited.results] == [
+            r.node for r in full.results[:2]
+        ]
+
+    def test_query_stream_rejects_scalar_kinds(self, cached_flix):
+        with pytest.raises(ValueError, match="no streaming form"):
+            next(cached_flix.query_stream(QueryRequest.test(0, 1)))
+
+
+class TestDeprecations:
+    def test_enable_cache_warns_and_still_works(self, linked_collection):
+        flix = Flix.build(linked_collection, FlixConfig.naive())
+        with pytest.warns(DeprecationWarning, match="enable_cache"):
+            flix.enable_cache(maxsize=8)
+        start = linked_collection.document_root("a.xml")
+        list(flix.find_descendants(start, tag="p"))
+        list(flix.find_descendants(start, tag="p"))
+        assert flix.cache_hits == 1 and flix.cache_misses == 1
+
+    def test_disable_cache_warns(self, linked_collection):
+        flix = Flix.build(linked_collection, FlixConfig.naive())
+        with pytest.warns(DeprecationWarning):
+            flix.enable_cache()
+        with pytest.warns(DeprecationWarning, match="disable_cache"):
+            flix.disable_cache()
+        assert flix.cache is None
+
+    def test_config_cache_replaces_enable_cache(self, cached_flix):
+        # the new path warns nothing and feeds the same counters
+        assert cached_flix.cache is not None
+        assert cached_flix.cache_hits == 0
+
+
+class TestCacheConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(maxsize=0)
+        with pytest.raises(ValueError):
+            CacheConfig(shards=0)
+
+    def test_roundtrip(self):
+        config = CacheConfig(maxsize=128, shards=2)
+        assert CacheConfig.from_dict(config.to_dict()) == config
+
+    def test_with_cache_and_without_cache(self):
+        config = FlixConfig.naive().with_cache()
+        assert config.cache is not None
+        assert config.without_cache().cache is None
+
+    def test_persistence_roundtrip(self, cached_flix, tmp_path):
+        cached_flix.save(tmp_path / "index")
+        loaded = Flix.load(cached_flix.collection, tmp_path / "index")
+        assert loaded.config.cache == cached_flix.config.cache
+        assert loaded.cache is not None

@@ -1,0 +1,219 @@
+"""Correctness of the shared sharded LRU cache, unit and integration."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.collection.document import XmlDocument
+from repro.core.api import QueryRequest
+from repro.serve.cache import ShardedLRUCache
+
+
+class TestShardedLRUCacheUnit:
+    def test_boxed_get_distinguishes_cached_none(self):
+        cache = ShardedLRUCache(maxsize=8, shards=2)
+        assert cache.get("missing") is None
+        cache.put("negative", None)
+        assert cache.get("negative") == (None,)
+        assert cache.lookup("negative", default="sentinel") is None
+        assert cache.lookup("missing", default="sentinel") == "sentinel"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedLRUCache(maxsize=0)
+        with pytest.raises(ValueError):
+            ShardedLRUCache(maxsize=8, shards=0)
+
+    def test_shards_clamped_to_maxsize(self):
+        cache = ShardedLRUCache(maxsize=2, shards=16)
+        assert cache.shards == 2
+        assert cache.maxsize == 2
+
+    def test_bounded_under_churn(self):
+        cache = ShardedLRUCache(maxsize=32, shards=4)
+        for i in range(10_000):
+            cache.put(("key", i), i)
+        assert len(cache) <= 32
+        stats = cache.stats()
+        assert stats.evictions >= 10_000 - 32
+        assert stats.entries == len(cache)
+
+    def test_lru_order_within_shard(self):
+        cache = ShardedLRUCache(maxsize=2, shards=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == (1,)  # refresh a
+        cache.put("c", 3)  # evicts b, the least recent
+        assert cache.get("b") is None
+        assert cache.get("a") == (1,)
+        assert cache.get("c") == (3,)
+
+    def test_generation_invalidation_is_lazy_and_total(self):
+        cache = ShardedLRUCache(maxsize=16, shards=4)
+        for i in range(8):
+            cache.put(i, i * 10)
+        generation = cache.invalidate_all()
+        assert generation == cache.generation
+        for i in range(8):
+            assert cache.get(i) is None  # stale entries dropped on lookup
+        stats = cache.stats()
+        assert stats.invalidations == 8
+        # a fresh store after the bump is servable again
+        cache.put("new", 99)
+        assert cache.get("new") == (99,)
+
+    def test_concurrent_readers_and_writers(self):
+        cache = ShardedLRUCache(maxsize=128, shards=8)
+        errors = []
+
+        def worker(worker_id: int) -> None:
+            try:
+                for i in range(300):
+                    key = (worker_id % 4, i % 40)
+                    cache.put(key, key)
+                    boxed = cache.get(key)
+                    if boxed is not None and boxed[0] != key:
+                        errors.append((key, boxed))
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 128
+
+
+class TestFlixCacheIntegration:
+    def test_warm_equals_cold(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        request = QueryRequest.descendants(start, tag="p")
+        cold = cached_flix.query(request)
+        warm = cached_flix.query(request)
+        assert not cold.from_cache and warm.from_cache
+        assert [r.node for r in warm.results] == [
+            r.node for r in cold.results
+        ]
+        assert warm.stats.results_returned == cold.stats.results_returned
+
+    def test_scalar_hot_pair_caching(self, cached_flix, linked_collection):
+        a = linked_collection.document_root("a.xml")
+        b = linked_collection.document_root("b.xml")
+        first = cached_flix.query(QueryRequest.test(a, b))
+        again = cached_flix.query(QueryRequest.test(a, b))
+        assert again.from_cache
+        assert again.value == first.value
+        # negative probes cache too (the 1-tuple boxing at work)
+        none1 = cached_flix.query(QueryRequest.test(b, a))
+        none2 = cached_flix.query(QueryRequest.test(b, a))
+        assert none1.value is None and none2.value is None
+        assert none2.from_cache
+
+    def test_add_document_invalidates(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        request = QueryRequest.descendants(start, tag="p")
+        before = cached_flix.query(request)
+        assert cached_flix.query(request).from_cache
+        cached_flix.add_document(
+            XmlDocument.from_text("c.xml", "<doc><p>gamma</p></doc>")
+        )
+        after = cached_flix.query(request)
+        assert not after.from_cache  # generation bumped, entry unservable
+        assert {r.node for r in after.results} == {
+            r.node for r in before.results
+        }
+
+    def test_rebuild_starts_cold(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        request = QueryRequest.descendants(start, tag="p")
+        cached_flix.query(request)
+        assert cached_flix.query(request).from_cache
+        rebuilt = cached_flix.rebuild()
+        assert rebuilt.cache is not None  # config.cache carries over
+        assert rebuilt.cache_hits == 0 and rebuilt.cache_misses == 0
+        assert not rebuilt.query(request).from_cache
+
+    def test_repair_roundtrip_serves_fresh_cache(
+        self, cached_flix, linked_collection, tmp_path
+    ):
+        """A repaired/reloaded index starts with an empty cache: entries
+        never survive persistence."""
+        from repro.core.framework import Flix
+
+        start = linked_collection.document_root("a.xml")
+        request = QueryRequest.descendants(start, tag="p")
+        expected = cached_flix.query(request)
+        cached_flix.save(tmp_path / "idx")
+        assert Flix.repair(linked_collection, tmp_path / "idx") == []
+        loaded = Flix.load(linked_collection, tmp_path / "idx")
+        response = loaded.query(request)
+        assert not response.from_cache
+        assert [r.node for r in response.results] == [
+            r.node for r in expected.results
+        ]
+
+    def test_limited_query_served_by_slicing(self, figure1_flix,
+                                             figure1_collection):
+        start = figure1_collection.document_root("d05.xml")
+        full = figure1_flix.query(QueryRequest.descendants(start))
+        hits_before = figure1_flix.cache_hits
+        limited = figure1_flix.query(
+            QueryRequest.descendants(start).with_limit(3)
+        )
+        assert figure1_flix.cache_hits == hits_before + 1
+        assert limited.from_cache
+        assert [r.node for r in limited.results] == [
+            r.node for r in full.results[:3]
+        ]
+
+    def test_concurrent_reads_are_deterministic(self, figure1_flix,
+                                                figure1_collection):
+        """N threads issuing the same query set must all see identical
+        sorted results, hit or miss."""
+        roots = [
+            figure1_collection.document_root(name)
+            for name in sorted(figure1_collection.documents)[:6]
+        ]
+        requests = [QueryRequest.descendants(root) for root in roots]
+        expected = [
+            sorted(r.node for r in figure1_flix.query(req).results)
+            for req in requests
+        ]
+        figure1_flix.invalidate_caches()
+        mismatches = []
+        barrier = threading.Barrier(6)
+
+        def worker() -> None:
+            barrier.wait()
+            for index, request in enumerate(requests):
+                got = sorted(
+                    r.node for r in figure1_flix.query(request).results
+                )
+                if got != expected[index]:
+                    mismatches.append((index, got))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not mismatches
+
+    def test_budget_bearing_requests_bypass_storage(
+        self, cached_flix, linked_collection
+    ):
+        from repro.core.pee import QueryBudget
+
+        start = linked_collection.document_root("a.xml")
+        budgeted = QueryRequest.descendants(start, tag="p").with_budget(
+            QueryBudget(max_queue_pops=1000)
+        )
+        cached_flix.query(budgeted)
+        response = cached_flix.query(budgeted)
+        assert not response.from_cache  # never stored, never replayed

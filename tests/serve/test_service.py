@@ -1,0 +1,204 @@
+"""FlixService: worker pool, backpressure, deadlines, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.api import QueryRequest
+from repro.core.pee import QueryBudget
+from repro.serve import (
+    AdmissionQueue,
+    FlixService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+
+
+class TestAdmissionQueue:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+    def test_offer_rejects_when_full(self):
+        queue = AdmissionQueue(2)
+        queue.offer("a")
+        queue.offer("b")
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            queue.offer("c")
+        assert excinfo.value.max_pending == 2
+        assert queue.take() == "a"
+        queue.offer("c")  # space again
+        assert len(queue) == 2
+
+
+class TestFlixService:
+    def test_submit_and_result(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        with cached_flix.serve(workers=2) as service:
+            pending = service.submit(QueryRequest.descendants(start, tag="p"))
+            response = pending.result(timeout=10)
+            assert pending.done
+            assert len(response.results) == 2
+
+    def test_submit_many_preserves_order(self, cached_flix,
+                                         linked_collection):
+        a = linked_collection.document_root("a.xml")
+        b = linked_collection.document_root("b.xml")
+        requests = [
+            QueryRequest.descendants(a, tag="p"),
+            QueryRequest.descendants(b, tag="p"),
+            QueryRequest.test(a, b),
+        ] * 4
+        with cached_flix.serve(workers=3) as service:
+            responses = service.submit_many(requests)
+        assert [r.request for r in responses] == requests
+        assert service.served == len(requests)
+
+    def test_concurrent_results_match_serial(self, figure1_flix,
+                                             figure1_collection):
+        roots = [
+            figure1_collection.document_root(name)
+            for name in sorted(figure1_collection.documents)[:8]
+        ]
+        requests = [QueryRequest.descendants(root) for root in roots] * 3
+        serial = [figure1_flix.query(request) for request in requests]
+        figure1_flix.invalidate_caches()
+        with figure1_flix.serve(workers=4) as service:
+            concurrent = service.submit_many(requests)
+        for expected, got in zip(serial, concurrent):
+            assert [r.node for r in expected.results] == [
+                r.node for r in got.results
+            ]
+
+    def test_closed_service_rejects(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        service = cached_flix.serve(workers=1)
+        service.close()
+        assert service.closed
+        with pytest.raises(ServiceClosedError):
+            service.submit(QueryRequest.descendants(start))
+        service.close()  # idempotent
+
+    def test_backpressure_rejects_beyond_max_pending(
+        self, cached_flix, linked_collection
+    ):
+        start = linked_collection.document_root("a.xml")
+        release = threading.Event()
+        # stall the single worker so submissions pile up in the queue
+        slow = QueryRequest.descendants(start)
+        original_query = cached_flix.query
+
+        def stalled_query(request, budget=None):
+            release.wait(timeout=10)
+            return original_query(request, budget=budget)
+
+        cached_flix.query = stalled_query
+        try:
+            service = FlixService(cached_flix, workers=1, max_pending=2)
+            futures = [service.submit(slow)]
+            time.sleep(0.05)  # let the worker pick up the first request
+            futures.append(service.submit(slow))
+            futures.append(service.submit(slow))
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(slow)
+        finally:
+            release.set()
+            cached_flix.query = original_query
+        for future in futures:
+            assert future.result(timeout=10) is not None
+        service.close()
+
+    def test_expired_in_queue_answers_truncated(
+        self, cached_flix, linked_collection
+    ):
+        start = linked_collection.document_root("a.xml")
+        release = threading.Event()
+        original_query = cached_flix.query
+
+        def stalled_query(request, budget=None):
+            release.wait(timeout=10)
+            return original_query(request, budget=budget)
+
+        cached_flix.query = stalled_query
+        try:
+            service = FlixService(cached_flix, workers=1, max_pending=8)
+            blocker = service.submit(QueryRequest.descendants(start))
+            time.sleep(0.05)
+            doomed = service.submit(
+                QueryRequest.descendants(start).with_budget(
+                    QueryBudget(deadline_seconds=0.01)
+                )
+            )
+            time.sleep(0.1)  # let the deadline elapse while queued
+        finally:
+            release.set()
+            cached_flix.query = original_query
+        response = doomed.result(timeout=10)
+        assert response.completeness == "truncated"
+        assert response.results == []
+        assert blocker.result(timeout=10).is_complete
+        service.close()
+
+    def test_default_budget_applies(self, figure1_flix, figure1_collection):
+        start = figure1_collection.document_root("d05.xml")
+        with figure1_flix.serve(
+            workers=1,
+            default_budget=QueryBudget(max_queue_pops=1),
+        ) as service:
+            response = service.query(QueryRequest.descendants(start))
+        assert response.completeness == "truncated"
+
+    def test_worker_errors_reach_the_caller(self, cached_flix):
+        bad = QueryRequest.descendants(10**9)  # nonexistent node
+        with cached_flix.serve(workers=1) as service:
+            pending = service.submit(bad)
+            with pytest.raises(Exception):
+                pending.result(timeout=10)
+
+    def test_result_timeout(self, cached_flix, linked_collection):
+        start = linked_collection.document_root("a.xml")
+        release = threading.Event()
+        original_query = cached_flix.query
+
+        def stalled_query(request, budget=None):
+            release.wait(timeout=10)
+            return original_query(request, budget=budget)
+
+        cached_flix.query = stalled_query
+        try:
+            service = FlixService(cached_flix, workers=1)
+            pending = service.submit(QueryRequest.descendants(start))
+            with pytest.raises(TimeoutError):
+                pending.result(timeout=0.05)
+        finally:
+            release.set()
+            cached_flix.query = original_query
+        assert pending.result(timeout=10) is not None
+        service.close()
+
+    def test_validation(self, cached_flix):
+        with pytest.raises(ValueError):
+            FlixService(cached_flix, workers=0)
+
+    def test_service_metrics_and_traces(self, cached_flix,
+                                        linked_collection):
+        start = linked_collection.document_root("a.xml")
+        request = QueryRequest.descendants(start, tag="p")
+        with cached_flix.serve(workers=2) as service:
+            service.submit_many([request] * 4)
+        from repro.obs import render_json  # structured export
+
+        exported = render_json(cached_flix.obs.registry)
+        assert "flix_service_requests_total" in exported
+        assert "flix_service_queue_depth" in exported
+        assert "flix_cache_hits_total" in exported
+        traces = [
+            trace
+            for trace in cached_flix.obs.tracer.traces()
+            if trace.name == "svc.query"
+        ]
+        assert traces, "serving must emit svc.query traces"
+        assert service.cache_stats().hits >= 1

@@ -26,7 +26,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: documentation files whose ``repro.*`` references must resolve
 CHECKED_DOCS = (
     REPO_ROOT / "docs" / "API.md",
+    REPO_ROOT / "docs" / "ARCHITECTURE.md",
     REPO_ROOT / "docs" / "RESILIENCE.md",
+    REPO_ROOT / "docs" / "SERVING.md",
 )
 
 #: a backticked reference starting with ``repro.``: keep the leading
