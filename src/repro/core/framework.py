@@ -278,19 +278,24 @@ class Flix:
 
         ``budget`` overrides ``request.budget`` for this call (the serving
         layer uses it to charge queue wait against the deadline).  Any
-        budget makes the request uncacheable: a truncated answer must
-        never be replayed to an unbudgeted caller.
+        budget — explicit or the evaluator's configured resilience default
+        — makes the answer uncacheable unless it came back ``complete``: a
+        truncated or degraded answer must never be replayed to a later
+        caller.
         """
         started = time.perf_counter()
         effective_budget = budget if budget is not None else request.budget
-        key = (
-            request.cache_key() if self._result_cache is not None else None
-        )
+        # Pin the cache object and its generation *before* evaluating: a
+        # concurrent configure_cache swap or add_document invalidation
+        # must not let this call store a pre-mutation answer as fresh.
+        cache = self._result_cache
+        key = request.cache_key() if cache is not None else None
+        generation = cache.generation if cache is not None else 0
         if key is not None:
             # A complete cached answer is always servable, even to a
             # budget-bearing call — the budget bounds *work*, and a replay
             # does none.
-            boxed = self._cache_get(key, request.kind)
+            boxed = self._cache_get(cache, key, request.kind)
             if boxed is not None:
                 return self._replay(request, boxed[0], started)
         payload, stats = self._evaluate(request, effective_budget)
@@ -298,9 +303,10 @@ class Flix:
         if (
             key is not None
             and effective_budget is None
+            and stats.is_complete
             and (request.is_scalar or request.limit is None)
         ):
-            self._cache_put(key, (payload, stats))
+            self._cache_put(cache, key, (payload, stats), generation)
         if request.is_scalar:
             return QueryResponse(
                 request, [], payload, stats, False,
@@ -319,19 +325,20 @@ class Flix:
 
         The shared cache participates exactly as in :meth:`query`: a hit
         replays the stored (full) result list, a fully-consumed unlimited
-        stream is stored on completion; an abandoned stream stores
-        nothing.  Scalar and aggregate kinds have nothing to stream —
-        use :meth:`query` for those.
+        stream is stored on completion — but only when it finished
+        ``complete`` (a resilience default budget can truncate or degrade
+        it); an abandoned stream stores nothing.  Scalar and aggregate
+        kinds have nothing to stream — use :meth:`query` for those.
         """
         if request.kind not in STREAMING_KINDS:
             raise ValueError(
                 f"kind {request.kind!r} has no streaming form; use query()"
             )
-        key = (
-            request.cache_key() if self._result_cache is not None else None
-        )
+        cache = self._result_cache
+        key = request.cache_key() if cache is not None else None
+        generation = cache.generation if cache is not None else 0
         if key is not None:
-            boxed = self._cache_get(key, request.kind)
+            boxed = self._cache_get(cache, key, request.kind)
             if boxed is not None:
                 results, _ = boxed[0]
                 if request.limit is not None:
@@ -351,8 +358,8 @@ class Flix:
             yield item
         stats = finish()
         self.monitor.record(stats)
-        if collected is not None:
-            self._cache_put(key, (collected, stats))
+        if collected is not None and stats.is_complete:
+            self._cache_put(cache, key, (collected, stats), generation)
 
     # ------------------------------------------------------------------
     # evaluation engine behind query()/query_stream()
@@ -717,8 +724,8 @@ class Flix:
         )
         self.configure_cache(None)
 
-    def _cache_get(self, key: tuple, kind: str):
-        boxed = self._result_cache.get(key)
+    def _cache_get(self, cache, key: tuple, kind: str):
+        boxed = cache.get(key)
         if self.obs.enabled:
             if boxed is not None:
                 self.obs.registry.counter(
@@ -732,9 +739,12 @@ class Flix:
                 ).inc(kind=kind)
         return boxed
 
-    def _cache_put(self, key: tuple, entry) -> None:
-        if self._result_cache is not None and key is not None:
-            self._result_cache.put(key, entry)
+    def _cache_put(self, cache, key: tuple, entry, generation: int) -> None:
+        """Store an entry in the cache pinned at lookup time, stamped with
+        the generation captured *before* evaluation — the store is dropped
+        (or stamped stale) if the index mutated underneath us."""
+        if cache is not None and key is not None:
+            cache.put(key, entry, generation=generation)
 
     # ------------------------------------------------------------------
     # concurrent serving

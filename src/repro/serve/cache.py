@@ -9,13 +9,19 @@ independent LRU shards so concurrent readers of *different* keys contend
 only on their own shard's lock.
 
 Staleness is handled by **generations**, not by eager invalidation:
-every entry is stamped with the cache's generation counter at store time,
-and :meth:`ShardedLRUCache.invalidate_all` simply bumps the counter.  A
+every entry is stamped with the generation the *caller observed before
+computing the value* (captured at lookup/miss time and threaded through
+to :meth:`ShardedLRUCache.put`), and
+:meth:`ShardedLRUCache.invalidate_all` simply bumps the counter.  A
 lookup that finds an entry from an older generation treats it as a miss
-and drops it lazily.  ``Flix`` bumps the generation on every mutation of
-the index layout (``add_document``; ``rebuild`` and ``repair`` produce
-fresh instances with fresh caches), so a stale result can never be
-served, and invalidation is O(1) regardless of cache size.
+and drops it lazily.  Stamping with the *captured* generation — not the
+generation current at store time — is what closes the window where a
+worker evaluates against the pre-mutation index, races with
+``add_document`` + ``invalidate_all``, and would otherwise store its
+stale answer under the new generation.  ``Flix`` bumps the generation on
+every mutation of the index layout (``add_document``; ``rebuild`` and
+``repair`` produce fresh instances with fresh caches), so a stale result
+can never be served, and invalidation is O(1) regardless of cache size.
 
 The cache is value-agnostic: the framework stores full query result
 lists, connection-test distances, and connection costs alike.  Keys must
@@ -169,8 +175,30 @@ class ShardedLRUCache:
         boxed = self.get(key)
         return default if boxed is None else boxed[0]
 
-    def put(self, key: Hashable, value: Any) -> None:
-        self._shard_for(key).put(key, value, self._generation)
+    def put(
+        self, key: Hashable, value: Any, generation: Optional[int] = None
+    ) -> None:
+        """Store ``value``, stamped with the generation it was computed under.
+
+        ``generation`` is the counter the caller captured (via
+        :attr:`generation`) *before* it began computing ``value``; it
+        defaults to the current generation for callers that did no index
+        work (tests, precomputed stores).  If the cache has since been
+        invalidated, the captured value no longer matches the live counter
+        and the store is dropped — and even if an invalidation slips in
+        between that check and the shard write, the entry is stamped with
+        the *captured* (now old) generation, so the next lookup still
+        treats it as stale.  Either way a result computed against a
+        mutated index state can never be served.
+        """
+        if generation is None:
+            generation = self._generation
+        elif generation != self._generation:
+            # Known stale before we even store: computed against an index
+            # state that has been invalidated.  Storing it would only
+            # evict fresh entries, so drop it outright.
+            return
+        self._shard_for(key).put(key, value, generation)
 
     # ------------------------------------------------------------------
     # invalidation

@@ -154,10 +154,16 @@ class FlixService:
         :class:`ServiceOverloadedError` when ``max_pending`` requests are
         already waiting (backpressure — shed or retry upstream).
         """
-        if self._closed:
-            raise ServiceClosedError("service is closed")
         pending = PendingQuery(request)
-        self._queue.offer(pending, timeout=self.submit_timeout)
+        with self._close_lock:
+            # The closed-check and the enqueue are atomic with respect to
+            # close(), which flips _closed and enqueues the worker-stop
+            # sentinels under this same lock — so a request can never land
+            # *behind* the sentinels, where no worker would ever take it
+            # and result() would block forever.
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            self._queue.offer(pending, timeout=self.submit_timeout)
         obs = self.flix.obs
         if obs.enabled:
             obs.registry.gauge(
@@ -180,20 +186,36 @@ class FlixService:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def close(self, timeout: Optional[float] = None) -> None:
+    def close(self, timeout: Optional[float] = None) -> bool:
         """Stop accepting work, finish what is queued, join the workers.
 
         Queued requests are still evaluated (their deadlines permitting);
-        only *new* submissions are refused.  Idempotent.
+        only *new* submissions are refused.  ``timeout`` bounds the
+        **total** wait across all workers (one shared deadline, not one
+        per thread).  Returns ``True`` when every worker has exited,
+        ``False`` when some were still running at the deadline — call
+        again to keep waiting.  Idempotent: repeated calls enqueue no new
+        sentinels, they only re-join stragglers.
         """
         with self._close_lock:
-            if self._closed:
-                return
-            self._closed = True
-            for _ in self._threads:
-                self._queue.force(_STOP)
+            if not self._closed:
+                self._closed = True
+                for _ in self._threads:
+                    self._queue.force(_STOP)
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        all_joined = True
         for thread in self._threads:
-            thread.join(timeout)
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+            if thread.is_alive():
+                all_joined = False
+        return all_joined
 
     def __enter__(self) -> "FlixService":
         return self
@@ -245,12 +267,14 @@ class FlixService:
             self._finish(obs, "expired")
             return
         with self._state_lock:
+            # gauge published under the lock so concurrent workers cannot
+            # interleave stale values out of order
             self._in_flight += 1
-        if obs.enabled:
-            obs.registry.gauge(
-                "flix_service_in_flight",
-                "Requests currently being evaluated by a worker.",
-            ).set(self._in_flight)
+            if obs.enabled:
+                obs.registry.gauge(
+                    "flix_service_in_flight",
+                    "Requests currently being evaluated by a worker.",
+                ).set(self._in_flight)
         trace = obs.tracer.trace(
             "svc.query",
             kind=pending.request.kind,
@@ -270,11 +294,11 @@ class FlixService:
             trace.finish()
             with self._state_lock:
                 self._in_flight -= 1
-            if obs.enabled:
-                obs.registry.gauge(
-                    "flix_service_in_flight",
-                    "Requests currently being evaluated by a worker.",
-                ).set(self._in_flight)
+                if obs.enabled:
+                    obs.registry.gauge(
+                        "flix_service_in_flight",
+                        "Requests currently being evaluated by a worker.",
+                    ).set(self._in_flight)
             self._finish(obs, status)
 
     def _finish(self, obs, status: str) -> None:

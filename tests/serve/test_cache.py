@@ -64,6 +64,18 @@ class TestShardedLRUCacheUnit:
         cache.put("new", 99)
         assert cache.get("new") == (99,)
 
+    def test_put_with_stale_generation_is_unservable(self):
+        """The stale-store race: a worker that captured the generation
+        before an invalidation must never have its store served."""
+        cache = ShardedLRUCache(maxsize=8, shards=2)
+        captured = cache.generation
+        cache.invalidate_all()  # the index mutated while the worker evaluated
+        cache.put("key", "pre-mutation answer", generation=captured)
+        assert cache.get("key") is None
+        # a store stamped with the live generation is served normally
+        cache.put("key", "fresh", generation=cache.generation)
+        assert cache.get("key") == ("fresh",)
+
     def test_concurrent_readers_and_writers(self):
         cache = ShardedLRUCache(maxsize=128, shards=8)
         errors = []
@@ -217,3 +229,62 @@ class TestFlixCacheIntegration:
         cached_flix.query(budgeted)
         response = cached_flix.query(budgeted)
         assert not response.from_cache  # never stored, never replayed
+
+    def test_mutation_during_evaluation_is_never_cached(
+        self, cached_flix, linked_collection
+    ):
+        """``add_document`` racing a cache miss: the answer computed
+        against the pre-mutation index must not be stored as fresh after
+        the invalidation (the generation is captured at miss time)."""
+        start = linked_collection.document_root("a.xml")
+        request = QueryRequest.descendants(start, tag="p")
+        original_evaluate = cached_flix._evaluate
+        raced = []
+
+        def racing_evaluate(req, budget):
+            # evaluate against the old index, then mutate it before the
+            # caller gets to store the result — the reviewed race, made
+            # deterministic
+            payload, stats = original_evaluate(req, budget)
+            if not raced:
+                raced.append(True)
+                cached_flix.add_document(
+                    XmlDocument.from_text(
+                        "c.xml", "<doc><p>gamma</p></doc>"
+                    )
+                )
+            return payload, stats
+
+        cached_flix._evaluate = racing_evaluate
+        try:
+            cached_flix.query(request)
+        finally:
+            cached_flix._evaluate = original_evaluate
+        after = cached_flix.query(request)
+        assert not after.from_cache  # the racy store must read as stale
+
+    def test_default_resilience_budget_answers_not_cached(
+        self, linked_collection
+    ):
+        """A budget configured at the *evaluator* level (resilience
+        defaults, no per-request budget) can truncate answers; those must
+        never be stored either."""
+        from repro.core.config import FlixConfig, CacheConfig
+        from repro.core.framework import Flix
+
+        config = (
+            FlixConfig.naive()
+            .with_cache(CacheConfig(maxsize=64, shards=4))
+            .with_resilience(max_queue_pops=1)
+        )
+        flix = Flix.build(linked_collection, config)
+        start = linked_collection.document_root("a.xml")
+        request = QueryRequest.descendants(start)
+        first = flix.query(request)
+        assert first.completeness == "truncated"
+        second = flix.query(request)
+        assert not second.from_cache  # incomplete answers are never stored
+        # the streaming path applies the same gate
+        list(flix.query_stream(request))
+        third = flix.query(request)
+        assert not third.from_cache

@@ -142,6 +142,73 @@ class TestFlixService:
         assert blocker.result(timeout=10).is_complete
         service.close()
 
+    def test_submit_close_race_never_hangs(self, cached_flix,
+                                           linked_collection):
+        """A submit racing close() must either be served or rejected —
+        never parked behind the worker-stop sentinels where result()
+        would block forever."""
+        start = linked_collection.document_root("a.xml")
+        request = QueryRequest.descendants(start, tag="p")
+        for _ in range(25):
+            service = FlixService(cached_flix, workers=2, max_pending=64)
+            accepted = []
+            barrier = threading.Barrier(3)
+
+            def submitter():
+                barrier.wait()
+                try:
+                    accepted.append(service.submit(request))
+                except ServiceClosedError:
+                    pass  # rejection is the other legal outcome
+
+            def closer():
+                barrier.wait()
+                service.close()
+
+            threads = [threading.Thread(target=submitter) for _ in range(2)]
+            threads.append(threading.Thread(target=closer))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            service.close()
+            for pending in accepted:
+                # pre-fix this blocked forever; the timeout turns a
+                # regression into a failure instead of a hung suite
+                assert pending.result(timeout=10) is not None
+
+    def test_close_timeout_is_an_overall_deadline(self, cached_flix,
+                                                  linked_collection):
+        """close(timeout) bounds the total wait, not timeout-per-worker,
+        and reports whether every worker actually exited."""
+        start = linked_collection.document_root("a.xml")
+        release = threading.Event()
+        original_query = cached_flix.query
+
+        def stalled_query(request, budget=None):
+            release.wait(timeout=10)
+            return original_query(request, budget=budget)
+
+        cached_flix.query = stalled_query
+        try:
+            service = FlixService(cached_flix, workers=4)
+            futures = [
+                service.submit(QueryRequest.descendants(start))
+                for _ in range(4)
+            ]
+            time.sleep(0.05)  # let all four workers stall mid-query
+            begun = time.monotonic()
+            fully_closed = service.close(timeout=0.2)
+            elapsed = time.monotonic() - begun
+            assert not fully_closed  # workers still stalled at the deadline
+            assert elapsed < 0.75  # one shared deadline, not workers x 0.2
+        finally:
+            release.set()
+            cached_flix.query = original_query
+        assert service.close() is True  # second close re-joins stragglers
+        for future in futures:
+            assert future.result(timeout=10) is not None
+
     def test_default_budget_applies(self, figure1_flix, figure1_collection):
         start = figure1_collection.document_root("d05.xml")
         with figure1_flix.serve(
