@@ -1,0 +1,53 @@
+"""Incremental-maintenance benchmark (the maintenance verbs on ``Flix``).
+
+Measures sequential ``add_document`` vs one batched ``add_documents``
+publish onto a large standing collection, compares an incremental add to
+the full rebuild it avoids, and profiles online compaction's cost and
+benefit.  The machine-readable profile lands in
+``BENCH_incremental.json`` at the repository root (published as a CI
+artifact by the ``incremental-bench`` job).
+
+The cost model and figure semantics live in
+:mod:`repro.bench.incremental`: the added documents are deliberately
+tiny so the per-publish layout cost — what batching amortizes — is what
+gets measured, not per-document index construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.incremental import profile_incremental, render_incremental
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
+
+
+def test_incremental_maintenance():
+    payload = profile_incremental(
+        base_documents=int(os.environ.get("FLIX_BENCH_BASE_DOCS", "1500")),
+        added=24,
+    )
+    payload["generated_by"] = "benchmarks/bench_incremental.py"
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(render_incremental(payload))
+    print(f"-> {BENCH_JSON}")
+
+    # correctness first: both growth paths (and the compacted index)
+    # must answer the probe queries with identical node sets
+    assert payload["answers_identical"]
+    # the acceptance floor: one batched publish for N documents must
+    # beat N sequential publishes by 3x or more...
+    assert payload["batch_speedup"] >= 3.0, payload
+    # ...and compaction must actually shrink the layout: the merged
+    # meta replaces the candidates and absorbs their inter-meta links
+    compaction = payload["compaction"]
+    assert compaction["metas_after"] < compaction["metas_before"], payload
+    assert (
+        compaction["residual_links_after"]
+        < compaction["residual_links_before"]
+    ), payload

@@ -1,0 +1,225 @@
+"""Incremental-maintenance benchmark logic (shared by CLI and suite).
+
+What this measures
+------------------
+The maintenance layer's three cost claims (docs/MAINTENANCE.md):
+
+1. **Batched growth amortizes the publish.**  Every ``add_document``
+   copies the layout tables, rebuilds the evaluator, and invalidates
+   the cache once; ``add_documents`` pays all of that once for the
+   whole batch.  With a large standing collection the per-publish cost
+   dominates tiny additions, so a batch of N lands several times faster
+   than N sequential adds — the acceptance floor asserted by
+   ``benchmarks/bench_incremental.py`` is 3x.
+2. **An incremental add is far cheaper than the rebuild it avoids.**
+   The profile reports seconds-per-add next to a from-scratch build of
+   the same final collection.
+3. **Compaction trades one re-index for a permanently smaller layout.**
+   After N incremental adds the layout holds N singleton meta documents
+   joined by residual links; ``compact`` merges them, absorbing the
+   now-internal links.  The profile reports the compaction's cost
+   (seconds) and benefit (meta documents and residual links removed,
+   plus query latency over the compacted region before vs after).
+
+Determinism: the sequential and batched runs grow two independently
+generated but identical collections, and the profile records whether
+both answer the same probe queries with the same node sets.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.collection.builder import build_collection
+from repro.collection.collection import XmlCollection
+from repro.collection.document import XmlDocument
+from repro.core.api import QueryRequest
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.datasets.dblp import DblpSpec, generate_dblp_documents
+
+
+def added_documents(count: int) -> List[XmlDocument]:
+    """``count`` tiny chained documents: ``incr_i`` cites ``incr_i-1``.
+
+    The chain keeps each addition small (per-document index work must
+    not drown the per-publish layout cost being measured) while giving
+    compaction inter-meta residual links to absorb.
+    """
+    documents = []
+    for i in range(count):
+        cite = (
+            f'<cite xlink:href="incr_{i - 1:04d}.xml"/>' if i else ""
+        )
+        documents.append(
+            XmlDocument.from_text(
+                f"incr_{i:04d}.xml",
+                f"<incremental>{cite}<title>inc {i}</title></incremental>",
+            )
+        )
+    return documents
+
+
+def _fresh(
+    base_documents: int, seed: int
+) -> Tuple[XmlCollection, Flix]:
+    """An independent base collection + built index (mutations are
+    destructive, so every measured scenario gets its own copy)."""
+    documents = generate_dblp_documents(
+        DblpSpec(documents=base_documents, seed=seed)
+    )
+    collection = build_collection(documents)
+    return collection, Flix.build(collection, FlixConfig.naive())
+
+
+def _chain_probe(collection: XmlCollection, count: int) -> QueryRequest:
+    """Descendants of the chain head — spans every added document."""
+    return QueryRequest.descendants(
+        collection.document_root(f"incr_{count - 1:04d}.xml")
+    )
+
+
+def _answer(flix: Flix, request: QueryRequest) -> frozenset:
+    return frozenset(r.node for r in flix.query(request))
+
+
+def _timed_queries(
+    flix: Flix, request: QueryRequest, repeats: int
+) -> float:
+    flix.invalidate_caches()
+    started = time.perf_counter()
+    for _ in range(repeats):
+        flix.invalidate_caches()
+        flix.query(request)
+    return (time.perf_counter() - started) / repeats
+
+
+def profile_incremental(
+    base_documents: int = 1500,
+    added: int = 24,
+    seed: int = 7,
+    repeats: int = 3,
+    query_repeats: int = 20,
+) -> Dict:
+    """Sequential vs batched growth, add vs rebuild, compaction cost.
+
+    Each growth scenario mutates a fresh copy of the base collection
+    and is repeated ``repeats`` times; the best wall-clock is reported
+    (the timed regions are milliseconds, so a single pass on a shared
+    CI runner is scheduler noise).  Returns a JSON-ready dict; see the
+    module docstring for what each figure claims.
+    """
+    new_docs = added_documents(added)
+
+    # --- sequential: N publishes ------------------------------------
+    sequential_seconds = float("inf")
+    for _ in range(repeats):
+        collection_seq, flix_seq = _fresh(base_documents, seed)
+        started = time.perf_counter()
+        for document in new_docs:
+            flix_seq.add_document(document)
+        sequential_seconds = min(
+            sequential_seconds, time.perf_counter() - started
+        )
+
+    # --- batched: one publish ---------------------------------------
+    batched_seconds = float("inf")
+    for _ in range(repeats):
+        collection_bat, flix_bat = _fresh(base_documents, seed)
+        started = time.perf_counter()
+        flix_bat.add_documents(new_docs)
+        batched_seconds = min(
+            batched_seconds, time.perf_counter() - started
+        )
+
+    # both growth paths must answer identically (node ids are
+    # deterministic, so the sets compare across the two collections)
+    probe = _chain_probe(collection_seq, added)
+    answers_identical = _answer(flix_seq, probe) == _answer(
+        flix_bat, _chain_probe(collection_bat, added)
+    )
+
+    # --- the rebuild an incremental add avoids ----------------------
+    full_documents = generate_dblp_documents(
+        DblpSpec(documents=base_documents, seed=seed)
+    ) + added_documents(added)
+    started = time.perf_counter()
+    Flix.build(build_collection(full_documents), FlixConfig.naive())
+    rebuild_seconds = time.perf_counter() - started
+
+    # --- compaction cost/benefit (on the sequentially grown index) --
+    layout_before = flix_seq.layout
+    candidates = layout_before.compaction_candidates()
+    metas_before = layout_before.live_count
+    residuals_before = flix_seq.report.residual_link_count
+    query_before = _timed_queries(flix_seq, probe, query_repeats)
+
+    started = time.perf_counter()
+    merged = flix_seq.compact()
+    compact_seconds = time.perf_counter() - started
+
+    layout_after = flix_seq.layout
+    query_after = _timed_queries(flix_seq, probe, query_repeats)
+    compacted_identical = _answer(flix_seq, probe) == _answer(
+        flix_bat, _chain_probe(collection_bat, added)
+    )
+
+    per_add_seconds = sequential_seconds / added
+    return {
+        "benchmark": "incremental_maintenance",
+        "base_documents": base_documents,
+        "added_documents": added,
+        "sequential_seconds": round(sequential_seconds, 6),
+        "sequential_per_add_seconds": round(per_add_seconds, 6),
+        "batched_seconds": round(batched_seconds, 6),
+        "batch_speedup": round(sequential_seconds / batched_seconds, 2),
+        "rebuild_seconds": round(rebuild_seconds, 6),
+        "rebuild_over_per_add": round(rebuild_seconds / per_add_seconds, 2),
+        "answers_identical": answers_identical and compacted_identical,
+        "compaction": {
+            "candidates": len(candidates),
+            "seconds": round(compact_seconds, 6),
+            "metas_before": metas_before,
+            "metas_after": layout_after.live_count,
+            "residual_links_before": residuals_before,
+            "residual_links_after": flix_seq.report.residual_link_count,
+            "merged_strategy": merged.strategy if merged else None,
+            "chain_query_seconds_before": round(query_before, 6),
+            "chain_query_seconds_after": round(query_after, 6),
+        },
+    }
+
+
+def render_incremental(profile: Dict) -> str:
+    """A human-readable summary of :func:`profile_incremental`."""
+    compaction = profile["compaction"]
+    return "\n".join(
+        [
+            f"incremental maintenance: {profile['added_documents']} tiny "
+            f"documents onto a {profile['base_documents']}-document base",
+            f"sequential adds: {profile['sequential_seconds']:.3f}s "
+            f"({profile['sequential_per_add_seconds'] * 1000:.1f}ms/add); "
+            f"batched: {profile['batched_seconds']:.3f}s "
+            f"-> {profile['batch_speedup']}x speedup",
+            f"full rebuild of the final collection: "
+            f"{profile['rebuild_seconds']:.3f}s = "
+            f"{profile['rebuild_over_per_add']}x one incremental add",
+            f"compaction: merged {compaction['candidates']} metas in "
+            f"{compaction['seconds'] * 1000:.1f}ms; live metas "
+            f"{compaction['metas_before']} -> {compaction['metas_after']}, "
+            f"residual links {compaction['residual_links_before']} -> "
+            f"{compaction['residual_links_after']}; chain query "
+            f"{compaction['chain_query_seconds_before'] * 1000:.2f}ms -> "
+            f"{compaction['chain_query_seconds_after'] * 1000:.2f}ms",
+            "answers identical across growth paths: "
+            + ("yes" if profile["answers_identical"] else "NO"),
+        ]
+    )
+
+
+__all__ = [
+    "added_documents",
+    "profile_incremental",
+    "render_incremental",
+]

@@ -221,6 +221,27 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="only report damaged files (exit 1 when any), do not rebuild",
     )
+
+    compact = sub.add_parser(
+        "compact",
+        help="merge a persisted index's incrementally-added meta documents "
+        "in place (online compaction; see docs/MAINTENANCE.md)",
+    )
+    compact.add_argument("directory", help="the XML collection directory")
+    compact.add_argument("index_dir", help="the persisted-index directory")
+    compact.add_argument(
+        "--check",
+        action="store_true",
+        help="only report whether compaction is advised (exit 1 when it "
+        "is), do not compact",
+    )
+    compact.add_argument(
+        "--min-metas",
+        type=int,
+        default=2,
+        help="compact only when at least this many incrementally-added "
+        "meta documents exist (default 2)",
+    )
     return parser
 
 
@@ -414,6 +435,32 @@ def _cmd_repair(args) -> int:
     return 0
 
 
+def _cmd_compact(args) -> int:
+    collection = load_collection(args.directory)
+    flix = Flix.load(collection, args.index_dir)
+    candidates = flix.layout.compaction_candidates()
+    if len(candidates) < max(args.min_metas, 2):
+        print(
+            f"{len(candidates)} incrementally-added meta document(s); "
+            f"below the threshold of {args.min_metas} — nothing to compact"
+        )
+        return 0
+    print(
+        f"{len(candidates)} incrementally-added meta documents: "
+        + ", ".join(str(m) for m in candidates)
+    )
+    if args.check:
+        return 1
+    merged = flix.compact(candidates)
+    flix.save(args.index_dir)
+    print(
+        f"compacted into meta {merged.meta_id} ({merged.strategy}, "
+        f"{len(merged.nodes)} nodes); layout generation "
+        f"{flix.layout_generation}, saved in place"
+    )
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "build": _cmd_build,
@@ -423,6 +470,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "serve-bench": _cmd_serve_bench,
     "repair": _cmd_repair,
+    "compact": _cmd_compact,
 }
 
 

@@ -17,9 +17,9 @@ fall over because of them.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Set, Tuple
 
-from repro.collection.collection import XmlCollection
+from repro.collection.collection import NodeId, XmlCollection
 from repro.collection.document import XmlDocument
 from repro.xmlmodel.dom import XmlElement
 from repro.xmlmodel.links import Link
@@ -75,9 +75,16 @@ def register_document(
             new_edges.append((source_id, target_id))
         return True
 
+    # the new document's own links that fail to resolve are collected
+    # apart from the pre-existing dangling ones: resolution is
+    # deterministic within one call, so retrying them below could only
+    # repeat the exact lookup that just failed (and historically *did* —
+    # the first loop appended them to ``collection.unresolved_links``
+    # and the retry loop then resolved each of them a second time)
+    failed_this_call: List[Link] = []
     for link in document.links:
         if not try_add(document, link):
-            collection.unresolved_links.append(link)
+            failed_this_call.append(link)
 
     # links that dangled before may now point at the new document
     still_unresolved = []
@@ -87,8 +94,48 @@ def register_document(
         ).document
         if not try_add(collection.documents[source_doc_name], link):
             still_unresolved.append(link)
-    collection.unresolved_links[:] = still_unresolved
+    collection.unresolved_links[:] = still_unresolved + failed_this_call
     return new_edges
+
+
+def unregister_document(
+    collection: XmlCollection,
+    name: str,
+) -> Tuple[Set[NodeId], List[Link]]:
+    """Remove one document from an existing collection (incremental shrink).
+
+    Returns ``(removed_node_ids, redangled_links)``.  The removed
+    document's nodes are tombstoned (ids never reused) and every edge
+    incident to them — tree, link, inbound or outbound — disappears from
+    the union graph.  Links of *other* documents that resolved into the
+    removed one dangle again and rejoin ``collection.unresolved_links``;
+    the removed document's own unresolved links are dropped.  Callers
+    (the framework's ``remove_document``) mirror this in the index layer
+    by tombstoning the meta document and its residual links.
+    """
+    document = collection.documents.get(name)
+    if document is None:
+        raise KeyError(f"no document named {name!r}")
+    own_link_ids = {id(link) for link in document.links}
+    redangled: List[Link] = []
+    for other_name in sorted(collection.documents):
+        if other_name == name:
+            continue
+        for link in collection.documents[other_name].links:
+            if link.target_document == name:
+                redangled.append(link)
+    removed = collection._unregister_document(name)
+    kept = [
+        link
+        for link in collection.unresolved_links
+        if id(link) not in own_link_ids
+    ]
+    # a link may target the removed document *and* already dangle (bad
+    # fragment); keep its single existing entry rather than adding another
+    kept_ids = {id(link) for link in kept}
+    kept.extend(link for link in redangled if id(link) not in kept_ids)
+    collection.unresolved_links[:] = kept
+    return removed, redangled
 
 
 def _resolve(

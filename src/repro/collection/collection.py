@@ -49,6 +49,9 @@ class XmlCollection:
         self._nodes_by_document: Dict[str, List[NodeId]] = {}
         self._nodes_by_tag: Dict[str, List[NodeId]] = {}
         self._roots: Dict[str, NodeId] = {}
+        # ids tombstoned by _unregister_document; never reused, so node
+        # ids stay stable across any add/remove sequence
+        self._removed_count = 0
 
     # ------------------------------------------------------------------
     # construction (used by repro.collection.builder)
@@ -82,12 +85,47 @@ class XmlCollection:
             self.graph.add_edge(source, target)
             self.link_edges.add((source, target))
 
+    def _unregister_document(self, name: str) -> Set[NodeId]:
+        """Remove one document: tombstone its nodes, drop incident edges.
+
+        Node ids are never reused — the removed slots stay ``None`` in the
+        dense id-indexed tables, so surviving ids (and everything keyed on
+        them: indexes, caches, residual links of *other* documents) remain
+        valid.  Returns the removed node ids.  Link bookkeeping above the
+        graph level (``unresolved_links``, re-dangling) is handled by
+        :func:`repro.collection.builder.unregister_document`.
+        """
+        if name not in self.documents:
+            raise KeyError(f"no document named {name!r}")
+        del self.documents[name]
+        node_ids = self._nodes_by_document.pop(name)
+        removed = set(node_ids)
+        for u, v in list(self.link_edges):
+            if u in removed or v in removed:
+                self.link_edges.discard((u, v))
+        for node_id in node_ids:
+            self.graph.remove_node(node_id)
+            info = self._info[node_id]
+            bucket = self._nodes_by_tag.get(info.tag)
+            if bucket is not None:
+                bucket.remove(node_id)
+                if not bucket:
+                    del self._nodes_by_tag[info.tag]
+            element = self._element_by_id[node_id]
+            self._id_by_element.pop(id(element), None)
+            self._info[node_id] = None
+            self._element_by_id[node_id] = None
+        del self._roots[name]
+        self._removed_count += len(node_ids)
+        return removed
+
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------
     @property
     def node_count(self) -> int:
-        return len(self._info)
+        """Live elements (tombstoned ids from removed documents excluded)."""
+        return len(self._info) - self._removed_count
 
     @property
     def document_count(self) -> int:
@@ -102,7 +140,14 @@ class XmlCollection:
         return len(self.link_edges)
 
     def node_ids(self) -> Iterator[NodeId]:
-        return iter(range(len(self._info)))
+        """Live node ids, ascending (skips removed documents' tombstones)."""
+        if self._removed_count == 0:
+            return iter(range(len(self._info)))
+        return (
+            node_id
+            for node_id, info in enumerate(self._info)
+            if info is not None
+        )
 
     def info(self, node_id: NodeId) -> NodeInfo:
         return self._info[node_id]

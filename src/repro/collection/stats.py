@@ -80,7 +80,7 @@ def collect_statistics(
         node_set = None
         graph: Digraph = collection.graph
         documents = set(collection.documents)
-        considered = range(collection.node_count)
+        considered = list(collection.node_ids())
     else:
         node_set = set(nodes)
         graph = collection.graph.subgraph(node_set)

@@ -301,6 +301,11 @@ class QueryResponse:
     ``stats`` are this query's private counters.  For a cached response
     they describe the evaluation that originally produced the entry
     (``from_cache`` is then True and ``elapsed_seconds`` the replay time).
+
+    ``layout_generation`` is the generation of the index-layout snapshot
+    the whole answer was computed against (see ``docs/MAINTENANCE.md``):
+    a query racing ``add_document``/``remove_document``/``compact`` is
+    consistent with exactly one published layout, never a mix.
     """
 
     request: QueryRequest
@@ -309,6 +314,7 @@ class QueryResponse:
     stats: QueryStats = field(default_factory=QueryStats)
     from_cache: bool = False
     elapsed_seconds: float = 0.0
+    layout_generation: int = 0
 
     @property
     def completeness(self) -> str:

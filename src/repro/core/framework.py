@@ -25,13 +25,26 @@ import itertools
 import threading
 import time
 import warnings
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.collection.collection import NodeId, XmlCollection
 from repro.core.api import QueryRequest, QueryResponse, STREAMING_KINDS
 from repro.core.config import CacheConfig, FlixConfig
 from repro.graph.digraph import Digraph
 from repro.core.ib import BuildReport, IndexBuilder
+from repro.core.layout import IndexLayout
 from repro.core.mdb import MetaDocumentBuilder
 from repro.core.meta_document import MetaDocument
 from repro.core.pee import (
@@ -41,7 +54,7 @@ from repro.core.pee import (
     QueryStats,
 )
 from repro.core.results import StreamedList
-from repro.core.selftune import QueryLoadMonitor, TuningAdvice
+from repro.core.selftune import QueryLoadMonitor, TuningAdvice, with_compaction_advice
 from repro.obs import MetricsRegistry, Observability, Trace, render
 from repro.storage.memory import MemoryBackend
 from repro.storage.table import StorageBackend
@@ -61,8 +74,6 @@ class Flix:
     ) -> None:
         self.collection = collection
         self.config = config
-        self.meta_documents = meta_documents
-        self.meta_of = meta_of
         self.report = report
         #: the observability bundle (metrics registry + tracer); honours
         #: ``config.observability`` unless an explicit bundle is passed
@@ -71,11 +82,31 @@ class Flix:
             if obs is not None
             else Observability(getattr(config, "observability", True))
         )
-        self.pee = self._make_pee()
+        # The whole mutable index layout lives on one immutable snapshot,
+        # swapped by a single reference assignment (see core/layout.py);
+        # the mutation lock serializes the maintenance verbs — queries
+        # never take it, they pin self._layout once and run on that.
+        self._mutation_lock = threading.RLock()
+        slots = tuple(meta_documents)
+        frozen_meta_of = dict(meta_of)
+        self._layout = IndexLayout(
+            slots=slots,
+            meta_of=frozen_meta_of,
+            pee=None,
+            generation=0,
+        )
+        self._layout = self._layout.with_pee(
+            self._build_evaluator(slots, frozen_meta_of, generation=0)
+        )
         self.monitor = QueryLoadMonitor()
         # set by Flix.build for incremental document addition
         self._builder: Optional[IndexBuilder] = None
         self._backend_factory: Callable[[], StorageBackend] = MemoryBackend
+        # the factory as originally passed to Flix.build, *before* fault/
+        # resilience wrapping — what rebuild() must default to so a
+        # sqlite-backed index stays sqlite-backed (and so Flix.build can
+        # re-apply its wrapping without double-wrapping)
+        self._raw_backend_factory: Callable[[], StorageBackend] = MemoryBackend
         #: the shared result/connection cache (sharded LRU, generation-
         #: invalidated); configured through ``config.cache``, or later via
         #: the deprecated ``enable_cache`` shim
@@ -92,13 +123,63 @@ class Flix:
             self.obs.registry.gauge(
                 "flix_meta_documents",
                 "Meta documents in the current index layout.",
-            ).set(len(meta_documents))
+            ).set(self._layout.live_count)
 
-    def _make_pee(self) -> PathExpressionEvaluator:
-        """A fresh evaluator over the current meta-document layout, with
-        the query budget and BFS-fallback context the configuration's
-        resilience settings imply (both absent without a resilience
-        config, which keeps the classic zero-overhead behaviour)."""
+    # ------------------------------------------------------------------
+    # the layout snapshot (copy-on-write; see core/layout.py)
+    # ------------------------------------------------------------------
+    @property
+    def layout(self) -> IndexLayout:
+        """The current immutable index-layout snapshot.  Capture it once
+        and keep using the captured object for a consistent view; the
+        attribute is re-assigned atomically by every maintenance verb."""
+        return self._layout
+
+    @property
+    def layout_generation(self) -> int:
+        """Monotonic layout version; bumped by every published mutation."""
+        return self._layout.generation
+
+    @property
+    def meta_documents(self) -> List[MetaDocument]:
+        """The current layout's *live* meta documents, ascending id.
+
+        Until a document is removed or a compaction runs this is exactly
+        the historical dense list; afterwards tombstoned ids are skipped,
+        so list position no longer equals ``meta_id`` — use
+        :meth:`meta_document_of` or ``layout.meta(meta_id)`` to address
+        one by id.
+        """
+        return self._layout.live_metas()
+
+    @property
+    def meta_of(self) -> Dict[NodeId, int]:
+        """Node id → meta id of the current layout snapshot (read-only by
+        convention: mutate through the maintenance verbs)."""
+        return self._layout.meta_of
+
+    @property
+    def pee(self) -> PathExpressionEvaluator:
+        """The current layout's evaluator."""
+        return self._layout.pee
+
+    @pee.setter
+    def pee(self, evaluator) -> None:
+        # benchmarks wrap the evaluator in place (e.g. a latency-injecting
+        # decorator); republish the same layout with the replacement —
+        # what is indexed did not change, so the generation is kept
+        self._layout = self._layout.with_pee(evaluator)
+
+    def _build_evaluator(
+        self,
+        slots: Sequence[Optional[MetaDocument]],
+        meta_of: Dict[NodeId, int],
+        generation: int,
+    ) -> PathExpressionEvaluator:
+        """A fresh evaluator over one layout snapshot, with the query
+        budget and BFS-fallback context the configuration's resilience
+        settings imply (both absent without a resilience config, which
+        keeps the classic zero-overhead behaviour)."""
         from repro.core.fallback import FallbackContext
         from repro.core.pee import QueryBudget
 
@@ -110,12 +191,47 @@ class Flix:
                 self.collection.graph, self.collection.tag
             )
         return PathExpressionEvaluator(
-            self.meta_documents,
-            self.meta_of,
+            slots,
+            meta_of,
             self.obs,
             budget=budget,
             fallback=fallback,
+            generation=generation,
         )
+
+    def _make_pee(self) -> PathExpressionEvaluator:
+        """A fresh evaluator over the current layout (compat helper; the
+        streamed-delivery path builds one per background query)."""
+        layout = self._layout
+        return self._build_evaluator(
+            layout.slots, layout.meta_of, layout.generation
+        )
+
+    def _publish_layout(self, layout: IndexLayout, verb: str) -> None:
+        """Atomically publish a new layout snapshot.
+
+        One reference assignment (atomic under CPython) makes the new
+        layout visible; queries already running keep the snapshot they
+        pinned.  The shared result cache is invalidated *after* the swap:
+        an evaluation that raced us captured the old cache generation
+        before evaluating, so its store is stamped stale and dropped —
+        the reverse order would let a pre-swap answer be stored as fresh.
+        """
+        self._layout = layout
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "flix_layout_swaps_total",
+                "Atomic index-layout publications, by maintenance verb.",
+            ).inc(verb=verb)
+            self.obs.registry.gauge(
+                "flix_layout_generation",
+                "Generation counter of the published index layout.",
+            ).set(layout.generation)
+            self.obs.registry.gauge(
+                "flix_meta_documents",
+                "Meta documents in the current index layout.",
+            ).set(layout.live_count)
+        self.invalidate_caches()
 
     @property
     def degraded_meta_ids(self) -> List[int]:
@@ -175,6 +291,7 @@ class Flix:
         """
         if config is None:
             config = FlixConfig.recommend_for(collection)
+        raw_backend_factory = backend_factory
 
         from repro.faults import plan_from_env
 
@@ -202,6 +319,7 @@ class Flix:
         flix = cls(collection, config, meta_documents, meta_of, report, obs=obs)
         flix._builder = builder
         flix._backend_factory = backend_factory
+        flix._raw_backend_factory = raw_backend_factory
         if flix.obs.enabled:
             # rebind now that the builder (and its framework backend) is known
             flix._attach_storage_observers()
@@ -285,11 +403,20 @@ class Flix:
         """
         started = time.perf_counter()
         effective_budget = budget if budget is not None else request.budget
-        # Pin the cache object and its generation *before* evaluating: a
-        # concurrent configure_cache swap or add_document invalidation
-        # must not let this call store a pre-mutation answer as fresh.
+        # Pin the layout snapshot, the cache object, and the cache
+        # generation *before* evaluating: a concurrent maintenance verb
+        # publishes a new layout + generation while we run, but this call
+        # keeps evaluating against exactly the snapshot it started on, and
+        # its store is stamped with the captured (now stale) generation so
+        # it can never be served as fresh.  The layout generation is part
+        # of the key, so even inside the swap-to-invalidate window a hit
+        # can only replay an answer computed on *this* snapshot.
+        layout = self._layout
         cache = self._result_cache
-        key = request.cache_key() if cache is not None else None
+        base_key = request.cache_key() if cache is not None else None
+        key = (
+            base_key + (layout.generation,) if base_key is not None else None
+        )
         generation = cache.generation if cache is not None else 0
         if key is not None:
             # A complete cached answer is always servable, even to a
@@ -297,8 +424,8 @@ class Flix:
             # does none.
             boxed = self._cache_get(cache, key, request.kind)
             if boxed is not None:
-                return self._replay(request, boxed[0], started)
-        payload, stats = self._evaluate(request, effective_budget)
+                return self._replay(request, boxed[0], started, layout)
+        payload, stats = self._evaluate(request, effective_budget, layout)
         self.monitor.record(stats)
         if (
             key is not None
@@ -311,11 +438,13 @@ class Flix:
             return QueryResponse(
                 request, [], payload, stats, False,
                 time.perf_counter() - started,
+                layout_generation=layout.generation,
             )
         results = list(payload)
         return QueryResponse(
             request, results, None, stats, False,
             time.perf_counter() - started,
+            layout_generation=layout.generation,
         )
 
     def query_stream(self, request: QueryRequest) -> Iterator[Any]:
@@ -334,8 +463,14 @@ class Flix:
             raise ValueError(
                 f"kind {request.kind!r} has no streaming form; use query()"
             )
+        # pinned once: the whole stream is answered by this one snapshot,
+        # even if maintenance verbs publish new layouts mid-consumption
+        layout = self._layout
         cache = self._result_cache
-        key = request.cache_key() if cache is not None else None
+        base_key = request.cache_key() if cache is not None else None
+        key = (
+            base_key + (layout.generation,) if base_key is not None else None
+        )
         generation = cache.generation if cache is not None else 0
         if key is not None:
             boxed = self._cache_get(cache, key, request.kind)
@@ -345,7 +480,7 @@ class Flix:
                     results = results[: request.limit]
                 yield from results
                 return
-        stream, finish = self._raw_stream(request)
+        stream, finish = self._raw_stream(request, layout=layout)
         iterator: Iterator[Any] = iter(stream)
         if request.limit is not None:
             iterator = itertools.islice(iterator, request.limit)
@@ -365,26 +500,41 @@ class Flix:
     # evaluation engine behind query()/query_stream()
     # ------------------------------------------------------------------
     def _raw_stream(
-        self, request: QueryRequest, budget: Optional[QueryBudget] = None
+        self,
+        request: QueryRequest,
+        budget: Optional[QueryBudget] = None,
+        layout: Optional[IndexLayout] = None,
     ) -> Tuple[Iterator[Any], Callable[[], QueryStats]]:
         """The uncached stream for a streaming-kind request, plus a
         ``finish()`` callback returning the query's final stats snapshot
-        (call it only after consumption stops)."""
+        (call it only after consumption stops).  ``layout`` is the pinned
+        snapshot the whole stream evaluates against (defaults to the
+        current one)."""
+        if layout is None:
+            layout = self._layout
+        pee = layout.pee
         budget = budget if budget is not None else request.budget
         if request.kind == "descendants" and request.source_tag is not None:
-            seeds = self.collection.nodes_with_tag(request.source_tag)
-            stream = self.pee.evaluate_type_query(
+            # type-query seeding reads the live tag table; seeds that are
+            # not part of the pinned layout (added after it) are filtered
+            # so the answer stays consistent with one generation
+            seeds = [
+                node
+                for node in self.collection.nodes_with_tag(request.source_tag)
+                if node in layout.meta_of
+            ]
+            stream = pee.evaluate_type_query(
                 seeds, request.tag, request.max_distance, budget=budget
             )
             return stream, lambda: stream.stats.snapshot()
         if request.kind == "descendants":
-            stream = self.pee.find_descendants(
+            stream = pee.find_descendants(
                 request.source, request.tag, request.max_distance,
                 request.include_self, request.exact_order, budget=budget,
             )
             return stream, lambda: stream.stats.snapshot()
         if request.kind == "ancestors":
-            stream = self.pee.find_ancestors(
+            stream = pee.find_ancestors(
                 request.source, request.tag, request.max_distance,
                 request.include_self, request.exact_order, budget=budget,
             )
@@ -407,13 +557,19 @@ class Flix:
         raise ValueError(f"kind {request.kind!r} is not a streaming kind")
 
     def _evaluate(
-        self, request: QueryRequest, budget: Optional[QueryBudget]
+        self,
+        request: QueryRequest,
+        budget: Optional[QueryBudget],
+        layout: Optional[IndexLayout] = None,
     ) -> Tuple[Any, QueryStats]:
         """Evaluate without cache involvement: ``(payload, stats)`` where
-        the payload is the result list (list kinds) or the scalar value."""
+        the payload is the result list (list kinds) or the scalar value.
+        ``layout`` is the caller's pinned snapshot (defaults to current)."""
+        if layout is None:
+            layout = self._layout
         kind = request.kind
         if kind in STREAMING_KINDS:
-            stream, finish = self._raw_stream(request, budget)
+            stream, finish = self._raw_stream(request, budget, layout=layout)
             iterator: Iterator[Any] = iter(stream)
             if request.limit is not None:
                 iterator = itertools.islice(iterator, request.limit)
@@ -427,15 +583,18 @@ class Flix:
             for successor in sorted(
                 self.collection.graph.successors(request.source)
             ):
+                meta_id = layout.meta_of.get(successor)
+                if meta_id is None:
+                    # the successor postdates the pinned layout (racing
+                    # add); skip it so the answer matches one generation
+                    continue
                 if request.tag is None or (
                     self.collection.tag(successor) == request.tag
                 ):
-                    children.append(
-                        QueryResult(successor, 1, self.meta_of[successor])
-                    )
+                    children.append(QueryResult(successor, 1, meta_id))
             return children, QueryStats(results_returned=len(children))
         if kind == "path":
-            return self._evaluate_path(request, budget)
+            return self._evaluate_path(request, budget, layout)
         if kind == "cost":
             from repro.core.connections import ConnectionEvaluator
 
@@ -449,12 +608,12 @@ class Flix:
         if kind == "test":
             stats = QueryStats()
             if request.bidirectional:
-                value = self.pee.connection_test_bidirectional(
+                value = layout.pee.connection_test_bidirectional(
                     request.source, request.target, request.max_distance,
                     stats=stats, budget=budget,
                 )
             else:
-                value = self.pee.connection_test(
+                value = layout.pee.connection_test(
                     request.source, request.target, request.max_distance,
                     stats=stats, budget=budget,
                 )
@@ -462,11 +621,16 @@ class Flix:
         raise ValueError(f"unknown query kind {kind!r}")  # pragma: no cover
 
     def _evaluate_path(
-        self, request: QueryRequest, budget: Optional[QueryBudget]
+        self,
+        request: QueryRequest,
+        budget: Optional[QueryBudget],
+        layout: Optional[IndexLayout] = None,
     ) -> Tuple[List[Tuple[NodeId, int]], QueryStats]:
         """Multi-step ``start//t1//…//tn``: one descendant query per
         frontier element and step, frontiers deduplicated by best
         distance (the unscored counterpart of the relaxed engine)."""
+        if layout is None:
+            layout = self._layout
         aggregate = QueryStats()
         frontier: Dict[NodeId, int] = {request.source: 0}
         for tag in request.path:
@@ -474,7 +638,7 @@ class Flix:
             for node, distance in sorted(
                 frontier.items(), key=lambda kv: kv[1]
             ):
-                stream = self.pee.find_descendants(
+                stream = layout.pee.find_descendants(
                     node, tag, request.max_distance, budget=budget
                 )
                 for result in stream:
@@ -491,15 +655,23 @@ class Flix:
 
     def _replay(
         self, request: QueryRequest, entry: Tuple[Any, QueryStats],
-        started: float,
+        started: float, layout: Optional[IndexLayout] = None,
     ) -> QueryResponse:
         """Build the response for a cache hit (stats are the original
-        evaluation's — the replay itself did no index work)."""
+        evaluation's — the replay itself did no index work).  A hit can
+        only come from an entry stored under the current cache generation,
+        and every layout publish bumps that generation, so the entry
+        describes the caller's pinned layout."""
+        generation = (
+            layout.generation if layout is not None
+            else self._layout.generation
+        )
         payload, stats = entry
         if request.is_scalar:
             return QueryResponse(
                 request, [], payload, stats, True,
                 time.perf_counter() - started,
+                layout_generation=generation,
             )
         results = list(payload)
         if request.limit is not None:
@@ -507,6 +679,7 @@ class Flix:
         return QueryResponse(
             request, results, None, stats, True,
             time.perf_counter() - started,
+            layout_generation=generation,
         )
 
     # ------------------------------------------------------------------
@@ -823,18 +996,33 @@ class Flix:
     # introspection & tuning
     # ------------------------------------------------------------------
     def size_bytes(self) -> int:
-        """Total storage of all meta-document indexes + residual links."""
-        return self.report.total_index_bytes
+        """Total storage of all live meta-document indexes + residual
+        links (computed from the current layout, so removals and
+        compactions are reflected immediately)."""
+        total = sum(
+            meta.index.size_bytes()
+            for meta in self.meta_documents
+            if meta.index is not None
+        )
+        if self._builder is not None:
+            total += self._builder.framework_backend.table(
+                "flix_residual_links"
+            ).size_bytes()
+        return total
 
     def index_fingerprint(self) -> str:
-        """Content hash over every meta-document index and the residual
-        links — byte-for-byte identical for builds of the same collection
-        and configuration regardless of ``jobs`` (the parallel builder's
-        determinism guarantee)."""
+        """Content hash over every live meta-document index, the tombstone
+        set, and the residual links — byte-for-byte identical for builds of
+        the same collection and configuration regardless of ``jobs`` (the
+        parallel builder's determinism guarantee), and deterministic for a
+        given add/remove/compact sequence."""
         import hashlib
 
+        layout = self._layout
         digest = hashlib.sha256()
-        for meta in self.meta_documents:
+        for meta_id in sorted(layout.tombstones):
+            digest.update(f"tombstone:{meta_id}".encode("utf-8"))
+        for meta in layout.live_metas():
             digest.update(str(meta.meta_id).encode("utf-8"))
             digest.update(meta.strategy.encode("utf-8"))
             if meta.index is None:  # build failed past every fallback
@@ -848,46 +1036,100 @@ class Flix:
         return digest.hexdigest()
 
     def meta_document_of(self, node: NodeId) -> MetaDocument:
-        return self.meta_documents[self.meta_of[node]]
+        layout = self._layout
+        return layout.slots[layout.meta_of[node]]
 
-    def tuning_advice(self, **kwargs) -> TuningAdvice:
-        """Self-tuning check over the recorded query load (section 7)."""
-        return self.monitor.advice(self.config, **kwargs)
+    def tuning_advice(
+        self, compaction_threshold: int = 4, **kwargs
+    ) -> TuningAdvice:
+        """Self-tuning check over the recorded query load (section 7).
+
+        On top of the classic rebuild advice, the returned
+        :class:`TuningAdvice` flags *online compaction* when incremental
+        growth has accumulated ``compaction_threshold`` or more singleton
+        meta documents: :meth:`compact` merges them without the downtime
+        of a full rebuild."""
+        advice = self.monitor.advice(self.config, **kwargs)
+        return with_compaction_advice(
+            advice,
+            self._layout.compaction_candidates(),
+            compaction_threshold,
+        )
 
     def rebuild(
         self,
         config: Optional[FlixConfig] = None,
-        backend_factory: Callable[[], StorageBackend] = MemoryBackend,
+        backend_factory: Optional[Callable[[], StorageBackend]] = None,
         jobs: Optional[int] = None,
     ) -> "Flix":
         """Run the build phase again (e.g. following tuning advice).
+
+        ``backend_factory`` defaults to the factory this instance was
+        built with (before fault/resilience wrapping, which ``build``
+        re-applies) — a sqlite-backed index rebuilds sqlite-backed
+        instead of silently migrating to memory.
 
         The returned instance starts with a cold result cache: cached
         results describe the old meta-document layout and must not survive
         a rebuild.
         """
+        if backend_factory is None:
+            backend_factory = self._raw_backend_factory
         return Flix.build(
             self.collection, config or self.config, backend_factory, jobs=jobs
         )
 
     # ------------------------------------------------------------------
-    # incremental growth
+    # incremental maintenance (copy-on-write; see docs/MAINTENANCE.md)
     # ------------------------------------------------------------------
+    def _require_builder(self) -> None:
+        if self._builder is None:
+            raise RuntimeError(
+                "this Flix instance was not created by Flix.build; "
+                "monolithic comparators do not support incremental "
+                "maintenance"
+            )
+
     def add_document(self, document) -> "MetaDocument":
         """Add one new document without rebuilding the whole index.
 
         The new document becomes its own meta document (indexed with the
         strategy the ISS picks for it); its links — and any previously
         dangling links that now resolve to it — become residual links
-        followed at run time.  After many additions the meta-document
-        layout drifts from optimal; the self-tuning monitor (section 7)
-        will eventually recommend a full rebuild.
+        followed at run time.  The change is published as one atomic
+        layout swap: queries already running finish on the snapshot they
+        pinned, and on failure the collection is rolled back to its
+        pre-call state.  After many additions the layout drifts from
+        optimal; :meth:`tuning_advice` then recommends :meth:`compact`
+        or a full rebuild.
         """
-        if self._builder is None:
-            raise RuntimeError(
-                "this Flix instance was not created by Flix.build; "
-                "monolithic comparators do not support incremental growth"
-            )
+        return self._grow([document], verb="add")[0]
+
+    def add_documents(self, documents: Iterable) -> List["MetaDocument"]:
+        """Add a batch of documents in one atomic layout swap.
+
+        Far cheaper than N ``add_document`` calls: the layout tables are
+        copied once, one evaluator is built, and the shared cache is
+        invalidated once.  Links between batch members resolve during
+        registration (so they are classified against the whole batch
+        before any residual-link wiring).  All-or-nothing: a failure on
+        any member rolls the whole batch back.
+        """
+        documents = list(documents)
+        if not documents:
+            return []
+        return self._grow(documents, verb="add_batch")
+
+    def _grow(self, documents: List, verb: str) -> List["MetaDocument"]:
+        """Shared implementation of ``add_document``/``add_documents``.
+
+        Stage-then-commit: every step that can fail (registration, link
+        resolution, strategy selection, index builds) runs before the
+        first observable index mutation; a failure unwinds the collection
+        edits and re-raises.  The commit is a copy-on-write rebuild of
+        the layout tables followed by one atomic publish.
+        """
+        self._require_builder()
         from repro.collection.builder import register_document
         from repro.core.ib import MetaDocumentReport
         from repro.core.iss import IndexingStrategySelector
@@ -895,93 +1137,542 @@ class Flix:
 
         import time as _time
 
-        started = _time.perf_counter()
-        new_link_edges = register_document(self.collection, document)
-        nodes = set(self.collection.document_nodes(document.name))
+        with self._mutation_lock:
+            layout = self._layout
+            collection = self.collection
+            saved_unresolved = list(collection.unresolved_links)
+            registered: List[str] = []
+            new_link_edges: List[Tuple[NodeId, NodeId]] = []
+            new_metas: List[MetaDocument] = []
+            new_reports: List[MetaDocumentReport] = []
+            # Internal edges: each document's tree edges always; its
+            # intra-document link edges only when the configuration allows
+            # a graph index (PPO-only must leave them residual).
+            allow_graph = any(
+                s != "ppo" for s in self.config.allowed_strategies
+            )
+            internal_all: Set[Tuple[NodeId, NodeId]] = set()
+            meta_of = dict(layout.meta_of)
+            next_id = layout.next_meta_id
+            try:
+                # Stage 1: register every document.  Later members'
+                # registration retries the accumulated dangling links, so
+                # links between batch members resolve here, before any
+                # residual classification.
+                for document in documents:
+                    edges = register_document(collection, document)
+                    registered.append(document.name)
+                    new_link_edges.extend(edges)
 
-        # Internal edges: the document's tree edges always; its intra-
-        # document link edges only when the configuration allows a graph
-        # index (a PPO-only configuration must leave them residual).
-        allow_graph = any(s != "ppo" for s in self.config.allowed_strategies)
-        internal = []
-        for u in sorted(nodes):
-            for v in sorted(self.collection.graph.successors(u)):
-                if v not in nodes:
-                    continue
-                if self.collection.is_link_edge(u, v) and not allow_graph:
-                    continue
-                internal.append((u, v))
-        internal_set = set(internal)
+                # Stage 2: per document — internal edges, ISS choice,
+                # index build.  Nothing published yet.
+                for document in documents:
+                    started = _time.perf_counter()
+                    nodes = set(collection.document_nodes(document.name))
+                    internal = []
+                    for u in sorted(nodes):
+                        for v in sorted(collection.graph.successors(u)):
+                            if v not in nodes:
+                                continue
+                            if (
+                                collection.is_link_edge(u, v)
+                                and not allow_graph
+                            ):
+                                continue
+                            internal.append((u, v))
+                    internal_all.update(internal)
 
+                    graph = Digraph()
+                    for node in nodes:
+                        graph.add_node(node)
+                    for u, v in internal:
+                        graph.add_edge(u, v)
+                    choice = IndexingStrategySelector(self.config).choose(
+                        graph
+                    )
+                    tags = {
+                        node: collection.tag(node) for node in nodes
+                    }
+                    backend = self._backend_factory()
+                    if self.obs.enabled:
+                        backend.attach_observer(
+                            self.obs.storage_instruments(backend)
+                        )
+                    index = build_index(choice.strategy, graph, tags, backend)
+                    meta = MetaDocument(
+                        meta_id=next_id + len(new_metas),
+                        nodes=frozenset(nodes),
+                        index=index,
+                        strategy=choice.strategy,
+                    )
+                    new_metas.append(meta)
+                    for node in nodes:
+                        meta_of[node] = meta.meta_id
+                    new_reports.append(
+                        MetaDocumentReport(
+                            meta_id=meta.meta_id,
+                            node_count=len(nodes),
+                            internal_edge_count=len(internal),
+                            strategy=choice.strategy,
+                            rationale=choice.rationale
+                            + " (added incrementally)",
+                            index_bytes=index.size_bytes(),
+                            build_seconds=_time.perf_counter() - started,
+                        )
+                    )
+            except BaseException:
+                # Nothing above touched the published layout; undoing the
+                # collection mutations restores the pre-call query-visible
+                # state exactly.  (Node ids consumed by the failed
+                # registration stay tombstoned — ids are never reused.)
+                for name in reversed(registered):
+                    collection._unregister_document(name)
+                collection.unresolved_links[:] = saved_unresolved
+                raise
+
+            # Commit: copy-on-write the layout tables, wire residual
+            # links into clones, publish once.
+            slots: List[Optional[MetaDocument]] = (
+                list(layout.slots) + new_metas
+            )
+            clones: Dict[int, MetaDocument] = {}
+
+            def writable(meta_id: int) -> MetaDocument:
+                # new metas are private until publish; published metas are
+                # cloned before their link maps are touched
+                if meta_id >= next_id or meta_id in clones:
+                    return slots[meta_id]
+                clone = slots[meta_id].copy_links()
+                clones[meta_id] = clone
+                slots[meta_id] = clone
+                return clone
+
+            links_table = self._builder.framework_backend.table(
+                "flix_residual_links"
+            )
+            rows: List[Tuple[int, int, int, int]] = []
+            touched: Set[int] = {meta.meta_id for meta in new_metas}
+            for u, v in new_link_edges:
+                if (u, v) in internal_all:
+                    continue
+                writable(meta_of[u]).outgoing_links.setdefault(
+                    u, []
+                ).append(v)
+                writable(meta_of[v]).incoming_links.setdefault(
+                    v, []
+                ).append(u)
+                rows.append((u, v, meta_of[u], meta_of[v]))
+                touched.add(meta_of[u])
+                touched.add(meta_of[v])
+            if rows:
+                links_table.insert_many(rows)
+            for meta_id in sorted(touched):
+                slots[meta_id].finalize_links()
+
+            self.report.meta_documents.extend(new_reports)
+            self.report.residual_link_count += len(rows)
+            self.report.residual_link_bytes = links_table.size_bytes()
+
+            new_layout = IndexLayout(
+                slots=tuple(slots),
+                meta_of=meta_of,
+                pee=None,
+                generation=layout.generation + 1,
+                tombstones=layout.tombstones,
+                incremental_meta_ids=layout.incremental_meta_ids
+                | {meta.meta_id for meta in new_metas},
+            )
+            new_layout = new_layout.with_pee(
+                self._build_evaluator(
+                    new_layout.slots, meta_of, new_layout.generation
+                )
+            )
+            if self.obs.enabled:
+                builds = self.obs.registry.counter(
+                    "flix_index_builds_total",
+                    "Per-meta-document index builds, by chosen strategy.",
+                )
+                for meta in new_metas:
+                    builds.inc(strategy=meta.strategy)
+            self._publish_layout(new_layout, verb=verb)
+            return new_metas
+
+    def remove_document(self, name: str) -> Set[NodeId]:
+        """Remove one document without rebuilding the whole index.
+
+        The document's nodes are tombstoned (ids never reused); meta
+        documents that consisted only of them are tombstoned too, while
+        meta documents that also cover other documents are re-indexed
+        over their remaining nodes (preserving the original MDB cuts).
+        Residual links with an endpoint in the removed document are
+        dropped, and links of *other* documents that resolved into it
+        dangle again — a later :meth:`add_document` of a replacement can
+        re-resolve them.  Published as one atomic layout swap; returns
+        the removed node ids.
+        """
+        self._require_builder()
+        from repro.collection.builder import unregister_document
+
+        with self._mutation_lock:
+            layout = self._layout
+            removed, _redangled = unregister_document(self.collection, name)
+
+            slots: List[Optional[MetaDocument]] = list(layout.slots)
+            tombstones = set(layout.tombstones)
+            meta_of = {
+                node: meta_id
+                for node, meta_id in layout.meta_of.items()
+                if node not in removed
+            }
+            affected = sorted(
+                {layout.meta_of[node] for node in removed}
+            )
+            for meta_id in affected:
+                meta = slots[meta_id]
+                remaining = meta.nodes - removed
+                if not remaining:
+                    slots[meta_id] = None
+                    tombstones.add(meta_id)
+                else:
+                    slots[meta_id] = self._rebuild_meta(meta, remaining)
+
+            # Prune residual-link map entries whose far endpoint vanished
+            # (O(total residual links), clone-on-write per meta).
+            for meta_id, meta in enumerate(slots):
+                if meta is None:
+                    continue
+                if not (
+                    any(
+                        node in removed or any(t in removed for t in targets)
+                        for node, targets in meta.outgoing_links.items()
+                    )
+                    or any(
+                        node in removed or any(s in removed for s in sources)
+                        for node, sources in meta.incoming_links.items()
+                    )
+                ):
+                    continue
+                if meta_id in affected:
+                    clone = meta  # already a private rebuild
+                else:
+                    clone = meta.copy_links()
+                    slots[meta_id] = clone
+                clone.outgoing_links = {
+                    node: kept
+                    for node, targets in clone.outgoing_links.items()
+                    if node not in removed
+                    for kept in [
+                        [t for t in targets if t not in removed]
+                    ]
+                    if kept
+                }
+                clone.incoming_links = {
+                    node: kept
+                    for node, sources in clone.incoming_links.items()
+                    if node not in removed
+                    for kept in [
+                        [s for s in sources if s not in removed]
+                    ]
+                    if kept
+                }
+                clone.finalize_links()
+
+            self._rewrite_links_table(slots, meta_of)
+            self._refresh_report(slots)
+
+            new_layout = IndexLayout(
+                slots=tuple(slots),
+                meta_of=meta_of,
+                pee=None,
+                generation=layout.generation + 1,
+                tombstones=frozenset(tombstones),
+                incremental_meta_ids=layout.incremental_meta_ids
+                - tombstones,
+            )
+            new_layout = new_layout.with_pee(
+                self._build_evaluator(
+                    new_layout.slots, meta_of, new_layout.generation
+                )
+            )
+            self._publish_layout(new_layout, verb="remove")
+            return removed
+
+    def update_document(self, document) -> "MetaDocument":
+        """Replace a document in place: remove the old version, add the
+        new one, re-resolving links in both directions.
+
+        Two atomic publishes (remove, then add) under one mutation lock:
+        a concurrent query sees either the old document or the new one,
+        never a half-updated layout — but the intermediate removed state
+        *is* observable between the two swaps.
+        """
+        with self._mutation_lock:
+            self.remove_document(document.name)
+            return self.add_document(document)
+
+    def _rebuild_meta(
+        self, meta: MetaDocument, remaining: FrozenSet[NodeId]
+    ) -> MetaDocument:
+        """Re-index a meta document over a node subset (same meta id).
+
+        Preserves the original MDB cut: internal edges are the surviving
+        intra-subset edges that were *not* residual in the old meta
+        document (an intra-meta residual link must stay residual — under
+        PPO it was cut to keep the tree shape).  Residual-link maps carry
+        over for surviving nodes; the global prune in
+        :meth:`remove_document` then drops entries whose far endpoint was
+        removed.
+        """
+        from repro.core.iss import IndexingStrategySelector
+        from repro.indexes.registry import build_index
+
+        collection = self.collection
+        residual_pairs = {
+            (source, target)
+            for source, targets in meta.outgoing_links.items()
+            for target in targets
+        }
         graph = Digraph()
-        for node in nodes:
+        for node in remaining:
             graph.add_node(node)
-        for u, v in internal:
-            graph.add_edge(u, v)
+        for u in sorted(remaining):
+            for v in sorted(collection.graph.successors(u)):
+                if v in remaining and (u, v) not in residual_pairs:
+                    graph.add_edge(u, v)
         choice = IndexingStrategySelector(self.config).choose(graph)
-        tags = {node: self.collection.tag(node) for node in nodes}
+        tags = {node: collection.tag(node) for node in remaining}
         backend = self._backend_factory()
         if self.obs.enabled:
             backend.attach_observer(self.obs.storage_instruments(backend))
         index = build_index(choice.strategy, graph, tags, backend)
-
-        meta = MetaDocument(
-            meta_id=len(self.meta_documents),
-            nodes=frozenset(nodes),
+        rebuilt = MetaDocument(
+            meta_id=meta.meta_id,
+            nodes=frozenset(remaining),
             index=index,
             strategy=choice.strategy,
+            outgoing_links={
+                source: list(targets)
+                for source, targets in meta.outgoing_links.items()
+                if source in remaining
+            },
+            incoming_links={
+                target: list(sources)
+                for target, sources in meta.incoming_links.items()
+                if target in remaining
+            },
         )
-        self.meta_documents.append(meta)
-        for node in nodes:
-            self.meta_of[node] = meta.meta_id
-
-        # Residual links: every new link edge not absorbed into the index.
-        links_table = self._builder.framework_backend.table("flix_residual_links")
-        residual = 0
-        touched = {meta.meta_id}
-        for u, v in new_link_edges:
-            if (u, v) in internal_set:
-                continue
-            self.meta_documents[self.meta_of[u]].outgoing_links.setdefault(
-                u, []
-            ).append(v)
-            self.meta_documents[self.meta_of[v]].incoming_links.setdefault(
-                v, []
-            ).append(u)
-            links_table.insert((u, v, self.meta_of[u], self.meta_of[v]))
-            touched.add(self.meta_of[u])
-            touched.add(self.meta_of[v])
-            residual += 1
-        for meta_id in touched:
-            self.meta_documents[meta_id].finalize_links()
-
-        self.report.meta_documents.append(
-            MetaDocumentReport(
-                meta_id=meta.meta_id,
-                node_count=len(nodes),
-                internal_edge_count=len(internal),
-                strategy=choice.strategy,
-                rationale=choice.rationale + " (added incrementally)",
-                index_bytes=index.size_bytes(),
-                build_seconds=_time.perf_counter() - started,
-            )
-        )
-        self.report.residual_link_count += residual
-        self.report.residual_link_bytes = links_table.size_bytes()
-
-        # Refresh the evaluator's view and drop stale cached results.
-        self.pee = self._make_pee()
         if self.obs.enabled:
-            self.obs.registry.gauge(
-                "flix_meta_documents",
-                "Meta documents in the current index layout.",
-            ).set(len(self.meta_documents))
             self.obs.registry.counter(
                 "flix_index_builds_total",
                 "Per-meta-document index builds, by chosen strategy.",
             ).inc(strategy=choice.strategy)
-        self.invalidate_caches()
-        return meta
+        return rebuilt
+
+    def compact(
+        self, meta_ids: Optional[Sequence[int]] = None
+    ) -> Optional["MetaDocument"]:
+        """Merge drifted incremental meta documents into one (section 7).
+
+        Every ``add_document`` creates a singleton meta document; after
+        many additions queries cross metas through residual links far
+        more than a fresh build would.  Compaction merges the given meta
+        ids (default: all live incrementally-added metas, per
+        ``layout.compaction_candidates()``) into a single re-selected,
+        re-indexed meta document and tombstones the originals — one
+        atomic swap, no query downtime, no full rebuild.  Residual links
+        that become internal to the merged meta are absorbed into its
+        index (strategy permitting).  Returns the new meta document, or
+        ``None`` when there are fewer than two candidates.
+        """
+        self._require_builder()
+        from repro.core.ib import MetaDocumentReport
+        from repro.core.iss import IndexingStrategySelector
+        from repro.indexes.registry import build_index
+
+        import time as _time
+
+        with self._mutation_lock:
+            layout = self._layout
+            if meta_ids is None:
+                candidates = list(layout.compaction_candidates())
+            else:
+                candidates = sorted(set(meta_ids))
+                for meta_id in candidates:
+                    layout.meta(meta_id)  # raises on tombstoned/unknown
+            if len(candidates) < 2:
+                return None
+
+            trace = self.obs.tracer.trace(
+                "mdb.compact",
+                candidates=len(candidates),
+                generation=layout.generation,
+            )
+            started = _time.perf_counter()
+            collection = self.collection
+            candidate_set = set(candidates)
+            merged_nodes: Set[NodeId] = set()
+            for meta_id in candidates:
+                merged_nodes |= layout.slots[meta_id].nodes
+
+            with trace.span("select"):
+                allow_graph = any(
+                    s != "ppo" for s in self.config.allowed_strategies
+                )
+                internal = []
+                for u in sorted(merged_nodes):
+                    for v in sorted(collection.graph.successors(u)):
+                        if v not in merged_nodes:
+                            continue
+                        if (
+                            collection.is_link_edge(u, v)
+                            and not allow_graph
+                        ):
+                            continue
+                        internal.append((u, v))
+                internal_set = set(internal)
+                graph = Digraph()
+                for node in merged_nodes:
+                    graph.add_node(node)
+                for u, v in internal:
+                    graph.add_edge(u, v)
+                choice = IndexingStrategySelector(self.config).choose(graph)
+
+            with trace.span("index", strategy=choice.strategy):
+                tags = {
+                    node: collection.tag(node) for node in merged_nodes
+                }
+                backend = self._backend_factory()
+                if self.obs.enabled:
+                    backend.attach_observer(
+                        self.obs.storage_instruments(backend)
+                    )
+                index = build_index(choice.strategy, graph, tags, backend)
+
+            new_id = layout.next_meta_id
+            # Carry over the merged metas' residual links, minus pairs the
+            # merged index absorbed as internal edges.
+            outgoing: Dict[NodeId, List[NodeId]] = {}
+            incoming: Dict[NodeId, List[NodeId]] = {}
+            for meta_id in candidates:
+                old = layout.slots[meta_id]
+                for source, targets in old.outgoing_links.items():
+                    kept = [
+                        t for t in targets if (source, t) not in internal_set
+                    ]
+                    if kept:
+                        outgoing.setdefault(source, []).extend(kept)
+                for target, sources in old.incoming_links.items():
+                    kept = [
+                        s for s in sources if (s, target) not in internal_set
+                    ]
+                    if kept:
+                        incoming.setdefault(target, []).extend(kept)
+            merged = MetaDocument(
+                meta_id=new_id,
+                nodes=frozenset(merged_nodes),
+                index=index,
+                strategy=choice.strategy,
+                outgoing_links=outgoing,
+                incoming_links=incoming,
+            )
+            merged.finalize_links()
+
+            slots: List[Optional[MetaDocument]] = list(layout.slots)
+            tombstones = set(layout.tombstones)
+            for meta_id in candidates:
+                slots[meta_id] = None
+                tombstones.add(meta_id)
+            slots.append(merged)
+            meta_of = dict(layout.meta_of)
+            for node in merged_nodes:
+                meta_of[node] = new_id
+
+            self._rewrite_links_table(slots, meta_of)
+            self.report.meta_documents.append(
+                MetaDocumentReport(
+                    meta_id=new_id,
+                    node_count=len(merged_nodes),
+                    internal_edge_count=len(internal),
+                    strategy=choice.strategy,
+                    rationale=choice.rationale
+                    + " (compacted from metas "
+                    + ", ".join(str(m) for m in candidates)
+                    + ")",
+                    index_bytes=index.size_bytes(),
+                    build_seconds=_time.perf_counter() - started,
+                )
+            )
+            self._refresh_report(slots)
+
+            new_layout = IndexLayout(
+                slots=tuple(slots),
+                meta_of=meta_of,
+                pee=None,
+                generation=layout.generation + 1,
+                tombstones=frozenset(tombstones),
+                # the merged meta is a deliberate consolidation, not
+                # drift: it is not a future compaction candidate
+                incremental_meta_ids=layout.incremental_meta_ids
+                - candidate_set,
+            )
+            new_layout = new_layout.with_pee(
+                self._build_evaluator(
+                    new_layout.slots, meta_of, new_layout.generation
+                )
+            )
+            if self.obs.enabled:
+                self.obs.registry.counter(
+                    "flix_compactions_total",
+                    "Online compactions of incremental meta documents.",
+                ).inc(strategy=choice.strategy)
+                self.obs.registry.counter(
+                    "flix_index_builds_total",
+                    "Per-meta-document index builds, by chosen strategy.",
+                ).inc(strategy=choice.strategy)
+            self._publish_layout(new_layout, verb="compact")
+            trace.finish()
+            return merged
+
+    def _rewrite_links_table(
+        self,
+        slots: Sequence[Optional[MetaDocument]],
+        meta_of: Dict[NodeId, int],
+    ) -> None:
+        """Rewrite ``flix_residual_links`` from the live metas' maps.
+
+        Removal and compaction change rows' meta ids and drop rows, which
+        append-only tables cannot express; a sorted full rewrite keeps
+        the persisted table deterministic for a given mutation sequence.
+        """
+        from repro.core.ib import _LINKS_SCHEMA
+
+        backend = self._builder.framework_backend
+        backend.drop_table("flix_residual_links")
+        table = backend.create_table(_LINKS_SCHEMA)
+        rows = sorted(
+            (source, target, meta_of[source], meta_of[target])
+            for meta in slots
+            if meta is not None
+            for source, targets in meta.outgoing_links.items()
+            for target in targets
+        )
+        if rows:
+            table.insert_many(rows)
+
+    def _refresh_report(
+        self, slots: Sequence[Optional[MetaDocument]]
+    ) -> None:
+        """Re-derive the build report's residual-link totals after a
+        mutation that dropped or rewired links (remove/compact)."""
+        links_table = self._builder.framework_backend.table(
+            "flix_residual_links"
+        )
+        self.report.residual_link_count = sum(
+            meta.residual_out_degree
+            for meta in slots
+            if meta is not None
+        )
+        self.report.residual_link_bytes = links_table.size_bytes()
 
     def save(self, directory) -> "Path":
         """Persist the built index to ``directory`` (restart without

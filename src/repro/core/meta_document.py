@@ -81,6 +81,31 @@ class MetaDocument:
         if self.index is not None:
             self.index.prepare_link_candidates(self._link_sources_cache)
 
+    def copy_links(self) -> "MetaDocument":
+        """A clone with deep-copied residual-link maps, same index object.
+
+        Copy-on-write support for the incremental maintenance verbs: a
+        published :class:`~repro.core.layout.IndexLayout` is immutable, so
+        a mutation that needs to rewire a meta document's residual links
+        works on a clone and publishes it in the next layout, while
+        in-flight queries keep reading the original's frozen link sets.
+        The (expensive, content-immutable) index object is shared.
+        """
+        return MetaDocument(
+            meta_id=self.meta_id,
+            nodes=self.nodes,
+            index=self.index,
+            strategy=self.strategy,
+            outgoing_links={
+                source: list(targets)
+                for source, targets in self.outgoing_links.items()
+            },
+            incoming_links={
+                target: list(sources)
+                for target, sources in self.incoming_links.items()
+            },
+        )
+
     @property
     def link_sources(self) -> FrozenSet[NodeId]:
         """L_i: elements of this meta document with outgoing residual links."""

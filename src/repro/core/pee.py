@@ -265,9 +265,16 @@ class PathExpressionEvaluator:
         obs: Optional[Observability] = None,
         budget: Optional[QueryBudget] = None,
         fallback: Optional["FallbackContext"] = None,
+        generation: int = 0,
     ) -> None:
+        # ``meta_documents`` is positionally indexed by meta id; removed
+        # or compacted ids appear as ``None`` slots (never dereferenced:
+        # ``meta_of`` maps live nodes only)
         self._meta_documents = list(meta_documents)
         self._meta_of = dict(meta_of)
+        #: generation of the layout snapshot this evaluator answers for
+        #: (stamped into the ``pee.query`` trace; see docs/MAINTENANCE.md)
+        self.generation = generation
         #: the observability bundle (metrics + tracing); disabled by default
         #: for a bare evaluator, supplied by ``Flix`` when configured on
         self._obs = obs if obs is not None else OBS_OFF
@@ -405,6 +412,7 @@ class PathExpressionEvaluator:
                 axis=axis,
                 tag=tag if tag is not None else "*",
                 seeds=len(seeds),
+                generation=self.generation,
             )
         finalize = self._make_finalizer(stats, axis, trace, started)
 

@@ -120,10 +120,14 @@ def save_flix(flix: Flix, directory) -> Path:
     integrity: Dict[str, str] = {}
     for meta in flix.meta_documents:
         filename = f"meta_{meta.meta_id:04d}.sqlite"
+        # saving over an older save: start each file fresh, the old
+        # tables may describe a pre-mutation version of this meta
+        (root / filename).unlink(missing_ok=True)
         target = SqliteBackend(str(root / filename))
         _copy_tables(meta.index.backend, target)
         integrity[filename] = target.fingerprint()
         target.close()
+    (root / "framework.sqlite").unlink(missing_ok=True)
     framework_target = SqliteBackend(str(root / "framework.sqlite"))
     if flix._builder is not None:
         _copy_tables(flix._builder.framework_backend, framework_target)
@@ -132,6 +136,11 @@ def save_flix(flix: Flix, directory) -> Path:
         framework_target.create_table(_LINKS_SCHEMA)
     integrity["framework.sqlite"] = framework_target.fingerprint()
     framework_target.close()
+    # saving over an older save of the same index: drop meta files whose
+    # meta document has since been removed or compacted away
+    for stale in root.glob("meta_*.sqlite"):
+        if stale.name not in integrity:
+            stale.unlink()
 
     resilience = flix.config.resilience
     manifest = {
@@ -158,9 +167,22 @@ def save_flix(flix: Flix, directory) -> Path:
             "files": integrity,
         },
         "meta_documents": [
-            {"meta_id": meta.meta_id, "strategy": meta.strategy}
+            {
+                "meta_id": meta.meta_id,
+                "strategy": meta.strategy,
+                "incremental": meta.meta_id
+                in flix.layout.incremental_meta_ids,
+            }
             for meta in flix.meta_documents
         ],
+        # the maintenance state (docs/MAINTENANCE.md): sparse/tombstoned
+        # ids and the generation counter round-trip, so a reloaded index
+        # fingerprints identically and keeps compacting/growing correctly
+        "layout": {
+            "generation": flix.layout.generation,
+            "tombstones": sorted(flix.layout.tombstones),
+            "next_meta_id": flix.layout.next_meta_id,
+        },
     }
     manifest_path = root / MANIFEST_NAME
     manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
@@ -237,6 +259,13 @@ def repair_flix(collection: XmlCollection, directory) -> List[str]:
     touched, so the repaired save is fingerprint-identical to the
     original.  Requires a readable manifest (a destroyed manifest means a
     full rebuild).  Returns the repaired file names.
+
+    Saves of an index mutated after the build (``add_document`` /
+    ``remove_document`` / ``compact`` — see ``docs/MAINTENANCE.md``)
+    can only be repaired for the meta documents the deterministic MDB
+    re-derivation still produces; a damaged incrementally-added or
+    compacted meta file raises instead (reload the intact save, or
+    rebuild).
     """
     root = Path(directory)
     manifest = _read_manifest(root, collection)
@@ -347,12 +376,36 @@ def load_flix(collection: XmlCollection, directory, verify: bool = True) -> Flix
 
     tags = {node: collection.tag(node) for node in collection.node_ids()}
     loaders = _loaders()
-    meta_documents: List[MetaDocument] = []
     meta_of: Dict[int, int] = {}
     report = BuildReport(config_name=config.name)
     entries = sorted(manifest["meta_documents"], key=lambda e: e["meta_id"])
-    if [e["meta_id"] for e in entries] != list(range(len(entries))):
-        raise PersistenceError("manifest meta ids must be dense and ordered")
+    live_ids = [e["meta_id"] for e in entries]
+    if len(set(live_ids)) != len(live_ids) or any(i < 0 for i in live_ids):
+        raise PersistenceError(
+            "manifest meta ids must be distinct and non-negative"
+        )
+    # Maintenance state; absent in saves predating docs/MAINTENANCE.md,
+    # which are always dense with no tombstones.
+    layout_data = manifest.get("layout", {})
+    tombstones = frozenset(layout_data.get("tombstones", ()))
+    generation = layout_data.get("generation", 0)
+    slot_count = layout_data.get(
+        "next_meta_id", (max(live_ids) + 1) if live_ids else 0
+    )
+    if tombstones & set(live_ids):
+        raise PersistenceError(
+            "manifest lists meta ids both live and tombstoned"
+        )
+    if any(i >= slot_count for i in live_ids) or any(
+        i >= slot_count or i < 0 for i in tombstones
+    ):
+        raise PersistenceError("manifest meta ids exceed the layout size")
+    incremental = frozenset(
+        entry["meta_id"]
+        for entry in entries
+        if entry.get("incremental", False)
+    )
+    slots: List[Optional[MetaDocument]] = [None] * slot_count
     for entry in entries:
         meta_id = entry["meta_id"]
         strategy = entry["strategy"]
@@ -366,7 +419,7 @@ def load_flix(collection: XmlCollection, directory, verify: bool = True) -> Flix
             index=index,
             strategy=strategy,
         )
-        meta_documents.append(meta)
+        slots[meta_id] = meta
         for node in meta.nodes:
             meta_of[node] = meta_id
         report.meta_documents.append(
@@ -390,19 +443,35 @@ def load_flix(collection: XmlCollection, directory, verify: bool = True) -> Flix
     for u, v, _mu, _mv in builder.framework_backend.table(
         "flix_residual_links"
     ).scan():
-        meta_documents[meta_of[u]].outgoing_links.setdefault(u, []).append(v)
-        meta_documents[meta_of[v]].incoming_links.setdefault(v, []).append(u)
+        slots[meta_of[u]].outgoing_links.setdefault(u, []).append(v)
+        slots[meta_of[v]].incoming_links.setdefault(v, []).append(u)
         residual += 1
-    for meta in meta_documents:
-        meta.finalize_links()
+    for meta in slots:
+        if meta is not None:
+            meta.finalize_links()
     report.residual_link_count = residual
     report.residual_link_bytes = builder.framework_backend.table(
         "flix_residual_links"
     ).size_bytes()
 
-    flix = Flix(collection, config, meta_documents, meta_of, report)
+    flix = Flix(collection, config, slots, meta_of, report)
     flix._builder = builder
     flix._backend_factory = SqliteBackend
+    flix._raw_backend_factory = SqliteBackend
+    if tombstones or generation or incremental:
+        from repro.core.layout import IndexLayout
+
+        restored = IndexLayout(
+            slots=tuple(slots),
+            meta_of=dict(meta_of),
+            pee=None,
+            generation=generation,
+            tombstones=tombstones,
+            incremental_meta_ids=incremental,
+        )
+        flix._layout = restored.with_pee(
+            flix._build_evaluator(restored.slots, restored.meta_of, generation)
+        )
     return flix
 
 

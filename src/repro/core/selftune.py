@@ -13,8 +13,8 @@ rebuild is warranted and recommends the next configuration.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import FlixConfig
 from repro.core.pee import QueryStats
@@ -22,11 +22,52 @@ from repro.core.pee import QueryStats
 
 @dataclass(frozen=True)
 class TuningAdvice:
-    """Outcome of a self-tuning evaluation."""
+    """Outcome of a self-tuning evaluation.
+
+    ``should_compact`` flags *online compaction* (``Flix.compact``) as a
+    cheaper remedy than a rebuild: incremental growth has piled up enough
+    singleton meta documents (``compaction_candidates``) that merging
+    them in place would cut residual-link traffic without rebuild
+    downtime.  Both flags can be set at once; compaction is the cheaper
+    first step, a rebuild the thorough one.
+    """
 
     should_rebuild: bool
     reason: str
     recommended_config: Optional[FlixConfig] = None
+    should_compact: bool = False
+    compaction_candidates: Tuple[int, ...] = ()
+
+
+def with_compaction_advice(
+    advice: TuningAdvice,
+    candidates: Sequence[int],
+    threshold: int,
+) -> TuningAdvice:
+    """Layer compaction advice over a load-based :class:`TuningAdvice`.
+
+    Compaction is recommended when at least ``threshold`` live
+    incrementally-added meta documents exist (each ``add_document``
+    creates one; they fragment the layout the paper's build phase chose).
+    Load statistics are deliberately not required: the drift is
+    structural and visible without traffic.
+    """
+    candidates = tuple(candidates)
+    if threshold < 2:
+        raise ValueError("compaction threshold must be at least 2")
+    if len(candidates) < threshold:
+        return advice
+    reason = (
+        f"{advice.reason}; {len(candidates)} incrementally-added meta "
+        f"documents have accumulated (threshold {threshold}) — "
+        "Flix.compact() would merge them without a rebuild"
+    )
+    return replace(
+        advice,
+        reason=reason,
+        should_compact=True,
+        compaction_candidates=candidates,
+    )
 
 
 class QueryLoadMonitor:

@@ -285,6 +285,7 @@ class FlixService:
             response = self.flix.query(pending.request, budget=remaining)
             trace.root.meta["from_cache"] = response.from_cache
             trace.root.meta["completeness"] = response.completeness
+            trace.root.meta["layout_generation"] = response.layout_generation
             pending._complete(response)
         except BaseException as error:  # noqa: BLE001 - relayed to caller
             status = "error"

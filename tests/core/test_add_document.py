@@ -57,6 +57,117 @@ class TestRegisterDocument:
             register_document(base_collection, doc("a.xml", "<doc/>"))
 
 
+class TestRegisterDocumentRetryLoop:
+    def test_own_failed_links_not_retried_in_same_call(
+        self, base_collection, monkeypatch
+    ):
+        """A link that failed to resolve in this call must not be looked
+        up again by the same call's dangling-link retry loop."""
+        import repro.collection.builder as builder_module
+
+        original = builder_module._resolve
+        attempts = []
+
+        def counting_resolve(collection, document, link):
+            attempts.append(link)
+            return original(collection, document, link)
+
+        monkeypatch.setattr(builder_module, "_resolve", counting_resolve)
+        new = doc(
+            "d.xml",
+            '<doc><l xlink:href="gone1.xml"/><l xlink:href="gone2.xml"/>'
+            '<l xlink:href="gone3.xml"/></doc>',
+        )
+        register_document(base_collection, new)
+        own_failed = [
+            link for link in attempts
+            if link.target_document in {"gone1.xml", "gone2.xml", "gone3.xml"}
+        ]
+        # each dangling link of the new document: exactly one resolution
+        assert len(own_failed) == 3
+        assert len({id(link) for link in own_failed}) == 3
+        # and they still queue up for future documents to satisfy
+        assert len(base_collection.unresolved_links) == 4  # 1 old + 3 new
+
+    def test_failed_links_resolve_on_later_addition(self, base_collection):
+        register_document(
+            base_collection, doc("d.xml", '<doc><l xlink:href="gone.xml"/></doc>')
+        )
+        edges = register_document(
+            base_collection, doc("gone.xml", "<doc/>")
+        )
+        targets = {v for _u, v in edges}
+        assert base_collection.document_root("gone.xml") in targets
+
+
+class TestAddDocumentRollback:
+    def test_failed_index_build_rolls_back_collection(self, base_collection):
+        """``add_document`` must be atomic: an index-build failure leaves
+        no trace in the collection graph or the dangling-link list."""
+        from repro.faults import FaultPlan, FaultyFactory
+        from repro.storage.memory import MemoryBackend
+
+        flix = Flix.build(base_collection, FlixConfig.naive())
+        docs_before = set(base_collection.documents)
+        nodes_before = base_collection.node_count
+        edges_before = base_collection.graph.edge_count
+        unresolved_before = list(base_collection.unresolved_links)
+        fingerprint_before = flix.index_fingerprint()
+
+        flix._backend_factory = FaultyFactory(
+            MemoryBackend, FaultPlan(write_error_rate=1.0)
+        )
+        with pytest.raises(Exception):
+            flix.add_document(
+                # future.xml also satisfies c.xml's dangling link, so the
+                # rollback must re-dangle it too
+                doc("future.xml", '<doc><l xlink:href="a.xml"/></doc>')
+            )
+        assert set(base_collection.documents) == docs_before
+        assert base_collection.node_count == nodes_before
+        assert base_collection.graph.edge_count == edges_before
+        assert base_collection.unresolved_links == unresolved_before
+        assert flix.index_fingerprint() == fingerprint_before
+        assert flix.layout_generation == 0
+
+        # the instance stays fully usable once the fault clears
+        flix._backend_factory = MemoryBackend
+        flix.add_document(doc("future.xml", "<doc><p>future</p></doc>"))
+        assert base_collection.unresolved_links == []
+        flix.self_check()
+
+
+class TestRebuildBackendFactory:
+    def test_rebuild_defaults_to_original_factory(
+        self, base_collection, tmp_path
+    ):
+        """A sqlite-backed index must not silently migrate to memory
+        backends on ``rebuild()``."""
+        from repro.storage.sqlite_backend import SqliteBackend
+
+        flix = Flix.build(base_collection, FlixConfig.naive())
+        flix.save(tmp_path)
+        loaded = Flix.load(base_collection, tmp_path)
+        rebuilt = loaded.rebuild()
+        backends = {
+            type(meta.index.backend).__name__
+            for meta in rebuilt.meta_documents
+        }
+        assert backends == {"SqliteBackend"}
+        assert rebuilt._raw_backend_factory is SqliteBackend
+
+    def test_explicit_factory_still_wins(self, base_collection):
+        from repro.storage.memory import MemoryBackend
+
+        flix = Flix.build(base_collection, FlixConfig.naive())
+        rebuilt = flix.rebuild(backend_factory=MemoryBackend)
+        backends = {
+            type(meta.index.backend).__name__
+            for meta in rebuilt.meta_documents
+        }
+        assert backends == {"MemoryBackend"}
+
+
 class TestFlixAddDocument:
     def test_query_sees_new_document(self, base_collection):
         flix = Flix.build(base_collection, FlixConfig.naive())

@@ -241,11 +241,11 @@ class TestFlixCacheIntegration:
         original_evaluate = cached_flix._evaluate
         raced = []
 
-        def racing_evaluate(req, budget):
+        def racing_evaluate(req, budget, layout=None):
             # evaluate against the old index, then mutate it before the
             # caller gets to store the result — the reviewed race, made
             # deterministic
-            payload, stats = original_evaluate(req, budget)
+            payload, stats = original_evaluate(req, budget, layout)
             if not raced:
                 raced.append(True)
                 cached_flix.add_document(
