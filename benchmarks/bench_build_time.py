@@ -92,7 +92,14 @@ def test_parallel_build_comparison(dblp_collection):
     Emits ``BENCH_build_time.json``.  ``build_executor="process"`` is
     pinned so the worker pool itself is measured (``auto`` would rightly
     degrade to serial on a single-CPU runner and measure nothing); the
-    jobs=1 baseline stays serial regardless.  The determinism guarantee
+    jobs=1 baseline stays serial regardless.
+
+    On a runner the OS grants a *single* CPU, a process pool has zero
+    parallel capacity: its wall clock measures fork + pickle overhead,
+    nothing else, and publishing it as a "speedup" is misleading (the
+    seed BENCH file reported 0.724x that way).  Such runs are skipped and
+    the JSON records why in ``parallel_skipped`` instead of a bogus
+    parallel run.  Where the pool does run, the determinism guarantee
     (equal index fingerprints across jobs settings) is asserted
     unconditionally; the speedup exceeding 1.0 is asserted only where the
     machine makes that physically possible — enough granted CPUs and a
@@ -101,13 +108,23 @@ def test_parallel_build_comparison(dblp_collection):
     """
     import dataclasses
 
+    from repro.core.ib import _available_cpus
+
     small, _large = paper_partition_sizes(dblp_collection)
     config = dataclasses.replace(
         FlixConfig.unconnected_hopi(small), build_executor="process"
     )
+    single_cpu = _available_cpus() <= 1
+    jobs_options = (1,) if single_cpu else (1, 4)
     payload = profile_build(
-        dblp_collection, config, jobs_options=(1, 4), repeats=3
+        dblp_collection, config, jobs_options=jobs_options, repeats=3
     )
+    if single_cpu:
+        payload["parallel_skipped"] = (
+            "effective_cpus == 1: a process pool would measure fork/pickle "
+            "overhead with zero parallel capacity; rerun with more granted "
+            "CPUs for a meaningful jobs=4 comparison"
+        )
     payload["generated_by"] = "benchmarks/bench_build_time.py"
     BENCH_JSON.write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
@@ -121,11 +138,17 @@ def test_parallel_build_comparison(dblp_collection):
     print(f"-> {BENCH_JSON} (effective_cpus={payload['effective_cpus']})")
 
     assert payload["deterministic"], "jobs=4 produced a different index"
-    sequential, parallel = payload["runs"]
-    assert sequential["jobs"] == 1 and parallel["jobs"] == 4
+    sequential = payload["runs"][0]
+    assert sequential["jobs"] == 1
     assert sequential["executor"] == "serial"
+    assert sequential["meta_documents"] > 1
+    if single_cpu:
+        assert len(payload["runs"]) == 1
+        return
+    parallel = payload["runs"][1]
+    assert parallel["jobs"] == 4
     assert parallel["executor"] == "process"
-    assert parallel["meta_documents"] == sequential["meta_documents"] > 1
+    assert parallel["meta_documents"] == sequential["meta_documents"]
     assert parallel["speedup"] > 0
     if payload["effective_cpus"] >= 4 and sequential["wall_seconds"] >= 0.3:
         assert parallel["speedup"] > 1.0

@@ -1,0 +1,43 @@
+"""Per-op microbenchmarks: object vs packed hot-path layouts.
+
+Times single connection probes, residual link hops, tag extent scans,
+and cold attach (full SQLite deserialization vs FLXPACK ``mmap``) over
+the same built per-meta indexes in both representations, and writes the
+machine-readable comparison to ``BENCH_microops.json`` at the repository
+root (published as a CI artifact by the ``microops-bench`` job; the
+``bench-regression`` guard in ``tools/check_bench_regression.py`` reads
+the same file).
+
+Measurement semantics live in :mod:`repro.bench.microops`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.microops import profile_microops, render_microops
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_microops.json"
+
+
+def test_microops(dblp_collection):
+    payload = profile_microops(dblp_collection)
+    payload["generated_by"] = "benchmarks/bench_microops.py"
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(render_microops(payload))
+    print(f"-> {BENCH_JSON}")
+
+    # the tentpole's acceptance floors (ISSUE 6): a probe drawn from the
+    # collection's real strategy mix must be at least 2x faster packed,
+    # and attach must beat deserialization by an order of magnitude
+    assert payload["median_probe_speedup"] >= 2.0, payload
+    assert payload["cold_attach"]["speedup"] >= 10.0, payload
+    # no single op may regress: packed is never slower than object
+    # beyond measurement noise (the CI guard enforces the same floor)
+    for op, strategies in payload["ops"].items():
+        for strategy, entry in strategies.items():
+            assert entry["speedup"] >= 0.8, (op, strategy, entry)

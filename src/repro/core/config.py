@@ -205,6 +205,12 @@ class FlixConfig:
     #: with generation-based invalidation, see ``docs/SERVING.md``);
     #: ``None`` disables caching — the classic zero-memory behaviour
     cache: Optional[CacheConfig] = None
+    #: serve probes from the flat columnar index layout
+    #: (``repro.indexes.packed``, see ``docs/DATA_LAYOUT.md``): indexes
+    #: are compiled to FLXPACK blobs after every build/rebuild, saves
+    #: write mmap-able ``.pack`` files, and loads attach them lazily.
+    #: Answers are byte-identical to the object layout either way.
+    packed: bool = False
 
     def __post_init__(self) -> None:
         if self.mdb_strategy not in MDB_STRATEGIES:
@@ -262,6 +268,12 @@ class FlixConfig:
         from dataclasses import replace
 
         return replace(self, resilience=None)
+
+    def with_packed(self, packed: bool = True) -> "FlixConfig":
+        """This configuration with the packed index layout on (or off)."""
+        from dataclasses import replace
+
+        return replace(self, packed=packed)
 
     def with_cache(
         self, cache: Optional[CacheConfig] = None, **overrides

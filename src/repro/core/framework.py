@@ -293,6 +293,15 @@ class Flix:
             config = FlixConfig.recommend_for(collection)
         raw_backend_factory = backend_factory
 
+        import os as _os
+
+        if _os.environ.get("FLIX_PACKED", "") not in ("", "0") and not getattr(
+            config, "packed", False
+        ):
+            # CI's packed-parity job: force the packed layout the same way
+            # FLIX_FAULT_PLAN forces a fault plan
+            config = config.with_packed()
+
         from repro.faults import plan_from_env
 
         plan = plan_from_env()
@@ -316,6 +325,17 @@ class Flix:
         specs = MetaDocumentBuilder(collection, config).build_specs()
         builder = IndexBuilder(collection, config, backend_factory, obs=obs)
         meta_documents, meta_of, report = builder.build(specs, jobs=jobs)
+        if getattr(config, "packed", False):
+            # Compile each built index to its flat columnar twin before the
+            # layout is published; the object graph remains reachable via
+            # the packed backend for persistence and fingerprinting.
+            from repro.indexes.packed import packed_clone
+
+            for meta in meta_documents:
+                packed = packed_clone(meta.index)
+                if packed is not None:
+                    meta.index = packed
+                    meta.finalize_links()
         flix = cls(collection, config, meta_documents, meta_of, report, obs=obs)
         flix._builder = builder
         flix._backend_factory = backend_factory
@@ -1090,6 +1110,66 @@ class Flix:
                 "maintenance"
             )
 
+    def _pack_index_if_configured(self, index):
+        """The packed twin of a freshly built index when the configuration
+        asks for the packed layout (otherwise, or when the strategy has no
+        packed form, the index unchanged)."""
+        if not getattr(self.config, "packed", False):
+            return index
+        from repro.indexes.packed import packed_clone
+
+        packed = packed_clone(index)
+        return index if packed is None else packed
+
+    def pack(self) -> int:
+        """Compile every live meta document's index to the packed layout.
+
+        Each object-graph index is serialized to a FLXPACK blob
+        (:mod:`repro.indexes.packed`) and replaced by an attached packed
+        index sharing the same storage backend, so persistence and
+        :meth:`index_fingerprint` are unaffected; every query answers
+        byte-identically.  Published as one atomic layout swap that keeps
+        the generation — packing changes representation, not content.
+        Returns the number of meta documents repacked (already-packed and
+        unpackable strategies are left alone).
+        """
+        from repro.indexes.packed import packed_clone
+
+        with self._mutation_lock:
+            layout = self._layout
+            slots: List[Optional[MetaDocument]] = list(layout.slots)
+            repacked = 0
+            for meta_id, meta in enumerate(slots):
+                if meta is None:
+                    continue
+                packed = packed_clone(meta.index)
+                if packed is None:
+                    continue
+                clone = meta.copy_links()
+                clone.index = packed
+                clone.finalize_links()
+                slots[meta_id] = clone
+                repacked += 1
+            if not repacked:
+                return 0
+            new_layout = IndexLayout(
+                slots=tuple(slots),
+                meta_of=layout.meta_of,
+                pee=None,
+                generation=layout.generation,
+                tombstones=layout.tombstones,
+                incremental_meta_ids=layout.incremental_meta_ids,
+            )
+            new_layout = new_layout.with_pee(
+                self._build_evaluator(
+                    new_layout.slots, layout.meta_of, new_layout.generation
+                )
+            )
+            self._publish_layout(new_layout, verb="pack")
+            if self.obs.enabled:
+                self._attach_storage_observers()
+            return repacked
+
     def add_document(self, document) -> "MetaDocument":
         """Add one new document without rebuilding the whole index.
 
@@ -1198,7 +1278,9 @@ class Flix:
                         backend.attach_observer(
                             self.obs.storage_instruments(backend)
                         )
-                    index = build_index(choice.strategy, graph, tags, backend)
+                    index = self._pack_index_if_configured(
+                        build_index(choice.strategy, graph, tags, backend)
+                    )
                     meta = MetaDocument(
                         meta_id=next_id + len(new_metas),
                         nodes=frozenset(nodes),
@@ -1444,7 +1526,9 @@ class Flix:
         backend = self._backend_factory()
         if self.obs.enabled:
             backend.attach_observer(self.obs.storage_instruments(backend))
-        index = build_index(choice.strategy, graph, tags, backend)
+        index = self._pack_index_if_configured(
+            build_index(choice.strategy, graph, tags, backend)
+        )
         rebuilt = MetaDocument(
             meta_id=meta.meta_id,
             nodes=frozenset(remaining),
@@ -1546,7 +1630,9 @@ class Flix:
                     backend.attach_observer(
                         self.obs.storage_instruments(backend)
                     )
-                index = build_index(choice.strategy, graph, tags, backend)
+                index = self._pack_index_if_configured(
+                    build_index(choice.strategy, graph, tags, backend)
+                )
 
             new_id = layout.next_meta_id
             # Carry over the merged metas' residual links, minus pairs the

@@ -6,7 +6,16 @@ Layout on disk::
       manifest.json        configuration + meta-document registry
       framework.sqlite     the residual-link table
       meta_0000.sqlite     index tables of meta document 0
+      meta_0000.pack       FLXPACK blob of meta document 0 (packed saves)
       meta_0001.sqlite     ...
+
+Saves of a packed index (``FlixConfig.packed`` / ``Flix.pack()`` — see
+``docs/DATA_LAYOUT.md``) additionally write one ``meta_NNNN.pack`` FLXPACK
+blob per packed meta document.  Loading such a save ``mmap``-attaches the
+blobs instead of deserializing the SQLite tables — a cold attach parses
+one 64-byte header and checksums the payload, nothing more — while the
+sibling ``.sqlite`` file stays on disk as the table source of truth
+(materialized lazily only if something asks for tables).
 
 Every index strategy persists itself through the storage layer already;
 saving copies those tables into one SQLite file per meta document (whatever
@@ -24,7 +33,8 @@ Integrity and repair
 --------------------
 
 The manifest records a content fingerprint (SHA-256 over table schemas and
-rows) for every SQLite file it references.  :func:`load_flix` re-computes
+rows for SQLite files; SHA-256 over the raw bytes for ``.pack`` blobs)
+for every file it references.  :func:`load_flix` re-computes
 them by default and refuses to load a damaged save with an
 :class:`IntegrityError` that names the broken files.  :func:`repair_flix`
 (CLI: ``repro repair``) then re-derives the meta-document specs from the
@@ -117,6 +127,8 @@ def save_flix(flix: Flix, directory) -> Path:
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
 
+    from repro.indexes.packed import is_packed, pack_index
+
     integrity: Dict[str, str] = {}
     for meta in flix.meta_documents:
         filename = f"meta_{meta.meta_id:04d}.sqlite"
@@ -127,6 +139,11 @@ def save_flix(flix: Flix, directory) -> Path:
         _copy_tables(meta.index.backend, target)
         integrity[filename] = target.fingerprint()
         target.close()
+        if is_packed(meta.index):
+            pack_name = f"meta_{meta.meta_id:04d}.pack"
+            blob_bytes = pack_index(meta.index)
+            (root / pack_name).write_bytes(blob_bytes)
+            integrity[pack_name] = _raw_fingerprint(blob_bytes)
     (root / "framework.sqlite").unlink(missing_ok=True)
     framework_target = SqliteBackend(str(root / "framework.sqlite"))
     if flix._builder is not None:
@@ -137,10 +154,11 @@ def save_flix(flix: Flix, directory) -> Path:
     integrity["framework.sqlite"] = framework_target.fingerprint()
     framework_target.close()
     # saving over an older save of the same index: drop meta files whose
-    # meta document has since been removed or compacted away
-    for stale in root.glob("meta_*.sqlite"):
-        if stale.name not in integrity:
-            stale.unlink()
+    # meta document has since been removed, compacted away, or unpacked
+    for pattern in ("meta_*.sqlite", "meta_*.pack"):
+        for stale in root.glob(pattern):
+            if stale.name not in integrity:
+                stale.unlink()
 
     resilience = flix.config.resilience
     manifest = {
@@ -157,6 +175,7 @@ def save_flix(flix: Flix, directory) -> Path:
             "jobs": flix.config.jobs,
             "build_executor": flix.config.build_executor,
             "observability": flix.config.observability,
+            "packed": flix.config.packed,
             "resilience": resilience.to_dict() if resilience else None,
             "cache": (
                 flix.config.cache.to_dict() if flix.config.cache else None
@@ -170,6 +189,7 @@ def save_flix(flix: Flix, directory) -> Path:
             {
                 "meta_id": meta.meta_id,
                 "strategy": meta.strategy,
+                "packed": is_packed(meta.index),
                 "incremental": meta.meta_id
                 in flix.layout.incremental_meta_ids,
             }
@@ -192,11 +212,36 @@ def save_flix(flix: Flix, directory) -> Path:
 # ----------------------------------------------------------------------
 # integrity verification and repair
 # ----------------------------------------------------------------------
+def _raw_fingerprint(data: bytes) -> str:
+    """The integrity fingerprint of a ``.pack`` blob: its raw bytes hashed
+    (the blob *is* its serialized form, unlike a SQLite file whose bytes
+    vary with page layout)."""
+    import hashlib
+
+    return hashlib.sha256(data).hexdigest()
+
+
 def _file_fingerprint(path: Path) -> Optional[str]:
-    """Content fingerprint of one saved SQLite file; ``None`` when the
-    file is missing or too broken to read (both count as damaged)."""
+    """Content fingerprint of one saved file; ``None`` when the file is
+    missing or too broken to read (both count as damaged).
+
+    SQLite files hash their table content; ``.pack`` blobs hash their raw
+    bytes (additionally requiring that the blob's own header checksum
+    verifies, so a pack file that matches the manifest always attaches).
+    """
     if not path.is_file():
         return None
+    if path.suffix == ".pack":
+        from repro.indexes.packed import PackedBlob
+
+        try:
+            blob = PackedBlob.attach(path)
+        except Exception:
+            return None
+        try:
+            return blob.raw_fingerprint()
+        finally:
+            blob.close()
     backend = None
     try:
         backend = SqliteBackend.attach(str(path))
@@ -291,7 +336,8 @@ def repair_flix(collection: XmlCollection, directory) -> List[str]:
         if filename == "framework.sqlite":
             _rebuild_framework_file(path, collection, specs)
         else:
-            meta_id = int(filename[len("meta_") : -len(".sqlite")])
+            stem, _, kind = filename.rpartition(".")
+            meta_id = int(stem[len("meta_") :])
             spec = spec_of.get(meta_id)
             strategy = strategy_of.get(meta_id)
             if spec is None or strategy is None:
@@ -300,7 +346,10 @@ def repair_flix(collection: XmlCollection, directory) -> List[str]:
                     "re-derived specs know no meta document "
                     f"{meta_id}; rebuild the index instead"
                 )
-            _rebuild_meta_file(path, spec, strategy, collection)
+            if kind == "pack":
+                _rebuild_pack_file(path, spec, strategy, collection)
+            else:
+                _rebuild_meta_file(path, spec, strategy, collection)
         rebuilt = _file_fingerprint(path)
         if rebuilt is None:
             raise PersistenceError(f"repair of {filename} produced no data")
@@ -318,20 +367,46 @@ def repair_flix(collection: XmlCollection, directory) -> List[str]:
     return damaged
 
 
-def _rebuild_meta_file(
-    path: Path, spec: MetaDocumentSpec, strategy: str, collection: XmlCollection
-) -> None:
-    """Re-run one meta document's index build and persist it at ``path``."""
+def _build_meta_index(
+    spec: MetaDocumentSpec, strategy: str, collection: XmlCollection
+):
+    """Deterministically re-run one meta document's index build."""
     graph = spec.build_graph()
     tags = {node: collection.tag(node) for node in spec.nodes}
-    index = execute_build_request(
+    return execute_build_request(
         IndexBuildRequest(strategy=strategy, tags=tags),
         MemoryBackend,
         graph=graph,
     )
+
+
+def _rebuild_meta_file(
+    path: Path, spec: MetaDocumentSpec, strategy: str, collection: XmlCollection
+) -> None:
+    """Re-run one meta document's index build and persist it at ``path``."""
+    index = _build_meta_index(spec, strategy, collection)
     target = SqliteBackend(str(path))
     _copy_tables(index.backend, target)
     target.close()
+
+
+def _rebuild_pack_file(
+    path: Path, spec: MetaDocumentSpec, strategy: str, collection: XmlCollection
+) -> None:
+    """Re-compile one meta document's FLXPACK blob from a fresh build.
+
+    Packing is deterministic (sorted columns, sorted JSON directory), so
+    the rebuilt blob is byte-identical to the original save's."""
+    from repro.indexes.packed import pack_index
+
+    index = _build_meta_index(spec, strategy, collection)
+    data = pack_index(index)
+    if data is None:
+        raise PersistenceError(
+            f"cannot repair {path.name}: strategy {strategy!r} has no "
+            "packed form"
+        )
+    path.write_bytes(data)
 
 
 def _rebuild_framework_file(
@@ -405,14 +480,33 @@ def load_flix(collection: XmlCollection, directory, verify: bool = True) -> Flix
         for entry in entries
         if entry.get("incremental", False)
     )
+    recorded_files = manifest.get("integrity", {}).get("files", {})
     slots: List[Optional[MetaDocument]] = [None] * slot_count
     for entry in entries:
         meta_id = entry["meta_id"]
         strategy = entry["strategy"]
         if strategy not in loaders:
             raise PersistenceError(f"no loader for strategy {strategy!r}")
-        backend = SqliteBackend.attach(str(root / f"meta_{meta_id:04d}.sqlite"))
-        index = loaders[strategy](backend, tags)
+        sqlite_path = root / f"meta_{meta_id:04d}.sqlite"
+        if entry.get("packed", False):
+            # mmap the FLXPACK blob: cold attach parses a 64-byte header
+            # and checksums the payload — no table deserialization.  The
+            # sibling .sqlite stays the table source of truth,
+            # materialized lazily; the manifest-recorded table
+            # fingerprint keeps index_fingerprint() answerable without
+            # opening it.
+            from repro.indexes.packed import attach_packed_file
+
+            index = attach_packed_file(
+                root / f"meta_{meta_id:04d}.pack",
+                source_factory=(
+                    lambda p=sqlite_path: SqliteBackend.attach(str(p))
+                ),
+                fingerprint=recorded_files.get(sqlite_path.name),
+            )
+        else:
+            backend = SqliteBackend.attach(str(sqlite_path))
+            index = loaders[strategy](backend, tags)
         meta = MetaDocument(
             meta_id=meta_id,
             nodes=index._node_set(),
@@ -488,6 +582,7 @@ def _config_from_manifest(config_data: dict) -> FlixConfig:
         jobs=config_data.get("jobs", 1),
         build_executor=config_data.get("build_executor", "auto"),
         observability=config_data.get("observability", True),
+        packed=config_data.get("packed", False),
         resilience=(
             ResilienceConfig.from_dict(resilience_data)
             if resilience_data

@@ -1,0 +1,91 @@
+"""Storage facade for packed indexes.
+
+A packed index answers every probe straight from its blob columns, so it
+needs no live table storage — but the rest of the framework still talks
+to ``index.backend`` for three things:
+
+* ``fingerprint()`` — :meth:`repro.core.framework.Flix.index_fingerprint`
+  hashes it per meta document.  The facade returns the *source* backend's
+  table-content fingerprint (delegated live, or the value recorded at
+  pack time), so packing never changes an index fingerprint;
+* ``total_bytes()`` — storage sizing.  The facade reports the blob size:
+  that *is* the bytes a packed meta document occupies;
+* table access — ``save_flix`` copies the index tables into the per-meta
+  SQLite file.  In-memory packs keep the build-time backend around; disk
+  attaches materialize it lazily from the sibling ``.sqlite`` file only
+  if something actually asks for tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.indexes.packed.blob import PackedBlob
+from repro.storage.table import StorageBackend, Table, TableSchema
+
+
+class PackedBackend(StorageBackend):
+    """Blob accounting + source-backend delegation for packed indexes."""
+
+    def __init__(
+        self,
+        blob: PackedBlob,
+        *,
+        source: Optional[StorageBackend] = None,
+        source_factory: Optional[Callable[[], StorageBackend]] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self._blob = blob
+        self._source = source
+        self._source_factory = source_factory
+        self._fingerprint = fingerprint
+        self._observer = None
+
+    @property
+    def blob(self) -> PackedBlob:
+        return self._blob
+
+    def _materialize(self) -> StorageBackend:
+        if self._source is None:
+            if self._source_factory is None:
+                raise KeyError(
+                    "packed index has no table storage attached (blob-only "
+                    "attach); reload from a full save to access tables"
+                )
+            self._source = self._source_factory()
+            if self._observer is not None:
+                self._source.attach_observer(self._observer)
+        return self._source
+
+    # ------------------------------------------------------------------
+    # StorageBackend interface
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        return self._materialize().create_table(schema)
+
+    def table(self, name: str) -> Table:
+        return self._materialize().table(name)
+
+    def drop_table(self, name: str) -> None:
+        self._materialize().drop_table(name)
+
+    def table_names(self) -> List[str]:
+        return self._materialize().table_names()
+
+    def attach_observer(self, observer) -> None:
+        self._observer = observer
+        if self._source is not None:
+            self._source.attach_observer(observer)
+
+    def total_bytes(self) -> int:
+        """The packed footprint: the blob is the whole hot-path state."""
+        return self._blob.size_bytes()
+
+    def fingerprint(self) -> str:
+        """The *source* tables' content hash — packing is representation,
+        not content, so the fingerprint must not move."""
+        if self._source is not None:
+            return self._source.fingerprint()
+        if self._fingerprint is not None:
+            return self._fingerprint
+        return self._materialize().fingerprint()

@@ -139,7 +139,7 @@ class TestAddDocumentRollback:
 
 class TestRebuildBackendFactory:
     def test_rebuild_defaults_to_original_factory(
-        self, base_collection, tmp_path
+        self, base_collection, tmp_path, object_layout
     ):
         """A sqlite-backed index must not silently migrate to memory
         backends on ``rebuild()``."""
@@ -156,7 +156,7 @@ class TestRebuildBackendFactory:
         assert backends == {"SqliteBackend"}
         assert rebuilt._raw_backend_factory is SqliteBackend
 
-    def test_explicit_factory_still_wins(self, base_collection):
+    def test_explicit_factory_still_wins(self, base_collection, object_layout):
         from repro.storage.memory import MemoryBackend
 
         flix = Flix.build(base_collection, FlixConfig.naive())

@@ -8,7 +8,7 @@ from repro.graph.closure import transitive_closure
 
 
 class TestBuild:
-    def test_build_report_exposed(self, figure1_collection):
+    def test_build_report_exposed(self, figure1_collection, object_layout):
         flix = Flix.build(figure1_collection, FlixConfig.naive())
         assert flix.report.config_name == "naive"
         assert flix.size_bytes() == flix.report.total_index_bytes

@@ -31,7 +31,9 @@ class TestIntegritySection:
         manifest = json.loads((directory / "manifest.json").read_text())
         files = manifest["integrity"]["files"]
         on_disk = {
-            p.name for p in directory.iterdir() if p.suffix == ".sqlite"
+            p.name
+            for p in directory.iterdir()
+            if p.suffix in (".sqlite", ".pack")
         }
         assert set(files) == on_disk
         assert all(len(v) == 64 for v in files.values())  # sha256 hex

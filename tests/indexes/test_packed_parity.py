@@ -1,0 +1,280 @@
+"""Object/packed parity: the FLXPACK layout must be indistinguishable.
+
+``FlixConfig.with_packed()`` swaps the hot-path representation, nothing
+else — so every observable of the unified query API has to match the
+object layout byte for byte: results, scalar values, the full
+:class:`QueryStats` (visit/traversal counters included), completeness,
+layout generations, and ``index_fingerprint``.  That contract has to
+survive fault injection, the maintenance verbs, and a save/load
+roundtrip, which is exactly what this module checks.
+"""
+
+import pytest
+
+from repro.collection.builder import build_collection
+from repro.collection.document import XmlDocument
+from repro.core.api import QueryRequest
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.core.persistence import load_flix
+from repro.faults import FaultPlan, FaultyIndex
+from repro.indexes.packed import is_packed
+
+
+def build_object(collection, config):
+    """Build with the *object* layout even under ``FLIX_PACKED=1``.
+
+    The parity tests must stay meaningful inside CI's packed-parity job,
+    where the environment forces every build packed — the object side of
+    each pair is built with the override masked out.
+    """
+    with pytest.MonkeyPatch.context() as patch:
+        patch.delenv("FLIX_PACKED", raising=False)
+        return Flix.build(collection, config)
+
+
+def assert_same_response(obj_response, pak_response):
+    """Full observable equality, not just the result rows."""
+    assert obj_response.results == pak_response.results
+    assert obj_response.value == pak_response.value
+    assert obj_response.stats == pak_response.stats
+    assert (
+        obj_response.layout_generation == pak_response.layout_generation
+    )
+
+
+def reachable_pair(flix, source):
+    """A (reachable, unreachable) target pair seen from ``source``."""
+    rows = flix.query(QueryRequest.descendants(source)).results
+    reached = {row.node for row in rows}
+    target = next((row.node for row in rows if row.distance > 0), None)
+    stranger = next(
+        node
+        for node in sorted(flix.collection.graph.nodes())
+        if node not in reached and node != source
+    )
+    return target, stranger
+
+
+def request_suite(flix):
+    """One request per shape of the unified API (all eight kinds).
+
+    Node choices are derived from the collection and the *object* flix;
+    the requests themselves are plain data, shared by both layouts.
+    """
+    collection = flix.collection
+    names = sorted(collection.documents)
+    roots = [collection.document_root(name) for name in names[:6]]
+    target, stranger = reachable_pair(flix, roots[0])
+    deep = flix.query(
+        QueryRequest.descendants(roots[1], tag="author")
+    ).results
+    author = deep[0].node if deep else roots[1]
+    requests = [
+        # descendants, a//b form
+        QueryRequest.descendants(roots[0], tag="author"),
+        QueryRequest.descendants(roots[0]),
+        QueryRequest.descendants(
+            roots[1], tag="title", exact_order=True, include_self=True
+        ),
+        QueryRequest.descendants(roots[2], max_distance=2, limit=5),
+        # descendants, A//B (type query) form
+        QueryRequest.type_query("inproceedings", tag="author", limit=25),
+        QueryRequest.type_query("article", tag="cite"),
+        # ancestors
+        QueryRequest.ancestors(author),
+        QueryRequest.ancestors(author, tag="inproceedings"),
+        # children
+        QueryRequest.children(roots[3]),
+        QueryRequest.children(roots[3], tag="author"),
+        # path
+        QueryRequest.find_path(roots[0], ["cite", "author"]),
+        QueryRequest.find_path(roots[4], ["title"]),
+        # connections
+        QueryRequest.connections(roots[0], tag="title", limit=10),
+        QueryRequest.connections(roots[5], max_cost=4.0),
+        # cost
+        QueryRequest.cost(roots[0], target),
+        QueryRequest.cost(roots[0], stranger),
+        # test
+        QueryRequest.test(roots[0], target),
+        QueryRequest.test(target, roots[0], bidirectional=True),
+        QueryRequest.test(roots[0], stranger, max_distance=3),
+    ]
+    if target is None:  # pragma: no cover - dblp roots always have children
+        pytest.skip("no reachable target under the probe root")
+    return requests
+
+
+@pytest.fixture(scope="module")
+def flix_pair(dblp_collection):
+    config = FlixConfig.hybrid(partition_size=250)
+    obj = build_object(dblp_collection, config)
+    pak = Flix.build(dblp_collection, config.with_packed())
+    return obj, pak
+
+
+class TestQueryParity:
+    def test_every_request_shape_answers_identically(self, flix_pair):
+        obj, pak = flix_pair
+        nonempty = 0
+        for request in request_suite(obj):
+            obj_response = obj.query(request)
+            pak_response = pak.query(request)
+            assert_same_response(obj_response, pak_response)
+            if obj_response.results or obj_response.value not in (
+                None,
+                False,
+            ):
+                nonempty += 1
+        # the suite must exercise real answers, not vacuous empties
+        assert nonempty >= 10
+
+    def test_complete_answers_stay_complete(self, flix_pair):
+        obj, pak = flix_pair
+        for request in request_suite(obj):
+            assert obj.query(request).stats.completeness == "complete"
+            assert pak.query(request).stats.completeness == "complete"
+
+    def test_index_fingerprints_identical(self, flix_pair):
+        obj, pak = flix_pair
+        assert obj.index_fingerprint() == pak.index_fingerprint()
+
+    def test_packed_layout_is_actually_packed(self, flix_pair):
+        obj, pak = flix_pair
+        assert not any(is_packed(meta.index) for meta in obj.meta_documents)
+        assert any(is_packed(meta.index) for meta in pak.meta_documents)
+
+    def test_pack_verb_converges_to_same_layout(self, dblp_collection):
+        """``Flix.pack()`` after an object build == building packed."""
+        config = FlixConfig.hybrid(partition_size=250)
+        late = build_object(dblp_collection, config)
+        fingerprint_before = late.index_fingerprint()
+        assert late.pack() > 0
+        assert any(is_packed(meta.index) for meta in late.meta_documents)
+        assert late.index_fingerprint() == fingerprint_before
+
+
+class TestFaultParity:
+    """Identical fault plans must degrade both layouts identically.
+
+    The fault PRNG is keyed per (seed, site), so when the PEE issues the
+    same probe sequence against both layouts — which answer parity
+    guarantees — the injected failures land on the same probes.
+    """
+
+    @pytest.fixture(scope="class")
+    def resilient_pair(self, dblp_collection):
+        config = FlixConfig.hybrid(partition_size=250).with_resilience()
+        obj = build_object(dblp_collection, config)
+        pak = Flix.build(dblp_collection, config.with_packed())
+        return obj, pak
+
+    @staticmethod
+    def wrap(flix, plan_of):
+        for slot, meta in enumerate(flix.meta_documents):
+            meta.index = FaultyIndex(
+                meta.index, plan_of(slot), site_name=f"meta-{slot}"
+            )
+
+    def test_hard_failure_degrades_identically(self, resilient_pair):
+        obj, pak = resilient_pair
+        requests = request_suite(obj)
+        self.wrap(obj, lambda slot: FaultPlan.hard_failure())
+        self.wrap(pak, lambda slot: FaultPlan.hard_failure())
+        degraded = 0
+        for request in requests:
+            obj_response = obj.query(request)
+            pak_response = pak.query(request)
+            assert_same_response(obj_response, pak_response)
+            if obj_response.stats.completeness == "degraded":
+                degraded += 1
+        assert degraded > 0  # the BFS fallback actually ran
+
+    def test_intermittent_faults_degrade_identically(self, dblp_collection):
+        config = FlixConfig.hybrid(partition_size=250).with_resilience()
+        obj = build_object(dblp_collection, config)
+        pak = Flix.build(dblp_collection, config.with_packed())
+        requests = request_suite(obj)
+        self.wrap(obj, lambda slot: FaultPlan.moderate(seed=40 + slot))
+        self.wrap(pak, lambda slot: FaultPlan.moderate(seed=40 + slot))
+        for request in requests:
+            assert_same_response(obj.query(request), pak.query(request))
+
+
+def maintenance_documents():
+    def doc(name, text):
+        return XmlDocument.from_text(name, text)
+
+    return [
+        doc("a.xml", '<doc><l xlink:href="b.xml"/><p>alpha</p></doc>'),
+        doc("b.xml", '<doc><l xlink:href="c.xml"/><p>beta</p></doc>'),
+        doc("c.xml", "<doc><p>gamma</p><q>delta</q></doc>"),
+        doc("d.xml", '<doc><l xlink:href="a.xml"/><r>rho</r></doc>'),
+    ]
+
+
+class TestMaintenanceParity:
+    """The same verb sequence applied to both layouts keeps them equal."""
+
+    @pytest.fixture()
+    def maintenance_pair(self):
+        config = FlixConfig.maximal_ppo()
+        obj = build_object(
+            build_collection(maintenance_documents()), config
+        )
+        pak = Flix.build(
+            build_collection(maintenance_documents()), config.with_packed()
+        )
+        return obj, pak
+
+    @staticmethod
+    def assert_layouts_agree(obj, pak):
+        assert obj.index_fingerprint() == pak.index_fingerprint()
+        for name in sorted(obj.collection.documents):
+            root = obj.collection.document_root(name)
+            for request in (
+                QueryRequest.descendants(root),
+                QueryRequest.descendants(root, tag="p"),
+                QueryRequest.ancestors(root),
+            ):
+                assert_same_response(obj.query(request), pak.query(request))
+
+    def test_verb_sequence_preserves_parity(self, maintenance_pair):
+        obj, pak = maintenance_pair
+
+        def doc(name, text):
+            return XmlDocument.from_text(name, text)
+
+        steps = [
+            lambda flix: flix.add_document(
+                doc("e.xml", '<doc><l xlink:href="c.xml"/><s>sigma</s></doc>')
+            ),
+            lambda flix: flix.remove_document("b.xml"),
+            lambda flix: flix.update_document(
+                doc("c.xml", "<doc><p>gamma2</p><t>tau</t></doc>")
+            ),
+            lambda flix: flix.compact(),
+        ]
+        for step in steps:
+            step(obj)
+            step(pak)
+            self.assert_layouts_agree(obj, pak)
+        # compaction rebuilt under a packed config: the layout must still
+        # be packed, not silently demoted to the object form
+        assert any(is_packed(meta.index) for meta in pak.meta_documents)
+
+
+class TestPersistenceParity:
+    def test_saved_packed_flix_roundtrips_verified(
+        self, flix_pair, tmp_path
+    ):
+        obj, pak = flix_pair
+        directory = tmp_path / "packed-save"
+        pak.save(directory)
+        assert list(directory.glob("*.pack")), "save must persist blobs"
+        loaded = load_flix(pak.collection, directory)  # verify=True default
+        assert any(is_packed(meta.index) for meta in loaded.meta_documents)
+        assert loaded.index_fingerprint() == obj.index_fingerprint()
+        for request in request_suite(obj):
+            assert_same_response(obj.query(request), loaded.query(request))

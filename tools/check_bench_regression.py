@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Fail if a committed microops benchmark result violates its floors.
+
+The bench-regression guard: ``benchmarks/bench_microops.py`` measures
+the packed hot-path layout against the object layout and writes
+``BENCH_microops.json``; this script re-checks that file against the
+same acceptance floors *without re-running the bench*, so CI (and a
+reviewer) can verify the committed numbers are in contract even on a
+machine too noisy to reproduce them:
+
+* ``median_probe_speedup``      >= 2.0   (packed probes, strategy mix)
+* ``cold_attach.speedup``       >= 10.0  (verified mmap attach vs
+                                          verified SQLite rehydration)
+* every per-op speedup          >= 0.8   (no single op regresses
+                                          beyond measurement noise)
+
+Run from the repository root::
+
+    python tools/check_bench_regression.py [path/to/BENCH_microops.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+MEDIAN_PROBE_FLOOR = 2.0
+COLD_ATTACH_FLOOR = 10.0
+PER_OP_FLOOR = 0.8
+
+
+def check(payload: dict) -> list:
+    """The floor violations in a bench payload (empty = in contract)."""
+    failures = []
+
+    def require(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    median = payload.get("median_probe_speedup")
+    require(
+        isinstance(median, (int, float)) and median >= MEDIAN_PROBE_FLOOR,
+        f"median_probe_speedup {median!r} < {MEDIAN_PROBE_FLOOR}",
+    )
+    attach = payload.get("cold_attach", {})
+    speedup = attach.get("speedup")
+    require(
+        isinstance(speedup, (int, float)) and speedup >= COLD_ATTACH_FLOOR,
+        f"cold_attach.speedup {speedup!r} < {COLD_ATTACH_FLOOR}",
+    )
+    require(
+        attach.get("verified") is True,
+        "cold_attach must time the *verified* attach path on both sides",
+    )
+    ops = payload.get("ops", {})
+    require(bool(ops), "payload has no per-op section")
+    for op, strategies in ops.items():
+        for strategy, entry in strategies.items():
+            per_op = entry.get("speedup")
+            require(
+                isinstance(per_op, (int, float)) and per_op >= PER_OP_FLOOR,
+                f"ops.{op}.{strategy}.speedup {per_op!r} < {PER_OP_FLOOR}",
+            )
+    return failures
+
+
+def main(argv: list) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "BENCH_microops.json"
+    if not path.is_file():
+        print(f"check_bench_regression: {path} not found", file=sys.stderr)
+        return 1
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        print(f"check_bench_regression: {path} is not JSON: {exc}", file=sys.stderr)
+        return 1
+    failures = check(payload)
+    if failures:
+        for failure in failures:
+            print(f"check_bench_regression: FAIL {failure}", file=sys.stderr)
+        return 1
+    print(
+        "check_bench_regression: "
+        f"median probe {payload['median_probe_speedup']}x, "
+        f"cold attach {payload['cold_attach']['speedup']}x, "
+        f"{sum(len(s) for s in payload['ops'].values())} per-op floors OK"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -27,6 +27,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 CHECKED_DOCS = (
     REPO_ROOT / "docs" / "API.md",
     REPO_ROOT / "docs" / "ARCHITECTURE.md",
+    REPO_ROOT / "docs" / "DATA_LAYOUT.md",
     REPO_ROOT / "docs" / "MAINTENANCE.md",
     REPO_ROOT / "docs" / "RESILIENCE.md",
     REPO_ROOT / "docs" / "SERVING.md",
