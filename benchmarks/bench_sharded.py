@@ -1,0 +1,55 @@
+"""Sharded multi-process serving benchmark (the ``repro.shard`` layer).
+
+Spawns 2/4/8 shard worker processes over one saved packed index, drives
+the repeat-free request mix through a ``ShardCoordinator``, and compares
+cold/warm throughput to the serial single-process baseline.  The
+machine-readable profile lands in ``BENCH_sharded.json`` at the
+repository root (published as a CI artifact by the ``sharded-bench``
+job).
+
+The latency model — the same GIL-releasing stall as the thread bench,
+injected into every worker via ``FLIX_SHARD_LATENCY_MS`` — and its
+rationale live in :mod:`repro.bench.sharding`.  Floors asserted here:
+
+* every configuration byte-identical to serial ``Flix.query``, across
+  all eight ``QueryRequest`` kinds;
+* cold throughput at 8 shard processes >= 5x the serial baseline;
+* the coordinator result cache actually served the warm pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.sharding import profile_sharded_queries, render_sharded_profile
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+
+
+def test_sharded_queries():
+    payload = profile_sharded_queries(
+        documents=int(os.environ.get("FLIX_BENCH_SHARD_DOCS", "16")),
+        lookup_latency_seconds=0.01,
+        shard_counts=(2, 4, 8),
+        repeats=2,
+    )
+    payload["generated_by"] = "benchmarks/bench_sharded.py"
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(render_sharded_profile(payload))
+    print(f"-> {BENCH_JSON}")
+
+    # correctness first: sharding must be invisible in the answers
+    assert payload["all_results_identical_to_serial"], payload
+    assert payload["parity_all_kinds"], payload
+    # the acceptance floor: 8 worker processes >= 5x serial cold rps
+    assert payload["speedup_max_shards_vs_serial"] >= 5.0, payload
+    # monotonic-ish scaling: more shards never below the 2-shard floor
+    by_shards = {run["shards"]: run for run in payload["runs"]}
+    assert by_shards[8]["cold_rps"] >= by_shards[2]["cold_rps"], payload
+    # the warm pass must have been served by the coordinator cache
+    assert by_shards[8]["cache_hits"] > 0, payload

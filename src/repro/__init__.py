@@ -17,7 +17,10 @@ paper.  The package bundles:
 * dataset generators reproducing the paper's DBLP workload and the intro's
   movie scenario (:mod:`repro.datasets`), and
 * the benchmark harness regenerating the paper's evaluation
-  (:mod:`repro.bench`, driven by the suites under ``benchmarks/``).
+  (:mod:`repro.bench`, driven by the suites under ``benchmarks/``), and
+* sharded multi-process serving — shard planning over the meta-document
+  graph, mmap-attached worker processes, and a coordinator front door
+  (:mod:`repro.shard`, ``docs/SHARDING.md``).
 
 Quickstart::
 
@@ -54,6 +57,16 @@ from repro.core import (
 from repro.faults import FaultPlan, FaultyBackend, FaultyFactory
 from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.serve import FlixService, ShardedLRUCache
+from repro.shard import (
+    FrontDoor,
+    ShardCoordinator,
+    ShardMap,
+    ShardPlanner,
+    ShardWorker,
+    load_shard_map,
+    spawn_worker,
+    write_shard_map,
+)
 from repro.xmlmodel import XmlElement, parse_document, serialize
 
 __version__ = "1.0.0"
@@ -71,6 +84,14 @@ __all__ = [
     "FaultPlan",
     "FaultyBackend",
     "FaultyFactory",
+    "FrontDoor",
+    "ShardCoordinator",
+    "ShardMap",
+    "ShardPlanner",
+    "ShardWorker",
+    "load_shard_map",
+    "spawn_worker",
+    "write_shard_map",
     "MetaDocument",
     "MetricsRegistry",
     "Observability",

@@ -43,6 +43,26 @@ Commands
     and rebuild only the damaged files from the collection (see
     ``docs/RESILIENCE.md``).  ``--check`` reports damage without
     repairing (exit status 1 when damage is found).
+
+``shard-plan <dir> <index_dir> [--shards N]``
+    Partition a saved index's meta documents into ``N`` shards over the
+    meta-level residual-link graph, persist the resulting
+    ``shard_map.json`` next to the index, and print the plan (per-shard
+    weights, cross-shard links; see ``docs/SHARDING.md``).
+
+``serve <dir> <index_dir> [--shards N] [--host H] [--port P]
+        [--cross-shard delegate|distributed] [--cache-size N]``
+    Spawn ``N`` shard worker processes over the saved index (planning a
+    shard map first if none exists), connect a ``ShardCoordinator``, and
+    serve ``POST /query``, ``GET /health``, ``GET /metrics`` over HTTP
+    until interrupted (see ``docs/SHARDING.md``).
+
+``shard-bench [--documents N] [--shards 2,4,8] [--latency-ms MS]
+              [--json] [--output FILE]``
+    Profile sharded multi-process serving: spawn each shard count as
+    real worker subprocesses, drive the repeat-free request mix through
+    a coordinator, and compare cold/warm throughput and byte-identity
+    to the serial baseline (``BENCH_sharded.json`` methodology).
 """
 
 from __future__ import annotations
@@ -241,6 +261,73 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2,
         help="compact only when at least this many incrementally-added "
         "meta documents exist (default 2)",
+    )
+
+    shard_plan = sub.add_parser(
+        "shard-plan",
+        help="partition a saved index into N shards, write shard_map.json",
+    )
+    shard_plan.add_argument("directory", help="the XML collection directory")
+    shard_plan.add_argument("index_dir", help="the persisted-index directory")
+    shard_plan.add_argument(
+        "--shards", type=positive_int, default=4,
+        help="shard count to plan for (default 4)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="spawn shard workers + coordinator, serve HTTP until "
+        "interrupted (docs/SHARDING.md)",
+    )
+    serve.add_argument("directory", help="the XML collection directory")
+    serve.add_argument("index_dir", help="the persisted-index directory")
+    serve.add_argument(
+        "--shards", type=positive_int, default=4,
+        help="worker processes to spawn (default 4; re-plans the shard "
+        "map when the saved one disagrees)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="front-door HTTP port (default 8080; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--cross-shard",
+        choices=("delegate", "distributed"),
+        default="delegate",
+        help="multi-shard strategy: delegate whole queries to the owning "
+        "worker (default) or run the coordinator-side priority-queue "
+        "merge over per-entry expansion RPCs",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="coordinator result-cache entries (0 disables; default 4096)",
+    )
+
+    shard_bench = sub.add_parser(
+        "shard-bench",
+        help="profile sharded multi-process serving vs the serial baseline",
+    )
+    shard_bench.add_argument(
+        "--documents", type=positive_int, default=16,
+        help="synthetic DBLP documents to shard (default 16)",
+    )
+    shard_bench.add_argument(
+        "--shards", default="2,4,8",
+        help="comma-separated shard counts to profile (default 2,4,8)",
+    )
+    shard_bench.add_argument(
+        "--latency-ms", type=float, default=10.0,
+        help="injected storage latency per evaluator call, applied to "
+        "the serial baseline and every worker alike (default 10.0)",
+    )
+    shard_bench.add_argument(
+        "--json", action="store_true",
+        help="print the raw profile as JSON instead of the table",
+    )
+    shard_bench.add_argument(
+        "--output", default=None,
+        help="also write the JSON profile to this file",
     )
     return parser
 
@@ -461,6 +548,108 @@ def _cmd_compact(args) -> int:
     return 0
 
 
+def _cmd_shard_plan(args) -> int:
+    from repro.shard.plan import ShardPlanner, write_shard_map
+
+    collection = load_collection(args.directory)
+    flix = Flix.load(collection, args.index_dir)
+    shard_map = ShardPlanner(args.shards).plan(flix)
+    path = write_shard_map(shard_map, args.index_dir)
+    print(shard_map.describe())
+    print(f"-> {path}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from repro.core.config import CacheConfig
+    from repro.shard.coordinator import ShardCoordinator
+    from repro.shard.http import FrontDoor
+    from repro.shard.plan import (
+        SHARD_MAP_NAME,
+        ShardPlanner,
+        load_shard_map,
+        write_shard_map,
+    )
+    from repro.shard.worker import spawn_worker
+
+    collection = load_collection(args.directory)
+    flix = Flix.load(collection, args.index_dir)
+    map_path = Path(args.index_dir) / SHARD_MAP_NAME
+    shard_map = load_shard_map(args.index_dir) if map_path.is_file() else None
+    if shard_map is None or shard_map.shards != args.shards:
+        shard_map = ShardPlanner(args.shards).plan(flix)
+        write_shard_map(shard_map, args.index_dir)
+        print(f"(planned {args.shards} shards -> {map_path})")
+    workers = [
+        spawn_worker(args.directory, args.index_dir, shard)
+        for shard in range(shard_map.shards)
+    ]
+    coordinator = ShardCoordinator.connect(
+        args.index_dir,
+        [(worker.host, worker.port) for worker in workers],
+        cache=(
+            CacheConfig(maxsize=args.cache_size, shards=8)
+            if args.cache_size > 0 else None
+        ),
+        cross_shard=args.cross_shard,
+    )
+    door = FrontDoor(coordinator, host=args.host, port=args.port)
+    host, port = door.address
+    for worker in workers:
+        print(f"shard {worker.shard_id}: pid {worker.process.pid} "
+              f"on {worker.host}:{worker.port}")
+    print(f"front door: http://{host}:{port}  "
+          f"(POST /query, GET /health, GET /metrics)")
+    try:
+        door.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        door.close()
+        coordinator.shutdown_workers()
+        coordinator.close()
+        for worker in workers:
+            worker.close()
+    return 0
+
+
+def _cmd_shard_bench(args) -> int:
+    import json
+
+    from repro.bench.sharding import (
+        profile_sharded_queries,
+        render_sharded_profile,
+    )
+
+    try:
+        shard_counts = tuple(
+            int(part) for part in args.shards.split(",") if part.strip()
+        )
+    except ValueError:
+        raise SystemExit(f"error: bad --shards list {args.shards!r}")
+    if not shard_counts or any(count < 1 for count in shard_counts):
+        raise SystemExit("error: --shards needs positive integers")
+    profile = profile_sharded_queries(
+        documents=args.documents,
+        lookup_latency_seconds=args.latency_ms / 1000.0,
+        shard_counts=shard_counts,
+    )
+    if args.json:
+        print(json.dumps(profile, indent=2))
+    else:
+        print(render_sharded_profile(profile))
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(profile, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"-> {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "build": _cmd_build,
@@ -471,6 +660,9 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "repair": _cmd_repair,
     "compact": _cmd_compact,
+    "shard-plan": _cmd_shard_plan,
+    "serve": _cmd_serve,
+    "shard-bench": _cmd_shard_bench,
 }
 
 

@@ -184,6 +184,21 @@ class QueryStats:
         if _COMPLETENESS_RANK[level] > _COMPLETENESS_RANK[self.completeness]:
             self.completeness = level
 
+    def absorb_expansion(self, delta: "QueryStats") -> None:
+        """Fold one remote expansion's counter deltas into this query.
+
+        The sharded coordinator owns the search loop (queue pops, link
+        traversals, visits, results); a shard worker running one
+        ``expand_entry``/``connection_probe`` on its behalf only touches
+        the expansion-local counters — those are shipped back as a delta
+        and folded in here, keeping the distributed query's stats
+        identical to serial evaluation.
+        """
+        self.covered_probes += delta.covered_probes
+        self.results_suppressed += delta.results_suppressed
+        self.fallback_meta_documents += delta.fallback_meta_documents
+        self._mark(delta.completeness)
+
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another query's counters (multi-step evaluations)."""
         self.meta_document_visits += other.meta_document_visits
@@ -711,6 +726,65 @@ class PathExpressionEvaluator:
     def degraded_meta_ids(self) -> List[int]:
         """Meta documents currently served by a BFS fallback, sorted."""
         return sorted(self._fallbacks)
+
+    # ------------------------------------------------------------------
+    # remote-expansion seam (sharded serving, docs/SHARDING.md)
+    # ------------------------------------------------------------------
+    def expand_entry(
+        self,
+        meta_id: int,
+        entry: NodeId,
+        priority: int,
+        tag: Optional[str],
+        forward: bool,
+        skip: Sequence[NodeId],
+        max_distance: Optional[int],
+        previous: Sequence[NodeId],
+        stats: QueryStats,
+    ):
+        """Expand one entry of ``meta_id`` on behalf of a remote caller.
+
+        This is the seam the sharded coordinator's distributed search is
+        built on: :meth:`_search_inner`'s per-pop expansion is a pure
+        function of ``(meta, entry, priority, tag, forward, skip,
+        max_distance, previous)``, so a coordinator that owns the priority
+        queue and the per-meta ``previous`` lists can ship each expansion
+        to the shard worker owning the entry's meta document and still
+        produce the byte-identical result stream.  Returns ``None`` when
+        the entry is covered, else ``(results_to_emit, link_pushes)``;
+        counters the expansion touches (``covered_probes``,
+        ``results_suppressed``, ``fallback_meta_documents``, completeness)
+        accumulate into the caller-owned ``stats``.
+        """
+        meta = self._meta_documents[meta_id]
+        return self._expand_entry(
+            meta, entry, priority, tag, forward, set(skip), max_distance,
+            list(previous), stats, None,
+        )
+
+    def connection_probe(
+        self,
+        meta_id: int,
+        entry: NodeId,
+        priority: int,
+        target: NodeId,
+        target_meta: int,
+        max_distance: Optional[int],
+        previous: Sequence[NodeId],
+        stats: QueryStats,
+    ):
+        """Connection-test counterpart of :meth:`expand_entry` (the same
+        remote seam for the ``test`` kind): returns ``(found, link_pushes)``
+        or ``None`` when the entry is covered."""
+        meta = self._meta_documents[meta_id]
+        return self._connection_probe(
+            meta, entry, priority, target, target_meta, max_distance,
+            list(previous), stats,
+        )
+
+    def meta_id_of(self, node: NodeId) -> int:
+        """The meta document owning ``node`` (KeyError for unknown nodes)."""
+        return self._meta_of[node]
 
     def _probe(
         self,

@@ -1,0 +1,609 @@
+"""The coordinator front door: route, delegate, merge, cache, degrade.
+
+A :class:`ShardCoordinator` owns the :class:`~repro.shard.plan.ShardMap`
+and one :class:`ShardClient` (a small connection pool) per shard worker.
+Every :class:`~repro.core.api.QueryRequest` takes one of two paths:
+
+**Delegation** (the default for single-shard work): the whole request is
+shipped to the shard owning its source element and answered there with
+``Flix.query`` — byte-identical to local evaluation because each worker
+mmap-attaches the complete packed index (ownership steers routing and
+page-cache locality; see ``docs/SHARDING.md``).  Collection-graph kinds
+(``children``, ``connections``, ``cost``) and any request whose
+cross-shard closure is a single shard always delegate.
+
+**Distributed evaluation** (``cross_shard="distributed"``): requests
+whose residual-link closure spans several shards run the PEE's priority-
+queue loop *here*, shipping each per-entry expansion to the owning shard
+(:class:`~repro.shard.distributed.DistributedEvaluator`).  This is the
+faithful cluster-scale protocol — no worker needs more than its own
+shard's pages — and still byte-identical to serial evaluation, because
+the merge *is* the serial algorithm.
+
+Degradation ladder (completeness flags of PR 3 reused verbatim):
+
+1. a delegated request whose owner is down fails over to the next
+   healthy shard — the answer stays ``complete`` (workers are replicas
+   of the full index), only ``flix_shard_failovers_total`` moves;
+2. a distributed expansion whose owning shard is down (all replicas
+   exhausted) loses that subtree — the stream continues on surviving
+   shards and the response is flagged ``truncated``;
+3. no healthy shard at all → an empty ``degraded`` response instead of
+   an exception.
+
+Results are cached in a coordinator-level
+:class:`~repro.serve.cache.ShardedLRUCache` under the same policy as
+``Flix.query``: only complete, unbudgeted, unlimited (or scalar) answers
+are stored; limited requests slice the cached superset.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.api import QueryRequest, QueryResponse
+from repro.core.config import CacheConfig
+from repro.core.pee import QueryBudget, QueryStats
+from repro.indexes.base import NodeId
+from repro.obs import Observability
+from repro.obs.export import render
+from repro.serve.cache import ShardedLRUCache
+from repro.shard.distributed import DistributedEvaluator, ExpansionLost
+from repro.shard.plan import ShardMap, load_shard_map
+from repro.shard.protocol import (
+    RemoteShardError,
+    ShardUnavailable,
+    read_frame,
+    write_frame,
+)
+
+#: exception types a worker may legitimately raise at the caller; they are
+#: re-raised client-side as the same type (the rest become RemoteShardError)
+_PASSTHROUGH_ERRORS = {"KeyError": KeyError, "ValueError": ValueError}
+
+
+class ShardClient:
+    """Framed-protocol client for one shard worker, with a socket pool.
+
+    Thread-safe: concurrent calls check sockets out of the pool (opening
+    new ones on demand) and return them afterwards, so N coordinator
+    threads drive N concurrent conversations with the worker.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
+        self._connect_timeout = connect_timeout
+        self._pool: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def call(self, verb: str, payload: dict) -> Tuple[str, dict]:
+        """One request/reply round trip; raises :class:`ShardUnavailable`
+        on transport failure and re-raises remote ``KeyError`` /
+        ``ValueError`` as such."""
+        sock = self._checkout()
+        try:
+            write_frame(sock, (verb, payload))
+            reply_verb, reply_payload = read_frame(sock)
+        except (ConnectionError, OSError) as exc:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise ShardUnavailable(self.shard_id, str(exc)) from exc
+        self._checkin(sock)
+        if reply_verb == "error":
+            exc_type = reply_payload.get("type", "RuntimeError")
+            message = reply_payload.get("message", "")
+            if exc_type in _PASSTHROUGH_ERRORS:
+                # KeyError repr-quotes its message; strip the quoting the
+                # worker's str() added so the text matches local raises
+                raise _PASSTHROUGH_ERRORS[exc_type](message.strip("'\""))
+            raise RemoteShardError(exc_type, message)
+        return reply_verb, reply_payload
+
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._closed:
+                raise ShardUnavailable(self.shard_id, "client closed")
+            if self._pool:
+                return self._pool.pop()
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self._connect_timeout
+            )
+            sock.settimeout(None)
+            return sock
+        except OSError as exc:
+            raise ShardUnavailable(self.shard_id, str(exc)) from exc
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            if self._closed:
+                sock.close()
+            else:
+                self._pool.append(sock)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class ShardCoordinator:
+    """Fan requests across shard workers; merge; cache; degrade."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        clients: Sequence[ShardClient],
+        cache: Optional[CacheConfig] = None,
+        default_budget: Optional[QueryBudget] = None,
+        cross_shard: str = "delegate",
+        observability: Optional[Observability] = None,
+    ) -> None:
+        if len(clients) != shard_map.shards:
+            raise ValueError(
+                f"shard map expects {shard_map.shards} workers, "
+                f"got {len(clients)} clients"
+            )
+        if cross_shard not in ("delegate", "distributed"):
+            raise ValueError(
+                "cross_shard must be 'delegate' or 'distributed'"
+            )
+        self._map = shard_map
+        self._clients = list(clients)
+        self._cache: Optional[ShardedLRUCache] = (
+            cache.build() if cache is not None else None
+        )
+        self._default_budget = default_budget
+        self._cross_shard = cross_shard
+        self._obs = observability if observability is not None else Observability()
+        self._healthy = [True] * shard_map.shards
+        self._health_lock = threading.Lock()
+        self._round_robin = itertools.count()
+        self._distributed = DistributedEvaluator(
+            shard_map, self._expand_rpc, self._probe_rpc
+        )
+        registry = self._obs.registry
+        self._m_requests = registry.counter(
+            "flix_shard_requests_total",
+            "Requests the coordinator completed, by shard, mode "
+            "(delegate/distributed), and completeness.",
+        )
+        self._m_expand_rpcs = registry.counter(
+            "flix_shard_expand_rpcs_total",
+            "Per-entry expansion RPCs issued by distributed evaluation.",
+        )
+        self._m_failovers = registry.counter(
+            "flix_shard_failovers_total",
+            "Requests re-routed off an unreachable owner shard.",
+        )
+        self._m_degraded = registry.counter(
+            "flix_shard_degraded_total",
+            "Responses that came back empty-degraded (no healthy shard).",
+        )
+        self._m_cache_hits = registry.counter(
+            "flix_shard_cache_hits_total",
+            "Coordinator result-cache hits, by query kind.",
+        )
+        self._m_cache_misses = registry.counter(
+            "flix_shard_cache_misses_total",
+            "Coordinator result-cache misses, by query kind.",
+        )
+        self._g_healthy = registry.gauge(
+            "flix_shard_workers_healthy",
+            "Shard workers currently believed reachable.",
+        )
+        self._g_healthy.set(shard_map.shards)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect(
+        cls,
+        index_dir,
+        endpoints: Sequence[Tuple[str, int]],
+        **kwargs,
+    ) -> "ShardCoordinator":
+        """Coordinator over already-running workers at ``endpoints``
+        (ordered by shard id), using the shard map saved in ``index_dir``."""
+        shard_map = load_shard_map(index_dir)
+        clients = [
+            ShardClient(shard_id, host, port)
+            for shard_id, (host, port) in enumerate(endpoints)
+        ]
+        return cls(shard_map, clients, **kwargs)
+
+    # ------------------------------------------------------------------
+    # the query surface (mirrors Flix.query semantics)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        request: QueryRequest,
+        budget: Optional[QueryBudget] = None,
+    ) -> QueryResponse:
+        """Evaluate one request across the shard fleet.
+
+        Same contract as ``Flix.query``: the response carries the query's
+        private stats and completeness; ``budget`` (or ``request.budget``,
+        or the coordinator's default) bounds the work; cache policy is
+        identical (complete, unbudgeted, unlimited-or-scalar answers only).
+        """
+        started = time.perf_counter()
+        effective_budget = budget if budget is not None else request.budget
+        if effective_budget is None:
+            effective_budget = self._default_budget
+        key = request.cache_key() if self._cache is not None else None
+        captured_generation = 0
+        if key is not None:
+            captured_generation = self._cache.generation
+            boxed = self._cache.get(key)
+            if boxed is not None:
+                self._m_cache_hits.inc(kind=request.kind)
+                return self._replay(request, boxed[0], started)
+            self._m_cache_misses.inc(kind=request.kind)
+        payload, response, mode, shard = self._evaluate(
+            request, effective_budget, started
+        )
+        self._m_requests.inc(
+            shard=str(shard), mode=mode, status=response.stats.completeness
+        )
+        if (
+            key is not None
+            and effective_budget is None
+            and response.stats.is_complete
+            and (request.is_scalar or request.limit is None)
+        ):
+            self._cache.put(
+                key, (payload, response.stats),
+                generation=captured_generation,
+            )
+        return response
+
+    def _replay(
+        self, request: QueryRequest, entry, started: float
+    ) -> QueryResponse:
+        payload, stats = entry
+        if request.is_scalar:
+            return QueryResponse(
+                request, [], payload, stats, True,
+                time.perf_counter() - started,
+                layout_generation=self._map.generation,
+            )
+        results = list(payload)
+        if request.limit is not None:
+            results = results[: request.limit]
+        return QueryResponse(
+            request, results, None, stats, True,
+            time.perf_counter() - started,
+            layout_generation=self._map.generation,
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        request: QueryRequest,
+        budget: Optional[QueryBudget],
+        started: float,
+    ):
+        """Returns ``(cacheable_payload, response, mode, shard_label)``."""
+        if self._cross_shard == "distributed":
+            shards_needed = self._participating_shards(request)
+            if shards_needed is not None and len(shards_needed) > 1:
+                payload, response = self._evaluate_distributed(
+                    request, budget, started
+                )
+                return payload, response, "distributed", "*"
+        shard = self._route(request)
+        response = self._delegate(shard, request, budget, started)
+        payload = response.value if request.is_scalar else response.results
+        return payload, response, "delegate", shard
+
+    def _participating_shards(
+        self, request: QueryRequest
+    ) -> Optional[set]:
+        """The cross-shard closure a request can touch; ``None`` means the
+        kind always delegates (collection-graph kinds)."""
+        kind = request.kind
+        if kind in ("children", "connections", "cost"):
+            return None
+        if kind == "descendants" and request.source_tag is not None:
+            # type queries seed every tagged element; with >1 shard the
+            # seeds (and their closures) can span the whole fleet
+            return set(range(self._map.shards))
+        if kind in ("descendants", "path"):
+            return self._map.reachable_shards(
+                self._map.shard_of_node(request.source), forward=True
+            )
+        if kind == "ancestors":
+            return self._map.reachable_shards(
+                self._map.shard_of_node(request.source), forward=False
+            )
+        if kind == "test":
+            shards = self._map.reachable_shards(
+                self._map.shard_of_node(request.source), forward=True
+            )
+            if request.bidirectional:
+                shards = shards | self._map.reachable_shards(
+                    self._map.shard_of_node(request.target), forward=False
+                )
+            return shards
+        return None
+
+    def _route(self, request: QueryRequest) -> int:
+        """The owner shard a delegated request is sent to first."""
+        if request.source is not None:
+            try:
+                return self._map.shard_of_node(request.source)
+            except KeyError:
+                # let the worker raise the canonical per-kind error for an
+                # unknown source; route round-robin meanwhile
+                pass
+        return next(self._round_robin) % self._map.shards
+
+    def _failover_order(self, owner: int) -> Iterator[int]:
+        """Owner first, then the other shards, healthy ones before
+        previously-failed ones (which get a reconnection attempt last)."""
+        ring = [
+            (owner + offset) % self._map.shards
+            for offset in range(self._map.shards)
+        ]
+        with self._health_lock:
+            healthy = list(self._healthy)
+        yield from (sid for sid in ring if healthy[sid])
+        yield from (sid for sid in ring if not healthy[sid])
+
+    def _delegate(
+        self,
+        owner: int,
+        request: QueryRequest,
+        budget: Optional[QueryBudget],
+        started: float,
+    ) -> QueryResponse:
+        for shard_id in self._failover_order(owner):
+            try:
+                _, reply = self._clients[shard_id].call(
+                    "query", {"request": request, "budget": budget}
+                )
+            except ShardUnavailable:
+                self._mark_health(shard_id, False)
+                continue
+            self._mark_health(shard_id, True)
+            if shard_id != owner:
+                self._m_failovers.inc(shard=str(owner))
+            return reply["response"]
+        return self._degraded_response(request, started)
+
+    def _degraded_response(
+        self, request: QueryRequest, started: float
+    ) -> QueryResponse:
+        """No healthy shard: an empty answer flagged ``degraded`` (the
+        serving layer's give-something-back contract, never an exception)."""
+        self._m_degraded.inc()
+        stats = QueryStats()
+        stats.mark_degraded()
+        return QueryResponse(
+            request, [], None, stats, False,
+            time.perf_counter() - started,
+            layout_generation=self._map.generation,
+        )
+
+    # ------------------------------------------------------------------
+    # distributed evaluation (multi-shard closures)
+    # ------------------------------------------------------------------
+    def _evaluate_distributed(
+        self,
+        request: QueryRequest,
+        budget: Optional[QueryBudget],
+        started: float,
+    ) -> Tuple[object, QueryResponse]:
+        kind = request.kind
+        stats = QueryStats()
+        value = None
+        results: List = []
+        if kind == "test":
+            if request.bidirectional:
+                value = self._distributed.connection_test_bidirectional(
+                    request.source, request.target, request.max_distance,
+                    stats, budget=budget,
+                )
+            else:
+                value = self._distributed.connection_test(
+                    request.source, request.target, request.max_distance,
+                    stats, budget=budget,
+                )
+        elif kind == "path":
+            results, stats = self._distributed_path(request, budget)
+        else:
+            if request.source_tag is not None:
+                seeds = self._type_seeds(request.source_tag)
+                skip: Tuple[NodeId, ...] = ()
+            else:
+                seeds = [request.source]
+                skip = () if request.include_self else (request.source,)
+            stream = self._distributed.search(
+                seeds, request.tag, request.max_distance,
+                kind == "descendants", skip, stats,
+                exact_order=request.exact_order, budget=budget,
+            )
+            iterator: Iterator = stream
+            if request.limit is not None:
+                iterator = itertools.islice(iterator, request.limit)
+            results = list(iterator)
+            stream.close()
+        elapsed = time.perf_counter() - started
+        if request.is_scalar:
+            response = QueryResponse(
+                request, [], value, stats, False, elapsed,
+                layout_generation=self._map.generation,
+            )
+            return value, response
+        response = QueryResponse(
+            request, results, None, stats, False, elapsed,
+            layout_generation=self._map.generation,
+        )
+        return results, response
+
+    def _distributed_path(
+        self, request: QueryRequest, budget: Optional[QueryBudget]
+    ) -> Tuple[List[Tuple[NodeId, int]], QueryStats]:
+        """Mirror of ``Flix._evaluate_path`` over distributed searches."""
+        aggregate = QueryStats()
+        frontier: Dict[NodeId, int] = {request.source: 0}
+        for tag in request.path:
+            next_frontier: Dict[NodeId, int] = {}
+            for node, distance in sorted(
+                frontier.items(), key=lambda kv: kv[1]
+            ):
+                sub_stats = QueryStats()
+                for result in self._distributed.search(
+                    [node], tag, request.max_distance, True, (node,),
+                    sub_stats, budget=budget,
+                ):
+                    total = distance + result.distance
+                    current = next_frontier.get(result.node)
+                    if current is None or total < current:
+                        next_frontier[result.node] = total
+                aggregate.merge(sub_stats)
+            if not next_frontier:
+                return [], aggregate
+            frontier = next_frontier
+        pairs = sorted(frontier.items(), key=lambda kv: (kv[1], kv[0]))
+        return pairs, aggregate
+
+    def _type_seeds(self, source_tag: str) -> List[NodeId]:
+        for shard_id in self._failover_order(0):
+            try:
+                _, reply = self._clients[shard_id].call(
+                    "type_seeds", {"source_tag": source_tag}
+                )
+            except ShardUnavailable:
+                self._mark_health(shard_id, False)
+                continue
+            self._mark_health(shard_id, True)
+            return reply["seeds"]
+        return []
+
+    def _expand_rpc(self, meta_id: int, payload: dict):
+        owner = self._map.shard_of_meta[meta_id]
+        for shard_id in self._failover_order(owner):
+            try:
+                _, reply = self._clients[shard_id].call("expand", payload)
+            except ShardUnavailable:
+                self._mark_health(shard_id, False)
+                continue
+            self._mark_health(shard_id, True)
+            self._m_expand_rpcs.inc(shard=str(shard_id))
+            return reply["outcome"], reply["stats"]
+        raise ExpansionLost(owner)
+
+    def _probe_rpc(self, meta_id: int, payload: dict):
+        owner = self._map.shard_of_meta[meta_id]
+        for shard_id in self._failover_order(owner):
+            try:
+                _, reply = self._clients[shard_id].call(
+                    "connection_probe", payload
+                )
+            except ShardUnavailable:
+                self._mark_health(shard_id, False)
+                continue
+            self._mark_health(shard_id, True)
+            self._m_expand_rpcs.inc(shard=str(shard_id))
+            return reply["outcome"], reply["stats"]
+        raise ExpansionLost(owner)
+
+    # ------------------------------------------------------------------
+    # health / metrics / lifecycle
+    # ------------------------------------------------------------------
+    def _mark_health(self, shard_id: int, healthy: bool) -> None:
+        with self._health_lock:
+            if self._healthy[shard_id] == healthy:
+                return
+            self._healthy[shard_id] = healthy
+            count = sum(self._healthy)
+        self._g_healthy.set(count)
+
+    def health(self) -> Dict:
+        """Ping every shard; returns per-shard status and refreshes the
+        health map (a recovered worker goes back into rotation)."""
+        shards = []
+        for shard_id, client in enumerate(self._clients):
+            try:
+                _, pong = client.call("ping", {})
+                self._mark_health(shard_id, True)
+                shards.append(
+                    {
+                        "shard": shard_id,
+                        "healthy": True,
+                        "generation": pong["generation"],
+                        "owned_metas": pong["owned_metas"],
+                        "pid": pong["pid"],
+                    }
+                )
+            except (ShardUnavailable, RemoteShardError) as exc:
+                self._mark_health(shard_id, False)
+                shards.append(
+                    {"shard": shard_id, "healthy": False, "error": str(exc)}
+                )
+        healthy = sum(1 for s in shards if s["healthy"])
+        return {
+            "shards": shards,
+            "healthy": healthy,
+            "total": len(shards),
+            "generation": self._map.generation,
+            "cross_shard": self._cross_shard,
+        }
+
+    def cache_stats(self):
+        """Coordinator cache counters (None when caching is off)."""
+        return self._cache.stats() if self._cache is not None else None
+
+    def invalidate_cache(self) -> None:
+        if self._cache is not None:
+            self._cache.invalidate_all()
+
+    def metrics_text(self, format: str = "json") -> str:
+        """Export the coordinator's ``flix_shard_*`` metrics."""
+        return render(self._obs.registry, format)
+
+    def shutdown_workers(self) -> None:
+        """Ask every reachable worker to exit (best effort)."""
+        for client in self._clients:
+            try:
+                client.call("shutdown", {})
+            except (ShardUnavailable, RemoteShardError):
+                pass
+
+    def close(self) -> None:
+        for client in self._clients:
+            client.close()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["ShardClient", "ShardCoordinator"]

@@ -1,0 +1,276 @@
+"""Coordinator-side distributed evaluation: the PEE loop over RPCs.
+
+:class:`DistributedEvaluator` mirrors
+:meth:`repro.core.pee.PathExpressionEvaluator._search_inner` *exactly* —
+same priority queue, same pop order, same duplicate-elimination state,
+same budget checks — but ships each per-entry expansion to the shard
+worker owning that entry's meta document
+(:meth:`~repro.core.pee.PathExpressionEvaluator.expand_entry` is a pure
+function of the shipped arguments).  Because the control loop and all
+its state live here and only the side-effect-free expansions run
+remotely, the merged stream is **byte-identical** to serial evaluation:
+the same results in the same order with the same stats — this *is* the
+PEE's priority-queue merge applied to the shards' distance-ordered
+expansion streams.
+
+Failure model: when every replica of an expansion's owning shard is
+unreachable, the expansion — and the whole subtree it would have
+discovered — is lost.  The search continues on the surviving shards and
+the response is flagged ``truncated`` (the same completeness flag a
+budget stop raises): everything returned is correct, but the stream
+stopped short of the full answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.pee import QueryBudget, QueryResult, QueryStats
+from repro.indexes.base import NodeId
+from repro.shard.plan import ShardMap
+
+
+class ExpansionLost(RuntimeError):
+    """Every replica of an expansion's owning shard is down."""
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(f"no live replica can expand shard {shard_id}")
+        self.shard_id = shard_id
+
+
+#: remote ``expand_entry``: ``(meta_id, payload) -> (outcome, stats_delta)``
+ExpandRpc = Callable[[int, Dict], Tuple[Optional[tuple], QueryStats]]
+#: remote ``connection_probe`` with the same shape
+ProbeRpc = Callable[[int, Dict], Tuple[Optional[tuple], QueryStats]]
+
+
+class DistributedEvaluator:
+    """Figure 4's loop with remote expansions (see module docstring)."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        expand_rpc: ExpandRpc,
+        probe_rpc: ProbeRpc,
+    ) -> None:
+        self._map = shard_map
+        self._expand_rpc = expand_rpc
+        self._probe_rpc = probe_rpc
+
+    # ------------------------------------------------------------------
+    # descendants / ancestors / type queries
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        seeds: Sequence[NodeId],
+        tag: Optional[str],
+        max_distance: Optional[int],
+        forward: bool,
+        skip_nodes: Tuple[NodeId, ...],
+        stats: QueryStats,
+        exact_order: bool = False,
+        budget: Optional[QueryBudget] = None,
+    ) -> Iterator[QueryResult]:
+        """The distributed ``_search_inner`` (same locals, same order)."""
+        entries: Dict[int, List[NodeId]] = {}
+        heap: List[Tuple[int, int, NodeId]] = []
+        for order, seed in enumerate(seeds):
+            self._map.meta_of(seed)  # KeyError for unknown nodes, as serial
+            heapq.heappush(heap, (0, order, seed))
+        counter = len(seeds)
+        skip = tuple(skip_nodes)
+        buffer: List[Tuple[int, int, QueryResult]] = []
+        deadline = None
+        if budget is not None and budget.deadline_seconds is not None:
+            deadline = time.monotonic() + budget.deadline_seconds
+
+        while heap:
+            if budget is not None and _budget_exhausted(budget, deadline, stats):
+                stats.mark_truncated()
+                break
+            priority, _, entry = heapq.heappop(heap)
+            stats.queue_pops += 1
+            if exact_order:
+                while buffer and buffer[0][0] < priority:
+                    yield heapq.heappop(buffer)[2]
+            if max_distance is not None and priority > max_distance:
+                break
+            meta_id = self._map.meta_of(entry)
+            previous = entries.setdefault(meta_id, [])
+            try:
+                outcome, delta = self._expand_rpc(
+                    meta_id,
+                    {
+                        "meta_id": meta_id,
+                        "entry": entry,
+                        "priority": priority,
+                        "tag": tag,
+                        "forward": forward,
+                        "skip": skip,
+                        "max_distance": max_distance,
+                        "previous": list(previous),
+                    },
+                )
+            except ExpansionLost:
+                # the subtree behind this entry is unreachable: keep going
+                # on the surviving shards, flag the stream truncated
+                stats.mark_truncated()
+                continue
+            stats.absorb_expansion(delta)
+            if outcome is None:
+                stats.entries_dropped += 1
+                continue
+            stats.meta_document_visits += 1
+            emit, link_pushes = outcome
+
+            for result in emit:
+                stats.results_returned += 1
+                if exact_order:
+                    counter += 1
+                    heapq.heappush(buffer, (result.distance, counter, result))
+                else:
+                    yield result
+
+            previous.append(entry)
+            for local_distance, neighbour in link_pushes:
+                stats.link_traversals += 1
+                counter += 1
+                heapq.heappush(
+                    heap, (priority + local_distance + 1, counter, neighbour)
+                )
+
+        while buffer:
+            yield heapq.heappop(buffer)[2]
+
+    # ------------------------------------------------------------------
+    # connection tests
+    # ------------------------------------------------------------------
+    def connection_test(
+        self,
+        source: NodeId,
+        target: NodeId,
+        max_distance: Optional[int],
+        stats: QueryStats,
+        budget: Optional[QueryBudget] = None,
+    ) -> Optional[int]:
+        """The distributed ``_connection_test`` (same traversal order)."""
+        entries: Dict[int, List[NodeId]] = {}
+        heap: List[Tuple[int, int, NodeId]] = [(0, 0, source)]
+        counter = 1
+        self._map.meta_of(source)
+        target_meta = self._map.meta_of(target)
+        deadline = None
+        if budget is not None and budget.deadline_seconds is not None:
+            deadline = time.monotonic() + budget.deadline_seconds
+
+        while heap:
+            if budget is not None and _budget_exhausted(budget, deadline, stats):
+                stats.mark_truncated()
+                return None
+            priority, _, entry = heapq.heappop(heap)
+            stats.queue_pops += 1
+            if max_distance is not None and priority > max_distance:
+                return None
+            meta_id = self._map.meta_of(entry)
+            previous = entries.setdefault(meta_id, [])
+            try:
+                outcome, delta = self._probe_rpc(
+                    meta_id,
+                    {
+                        "meta_id": meta_id,
+                        "entry": entry,
+                        "priority": priority,
+                        "target": target,
+                        "target_meta": target_meta,
+                        "max_distance": max_distance,
+                        "previous": list(previous),
+                    },
+                )
+            except ExpansionLost:
+                stats.mark_truncated()
+                continue
+            stats.absorb_expansion(delta)
+            if outcome is None:
+                stats.entries_dropped += 1
+                continue
+            stats.meta_document_visits += 1
+            found, link_pushes = outcome
+            if found is not None:
+                stats.results_returned = 1
+                return found
+            previous.append(entry)
+            for local_distance, out_target in link_pushes:
+                stats.link_traversals += 1
+                counter += 1
+                heapq.heappush(
+                    heap, (priority + local_distance + 1, counter, out_target)
+                )
+        return None
+
+    def connection_test_bidirectional(
+        self,
+        source: NodeId,
+        target: NodeId,
+        max_distance: Optional[int],
+        stats: QueryStats,
+        budget: Optional[QueryBudget] = None,
+    ) -> Optional[int]:
+        """Alternating forward/backward search, as the serial §5.2
+        optimization — both sub-searches share this query's stats."""
+        forward = self.search(
+            [source], None, max_distance, True, (), stats, budget=budget
+        )
+        backward = self.search(
+            [target], None, max_distance, False, (), stats, budget=budget
+        )
+        try:
+            seen_forward: Dict[NodeId, int] = {}
+            seen_backward: Dict[NodeId, int] = {}
+            streams = [(forward, seen_forward, seen_backward),
+                       (backward, seen_backward, seen_forward)]
+            active = [True, True]
+            best: Optional[int] = None
+            while any(active):
+                for side, (stream, mine, theirs) in enumerate(streams):
+                    if not active[side]:
+                        continue
+                    try:
+                        result = next(stream)
+                    except StopIteration:
+                        active[side] = False
+                        continue
+                    node, distance = result.node, result.distance
+                    if node not in mine or distance < mine[node]:
+                        mine[node] = distance
+                    if node in theirs:
+                        candidate = distance + theirs[node]
+                        if max_distance is None or candidate <= max_distance:
+                            if best is None or candidate < best:
+                                best = candidate
+                                return best
+            return best
+        finally:
+            forward.close()
+            backward.close()
+
+
+def _budget_exhausted(
+    budget: QueryBudget, deadline: Optional[float], stats: QueryStats
+) -> bool:
+    """Same predicate as the serial evaluator's budget check."""
+    if (
+        budget.max_queue_pops is not None
+        and stats.queue_pops >= budget.max_queue_pops
+    ):
+        return True
+    if (
+        budget.max_link_hops is not None
+        and stats.link_traversals >= budget.max_link_hops
+    ):
+        return True
+    return deadline is not None and time.monotonic() >= deadline
+
+
+__all__ = ["DistributedEvaluator", "ExpansionLost"]

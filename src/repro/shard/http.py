@@ -1,0 +1,233 @@
+"""Stdlib HTTP front door over a :class:`~repro.shard.coordinator.ShardCoordinator`.
+
+``repro serve`` starts one of these.  Three routes, all JSON unless
+noted:
+
+``POST /query``
+    Body: a JSON :class:`~repro.core.api.QueryRequest` (see
+    :func:`request_from_json` for the accepted fields).  Response: the
+    materialized :class:`~repro.core.api.QueryResponse` rendered by
+    :func:`response_to_json` — results, scalar value, completeness,
+    stats, cache/layout provenance.  400 for malformed bodies, 404 for
+    unknown nodes.
+``GET /health``
+    Per-shard liveness (the coordinator pings every worker), overall
+    healthy/total counts, and the planned generation.  Status 200 while
+    at least one shard answers, 503 when none do.
+``GET /metrics``
+    The coordinator's ``flix_shard_*`` registry in Prometheus text
+    format (``?format=json`` for the JSON rendering).
+
+The server is ``ThreadingHTTPServer`` — one thread per in-flight
+request, matching the coordinator's thread-safe client pools.  It is a
+*front door*, not a hardened proxy: deploy it behind whatever real
+ingress the environment provides.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlparse, parse_qs
+
+from repro.core.api import QueryRequest, QueryResponse
+from repro.core.connections import ConnectionModel
+from repro.core.pee import QueryBudget, QueryResult
+from repro.shard.coordinator import ShardCoordinator
+
+
+def request_from_json(payload: Dict) -> QueryRequest:
+    """Build a :class:`QueryRequest` from its JSON rendering.
+
+    Accepted keys mirror the dataclass fields: ``kind`` (required),
+    ``source``, ``target``, ``tag``, ``source_tag``, ``path`` (list of
+    step tags), ``max_distance``, ``max_cost``, ``limit``,
+    ``include_self``, ``exact_order``, ``bidirectional``, ``model`` (a
+    dict of :class:`~repro.core.connections.ConnectionModel` fields) and
+    ``budget`` (a dict of :class:`~repro.core.pee.QueryBudget` fields).
+    Validation errors raise ``ValueError`` (rendered as HTTP 400).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    if "kind" not in payload:
+        raise ValueError("request needs a 'kind' field")
+    known = {
+        "kind", "source", "target", "tag", "source_tag", "path",
+        "max_distance", "max_cost", "model", "limit", "include_self",
+        "exact_order", "bidirectional", "budget",
+    }
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown request fields: {sorted(unknown)}")
+    fields = dict(payload)
+    fields["path"] = tuple(fields.get("path") or ())
+    model = fields.get("model")
+    if model is not None:
+        try:
+            fields["model"] = ConnectionModel(**model)
+        except TypeError as exc:
+            raise ValueError(f"bad connection model: {exc}") from exc
+    budget = fields.get("budget")
+    if budget is not None:
+        try:
+            fields["budget"] = QueryBudget(**budget)
+        except TypeError as exc:
+            raise ValueError(f"bad budget: {exc}") from exc
+    try:
+        return QueryRequest(**fields)
+    except TypeError as exc:
+        raise ValueError(str(exc)) from exc
+
+
+def response_to_json(response: QueryResponse) -> Dict:
+    """Render a :class:`QueryResponse` as a JSON-ready dict."""
+    results = []
+    for row in response.results:
+        if isinstance(row, QueryResult):
+            results.append(
+                {"node": row.node, "distance": row.distance,
+                 "meta_id": row.meta_id}
+            )
+        else:  # (node, distance) path pairs / (node, cost) connections
+            results.append(list(row))
+    stats = response.stats
+    return {
+        "kind": response.request.kind,
+        "results": results,
+        "value": response.value,
+        "completeness": stats.completeness,
+        "from_cache": response.from_cache,
+        "elapsed_seconds": response.elapsed_seconds,
+        "layout_generation": response.layout_generation,
+        "stats": {
+            "meta_document_visits": stats.meta_document_visits,
+            "link_traversals": stats.link_traversals,
+            "entries_dropped": stats.entries_dropped,
+            "results_returned": stats.results_returned,
+            "results_suppressed": stats.results_suppressed,
+            "covered_probes": stats.covered_probes,
+            "queue_pops": stats.queue_pops,
+            "fallback_meta_documents": stats.fallback_meta_documents,
+        },
+    }
+
+
+class _FrontDoorHandler(BaseHTTPRequestHandler):
+    server_version = "FlixFrontDoor/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # the FrontDoor instance is attached to the server object
+    @property
+    def _door(self) -> "FrontDoor":
+        return self.server.front_door  # type: ignore[attr-defined]
+
+    def log_message(self, *args) -> None:  # quiet by default
+        pass
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        parsed = urlparse(self.path)
+        if parsed.path == "/health":
+            health = self._door.coordinator.health()
+            status = 200 if health["healthy"] > 0 else 503
+            self._send_json(status, health)
+            return
+        if parsed.path == "/metrics":
+            fmt = parse_qs(parsed.query).get("format", ["prom"])[0]
+            text = self._door.coordinator.metrics_text(fmt)
+            content_type = (
+                "application/json" if fmt == "json"
+                else "text/plain; version=0.0.4"
+            )
+            self._send_text(200, text, content_type)
+            return
+        self._send_json(404, {"error": f"no route {parsed.path}"})
+
+    def do_POST(self) -> None:
+        parsed = urlparse(self.path)
+        if parsed.path != "/query":
+            self._send_json(404, {"error": f"no route {parsed.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length)
+            payload = json.loads(raw) if raw else {}
+            request = request_from_json(payload)
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
+            response = self._door.coordinator.query(request)
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc).strip("'\"")})
+            return
+        self._send_json(200, response_to_json(response))
+
+
+class FrontDoor:
+    """The HTTP surface of a sharded deployment (see module docstring)."""
+
+    def __init__(
+        self,
+        coordinator: ShardCoordinator,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.coordinator = coordinator
+        self._server = ThreadingHTTPServer((host, port), _FrontDoorHandler)
+        self._server.front_door = self  # type: ignore[attr-defined]
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def start(self) -> Tuple[str, int]:
+        """Serve in a background thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="flix-front-door",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro serve`` CLI path)."""
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FrontDoor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "FrontDoor",
+    "request_from_json",
+    "response_to_json",
+]

@@ -1,0 +1,323 @@
+"""Shard planning: partition the meta-document set across N workers.
+
+The plan lifts the paper's meta-document idea one level up.  Within a
+single ``Flix``, the collection is split into meta documents and the
+edges between them become *residual links* that the PEE follows at query
+time.  A sharded deployment applies the same cut again: the meta
+documents themselves are partitioned into N *shards* (via
+:func:`repro.graph.partition.partition_graph` over the meta-level
+residual-link graph, so few links cross shards), and the residual links
+whose endpoint meta documents land in different shards become
+**cross-shard residual links** — recorded in the :class:`ShardMap` so the
+coordinator knows which shards a search can spill into.
+
+The map is written as ``shard_map.json`` beside the saved index (see
+:func:`write_shard_map` / :func:`load_shard_map`) and is everything the
+coordinator needs to route: node → meta (as compressed id runs), meta →
+shard, the cross-links, and the layout generation / fingerprint it was
+planned against.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.graph.digraph import Digraph
+from repro.graph.partition import partition_graph
+from repro.indexes.base import NodeId
+
+#: file name of the persisted shard map, beside ``manifest.json``
+SHARD_MAP_NAME = "shard_map.json"
+
+_FORMAT_VERSION = 1
+
+
+class ShardPlanError(ValueError):
+    """An unusable plan or a corrupt/incompatible shard map file."""
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The routing truth of one sharded deployment (immutable).
+
+    ``meta_runs`` compresses the node → meta-document mapping into
+    ``(first_node, last_node, meta_id)`` runs over the dense node-id
+    space — node ids are assigned contiguously per document and meta
+    documents group whole documents, so the runs stay tiny even for
+    large collections.
+    """
+
+    shards: int
+    shard_of_meta: Dict[int, int]
+    meta_runs: Tuple[Tuple[int, int, int], ...]
+    #: ``(source_node, target_node, source_shard, target_shard)`` for every
+    #: residual link whose endpoints live in different shards
+    cross_links: Tuple[Tuple[int, int, int, int], ...]
+    #: layout generation the plan was computed against
+    generation: int = 0
+    #: ``Flix.index_fingerprint()`` of the planned index (sanity check
+    #: against the workers' loaded state)
+    index_fingerprint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ShardPlanError("a shard map needs at least one shard")
+        for meta_id, shard in self.shard_of_meta.items():
+            if not 0 <= shard < self.shards:
+                raise ShardPlanError(
+                    f"meta {meta_id} assigned to shard {shard} "
+                    f"outside 0..{self.shards - 1}"
+                )
+        object.__setattr__(
+            self, "_run_starts", [run[0] for run in self.meta_runs]
+        )
+
+    # ------------------------------------------------------------------
+    # routing lookups
+    # ------------------------------------------------------------------
+    def meta_of(self, node: NodeId) -> int:
+        """The meta document owning ``node`` (KeyError for unknown ids)."""
+        position = bisect_right(self._run_starts, node) - 1
+        if position >= 0:
+            start, end, meta_id = self.meta_runs[position]
+            if start <= node <= end:
+                return meta_id
+        raise KeyError(f"node {node} is not part of the collection")
+
+    def shard_of_node(self, node: NodeId) -> int:
+        return self.shard_of_meta[self.meta_of(node)]
+
+    def owned_metas(self, shard: int) -> List[int]:
+        """Meta ids owned by ``shard``, sorted."""
+        return sorted(
+            meta_id
+            for meta_id, owner in self.shard_of_meta.items()
+            if owner == shard
+        )
+
+    def shard_adjacency(self, forward: bool = True) -> Dict[int, Set[int]]:
+        """Shard-level edges induced by the cross-shard residual links."""
+        adjacency: Dict[int, Set[int]] = {s: set() for s in range(self.shards)}
+        for _, _, source_shard, target_shard in self.cross_links:
+            if forward:
+                adjacency[source_shard].add(target_shard)
+            else:
+                adjacency[target_shard].add(source_shard)
+        return adjacency
+
+    def reachable_shards(self, start: int, forward: bool = True) -> Set[int]:
+        """Shards a search seeded in ``start`` can spill into (closure over
+        cross-shard residual links, including ``start`` itself)."""
+        adjacency = self.shard_adjacency(forward)
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            shard = frontier.pop()
+            for neighbour in adjacency[shard]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen
+
+    @property
+    def cut_size(self) -> int:
+        return len(self.cross_links)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict:
+        return {
+            "format_version": _FORMAT_VERSION,
+            "shards": self.shards,
+            "shard_of_meta": {
+                str(meta_id): shard
+                for meta_id, shard in sorted(self.shard_of_meta.items())
+            },
+            "meta_runs": [list(run) for run in self.meta_runs],
+            "cross_links": [list(link) for link in self.cross_links],
+            "generation": self.generation,
+            "index_fingerprint": self.index_fingerprint,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "ShardMap":
+        try:
+            version = payload["format_version"]
+            if version != _FORMAT_VERSION:
+                raise ShardPlanError(
+                    f"unsupported shard map format_version {version}"
+                )
+            return cls(
+                shards=int(payload["shards"]),
+                shard_of_meta={
+                    int(meta_id): int(shard)
+                    for meta_id, shard in payload["shard_of_meta"].items()
+                },
+                meta_runs=tuple(
+                    (int(a), int(b), int(m)) for a, b, m in payload["meta_runs"]
+                ),
+                cross_links=tuple(
+                    (int(u), int(v), int(s), int(t))
+                    for u, v, s, t in payload["cross_links"]
+                ),
+                generation=int(payload.get("generation", 0)),
+                index_fingerprint=str(payload.get("index_fingerprint", "")),
+            )
+        except ShardPlanError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ShardPlanError(f"corrupt shard map payload: {exc}") from exc
+
+    def describe(self) -> str:
+        """A human-readable plan summary (``repro shard-plan`` output)."""
+        lines = [
+            f"shard map: {self.shards} shards, "
+            f"{len(self.shard_of_meta)} meta documents, "
+            f"{self.cut_size} cross-shard residual links "
+            f"(generation {self.generation})"
+        ]
+        node_weight = {s: 0 for s in range(self.shards)}
+        for start, end, meta_id in self.meta_runs:
+            node_weight[self.shard_of_meta[meta_id]] += end - start + 1
+        for shard in range(self.shards):
+            metas = self.owned_metas(shard)
+            reach = sorted(self.reachable_shards(shard))
+            lines.append(
+                f"  shard {shard}: {len(metas)} metas, "
+                f"{node_weight[shard]} nodes, forward closure {reach}"
+            )
+        return "\n".join(lines)
+
+
+def write_shard_map(shard_map: ShardMap, directory) -> Path:
+    """Persist ``shard_map`` as ``shard_map.json`` under ``directory``."""
+    path = Path(directory) / SHARD_MAP_NAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(shard_map.to_json(), indent=2, sort_keys=True))
+    return path
+
+
+def load_shard_map(directory) -> ShardMap:
+    """Load the shard map persisted beside a saved index."""
+    path = Path(directory) / SHARD_MAP_NAME
+    if not path.exists():
+        raise ShardPlanError(f"no {SHARD_MAP_NAME} in {directory}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ShardPlanError(f"{path} is not valid JSON: {exc}") from exc
+    return ShardMap.from_json(payload)
+
+
+class ShardPlanner:
+    """Assign meta documents to N shards with few cross-shard links.
+
+    The planner builds the meta-level residual-link graph (one node per
+    live meta document, one edge per linked meta pair), partitions it
+    with the same size-bounded min-cut heuristic HOPI's builder uses, and
+    bin-packs the resulting blocks onto exactly ``shards`` shards,
+    balancing collection-node weight (largest block first onto the
+    lightest shard).  Fewer meta documents than shards is legal: the
+    surplus shards own nothing and serve purely as delegation/failover
+    capacity.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ShardPlanError("shards must be >= 1")
+        self.shards = shards
+
+    def plan(self, flix) -> ShardMap:
+        """Plan the given (built) ``Flix`` instance's current layout."""
+        layout = flix.layout
+        metas = layout.live_metas()
+        if not metas:
+            raise ShardPlanError("cannot shard an empty layout")
+        meta_of = layout.meta_of
+
+        meta_graph = Digraph()
+        for meta in metas:
+            meta_graph.add_node(meta.meta_id)
+        for meta in metas:
+            for _, targets in meta.outgoing_links.items():
+                for target in targets:
+                    target_meta = meta_of.get(target)
+                    if target_meta is not None and target_meta != meta.meta_id:
+                        meta_graph.add_edge(meta.meta_id, target_meta)
+
+        block_size = max(1, math.ceil(len(metas) / self.shards))
+        partitioning = partition_graph(meta_graph, block_size)
+
+        weight = {meta.meta_id: len(meta.nodes) for meta in metas}
+        shard_of_meta = self._pack_blocks(partitioning.blocks, weight)
+
+        cross_links: List[Tuple[int, int, int, int]] = []
+        for meta in metas:
+            source_shard = shard_of_meta[meta.meta_id]
+            for source_node, targets in sorted(meta.outgoing_links.items()):
+                for target_node in sorted(targets):
+                    target_meta = meta_of.get(target_node)
+                    if target_meta is None:
+                        continue  # dangling link target (removed document)
+                    target_shard = shard_of_meta[target_meta]
+                    if target_shard != source_shard:
+                        cross_links.append(
+                            (source_node, target_node, source_shard,
+                             target_shard)
+                        )
+
+        return ShardMap(
+            shards=self.shards,
+            shard_of_meta=shard_of_meta,
+            meta_runs=_compress_runs(meta_of),
+            cross_links=tuple(sorted(cross_links)),
+            generation=flix.layout_generation,
+            index_fingerprint=flix.index_fingerprint(),
+        )
+
+    def _pack_blocks(
+        self,
+        blocks: Sequence[Set[int]],
+        weight: Dict[int, int],
+    ) -> Dict[int, int]:
+        """Largest-block-first onto the lightest shard (greedy balance)."""
+        loads = [0] * self.shards
+        shard_of_meta: Dict[int, int] = {}
+        ordered = sorted(
+            blocks,
+            key=lambda block: (-sum(weight[m] for m in block), min(block)),
+        )
+        for block in ordered:
+            shard = min(range(self.shards), key=lambda s: (loads[s], s))
+            for meta_id in sorted(block):
+                shard_of_meta[meta_id] = shard
+            loads[shard] += sum(weight[m] for m in block)
+        return shard_of_meta
+
+
+def _compress_runs(meta_of: Dict[NodeId, int]) -> Tuple[Tuple[int, int, int], ...]:
+    """Compress node → meta into sorted ``(first, last, meta_id)`` runs."""
+    runs: List[Tuple[int, int, int]] = []
+    for node in sorted(meta_of):
+        meta_id = meta_of[node]
+        if runs and runs[-1][1] == node - 1 and runs[-1][2] == meta_id:
+            runs[-1] = (runs[-1][0], node, meta_id)
+        else:
+            runs.append((node, node, meta_id))
+    return tuple(runs)
+
+
+__all__ = [
+    "SHARD_MAP_NAME",
+    "ShardMap",
+    "ShardPlanError",
+    "ShardPlanner",
+    "load_shard_map",
+    "write_shard_map",
+]

@@ -1,0 +1,133 @@
+"""Length-prefixed frame protocol between coordinator and shard workers.
+
+Every message — in either direction — is one *frame*:
+
+    +----------------+---------------------------+
+    | 4 bytes        | ``length`` bytes          |
+    | big-endian u32 | pickled (verb, payload)   |
+    +----------------+---------------------------+
+
+``verb`` is a short string naming the operation ("query", "expand",
+"connection_probe", "type_seeds", "ping", "metrics", "shutdown") or the
+reply ("response", "expanded", "probed", "seeds", "pong", "metrics_text",
+"bye", "error"); ``payload`` is a plain dict of picklable values —
+:class:`~repro.core.api.QueryRequest`, :class:`~repro.core.pee.QueryResult`,
+:class:`~repro.core.pee.QueryStats` and friends are all frozen/plain
+dataclasses that pickle cleanly.
+
+Pickle is safe here because both ends of every connection are processes of
+the same deployment on the same host (the worker binds loopback by
+default); the protocol is *not* meant for untrusted peers.  The length
+prefix is bounded by :data:`MAX_FRAME_BYTES` so a corrupt or hostile
+header fails fast instead of allocating gigabytes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Tuple
+
+#: frames above this size indicate corruption (or a result set that should
+#: have been limited); 256 MiB is far above any legitimate reply
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (bad length, truncated body, unpicklable)."""
+
+
+class ShardUnavailable(RuntimeError):
+    """The shard endpoint cannot be reached or died mid-conversation."""
+
+    def __init__(self, shard_id: int, reason: str) -> None:
+        super().__init__(f"shard {shard_id} unavailable: {reason}")
+        self.shard_id = shard_id
+        self.reason = reason
+
+
+class RemoteShardError(RuntimeError):
+    """The worker reached the handler but it raised; carries the remote
+    exception type name and message (the worker stays up)."""
+
+    def __init__(self, exc_type: str, message: str) -> None:
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type
+
+
+def encode_frame(message: Tuple[str, Any]) -> bytes:
+    """One wire-ready frame for ``(verb, payload)``."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def write_frame(sock: socket.socket, message: Tuple[str, Any]) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise on EOF mid-frame."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed {count - remaining}/{count} bytes into a frame"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Tuple[str, Any]:
+    """The next ``(verb, payload)`` frame from ``sock``.
+
+    Raises :class:`ConnectionError` on clean EOF *before* a frame starts
+    (callers treat that as the peer hanging up) and
+    :class:`ProtocolError` on malformed data.
+    """
+    header = sock.recv(_LENGTH.size)
+    if not header:
+        raise ConnectionError("connection closed between frames")
+    while len(header) < _LENGTH.size:
+        more = sock.recv(_LENGTH.size - len(header))
+        if not more:
+            raise ConnectionError("connection closed inside a frame header")
+        header += more
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header announces {length} bytes (> MAX_FRAME_BYTES); "
+            "stream is corrupt"
+        )
+    body = _recv_exact(sock, length)
+    try:
+        message = pickle.loads(body)
+    except Exception as exc:  # pickle raises many types on bad input
+        raise ProtocolError(f"unpicklable frame body: {exc}") from exc
+    if (
+        not isinstance(message, tuple)
+        or len(message) != 2
+        or not isinstance(message[0], str)
+    ):
+        raise ProtocolError(f"frame is not a (verb, payload) pair: {message!r}")
+    return message
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "RemoteShardError",
+    "ShardUnavailable",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

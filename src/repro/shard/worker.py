@@ -1,0 +1,374 @@
+"""The per-shard worker: one process, one mmap-attached ``Flix``.
+
+A worker cold-attaches the saved index (``Flix.load`` — with the packed
+layout this is the O(1) mmap attach of ``docs/DATA_LAYOUT.md``; the
+``.pack`` segments are mapped read-only, so N workers on one host share
+a single page-cache copy), reads the :class:`~repro.shard.plan.ShardMap`
+beside it, and serves framed requests (:mod:`repro.shard.protocol`) on a
+loopback TCP socket.
+
+Verbs served:
+
+``query``
+    Full delegation: evaluate one :class:`~repro.core.api.QueryRequest`
+    with ``Flix.query`` and return the :class:`QueryResponse` verbatim.
+    Every worker holds the whole (lazily-faulted) index, so a delegated
+    answer is byte-identical to single-process evaluation by definition;
+    *ownership* steers routing and page-cache locality, not correctness.
+``expand`` / ``connection_probe``
+    The distributed-evaluation seam: run exactly one
+    :meth:`~repro.core.pee.PathExpressionEvaluator.expand_entry` (or
+    ``connection_probe``) against this worker's index and return the
+    outcome plus the counter deltas, leaving the priority queue at the
+    coordinator.
+``type_seeds``
+    Seed list for an ``A//B`` type query, computed the same way
+    ``Flix._raw_stream`` computes it.
+``ping`` / ``metrics`` / ``shutdown``
+    Liveness + layout generation, Prometheus/JSON metric export, and
+    graceful stop.
+
+Run one from the command line (the coordinator's spawner does exactly
+this)::
+
+    python -m repro.shard.worker --collection DIR --index DIR --shard K
+
+The process binds ``--port`` (0 = ephemeral), prints a single
+``FLIX-SHARD-READY shard=<k> port=<p> generation=<g>`` line to stdout,
+and serves until a ``shutdown`` frame or SIGTERM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.collection.io import load_collection
+from repro.core.framework import Flix
+from repro.core.pee import QueryStats
+from repro.obs import Observability
+from repro.shard.plan import ShardMap, load_shard_map
+from repro.shard.protocol import read_frame, write_frame
+
+#: worker-side injected evaluator latency (seconds) — the sharded bench
+#: sets this so every worker pays the same storage stall the serial
+#: baseline pays (see docs/SHARDING.md, "Bench methodology")
+LATENCY_ENV = "FLIX_SHARD_LATENCY_MS"
+
+READY_PREFIX = "FLIX-SHARD-READY"
+
+
+class ShardWorker:
+    """Serve one shard's slice of the query load over framed TCP."""
+
+    def __init__(
+        self,
+        flix: Flix,
+        shard_map: ShardMap,
+        shard_id: int,
+        observability: Optional[Observability] = None,
+    ) -> None:
+        if not 0 <= shard_id < shard_map.shards:
+            raise ValueError(
+                f"shard id {shard_id} outside 0..{shard_map.shards - 1}"
+            )
+        self.flix = flix
+        self.shard_map = shard_map
+        self.shard_id = shard_id
+        self._obs = observability if observability is not None else Observability()
+        self._requests = self._obs.registry.counter(
+            "flix_shard_worker_requests_total",
+            "Frames handled by this shard worker, by verb and status.",
+        )
+        self._listener: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._threads: list = []
+
+    # ------------------------------------------------------------------
+    # construction from a saved deployment
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(
+        cls,
+        collection_dir,
+        index_dir,
+        shard_id: int,
+        latency_seconds: float = 0.0,
+        verify: bool = True,
+    ) -> "ShardWorker":
+        """Cold-attach a saved collection + index + shard map.
+
+        ``latency_seconds`` wraps the evaluator in the benchmark's
+        GIL-releasing stall proxy (modeling a remote/disk index lookup);
+        0 disables it.
+        """
+        collection = load_collection(collection_dir)
+        flix = Flix.load(collection, index_dir, verify=verify)
+        shard_map = load_shard_map(index_dir)
+        if (
+            shard_map.index_fingerprint
+            and shard_map.index_fingerprint != flix.index_fingerprint()
+        ):
+            raise ValueError(
+                "shard map was planned against a different index "
+                "(fingerprint mismatch); re-run the planner"
+            )
+        if latency_seconds > 0:
+            from repro.bench.serving import LatencyEvaluator
+
+            flix.pee = LatencyEvaluator(flix.pee, latency_seconds)
+        return cls(flix, shard_map, shard_id)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and serve in background threads; returns ``(host, port)``."""
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        bound_host, bound_port = self._listener.getsockname()[:2]
+        accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"shard-{self.shard_id}-accept",
+            daemon=True,
+        )
+        accept_thread.start()
+        self._threads.append(accept_thread)
+        return bound_host, bound_port
+
+    def wait(self) -> None:
+        """Block until a ``shutdown`` frame (or :meth:`close`) stops us."""
+        self._stop.wait()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            conn.settimeout(None)
+            while not self._stop.is_set():
+                try:
+                    verb, payload = read_frame(conn)
+                except (ConnectionError, OSError):
+                    return  # peer hung up
+                try:
+                    reply = self._dispatch(verb, payload)
+                    self._requests.inc(verb=verb, status="ok")
+                except Exception as exc:  # keep the worker alive
+                    self._requests.inc(verb=verb, status="error")
+                    reply = (
+                        "error",
+                        {"type": type(exc).__name__, "message": str(exc)},
+                    )
+                try:
+                    write_frame(conn, reply)
+                except (ConnectionError, OSError):
+                    return
+                if verb == "shutdown":
+                    self.close()
+                    return
+
+    # ------------------------------------------------------------------
+    # verb handlers
+    # ------------------------------------------------------------------
+    def _dispatch(self, verb: str, payload: dict):
+        if verb == "query":
+            response = self.flix.query(
+                payload["request"], budget=payload.get("budget")
+            )
+            return "response", {"response": response}
+        if verb == "expand":
+            stats = QueryStats()
+            outcome = self.flix.pee.expand_entry(
+                payload["meta_id"], payload["entry"], payload["priority"],
+                payload["tag"], payload["forward"], payload["skip"],
+                payload["max_distance"], payload["previous"], stats,
+            )
+            return "expanded", {"outcome": outcome, "stats": stats}
+        if verb == "connection_probe":
+            stats = QueryStats()
+            outcome = self.flix.pee.connection_probe(
+                payload["meta_id"], payload["entry"], payload["priority"],
+                payload["target"], payload["target_meta"],
+                payload["max_distance"], payload["previous"], stats,
+            )
+            return "probed", {"outcome": outcome, "stats": stats}
+        if verb == "type_seeds":
+            layout = self.flix.layout
+            seeds = [
+                node
+                for node in self.flix.collection.nodes_with_tag(
+                    payload["source_tag"]
+                )
+                if node in layout.meta_of
+            ]
+            return "seeds", {"seeds": seeds}
+        if verb == "ping":
+            return "pong", {
+                "shard": self.shard_id,
+                "generation": self.flix.layout_generation,
+                "owned_metas": len(self.shard_map.owned_metas(self.shard_id)),
+                "pid": os.getpid(),
+            }
+        if verb == "metrics":
+            from repro.obs.export import render
+
+            fmt = payload.get("format", "json")
+            return "metrics_text", {"text": render(self._obs.registry, fmt)}
+        if verb == "shutdown":
+            return "bye", {}
+        raise ValueError(f"unknown verb {verb!r}")
+
+
+# ----------------------------------------------------------------------
+# subprocess management (used by the coordinator CLI, bench, and tests)
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerProcess:
+    """A spawned worker subprocess and where to reach it."""
+
+    process: subprocess.Popen
+    shard_id: int
+    host: str
+    port: int
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=timeout)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+
+def spawn_worker(
+    collection_dir,
+    index_dir,
+    shard_id: int,
+    latency_seconds: float = 0.0,
+    host: str = "127.0.0.1",
+    startup_timeout: float = 60.0,
+) -> WorkerProcess:
+    """Start ``python -m repro.shard.worker`` and wait for its READY line."""
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing
+        else package_root + os.pathsep + existing
+    )
+    if latency_seconds > 0:
+        env[LATENCY_ENV] = str(latency_seconds * 1000.0)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.shard.worker",
+            "--collection", str(collection_dir),
+            "--index", str(index_dir),
+            "--shard", str(shard_id),
+            "--host", host,
+            "--port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    deadline = time.monotonic() + startup_timeout
+    lines = []
+    while True:
+        if time.monotonic() > deadline:
+            process.kill()
+            raise TimeoutError(
+                f"shard {shard_id} worker did not become ready; output so "
+                f"far: {''.join(lines)[-2000:]}"
+            )
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"shard {shard_id} worker exited during startup "
+                f"(rc={process.poll()}): {''.join(lines)[-2000:]}"
+            )
+        lines.append(line)
+        if line.startswith(READY_PREFIX):
+            fields = dict(
+                part.split("=", 1) for part in line.split()[1:]
+            )
+            return WorkerProcess(
+                process=process,
+                shard_id=int(fields["shard"]),
+                host=host,
+                port=int(fields["port"]),
+            )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.shard.worker",
+        description="serve one shard of a saved FliX deployment",
+    )
+    parser.add_argument("--collection", required=True)
+    parser.add_argument("--index", required=True)
+    parser.add_argument("--shard", type=int, required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--latency-ms", type=float,
+        default=float(os.environ.get(LATENCY_ENV, "0") or 0),
+        help="injected evaluator stall per search call (bench use)",
+    )
+    args = parser.parse_args(argv)
+    worker = ShardWorker.attach(
+        args.collection, args.index, args.shard,
+        latency_seconds=args.latency_ms / 1000.0,
+    )
+    host, port = worker.start(args.host, args.port)
+    print(
+        f"{READY_PREFIX} shard={args.shard} port={port} "
+        f"generation={worker.flix.layout_generation}",
+        flush=True,
+    )
+    worker.wait()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())
+
+
+__all__ = [
+    "LATENCY_ENV",
+    "READY_PREFIX",
+    "ShardWorker",
+    "WorkerProcess",
+    "main",
+    "spawn_worker",
+]

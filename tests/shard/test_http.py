@@ -1,0 +1,131 @@
+"""The HTTP front door: /query, /health, /metrics."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.api import QueryRequest
+from repro.shard.http import FrontDoor, request_from_json, response_to_json
+
+from tests.shard.conftest import in_process_cluster
+
+
+@pytest.fixture()
+def door(deployment):
+    with in_process_cluster(deployment, 2) as (coordinator, _workers):
+        front = FrontDoor(coordinator)
+        front.start()
+        try:
+            yield front, deployment
+        finally:
+            front.close()
+
+
+def _get(door, path):
+    host, port = door.address
+    try:
+        with urllib.request.urlopen(f"http://{host}:{port}{path}") as reply:
+            return reply.status, reply.headers, reply.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers, error.read()
+
+
+def _post(door, path, payload):
+    host, port = door.address
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRequestJson:
+    def test_round_trip_descendants(self):
+        request = request_from_json(
+            {"kind": "descendants", "source": 5, "tag": "author", "limit": 3}
+        )
+        assert request == QueryRequest.descendants(5, tag="author", limit=3)
+
+    def test_budget_and_model_dicts_are_inflated(self):
+        request = request_from_json(
+            {
+                "kind": "test",
+                "source": 1,
+                "target": 2,
+                "budget": {"max_queue_pops": 7},
+            }
+        )
+        assert request.budget.max_queue_pops == 7
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            request_from_json({"kind": "descendants", "source": 1, "bogus": 2})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError):
+            request_from_json({"source": 1})
+
+
+class TestRoutes:
+    def test_query_round_trip(self, door):
+        front, deployment = door
+        start = deployment.collection.document_root(
+            sorted(deployment.collection.documents)[0]
+        )
+        status, body = _post(
+            front, "/query", {"kind": "descendants", "source": start}
+        )
+        assert status == 200
+        serial = deployment.flix.query(QueryRequest.descendants(start))
+        assert body == response_to_json(serial) | {
+            "elapsed_seconds": body["elapsed_seconds"],
+        }
+        assert body["completeness"] == "complete"
+
+    def test_query_unknown_node_is_404(self, door):
+        front, _ = door
+        status, body = _post(
+            front, "/query", {"kind": "descendants", "source": 10_000_000}
+        )
+        assert status == 404
+        assert "not part of the collection" in body["error"]
+
+    def test_query_bad_body_is_400(self, door):
+        front, _ = door
+        status, body = _post(front, "/query", {"source": 1})
+        assert status == 400
+        assert "kind" in body["error"]
+
+    def test_health_route(self, door):
+        front, _ = door
+        status, _, raw = _get(front, "/health")
+        assert status == 200
+        health = json.loads(raw)
+        assert health["healthy"] == 2
+        assert health["total"] == 2
+
+    def test_metrics_prometheus_and_json(self, door):
+        front, _ = door
+        status, headers, raw = _get(front, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert b"flix_shard_workers_healthy" in raw
+        status, headers, raw = _get(front, "/metrics?format=json")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        json.loads(raw)
+
+    def test_unknown_route_is_404(self, door):
+        front, _ = door
+        status, _, _ = _get(front, "/nope")
+        assert status == 404

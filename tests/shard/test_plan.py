@@ -1,0 +1,130 @@
+"""Shard planning and ``shard_map.json`` persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.shard.plan import (
+    SHARD_MAP_NAME,
+    ShardMap,
+    ShardPlanError,
+    ShardPlanner,
+    load_shard_map,
+    write_shard_map,
+)
+
+
+class TestPlanner:
+    def test_every_meta_assigned_exactly_once(self, deployment):
+        shard_map = ShardPlanner(3).plan(deployment.flix)
+        live = {m.meta_id for m in deployment.flix.layout.live_metas()}
+        assert set(shard_map.shard_of_meta) == live
+        assert all(0 <= s < 3 for s in shard_map.shard_of_meta.values())
+
+    def test_node_routing_matches_layout(self, deployment):
+        shard_map = ShardPlanner(4).plan(deployment.flix)
+        layout_meta_of = deployment.flix.layout.meta_of
+        for node, meta_id in layout_meta_of.items():
+            assert shard_map.meta_of(node) == meta_id
+            assert (
+                shard_map.shard_of_node(node)
+                == shard_map.shard_of_meta[meta_id]
+            )
+
+    def test_unknown_node_raises_key_error_like_serial(self, deployment):
+        shard_map = ShardPlanner(2).plan(deployment.flix)
+        missing = max(deployment.flix.layout.meta_of) + 1000
+        with pytest.raises(KeyError) as excinfo:
+            shard_map.meta_of(missing)
+        # the serial PEE's message, so coordinator passthrough is identical
+        assert "is not part of the collection" in str(excinfo.value)
+
+    def test_cross_links_have_cross_shard_endpoints(self, deployment):
+        shard_map = ShardPlanner(3).plan(deployment.flix)
+        for source, target, source_shard, target_shard in shard_map.cross_links:
+            assert source_shard != target_shard
+            assert shard_map.shard_of_node(source) == source_shard
+            assert shard_map.shard_of_node(target) == target_shard
+
+    def test_node_weight_roughly_balanced(self, deployment):
+        shard_map = ShardPlanner(2).plan(deployment.flix)
+        weights = {0: 0, 1: 0}
+        for start, end, meta_id in shard_map.meta_runs:
+            weights[shard_map.shard_of_meta[meta_id]] += end - start + 1
+        total = sum(weights.values())
+        assert total == len(deployment.flix.layout.meta_of)
+        # greedy largest-first packing: no shard should own everything
+        assert all(weight < total for weight in weights.values())
+
+    def test_more_shards_than_metas_is_legal(self, deployment):
+        live = len(deployment.flix.layout.live_metas())
+        shard_map = ShardPlanner(live + 5).plan(deployment.flix)
+        owners = set(shard_map.shard_of_meta.values())
+        assert len(owners) <= live  # surplus shards own nothing
+
+    def test_reachable_shards_is_a_closure(self, deployment):
+        shard_map = ShardPlanner(3).plan(deployment.flix)
+        for shard in range(3):
+            reach = shard_map.reachable_shards(shard)
+            assert shard in reach
+            adjacency = shard_map.shard_adjacency(True)
+            for member in reach:
+                assert adjacency[member] <= reach
+
+    def test_fingerprint_and_generation_recorded(self, deployment):
+        shard_map = ShardPlanner(2).plan(deployment.flix)
+        assert shard_map.index_fingerprint == \
+            deployment.flix.index_fingerprint()
+        assert shard_map.generation == deployment.flix.layout_generation
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ShardPlanError):
+            ShardPlanner(0)
+
+
+class TestPersistence:
+    def test_round_trip_preserves_everything(self, deployment, tmp_path):
+        original = ShardPlanner(3).plan(deployment.flix)
+        path = write_shard_map(original, tmp_path)
+        assert path.name == SHARD_MAP_NAME
+        loaded = load_shard_map(tmp_path)
+        assert loaded == original
+
+    def test_routing_survives_round_trip(self, deployment, tmp_path):
+        original = ShardPlanner(2).plan(deployment.flix)
+        write_shard_map(original, tmp_path)
+        loaded = load_shard_map(tmp_path)
+        for node in list(deployment.flix.layout.meta_of)[:50]:
+            assert loaded.shard_of_node(node) == original.shard_of_node(node)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ShardPlanError):
+            load_shard_map(tmp_path)
+
+    def test_corrupt_json_raises(self, tmp_path):
+        (tmp_path / SHARD_MAP_NAME).write_text("{not json")
+        with pytest.raises(ShardPlanError):
+            load_shard_map(tmp_path)
+
+    def test_missing_fields_raise(self, tmp_path):
+        (tmp_path / SHARD_MAP_NAME).write_text(json.dumps({"shards": 2}))
+        with pytest.raises(ShardPlanError):
+            load_shard_map(tmp_path)
+
+    def test_unsupported_version_raises(self, deployment, tmp_path):
+        payload = ShardPlanner(2).plan(deployment.flix).to_json()
+        payload["format_version"] = 99
+        (tmp_path / SHARD_MAP_NAME).write_text(json.dumps(payload))
+        with pytest.raises(ShardPlanError):
+            load_shard_map(tmp_path)
+
+    def test_out_of_range_shard_assignment_rejected(self):
+        with pytest.raises(ShardPlanError):
+            ShardMap(
+                shards=2,
+                shard_of_meta={0: 5},
+                meta_runs=((0, 10, 0),),
+                cross_links=(),
+            )

@@ -1,0 +1,139 @@
+"""Wire framing: length-prefixed pickled ``(verb, payload)`` pairs."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.shard.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+
+def _pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+class TestFraming:
+    def test_round_trip(self):
+        left, right = _pair()
+        try:
+            message = ("query", {"request": [1, 2, 3], "budget": None})
+            write_frame(left, message)
+            assert read_frame(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_multiple_frames_in_sequence(self):
+        left, right = _pair()
+        try:
+            for index in range(5):
+                write_frame(left, ("ping", {"n": index}))
+            for index in range(5):
+                assert read_frame(right) == ("ping", {"n": index})
+        finally:
+            left.close()
+            right.close()
+
+    def test_encode_frame_is_length_prefixed(self):
+        frame = encode_frame(("pong", {}))
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_eof_mid_frame_raises_connection_error(self):
+        left, right = _pair()
+        frame = encode_frame(("query", {"big": "x" * 1000}))
+        left.sendall(frame[: len(frame) // 2])
+        left.close()
+        try:
+            with pytest.raises(ConnectionError):
+                read_frame(right)
+        finally:
+            right.close()
+
+    def test_clean_eof_raises_connection_error(self):
+        left, right = _pair()
+        left.close()
+        try:
+            with pytest.raises(ConnectionError):
+                read_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_length_rejected_before_reading_body(self):
+        left, right = _pair()
+        try:
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_garbage_body_raises_protocol_error(self):
+        left, right = _pair()
+        try:
+            body = b"not a pickle at all"
+            left.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_non_pair_payload_rejected(self):
+        import pickle
+
+        left, right = _pair()
+        try:
+            body = pickle.dumps(["just", "a", "list"])
+            left.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_concurrent_writers_do_not_interleave(self):
+        # write_frame sends one atomic sendall per frame; many threads
+        # writing to the same socket must still produce parseable frames
+        left, right = _pair()
+        errors = []
+
+        def write_many(tag):
+            try:
+                for index in range(20):
+                    write_frame(left, (tag, {"n": index}))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write_many, args=(f"t{i}",))
+            for i in range(4)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            seen = 0
+            while seen < 80:
+                verb, payload = read_frame(right)
+                assert verb.startswith("t")
+                assert 0 <= payload["n"] < 20
+                seen += 1
+        finally:
+            for thread in threads:
+                thread.join()
+            left.close()
+            right.close()
+        assert not errors

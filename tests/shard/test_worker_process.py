@@ -1,0 +1,82 @@
+"""The real multi-process path: ``spawn_worker`` subprocesses."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.api import QueryRequest
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.plan import ShardPlanner, write_shard_map
+from repro.shard.worker import spawn_worker
+
+
+@pytest.fixture(scope="module")
+def cluster(deployment):
+    """Two real worker subprocesses plus a connected coordinator."""
+    shard_map = ShardPlanner(2).plan(deployment.flix)
+    write_shard_map(shard_map, deployment.index_dir)
+    workers = [
+        spawn_worker(deployment.collection_dir, deployment.index_dir, shard)
+        for shard in range(2)
+    ]
+    coordinator = ShardCoordinator.connect(
+        deployment.index_dir,
+        [(worker.host, worker.port) for worker in workers],
+    )
+    yield coordinator, workers, shard_map
+    coordinator.shutdown_workers()
+    coordinator.close()
+    for worker in workers:
+        worker.close()
+
+
+class TestWorkerProcess:
+    def test_ready_handshake_reports_shard_and_port(self, cluster):
+        _, workers, _ = cluster
+        for shard_id, worker in enumerate(workers):
+            assert worker.shard_id == shard_id
+            assert worker.port > 0
+            assert worker.process.poll() is None  # still alive
+
+    def test_ping_reports_identity_and_ownership(self, cluster):
+        coordinator, workers, shard_map = cluster
+        health = coordinator.health()
+        assert health["healthy"] == 2
+        for entry in health["shards"]:
+            assert entry["healthy"]
+            assert entry["generation"] == shard_map.generation
+            assert entry["owned_metas"] == len(
+                shard_map.owned_metas(entry["shard"])
+            )
+            # a genuinely separate process, not a thread
+            assert entry["pid"] != os.getpid()
+
+    def test_query_parity_across_processes(self, cluster, deployment):
+        coordinator, _, _ = cluster
+        for name in sorted(deployment.collection.documents):
+            start = deployment.collection.document_root(name)
+            request = QueryRequest.descendants(start)
+            serial = deployment.flix.query(request)
+            remote = coordinator.query(request)
+            assert [repr(r) for r in remote.results] == [
+                repr(r) for r in serial.results
+            ]
+            assert remote.stats.completeness == serial.stats.completeness
+
+    def test_worker_metrics_exposed_over_the_wire(self, cluster):
+        coordinator, _, _ = cluster
+        _, reply = coordinator._clients[0].call("metrics", {"format": "json"})
+        assert "flix_shard_worker_requests_total" in reply["text"]
+
+    def test_worker_survives_a_bad_request(self, cluster, deployment):
+        coordinator, workers, _ = cluster
+        with pytest.raises(KeyError):
+            coordinator.query(QueryRequest.descendants(10_000_000))
+        assert workers[0].process.poll() is None
+        # and keeps serving afterwards
+        start = deployment.collection.document_root(
+            sorted(deployment.collection.documents)[0]
+        )
+        assert coordinator.query(QueryRequest.descendants(start)).results

@@ -28,7 +28,39 @@ def test_checker_resolves_and_rejects():
         assert resolve("repro.core.framework.Flix")
         assert resolve("repro.obs.MetricsRegistry")
         assert resolve("repro.obs")
+        assert resolve("repro.shard.coordinator.ShardCoordinator")
         assert not resolve("repro.not_a_module.thing")
         assert not resolve("repro.core.framework.NotAClass")
+    finally:
+        sys.path.remove(str(REPO_ROOT / "tools"))
+
+
+def test_every_doc_file_is_registered():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        from check_docs import CHECKED_DOCS, check_all_docs_registered
+
+        assert check_all_docs_registered() == []
+        registered = {doc.name for doc in CHECKED_DOCS}
+        on_disk = {doc.name for doc in (REPO_ROOT / "docs").glob("*.md")}
+        assert registered == on_disk
+    finally:
+        sys.path.remove(str(REPO_ROOT / "tools"))
+
+
+def test_deprecated_mentions_must_be_flagged(tmp_path, monkeypatch):
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import check_docs
+
+        doc = tmp_path / "STALE.md"
+        doc.write_text(
+            "Use `enable_cache(128)` to turn caching on.\n"
+            "`disable_cache()` is deprecated; prefer CacheConfig.\n"
+        )
+        monkeypatch.setattr(check_docs, "CHECKED_DOCS", (doc,))
+        errors = check_docs.check_deprecated_mentions()
+        assert len(errors) == 1  # line 2 is flagged, line 1 is not
+        assert "enable_cache" in errors[0]
     finally:
         sys.path.remove(str(REPO_ROOT / "tools"))

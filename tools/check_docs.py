@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Fail if the documentation names symbols that do not exist.
 
-Two checks, run from the repository root (``python tools/check_docs.py``;
+Four checks, run from the repository root (``python tools/check_docs.py``;
 CI runs it on one Python version):
 
 1. every name in ``repro.obs.__all__`` must resolve to an attribute of
@@ -11,7 +11,14 @@ CI runs it on one Python version):
 2. every backticked dotted reference matching ``repro(.module)+`` in
    the checked documentation files (``CHECKED_DOCS``) must
    import/resolve — call parentheses and argument lists are ignored,
-   only the dotted path is checked.
+   only the dotted path is checked;
+3. every ``docs/*.md`` file must be registered in ``CHECKED_DOCS`` — a
+   doc added without registering it here is a doc whose references
+   nobody verifies;
+4. any line mentioning a deprecated symbol (``DEPRECATED_SYMBOLS``)
+   must say so: mention ``enable_cache`` without the word "deprecated"
+   on the same line and the check fails, so stale how-tos cannot
+   resurface retired APIs as the recommended path.
 """
 
 from __future__ import annotations
@@ -22,20 +29,38 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
 
-#: documentation files whose ``repro.*`` references must resolve
+#: documentation files whose ``repro.*`` references must resolve — every
+#: file under docs/ must appear here (check 3 enforces it)
 CHECKED_DOCS = (
-    REPO_ROOT / "docs" / "API.md",
-    REPO_ROOT / "docs" / "ARCHITECTURE.md",
-    REPO_ROOT / "docs" / "DATA_LAYOUT.md",
-    REPO_ROOT / "docs" / "MAINTENANCE.md",
-    REPO_ROOT / "docs" / "RESILIENCE.md",
-    REPO_ROOT / "docs" / "SERVING.md",
+    DOCS_DIR / "API.md",
+    DOCS_DIR / "ARCHITECTURE.md",
+    DOCS_DIR / "DATA_LAYOUT.md",
+    DOCS_DIR / "MAINTENANCE.md",
+    DOCS_DIR / "OBSERVABILITY.md",
+    DOCS_DIR / "PAPER_MAP.md",
+    DOCS_DIR / "RESILIENCE.md",
+    DOCS_DIR / "SERVING.md",
+    DOCS_DIR / "SHARDING.md",
 )
+
+#: symbols kept only as deprecation shims: a doc line naming one must
+#: carry the word "deprecated" (any case/inflection) on the same line
+DEPRECATED_SYMBOLS = ("enable_cache", "disable_cache")
+
+_DEPRECATION_MARK = re.compile(r"deprecat", re.IGNORECASE)
 
 #: a backticked reference starting with ``repro.``: keep the leading
 #: dotted-identifier run, drop any call syntax or trailing prose
 REFERENCE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)")
+
+
+def _label(doc: Path) -> str:
+    try:
+        return str(doc.relative_to(REPO_ROOT))
+    except ValueError:  # a doc outside the repo (tests)
+        return str(doc)
 
 
 def resolve(path: str) -> bool:
@@ -72,7 +97,10 @@ def check_obs_exports() -> list[str]:
 def check_doc_references() -> list[str]:
     errors = []
     for doc in CHECKED_DOCS:
-        label = doc.relative_to(REPO_ROOT)
+        label = _label(doc)
+        if not doc.is_file():
+            errors.append(f"{label} is registered in CHECKED_DOCS but missing")
+            continue
         text = doc.read_text(encoding="utf-8")
         for path in sorted(set(REFERENCE.findall(text))):
             if not resolve(path):
@@ -80,16 +108,54 @@ def check_doc_references() -> list[str]:
     return errors
 
 
+def check_all_docs_registered() -> list[str]:
+    registered = {doc.name for doc in CHECKED_DOCS}
+    errors = []
+    for doc in sorted(DOCS_DIR.glob("*.md")):
+        if doc.name not in registered:
+            errors.append(
+                f"docs/{doc.name} is not registered in "
+                "tools/check_docs.py CHECKED_DOCS"
+            )
+    return errors
+
+
+def check_deprecated_mentions() -> list[str]:
+    errors = []
+    for doc in CHECKED_DOCS:
+        if not doc.is_file():
+            continue  # already reported by check_doc_references
+        label = _label(doc)
+        for number, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for symbol in DEPRECATED_SYMBOLS:
+                if symbol in line and not _DEPRECATION_MARK.search(line):
+                    errors.append(
+                        f"{label}:{number} mentions deprecated {symbol!r} "
+                        "without flagging it as deprecated"
+                    )
+    return errors
+
+
 def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    errors = check_obs_exports() + check_doc_references()
+    errors = (
+        check_obs_exports()
+        + check_doc_references()
+        + check_all_docs_registered()
+        + check_deprecated_mentions()
+    )
     for error in errors:
         print(f"ERROR: {error}", file=sys.stderr)
     if not errors:
         checked = ", ".join(
             str(doc.relative_to(REPO_ROOT)) for doc in CHECKED_DOCS
         )
-        print(f"check_docs: repro.obs exports and {checked} references OK")
+        print(
+            "check_docs: repro.obs exports, deprecation flags, and "
+            f"{checked} references OK"
+        )
     return 1 if errors else 0
 
 
