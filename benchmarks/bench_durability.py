@@ -1,0 +1,49 @@
+"""Durability benchmarks: fsync policies, replay rate, follower catch-up.
+
+Profiles the write-ahead log's three fsync policies over the same append
+sequence, times crash recovery (snapshot load + WAL replay) against the
+live index it must reproduce, and drives a follower replica through the
+same log checking eight-kind query parity.  Writes the machine-readable
+result to ``BENCH_durability.json`` at the repository root (published as
+a CI artifact by the ``durability-bench`` job; the ``bench-regression``
+guard in ``tools/check_bench_regression.py`` re-checks the committed
+numbers against the same floors).
+
+Measurement semantics live in :mod:`repro.bench.durability`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.durability import (
+    profile_durability,
+    render_durability_profile,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+
+
+def test_durability():
+    payload = profile_durability()
+    payload["generated_by"] = "benchmarks/bench_durability.py"
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(render_durability_profile(payload))
+    print(f"-> {BENCH_JSON}")
+
+    # the durability contract (mirrored by the CI guard): recovery must
+    # land byte-exactly on the crashed primary's index, the follower
+    # must reach parity with zero lag, and replay must not crawl
+    recovery = payload["recovery"]
+    assert recovery["fingerprint_match"] is True, payload
+    assert recovery["generation_match"] is True, payload
+    assert recovery["records_per_second"] >= 50.0, payload
+    follower = payload["follower"]
+    assert follower["parity"] is True, payload
+    assert follower["final_lag"] == 0, payload
+    # group commit may never make appends slower than per-record fsync
+    assert payload["fsync_batching_speedup"] >= 0.8, payload

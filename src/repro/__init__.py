@@ -20,7 +20,10 @@ paper.  The package bundles:
   (:mod:`repro.bench`, driven by the suites under ``benchmarks/``), and
 * sharded multi-process serving — shard planning over the meta-document
   graph, mmap-attached worker processes, and a coordinator front door
-  (:mod:`repro.shard`, ``docs/SHARDING.md``).
+  (:mod:`repro.shard`, ``docs/SHARDING.md``), and
+* crash durability — a checksummed write-ahead log of maintenance
+  verbs, snapshot + replay recovery, and WAL-tailing follower replicas
+  (:mod:`repro.wal`, ``docs/DURABILITY.md``).
 
 Quickstart::
 

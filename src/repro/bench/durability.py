@@ -1,0 +1,231 @@
+"""Durability benchmark logic (shared by CLI and suite).
+
+What this measures
+------------------
+The durability layer's three cost/correctness claims
+(``docs/DURABILITY.md``):
+
+1. **Fsync policy is the write-path knob.**  ``commit`` pays one
+   ``fsync`` per logged verb (the durability the recovery invariant is
+   stated against); ``batch`` amortizes it with group commit; ``none``
+   leaves syncing to the OS.  The profile times the same append
+   sequence under all three and reports the group-commit speedup — the
+   cost of per-verb durability, measured instead of assumed.
+2. **Recovery replay is fast relative to the rebuild it avoids.**
+   Replaying the log onto the loaded snapshot re-runs real maintenance
+   verbs (index builds included), so replay throughput in verbs/second
+   is the honest recovery-time estimate.  The profile asserts the
+   recovered index is *fingerprint-identical* to the uncrashed primary
+   — the crash-consistency invariant, checked on every bench run.
+3. **A follower converges.**  A replica attached to the snapshot tails
+   the same log; the profile times catch-up, requires the final
+   replication lag to be zero, and byte-compares all eight
+   ``QueryRequest`` kinds (:func:`repro.bench.sharding.parity_requests`)
+   between primary and follower at the same generation.
+
+Everything runs in a throwaway directory on synthetic DBLP data, so the
+profile is deterministic up to wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.incremental import added_documents
+from repro.bench.reporting import BenchTable
+from repro.bench.sharding import _response_signature, parity_requests
+from repro.collection.io import load_collection, save_collection
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.datasets.dblp import DblpSpec, generate_dblp
+
+#: appends per fsync policy in the write-path comparison; small enough
+#: to keep the bench quick, large enough to amortize setup noise
+FSYNC_APPENDS = 48
+
+
+def _fsync_policy_profile(scratch: Path, payload: Dict) -> Dict:
+    """Time the same append sequence under each fsync policy."""
+    from repro.wal import WriteAheadLog
+
+    results: Dict[str, Dict] = {}
+    for policy in ("commit", "batch", "none"):
+        path = scratch / f"policy-{policy}.log"
+        wal = WriteAheadLog(path, base_generation=0, fsync=policy)
+        started = time.perf_counter()
+        for i in range(FSYNC_APPENDS):
+            wal.append("add", i + 1, payload)
+        wal.sync()
+        elapsed = time.perf_counter() - started
+        wal.close()
+        results[policy] = {
+            "appends": FSYNC_APPENDS,
+            "seconds": elapsed,
+            "per_append_ms": elapsed / FSYNC_APPENDS * 1000.0,
+            "appends_per_second": FSYNC_APPENDS / elapsed if elapsed else 0.0,
+        }
+    return results
+
+
+def profile_durability(
+    documents: int = 24, mutations: int = 12, seed: int = 7
+) -> Dict:
+    """WAL write cost, recovery replay throughput, follower catch-up.
+
+    Returns a JSON-ready dict (``BENCH_durability.json``); the floors
+    ``tools/check_bench_regression.py`` guards live in the ``recovery``
+    and ``follower`` sections.
+    """
+    from repro.wal import (
+        FileWalSource,
+        FollowerFlix,
+        read_wal,
+        recover_flix,
+        replay_records,
+        wal_path_for,
+    )
+    from repro.core.persistence import load_flix
+
+    if mutations < 4:
+        raise ValueError("mutations must be >= 4 (adds + batch + remove)")
+    scratch = Path(tempfile.mkdtemp(prefix="flix-durability-"))
+    try:
+        coll_dir = scratch / "collection"
+        index_dir = scratch / "index"
+        collection = generate_dblp(DblpSpec(documents=documents, seed=seed))
+        save_collection(collection, coll_dir)
+        primary = Flix.build(collection, FlixConfig.naive())
+        primary.save(index_dir)
+        wal = primary.enable_wal(wal_path_for(index_dir))
+
+        # --- the logged mutation history (adds + a batch + a remove) --
+        new_docs = added_documents(mutations)
+        started = time.perf_counter()
+        for document in new_docs[: mutations - 3]:
+            primary.add_document(document)
+        primary.add_documents(new_docs[mutations - 3 : mutations - 1])
+        primary.remove_document(new_docs[0].name)
+        append_seconds = time.perf_counter() - started
+        live_fingerprint = primary.index_fingerprint()
+        live_generation = primary.layout_generation
+
+        # --- fsync policy comparison over one real add payload --------
+        from repro.wal.recovery import document_to_payload
+
+        one_payload = {
+            "documents": [document_to_payload(new_docs[0])]
+        }
+        policies = _fsync_policy_profile(scratch, one_payload)
+        batching_speedup = (
+            policies["commit"]["seconds"] / policies["batch"]["seconds"]
+            if policies["batch"]["seconds"]
+            else 0.0
+        )
+
+        # --- crash recovery: snapshot + replay-to-tail ----------------
+        recovery_collection = load_collection(coll_dir)
+        load_started = time.perf_counter()
+        recovered = load_flix(recovery_collection, index_dir, verify=True)
+        load_seconds = time.perf_counter() - load_started
+        records, discarded = read_wal(wal_path_for(index_dir))
+        replay_started = time.perf_counter()
+        applied = replay_records(recovered, records)
+        replay_seconds = time.perf_counter() - replay_started
+        recovery = {
+            "records": applied,
+            "snapshot_load_seconds": load_seconds,
+            "replay_seconds": replay_seconds,
+            "records_per_second": (
+                applied / replay_seconds if replay_seconds else 0.0
+            ),
+            "discarded_bytes": discarded,
+            "fingerprint_match": (
+                recovered.index_fingerprint() == live_fingerprint
+            ),
+            "generation_match": (
+                recovered.layout_generation == live_generation
+            ),
+        }
+
+        # --- follower catch-up + eight-kind parity --------------------
+        follower_collection = load_collection(coll_dir)
+        follower_flix = load_flix(follower_collection, index_dir, verify=True)
+        follower = FollowerFlix(
+            follower_flix, FileWalSource(wal_path_for(index_dir))
+        )
+        catchup_started = time.perf_counter()
+        follower_applied = follower.poll()
+        catchup_seconds = time.perf_counter() - catchup_started
+        kinds: List[str] = []
+        parity = True
+        for name, request in parity_requests(collection):
+            kinds.append(name)
+            primary_sig = _response_signature(primary.query(request))
+            follower_sig = _response_signature(follower.query(request))
+            if primary_sig != follower_sig:
+                parity = False
+        follower_profile = {
+            "records_applied": follower_applied,
+            "catchup_seconds": catchup_seconds,
+            "final_lag": follower.replication_lag,
+            "generation": follower.generation,
+            "parity": parity,
+            "kinds": kinds,
+        }
+        follower.close()
+
+        return {
+            "documents": documents,
+            "mutations": mutations,
+            "primary": {
+                "generation": live_generation,
+                "logged_append_seconds": append_seconds,
+            },
+            "fsync_policies": policies,
+            "fsync_batching_speedup": batching_speedup,
+            "recovery": recovery,
+            "follower": follower_profile,
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def render_durability_profile(profile: Dict) -> str:
+    """The human-readable rendering of :func:`profile_durability`."""
+    policy_table = BenchTable(
+        f"WAL append cost by fsync policy ({FSYNC_APPENDS} appends)",
+        ["policy", "per append (ms)", "appends/s"],
+    )
+    for policy, entry in profile["fsync_policies"].items():
+        policy_table.add_row(
+            policy,
+            f"{entry['per_append_ms']:.3f}",
+            f"{entry['appends_per_second']:.0f}",
+        )
+    recovery = profile["recovery"]
+    follower = profile["follower"]
+    lines = [
+        policy_table.render(),
+        f"group-commit speedup over per-commit fsync: "
+        f"{profile['fsync_batching_speedup']:.2f}x",
+        "",
+        f"recovery: replayed {recovery['records']} record(s) in "
+        f"{recovery['replay_seconds']:.3f}s "
+        f"({recovery['records_per_second']:.1f} records/s), "
+        f"fingerprint match: {recovery['fingerprint_match']}",
+        f"follower: applied {follower['records_applied']} record(s) in "
+        f"{follower['catchup_seconds']:.3f}s, final lag "
+        f"{follower['final_lag']}, eight-kind parity: {follower['parity']}",
+    ]
+    return "\n".join(lines)
+
+
+__all__ = [
+    "FSYNC_APPENDS",
+    "profile_durability",
+    "render_durability_profile",
+]

@@ -55,7 +55,25 @@ Commands
     Spawn ``N`` shard worker processes over the saved index (planning a
     shard map first if none exists), connect a ``ShardCoordinator``, and
     serve ``POST /query``, ``GET /health``, ``GET /metrics`` over HTTP
-    until interrupted (see ``docs/SHARDING.md``).
+    until interrupted (see ``docs/SHARDING.md``).  SIGTERM drains
+    gracefully: in-flight requests finish, workers fsync their WAL
+    tails, everything exits 0.
+
+``recover <dir> <index_dir> [--snapshot]``
+    Crash recovery (``docs/DURABILITY.md``): load the last saved
+    snapshot, replay the ``wal.log`` beside it to its valid tail
+    (discarding any torn record a crash left), and print what was
+    applied.  ``--snapshot`` then saves the recovered state, which
+    checkpoints (truncates) the log.
+
+``wal <index_dir> [--json]``
+    Inspect a write-ahead log: base/tail generations, the logged verbs,
+    and whether a torn tail is present.
+
+``durability-bench [--documents N] [--batch N] [--json] [--output FILE]``
+    Profile the durability layer: WAL append throughput per fsync
+    policy (commit/batch/none), crash-recovery replay throughput, and
+    follower catch-up lag (``BENCH_durability.json`` methodology).
 
 ``shard-bench [--documents N] [--shards 2,4,8] [--latency-ms MS]
               [--json] [--output FILE]``
@@ -72,7 +90,7 @@ import sys
 from typing import List, Optional
 
 from repro.collection.collection import XmlCollection
-from repro.collection.io import load_collection
+from repro.collection.io import load_collection, save_collection
 from repro.collection.stats import collect_statistics
 from repro.core.config import FlixConfig
 from repro.core.framework import Flix
@@ -302,6 +320,55 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-size", type=int, default=4096,
         help="coordinator result-cache entries (0 disables; default 4096)",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="replay the write-ahead log onto the last snapshot "
+        "(docs/DURABILITY.md)",
+    )
+    recover.add_argument("directory", help="the XML collection directory")
+    recover.add_argument("index_dir", help="the persisted-index directory")
+    recover.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="save the recovered state back to the index directory "
+        "(checkpoints the log)",
+    )
+    recover.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the manifest checksum verification on load",
+    )
+
+    wal = sub.add_parser(
+        "wal", help="inspect a write-ahead log's records and tail state"
+    )
+    wal.add_argument("index_dir", help="directory holding wal.log")
+    wal.add_argument(
+        "--json", action="store_true",
+        help="print the inspection as JSON instead of the listing",
+    )
+
+    durability_bench = sub.add_parser(
+        "durability-bench",
+        help="profile WAL fsync policies, recovery replay, follower lag",
+    )
+    durability_bench.add_argument(
+        "--documents", type=positive_int, default=24,
+        help="synthetic DBLP documents in the base collection (default 24)",
+    )
+    durability_bench.add_argument(
+        "--mutations", type=positive_int, default=12,
+        help="maintenance verbs to log and replay (default 12)",
+    )
+    durability_bench.add_argument(
+        "--json", action="store_true",
+        help="print the raw profile as JSON instead of the table",
+    )
+    durability_bench.add_argument(
+        "--output", default=None,
+        help="also write the JSON profile to this file",
     )
 
     shard_bench = sub.add_parser(
@@ -602,16 +669,116 @@ def _cmd_serve(args) -> int:
               f"on {worker.host}:{worker.port}")
     print(f"front door: http://{host}:{port}  "
           f"(POST /query, GET /health, GET /metrics)")
+
+    import signal
+    import threading
+
+    draining = threading.Event()
+
+    def _on_sigterm(signum, frame):
+        # drain off the signal frame: door.drain() must not run on the
+        # thread stuck in serve_forever (it would deadlock on shutdown)
+        if not draining.is_set():
+            draining.set()
+            print("\ndraining (SIGTERM)")
+            threading.Thread(target=door.drain, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         door.serve_forever()
+        if draining.is_set():
+            print("drained; shutting down")
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        signal.signal(signal.SIGTERM, previous)
         door.close()
         coordinator.shutdown_workers()
         coordinator.close()
         for worker in workers:
             worker.close()
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.wal import recover_flix
+
+    collection = load_collection(args.directory)
+    flix, report = recover_flix(
+        collection, args.index_dir, verify=not args.no_verify
+    )
+    print(report.describe())
+    if report.applied_verbs:
+        print("applied verbs: " + ", ".join(report.applied_verbs))
+    if args.snapshot:
+        # a checkpoint moves the collection and the index together: the
+        # replayed verbs may have grown/shrunk the document set, and the
+        # manifest fingerprints the collection it was saved against
+        save_collection(flix.collection, args.directory, prune=True)
+        flix.save(args.index_dir)
+        print(
+            f"snapshot saved at generation {flix.layout_generation}; "
+            "log checkpointed"
+        )
+    return 0
+
+
+def _cmd_wal(args) -> int:
+    import json
+
+    from repro.wal import BEGIN_VERB, read_wal, wal_path_for
+
+    path = wal_path_for(args.index_dir)
+    if not path.is_file():
+        print(f"no write-ahead log at {path}")
+        return 1
+    records, discarded = read_wal(path)
+    base = records[0].generation if records else 0
+    tail = records[-1].generation if records else 0
+    if args.json:
+        print(json.dumps({
+            "path": str(path),
+            "base_generation": base,
+            "tail_generation": tail,
+            "records": [
+                {"verb": r.verb, "generation": r.generation}
+                for r in records
+            ],
+            "discarded_bytes": discarded,
+        }, indent=2))
+        return 0
+    print(f"{path}: base generation {base}, tail generation {tail}")
+    for record in records:
+        if record.verb == BEGIN_VERB:
+            continue
+        print(f"  generation {record.generation:4d}  {record.verb}")
+    if discarded:
+        print(f"  (torn tail: {discarded} byte(s) will be discarded)")
+    return 0
+
+
+def _cmd_durability_bench(args) -> int:
+    import json
+
+    from repro.bench.durability import (
+        profile_durability,
+        render_durability_profile,
+    )
+
+    profile = profile_durability(
+        documents=args.documents, mutations=args.mutations
+    )
+    if args.json:
+        print(json.dumps(profile, indent=2))
+    else:
+        print(render_durability_profile(profile))
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(profile, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"-> {args.output}")
     return 0
 
 
@@ -663,6 +830,9 @@ _COMMANDS = {
     "shard-plan": _cmd_shard_plan,
     "serve": _cmd_serve,
     "shard-bench": _cmd_shard_bench,
+    "recover": _cmd_recover,
+    "wal": _cmd_wal,
+    "durability-bench": _cmd_durability_bench,
 }
 
 

@@ -35,7 +35,20 @@ def build_collection(documents: Iterable[XmlDocument]) -> XmlCollection:
     ordered = sorted(documents, key=lambda d: d.name)
     for document in ordered:
         collection._register_document(document)
-    for document in ordered:
+    resolve_collection_links(collection, ordered)
+    return collection
+
+
+def resolve_collection_links(
+    collection: XmlCollection, documents: Iterable[XmlDocument]
+) -> None:
+    """Resolve every document's links into union-graph link edges.
+
+    Shared by :func:`build_collection` and the layout-preserving loader
+    (:mod:`repro.collection.io`); dangling links land on
+    ``collection.unresolved_links``.
+    """
+    for document in documents:
         for link in document.links:
             target = _resolve(collection, document, link)
             if target is None:
@@ -45,7 +58,6 @@ def build_collection(documents: Iterable[XmlDocument]) -> XmlCollection:
             target_id = collection.node_id_of(target)
             if source_id != target_id:
                 collection._add_link_edge(source_id, target_id)
-    return collection
 
 
 def register_document(

@@ -80,6 +80,30 @@ class XmlCollection:
         self._nodes_by_document[document.name] = node_ids
         self._roots[document.name] = node_ids[0]
 
+    def _register_document_at(
+        self, document: XmlDocument, start: NodeId
+    ) -> None:
+        """Register ``document`` with its first node id pinned to ``start``.
+
+        Used when rebuilding a collection whose id layout was persisted
+        (see :mod:`repro.collection.io`): ids below ``start`` that no
+        surviving document occupies become tombstoned padding, exactly
+        like the holes :meth:`_unregister_document` leaves behind — so an
+        incrementally grown-and-shrunk collection round-trips through
+        disk with every surviving node id unchanged.
+        """
+        if start < len(self._info):
+            raise ValueError(
+                f"cannot register {document.name!r} at node id {start}: "
+                f"ids up to {len(self._info)} are already assigned"
+            )
+        padding = start - len(self._info)
+        if padding:
+            self._info.extend([None] * padding)
+            self._element_by_id.extend([None] * padding)
+            self._removed_count += padding
+        self._register_document(document)
+
     def _add_link_edge(self, source: NodeId, target: NodeId) -> None:
         if not self.graph.has_edge(source, target):
             self.graph.add_edge(source, target)

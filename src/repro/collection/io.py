@@ -4,21 +4,36 @@ A collection on disk is simply a directory of ``*.xml`` files whose
 relative file names are the document names — which is exactly what the
 ``xlink:href`` values in the documents refer to, so links resolve without
 any extra manifest.
+
+One sidecar rides along: ``collection_layout.json`` records each
+document's first node id and the registration order.  A collection that
+only ever grew in sorted-name order reloads identically with or without
+it, but an incrementally mutated collection (documents added out of
+order, removals leaving tombstoned id holes) needs the sidecar to
+round-trip — node ids are assigned by registration order and never
+reused, so a sorted re-read would renumber every node and silently
+orphan any index saved against the old ids.  Directories written by
+other tools simply lack the file and load the classic way.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
-from typing import List, Union
+from typing import Dict, List, Optional, Union
 
-from repro.collection.builder import build_collection
+from repro.collection.builder import build_collection, resolve_collection_links
 from repro.collection.collection import XmlCollection
 from repro.collection.document import XmlDocument
+from repro.storage.atomic import atomic_write_text
 from repro.xmlmodel.parser import XmlParseError
 from repro.xmlmodel.serializer import serialize
 
 PathLike = Union[str, os.PathLike]
+
+LAYOUT_NAME = "collection_layout.json"
+LAYOUT_VERSION = 1
 
 
 class CollectionLoadError(ValueError):
@@ -30,6 +45,48 @@ class CollectionLoadError(ValueError):
         self.cause = cause
 
 
+def _read_layout(root: Path) -> Optional[Dict[str, int]]:
+    """The persisted name -> first-node-id map (insertion-ordered), or
+    ``None`` for directories without (or with an unusable) sidecar."""
+    path = root / LAYOUT_NAME
+    if not path.is_file():
+        return None
+    try:
+        layout = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if layout.get("format_version") != LAYOUT_VERSION:
+        return None
+    starts = layout.get("starts")
+    if not isinstance(starts, dict):
+        return None
+    return {str(name): int(start) for name, start in starts.items()}
+
+
+def _assemble(
+    documents: List[XmlDocument], starts: Optional[Dict[str, int]]
+) -> XmlCollection:
+    """Build the collection, honoring a persisted id layout if present."""
+    if not starts:
+        return build_collection(documents)
+    by_name = {document.name: document for document in documents}
+    collection = XmlCollection()
+    ordered: List[XmlDocument] = []
+    for name in sorted(starts, key=starts.__getitem__):
+        document = by_name.pop(name, None)
+        if document is None:
+            continue  # listed but missing/unparseable on disk
+        collection._register_document_at(document, starts[name])
+        ordered.append(document)
+    # files the sidecar does not know (hand-dropped into the directory)
+    # append after everything it does, in the classic sorted order
+    for name in sorted(by_name):
+        collection._register_document(by_name[name])
+        ordered.append(by_name[name])
+    resolve_collection_links(collection, ordered)
+    return collection
+
+
 def load_collection(
     directory: PathLike,
     pattern: str = "*.xml",
@@ -39,7 +96,10 @@ def load_collection(
 
     File names relative to ``directory`` (POSIX separators) become document
     names.  With ``strict=False``, unparseable files are skipped instead of
-    aborting the load — web crawls always contain some broken XML.
+    aborting the load — web crawls always contain some broken XML.  A
+    ``collection_layout.json`` sidecar (written by :func:`save_collection`)
+    pins each document's node ids so mutated collections reload with the
+    exact id assignment they were saved under.
     """
     root = Path(directory)
     if not root.is_dir():
@@ -55,14 +115,25 @@ def load_collection(
         except XmlParseError as error:
             if strict:
                 raise CollectionLoadError(path, error) from error
-    return build_collection(documents)
+    return _assemble(documents, _read_layout(root))
 
 
-def save_collection(collection: XmlCollection, directory: PathLike) -> int:
+def save_collection(
+    collection: XmlCollection,
+    directory: PathLike,
+    prune: bool = False,
+) -> int:
     """Serialize every document of ``collection`` into ``directory``.
 
     Returns the number of files written.  Document names may contain
-    subdirectory components; parents are created as needed.
+    subdirectory components; parents are created as needed.  The id
+    layout goes into ``collection_layout.json`` beside the documents
+    (atomically — a checkpoint interrupted mid-write must not leave a
+    torn sidecar that would renumber every node on the next load).
+
+    ``prune=True`` additionally deletes ``*.xml`` files of documents no
+    longer in the collection — the checkpoint flavor: without it, a file
+    removed via ``remove_document`` would resurrect on the next load.
     """
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
@@ -79,4 +150,23 @@ def save_collection(collection: XmlCollection, directory: PathLike) -> int:
             serialize(document.root, declaration=True), encoding="utf-8"
         )
         written += 1
+    if prune:
+        for path in sorted(root.rglob("*.xml")):
+            if path.is_file():
+                name = path.relative_to(root).as_posix()
+                if name not in collection.documents:
+                    path.unlink()
+    starts = {
+        name: node_ids[0]
+        for name, node_ids in collection._nodes_by_document.items()
+    }
+    atomic_write_text(
+        root / LAYOUT_NAME,
+        json.dumps(
+            {"format_version": LAYOUT_VERSION, "starts": starts},
+            indent=2,
+            sort_keys=False,
+        )
+        + "\n",
+    )
     return written

@@ -99,6 +99,10 @@ class Flix:
             self._build_evaluator(slots, frozen_meta_of, generation=0)
         )
         self.monitor = QueryLoadMonitor()
+        # the attached write-ahead log (docs/DURABILITY.md); every
+        # maintenance verb appends its record here *before* publishing
+        # the layout swap, and save() truncates it at snapshot time
+        self._wal = None
         # set by Flix.build for incremental document addition
         self._builder: Optional[IndexBuilder] = None
         self._backend_factory: Callable[[], StorageBackend] = MemoryBackend
@@ -305,7 +309,9 @@ class Flix:
         from repro.faults import plan_from_env
 
         plan = plan_from_env()
-        if plan is not None and not plan.is_noop:
+        if plan is not None and not plan.storage_is_noop:
+            # crash-only plans (crash_after_writes) target the WAL append
+            # path, not storage — they must not wrap every table
             from repro.faults import FaultyFactory
 
             backend_factory = FaultyFactory(backend_factory, plan)
@@ -1170,6 +1176,51 @@ class Flix:
                 self._attach_storage_observers()
             return repacked
 
+    # ------------------------------------------------------------------
+    # durability: the write-ahead mutation log (docs/DURABILITY.md)
+    # ------------------------------------------------------------------
+    @property
+    def wal(self):
+        """The attached :class:`repro.wal.WriteAheadLog` (or ``None``)."""
+        return self._wal
+
+    def attach_wal(self, wal) -> None:
+        """Log every future maintenance verb to ``wal``.
+
+        The record is appended (and, under the default fsync policy,
+        durable) *before* the verb's layout swap becomes visible, so
+        crash recovery (:func:`repro.wal.recover_flix`) replays exactly
+        the acknowledged history.  :meth:`save` then truncates the log:
+        a snapshot captures everything logged so far.
+        """
+        with self._mutation_lock:
+            self._wal = wal
+
+    def enable_wal(self, path, fsync: str = "commit", **kwargs):
+        """Create (or resume) a write-ahead log at ``path`` and attach it.
+
+        Resuming an existing log trims any torn tail left by a crash —
+        call :func:`repro.wal.recover_flix` instead if unreplayed
+        records may exist; attaching here without replay would orphan
+        them at the next truncation.  Returns the log.
+        """
+        from repro.wal import WriteAheadLog
+
+        wal = WriteAheadLog(
+            path,
+            base_generation=self.layout_generation,
+            fsync=fsync,
+            observability=self.obs if self.obs.enabled else None,
+            **kwargs,
+        )
+        self.attach_wal(wal)
+        return wal
+
+    def _wal_append(self, verb: str, payload: dict, generation: int) -> None:
+        """Append one verb record ahead of its publish (no-op unlogged)."""
+        if self._wal is not None:
+            self._wal.append(verb, generation, payload)
+
     def add_document(self, document) -> "MetaDocument":
         """Add one new document without rebuilding the whole index.
 
@@ -1376,6 +1427,19 @@ class Flix:
                 )
                 for meta in new_metas:
                     builds.inc(strategy=meta.strategy)
+            if self._wal is not None:
+                from repro.wal.recovery import document_to_payload
+
+                self._wal_append(
+                    verb,
+                    {
+                        "documents": [
+                            document_to_payload(document)
+                            for document in documents
+                        ]
+                    },
+                    new_layout.generation,
+                )
             self._publish_layout(new_layout, verb=verb)
             return new_metas
 
@@ -1476,6 +1540,7 @@ class Flix:
                     new_layout.slots, meta_of, new_layout.generation
                 )
             )
+            self._wal_append("remove", {"name": name}, new_layout.generation)
             self._publish_layout(new_layout, verb="remove")
             return removed
 
@@ -1486,7 +1551,10 @@ class Flix:
         Two atomic publishes (remove, then add) under one mutation lock:
         a concurrent query sees either the old document or the new one,
         never a half-updated layout — but the intermediate removed state
-        *is* observable between the two swaps.
+        *is* observable between the two swaps.  A write-ahead log
+        records the same two halves (``remove`` then ``add``), so crash
+        recovery mid-update lands on exactly one of the two published
+        states (docs/DURABILITY.md).
         """
         with self._mutation_lock:
             self.remove_document(document.name)
@@ -1715,6 +1783,9 @@ class Flix:
                     "flix_index_builds_total",
                     "Per-meta-document index builds, by chosen strategy.",
                 ).inc(strategy=choice.strategy)
+            self._wal_append(
+                "compact", {"meta_ids": candidates}, new_layout.generation
+            )
             self._publish_layout(new_layout, verb="compact")
             trace.finish()
             return merged
@@ -1762,10 +1833,20 @@ class Flix:
 
     def save(self, directory) -> "Path":
         """Persist the built index to ``directory`` (restart without
-        rebuild); see :mod:`repro.core.persistence` for the layout."""
+        rebuild); see :mod:`repro.core.persistence` for the layout.
+
+        With a write-ahead log attached, a successful save is a
+        *checkpoint*: the log is truncated back to a ``begin`` marker
+        at the saved generation, since everything it held is now in
+        the snapshot (docs/DURABILITY.md).
+        """
         from repro.core.persistence import save_flix
 
-        return save_flix(self, directory)
+        with self._mutation_lock:
+            manifest_path = save_flix(self, directory)
+            if self._wal is not None:
+                self._wal.truncate(self.layout_generation)
+        return manifest_path
 
     @classmethod
     def load(

@@ -65,6 +65,7 @@ from repro.indexes.kindex import ForwardBackwardIndex, KBisimulationIndex
 from repro.indexes.ppo import PpoIndex
 from repro.indexes.registry import IndexBuildRequest, execute_build_request
 from repro.indexes.transitive import TransitiveClosureIndex
+from repro.storage.atomic import atomic_write_bytes, atomic_write_text
 from repro.storage.memory import MemoryBackend
 from repro.storage.sqlite_backend import SqliteBackend
 from repro.storage.table import StorageBackend
@@ -142,7 +143,7 @@ def save_flix(flix: Flix, directory) -> Path:
         if is_packed(meta.index):
             pack_name = f"meta_{meta.meta_id:04d}.pack"
             blob_bytes = pack_index(meta.index)
-            (root / pack_name).write_bytes(blob_bytes)
+            atomic_write_bytes(root / pack_name, blob_bytes)
             integrity[pack_name] = _raw_fingerprint(blob_bytes)
     (root / "framework.sqlite").unlink(missing_ok=True)
     framework_target = SqliteBackend(str(root / "framework.sqlite"))
@@ -204,8 +205,12 @@ def save_flix(flix: Flix, directory) -> Path:
             "next_meta_id": flix.layout.next_meta_id,
         },
     }
+    # The manifest is the save's commit point: it is replaced atomically
+    # (temp file + os.replace + directory fsync), so a crash mid-save
+    # leaves either the complete old manifest or the complete new one —
+    # never a torn JSON file (docs/DURABILITY.md).
     manifest_path = root / MANIFEST_NAME
-    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    atomic_write_text(manifest_path, json.dumps(manifest, indent=2))
     return manifest_path
 
 
@@ -363,7 +368,7 @@ def repair_flix(collection: XmlCollection, directory) -> List[str]:
             )
 
     manifest_path = root / MANIFEST_NAME
-    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    atomic_write_text(manifest_path, json.dumps(manifest, indent=2))
     return damaged
 
 
@@ -406,7 +411,7 @@ def _rebuild_pack_file(
             f"cannot repair {path.name}: strategy {strategy!r} has no "
             "packed form"
         )
-    path.write_bytes(data)
+    atomic_write_bytes(path, data)
 
 
 def _rebuild_framework_file(
@@ -528,11 +533,17 @@ def load_flix(collection: XmlCollection, directory, verify: bool = True) -> Flix
             )
         )
 
-    # residual links
+    # residual links.  The snapshot's framework.sqlite is read once and
+    # copied into memory: a loaded instance must never hold a *write*
+    # handle on a snapshot file, or incremental verbs (and WAL recovery
+    # replay, docs/DURABILITY.md) would dirty it in place and break the
+    # manifest checksums the next load verifies.  save_flix rewrites
+    # framework.sqlite from this live copy at the next checkpoint.
     builder = IndexBuilder(collection, config, SqliteBackend)
-    builder.framework_backend = SqliteBackend.attach(
-        str(root / "framework.sqlite")
-    )
+    snapshot_links = SqliteBackend.attach(str(root / "framework.sqlite"))
+    builder.framework_backend = MemoryBackend()
+    _copy_tables(snapshot_links, builder.framework_backend)
+    snapshot_links.close()
     residual = 0
     for u, v, _mu, _mv in builder.framework_backend.table(
         "flix_residual_links"

@@ -17,10 +17,14 @@ failures:
   from memory, so storage faults alone cannot reach them);
 * :class:`FaultyFactory` — picklable factory decorator for fault-injected
   parallel builds;
+* :class:`InjectedCrash` — crash-fault mode: a plan's
+  ``crash_after_writes`` makes the WAL tear a record mid-write and die,
+  the scenario the crash-point matrix in ``tests/wal`` recovers from;
 * :func:`plan_from_env` — the ``FAULT_PLAN`` environment hook CI's chaos
   job uses to run the whole tier-1 suite under injected faults.
 
-See ``docs/RESILIENCE.md`` for the fault taxonomy and worked examples.
+See ``docs/RESILIENCE.md`` for the fault taxonomy and worked examples,
+``docs/DURABILITY.md`` for crash faults and recovery.
 """
 
 from repro.faults.injector import (
@@ -29,6 +33,7 @@ from repro.faults.injector import (
     FaultyFactory,
     FaultyIndex,
     FaultyTable,
+    InjectedCrash,
 )
 from repro.faults.plan import FAULT_PLAN_ENV_VARS, FaultPlan, plan_from_env
 
@@ -40,5 +45,6 @@ __all__ = [
     "FaultyIndex",
     "FaultyTable",
     "FAULT_PLAN_ENV_VARS",
+    "InjectedCrash",
     "plan_from_env",
 ]

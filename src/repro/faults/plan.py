@@ -51,6 +51,13 @@ class FaultPlan:
     fail_first: int = 0
     #: operations after the first N fail permanently (None = never)
     break_after: Optional[int] = None
+    #: crash-fault mode (docs/DURABILITY.md): the WAL append after the
+    #: first N tears its write and raises ``InjectedCrash`` (None = never)
+    crash_after_writes: Optional[int] = None
+    #: bytes of the torn record actually written before the injected
+    #: crash (None = half the record) — the crash-point matrix tests
+    #: sweep this through every offset of a record
+    torn_write_bytes: Optional[int] = None
     #: restrict injection to these table/site names (None = everywhere)
     tables: Optional[Tuple[str, ...]] = None
 
@@ -70,10 +77,25 @@ class FaultPlan:
             raise ValueError("fail_first must be non-negative")
         if self.break_after is not None and self.break_after < 0:
             raise ValueError("break_after must be non-negative")
+        if self.crash_after_writes is not None and self.crash_after_writes < 0:
+            raise ValueError("crash_after_writes must be non-negative")
+        if self.torn_write_bytes is not None and self.torn_write_bytes < 0:
+            raise ValueError("torn_write_bytes must be non-negative")
 
     @property
     def is_noop(self) -> bool:
         """True when the plan injects nothing at all."""
+        return self.storage_is_noop and self.crash_after_writes is None
+
+    @property
+    def storage_is_noop(self) -> bool:
+        """True when the plan injects nothing into *storage* operations.
+
+        A crash-only plan (``crash_after_writes`` set, everything else
+        default) targets the WAL append path, not the storage backend —
+        ``Flix.build`` consults this so such a plan does not wrap every
+        table in a :class:`~repro.faults.injector.FaultyFactory`.
+        """
         return (
             self.read_error_rate == 0.0
             and self.write_error_rate == 0.0
@@ -141,7 +163,7 @@ class FaultPlan:
                 ) or None
             elif key in ("seed", "fail_first"):
                 kwargs[key] = int(value)
-            elif key == "break_after":
+            elif key in ("break_after", "crash_after_writes", "torn_write_bytes"):
                 kwargs[key] = None if value.lower() == "none" else int(value)
             else:
                 kwargs[key] = float(value)

@@ -158,6 +158,8 @@ class ShardCoordinator:
         default_budget: Optional[QueryBudget] = None,
         cross_shard: str = "delegate",
         observability: Optional[Observability] = None,
+        role: str = "primary",
+        replication=None,
     ) -> None:
         if len(clients) != shard_map.shards:
             raise ValueError(
@@ -168,6 +170,15 @@ class ShardCoordinator:
             raise ValueError(
                 "cross_shard must be 'delegate' or 'distributed'"
             )
+        if role not in ("primary", "follower"):
+            raise ValueError(f"role must be primary or follower, got {role!r}")
+        #: what this deployment is: a primary takes maintenance verbs, a
+        #: follower serves reads while tailing a primary's WAL
+        self.role = role
+        #: optional replication state provider (anything exposing
+        #: ``replication_lag`` and ``generation``, e.g. a
+        #: :class:`~repro.wal.follower.FollowerFlix`) surfaced in health()
+        self._replication = replication
         self._map = shard_map
         self._clients = list(clients)
         self._cache: Optional[ShardedLRUCache] = (
@@ -559,6 +570,7 @@ class ShardCoordinator:
                         "generation": pong["generation"],
                         "owned_metas": pong["owned_metas"],
                         "pid": pong["pid"],
+                        "role": pong.get("role", "primary"),
                     }
                 )
             except (ShardUnavailable, RemoteShardError) as exc:
@@ -567,13 +579,18 @@ class ShardCoordinator:
                     {"shard": shard_id, "healthy": False, "error": str(exc)}
                 )
         healthy = sum(1 for s in shards if s["healthy"])
-        return {
+        report = {
             "shards": shards,
             "healthy": healthy,
             "total": len(shards),
             "generation": self._map.generation,
             "cross_shard": self._cross_shard,
+            "role": self.role,
         }
+        if self._replication is not None:
+            report["replication_lag"] = self._replication.replication_lag
+            report["replication_generation"] = self._replication.generation
+        return report
 
     def cache_stats(self):
         """Coordinator cache counters (None when caching is off)."""

@@ -26,8 +26,10 @@ ingress the environment provides.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import urlparse, parse_qs
@@ -143,6 +145,10 @@ class _FrontDoorHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def do_GET(self) -> None:
+        with self._door._track():
+            self._handle_get()
+
+    def _handle_get(self) -> None:
         parsed = urlparse(self.path)
         if parsed.path == "/health":
             health = self._door.coordinator.health()
@@ -161,6 +167,10 @@ class _FrontDoorHandler(BaseHTTPRequestHandler):
         self._send_json(404, {"error": f"no route {parsed.path}"})
 
     def do_POST(self) -> None:
+        with self._door._track():
+            self._handle_post()
+
+    def _handle_post(self) -> None:
         parsed = urlparse(self.path)
         if parsed.path != "/query":
             self._send_json(404, {"error": f"no route {parsed.path}"})
@@ -195,6 +205,22 @@ class FrontDoor:
         self._server.front_door = self  # type: ignore[attr-defined]
         self._server.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        # in-flight request accounting for the SIGTERM drain (handler
+        # threads are daemons, so server_close() does not join them)
+        self._inflight = 0
+        self._idle = threading.Condition()
+
+    @contextlib.contextmanager
+    def _track(self):
+        with self._idle:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -213,7 +239,34 @@ class FrontDoor:
         """Serve on the calling thread (the ``repro serve`` CLI path)."""
         self._server.serve_forever()
 
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful SIGTERM path: stop accepting, finish in-flight
+        requests, release ``serve_forever``.
+
+        ``shutdown()`` stops the accept loop while requests already
+        being handled keep running; we then wait for the in-flight
+        count to reach zero (every such request gets its response out)
+        before closing the listener.  Idle keep-alive connections are
+        simply dropped.  Must not be called from a handler thread or
+        the ``serve_forever`` thread itself — the CLI's SIGTERM handler
+        runs it on a fresh thread.
+        """
+        if self._closed:
+            return
+        self._server.shutdown()
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(remaining)
+        self.close()
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:

@@ -8,9 +8,10 @@ Every message — in either direction — is one *frame*:
     +----------------+---------------------------+
 
 ``verb`` is a short string naming the operation ("query", "expand",
-"connection_probe", "type_seeds", "ping", "metrics", "shutdown") or the
-reply ("response", "expanded", "probed", "seeds", "pong", "metrics_text",
-"bye", "error"); ``payload`` is a plain dict of picklable values —
+"connection_probe", "type_seeds", "wal_pull", "ping", "metrics",
+"shutdown") or the reply ("response", "expanded", "probed", "seeds",
+"wal_records", "pong", "metrics_text", "bye", "error"); ``payload`` is a
+plain dict of picklable values —
 :class:`~repro.core.api.QueryRequest`, :class:`~repro.core.pee.QueryResult`,
 :class:`~repro.core.pee.QueryStats` and friends are all frozen/plain
 dataclasses that pickle cleanly.

@@ -24,9 +24,14 @@ Verbs served:
 ``type_seeds``
     Seed list for an ``A//B`` type query, computed the same way
     ``Flix._raw_stream`` computes it.
+``wal_pull``
+    Follower replication (``docs/DURABILITY.md``): serve the records of
+    the ``wal.log`` beside the index newer than the caller's cursor
+    generation, so a :class:`~repro.wal.follower.RemoteWalSource` can
+    tail this deployment across hosts.
 ``ping`` / ``metrics`` / ``shutdown``
-    Liveness + layout generation, Prometheus/JSON metric export, and
-    graceful stop.
+    Liveness + role + layout generation, Prometheus/JSON metric export,
+    and graceful stop.
 
 Run one from the command line (the coordinator's spawner does exactly
 this)::
@@ -35,13 +40,16 @@ this)::
 
 The process binds ``--port`` (0 = ephemeral), prints a single
 ``FLIX-SHARD-READY shard=<k> port=<p> generation=<g>`` line to stdout,
-and serves until a ``shutdown`` frame or SIGTERM.
+and serves until a ``shutdown`` frame or SIGTERM.  SIGTERM drains
+gracefully: stop accepting connections, let in-flight requests finish
+and their replies flush, fsync the WAL tail if one is attached, exit 0.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import socket
 import subprocess
 import sys
@@ -75,14 +83,22 @@ class ShardWorker:
         shard_map: ShardMap,
         shard_id: int,
         observability: Optional[Observability] = None,
+        wal_path=None,
+        role: str = "primary",
     ) -> None:
         if not 0 <= shard_id < shard_map.shards:
             raise ValueError(
                 f"shard id {shard_id} outside 0..{shard_map.shards - 1}"
             )
+        if role not in ("primary", "follower"):
+            raise ValueError(f"role must be primary or follower, got {role!r}")
         self.flix = flix
         self.shard_map = shard_map
         self.shard_id = shard_id
+        #: where ``wal_pull`` reads from (``attach`` points this at the
+        #: ``wal.log`` beside the index; a missing file serves as empty)
+        self.wal_path = wal_path
+        self.role = role
         self._obs = observability if observability is not None else Observability()
         self._requests = self._obs.registry.counter(
             "flix_shard_worker_requests_total",
@@ -91,6 +107,11 @@ class ShardWorker:
         self._listener: Optional[socket.socket] = None
         self._stop = threading.Event()
         self._threads: list = []
+        # in-flight dispatch accounting for the SIGTERM drain
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Condition(self._inflight_lock)
+        self._draining = False
 
     # ------------------------------------------------------------------
     # construction from a saved deployment
@@ -103,13 +124,17 @@ class ShardWorker:
         shard_id: int,
         latency_seconds: float = 0.0,
         verify: bool = True,
+        role: str = "primary",
     ) -> "ShardWorker":
         """Cold-attach a saved collection + index + shard map.
 
         ``latency_seconds`` wraps the evaluator in the benchmark's
         GIL-releasing stall proxy (modeling a remote/disk index lookup);
-        0 disables it.
+        0 disables it.  The ``wal.log`` beside the index (if any) is
+        served through ``wal_pull`` so followers can tail this worker.
         """
+        from repro.wal.recovery import wal_path_for
+
         collection = load_collection(collection_dir)
         flix = Flix.load(collection, index_dir, verify=verify)
         shard_map = load_shard_map(index_dir)
@@ -125,7 +150,10 @@ class ShardWorker:
             from repro.bench.serving import LatencyEvaluator
 
             flix.pee = LatencyEvaluator(flix.pee, latency_seconds)
-        return cls(flix, shard_map, shard_id)
+        return cls(
+            flix, shard_map, shard_id,
+            wal_path=wal_path_for(index_dir), role=role,
+        )
 
     # ------------------------------------------------------------------
     # serving
@@ -155,6 +183,34 @@ class ShardWorker:
             except OSError:
                 pass
 
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful stop (the SIGTERM path): stop accepting connections,
+        wait for in-flight dispatches to finish (their replies still go
+        out), fsync the WAL tail, then release :meth:`wait`.
+
+        Idle connections parked in ``read_frame`` are simply dropped at
+        process exit — only requests already being evaluated are owed a
+        reply.
+        """
+        with self._inflight_lock:
+            self._draining = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(remaining)
+        wal = getattr(self.flix, "wal", None)
+        if wal is not None:
+            wal.sync()
+        self.close()
+
     def _accept_loop(self) -> None:
         while not self._stop.is_set():
             try:
@@ -177,19 +233,42 @@ class ShardWorker:
                     verb, payload = read_frame(conn)
                 except (ConnectionError, OSError):
                     return  # peer hung up
+                with self._inflight_lock:
+                    if self._draining:
+                        # a request racing the drain gets an explicit
+                        # refusal, not a dropped connection
+                        try:
+                            write_frame(
+                                conn,
+                                ("error", {
+                                    "type": "ShardUnavailable",
+                                    "message": "worker is draining",
+                                }),
+                            )
+                        except (ConnectionError, OSError):
+                            pass
+                        return
+                    self._inflight += 1
                 try:
-                    reply = self._dispatch(verb, payload)
-                    self._requests.inc(verb=verb, status="ok")
-                except Exception as exc:  # keep the worker alive
-                    self._requests.inc(verb=verb, status="error")
-                    reply = (
-                        "error",
-                        {"type": type(exc).__name__, "message": str(exc)},
-                    )
-                try:
-                    write_frame(conn, reply)
-                except (ConnectionError, OSError):
-                    return
+                    try:
+                        reply = self._dispatch(verb, payload)
+                        self._requests.inc(verb=verb, status="ok")
+                    except Exception as exc:  # keep the worker alive
+                        self._requests.inc(verb=verb, status="error")
+                        reply = (
+                            "error",
+                            {"type": type(exc).__name__, "message": str(exc)},
+                        )
+                    try:
+                        write_frame(conn, reply)
+                    except (ConnectionError, OSError):
+                        return
+                finally:
+                    # the reply (if any) is on the wire before the drain
+                    # is allowed to observe this request as finished
+                    with self._idle:
+                        self._inflight -= 1
+                        self._idle.notify_all()
                 if verb == "shutdown":
                     self.close()
                     return
@@ -229,12 +308,35 @@ class ShardWorker:
                 if node in layout.meta_of
             ]
             return "seeds", {"seeds": seeds}
+        if verb == "wal_pull":
+            from repro.wal.log import read_wal
+
+            if self.wal_path is None:
+                raise ValueError("this worker serves no write-ahead log")
+            after = int(payload.get("after_generation", -1))
+            records, _discarded = read_wal(self.wal_path)
+            base = records[0].generation if records else after
+            tail = records[-1].generation if records else after
+            return "wal_records", {
+                "records": [
+                    {
+                        "verb": r.verb,
+                        "generation": r.generation,
+                        "payload": r.payload,
+                    }
+                    for r in records
+                    if r.generation > after
+                ],
+                "base_generation": base,
+                "tail_generation": tail,
+            }
         if verb == "ping":
             return "pong", {
                 "shard": self.shard_id,
                 "generation": self.flix.layout_generation,
                 "owned_metas": len(self.shard_map.owned_metas(self.shard_id)),
                 "pid": os.getpid(),
+                "role": self.role,
             }
         if verb == "metrics":
             from repro.obs.export import render
@@ -345,11 +447,25 @@ def main(argv=None) -> int:
         default=float(os.environ.get(LATENCY_ENV, "0") or 0),
         help="injected evaluator stall per search call (bench use)",
     )
+    parser.add_argument(
+        "--role", choices=("primary", "follower"), default="primary",
+        help="what this worker reports itself as on ping/health",
+    )
     args = parser.parse_args(argv)
     worker = ShardWorker.attach(
         args.collection, args.index, args.shard,
         latency_seconds=args.latency_ms / 1000.0,
+        role=args.role,
     )
+
+    def _drain(signum, frame):  # pragma: no cover - signal delivery timing
+        # run the drain off the signal frame so a handler firing inside
+        # wait() cannot deadlock on the in-flight condition
+        threading.Thread(
+            target=worker.drain, name="sigterm-drain", daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
     host, port = worker.start(args.host, args.port)
     print(
         f"{READY_PREFIX} shard={args.shard} port={port} "

@@ -1,0 +1,77 @@
+"""Crash-safe file replacement: temp file + ``os.replace`` + dir fsync.
+
+A bare ``write_text`` is a torn-write hazard: a crash (or injected
+fault) midway leaves a half-written file under the final name, and a
+reader cannot tell "short" from "valid but small".  Every durable
+artifact in this repository — the persistence manifest, rebuilt pack
+blobs, WAL truncations — goes through these helpers instead:
+
+1. write the full content to a ``.tmp-*`` sibling in the same directory
+   (same filesystem, so the rename below is atomic);
+2. flush + ``fsync`` the temp file, so its *content* is durable before
+   its *name* is;
+3. ``os.replace`` it over the final name — atomic on POSIX and Windows;
+4. ``fsync`` the containing directory, so the rename itself survives a
+   power cut (without it the old directory entry can come back).
+
+Readers therefore always see either the complete old content or the
+complete new content, never a prefix.  See ``docs/DURABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """Flush a directory's entry table (rename/create durability).
+
+    Best-effort: some platforms/filesystems refuse ``open`` on a
+    directory (Windows) or ``fsync`` on the handle; the replace itself
+    is still atomic there, only power-cut durability of the *rename* is
+    weaker — nothing to do about that portably.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (see module docstring)."""
+    target = Path(path)
+    tmp = target.with_name(f".tmp-{target.name}.{os.getpid()}")
+    fd = os.open(str(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(str(tmp), str(target))
+    except BaseException:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise
+    fsync_directory(target.parent)
+
+
+def atomic_write_text(
+    path: PathLike, text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically replace ``path`` with ``text`` (see module docstring)."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_directory"]

@@ -1,0 +1,78 @@
+"""``repro.wal`` — the durable write-ahead mutation log.
+
+Incremental maintenance (``docs/MAINTENANCE.md``) publishes every verb
+as one atomic in-memory layout swap; this package makes those swaps
+*durable* and *replicable*:
+
+* :class:`WalRecord` / :func:`~repro.wal.record.decode_records` — the
+  checksummed, length-framed record format (:mod:`repro.wal.record`);
+  torn or bit-flipped tails are detected per record and discarded;
+* :class:`WriteAheadLog` — append with a configurable fsync policy
+  (fsync-on-commit, group commit, or none), truncate at snapshot time
+  (:mod:`repro.wal.log`);
+* :func:`recover_flix` — crash recovery as ``load_flix`` (last
+  snapshot) + replay-to-tail, with a :class:`RecoveryReport` of what
+  was applied and what was discarded (:mod:`repro.wal.recovery`);
+* :class:`FollowerFlix` — read replicas that tail the log from a file
+  or over the shard protocol's ``wal_pull`` verb and apply verbs with
+  atomic generation swaps (:mod:`repro.wal.follower`); the layout
+  generation is the replication cursor.
+
+``Flix.enable_wal`` attaches a log to a live instance; ``Flix.save``
+then checkpoints it (snapshot + truncate).  See ``docs/DURABILITY.md``
+for the format, the fsync policy trade-offs, and the recovery
+invariant the ``tests/wal`` crash-point matrix enforces.
+"""
+
+from repro.wal.follower import (
+    FileWalSource,
+    FollowerFlix,
+    RemoteWalSource,
+    ReplicationError,
+    WalSegment,
+)
+from repro.wal.log import BEGIN_VERB, FSYNC_POLICIES, WriteAheadLog, read_wal
+from repro.wal.record import (
+    MAX_RECORD_BYTES,
+    WAL_MAGIC,
+    WalCorruptionError,
+    WalError,
+    WalRecord,
+    decode_records,
+)
+from repro.wal.recovery import (
+    RecoveryReport,
+    WAL_NAME,
+    apply_record,
+    document_from_payload,
+    document_to_payload,
+    recover_flix,
+    replay_records,
+    wal_path_for,
+)
+
+__all__ = [
+    "BEGIN_VERB",
+    "FSYNC_POLICIES",
+    "FileWalSource",
+    "FollowerFlix",
+    "MAX_RECORD_BYTES",
+    "RecoveryReport",
+    "RemoteWalSource",
+    "ReplicationError",
+    "WAL_MAGIC",
+    "WAL_NAME",
+    "WalCorruptionError",
+    "WalError",
+    "WalRecord",
+    "WalSegment",
+    "WriteAheadLog",
+    "apply_record",
+    "decode_records",
+    "document_from_payload",
+    "document_to_payload",
+    "read_wal",
+    "recover_flix",
+    "replay_records",
+    "wal_path_for",
+]

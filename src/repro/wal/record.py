@@ -1,0 +1,133 @@
+"""The WAL's on-disk record format: length-framed, CRC-checksummed.
+
+A log file is the 8-byte magic ``FLXWAL01`` followed by zero or more
+records::
+
+    +----------------+----------------+------------------------+
+    | 4 bytes        | 4 bytes        | ``length`` bytes       |
+    | big-endian u32 | big-endian u32 | UTF-8 JSON body        |
+    | body length    | CRC-32 of body |                        |
+    +----------------+----------------+------------------------+
+
+The body is the compact JSON rendering of one :class:`WalRecord`:
+``{"verb": ..., "generation": ..., "payload": {...}}``.  ``generation``
+is the layout generation the verb *produces* — replay applies records
+whose generation exceeds the loaded snapshot's and verifies the layout
+lands exactly there (the generation is the replication cursor, see
+``docs/DURABILITY.md``).
+
+Torn-tail semantics: :func:`decode_records` walks the file front to
+back and stops at the first record it cannot fully validate — a header
+that announces more bytes than remain (a write cut short by a crash), a
+CRC mismatch (a bit flip), unparsable JSON, or an implausible length.
+Everything before that point is returned; everything from it on is
+reported as ``discarded_bytes`` and never applied.  A corrupt *middle*
+record is indistinguishable from a torn tail by design — the log is
+only ever appended to, so the first bad byte ends the trustworthy
+prefix either way.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: file magic: format name + version, 8 bytes so records stay aligned
+WAL_MAGIC = b"FLXWAL01"
+
+#: a single record body above this is corruption, not data (the largest
+#: legitimate record is an ``add_batch`` of serialized documents)
+MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">II")
+
+
+class WalError(RuntimeError):
+    """Base class for WAL format violations."""
+
+
+class WalCorruptionError(WalError):
+    """The log's magic is wrong or a record fails validation where the
+    caller demanded strictness (replay mismatches, bad file preamble)."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged maintenance verb (or the ``begin`` base marker)."""
+
+    verb: str
+    #: the layout generation after applying this verb
+    generation: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        """The full framed record (header + body), ready to append."""
+        body = json.dumps(
+            {
+                "verb": self.verb,
+                "generation": self.generation,
+                "payload": self.payload,
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode("utf-8")
+        return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "WalRecord":
+        data = json.loads(body.decode("utf-8"))
+        return cls(
+            verb=data["verb"],
+            generation=int(data["generation"]),
+            payload=data.get("payload", {}),
+        )
+
+
+def decode_records(data: bytes) -> Tuple[List[WalRecord], int]:
+    """Parse a whole log image into ``(records, discarded_bytes)``.
+
+    ``data`` must start with :data:`WAL_MAGIC` (raises
+    :class:`WalCorruptionError` otherwise — a wrong magic means this is
+    not a WAL at all, silently returning nothing would mask it).
+    ``discarded_bytes`` counts the unusable tail: 0 for a clean log.
+    """
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise WalCorruptionError(
+            "not a FliX WAL: bad magic "
+            f"{data[: len(WAL_MAGIC)]!r} (expected {WAL_MAGIC!r})"
+        )
+    records: List[WalRecord] = []
+    offset = len(WAL_MAGIC)
+    total = len(data)
+    while offset < total:
+        if total - offset < _HEADER.size:
+            break  # torn header
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > MAX_RECORD_BYTES:
+            break  # implausible length: a bit flip in the header
+        body_start = offset + _HEADER.size
+        if total - body_start < length:
+            break  # torn body
+        body = data[body_start : body_start + length]
+        if zlib.crc32(body) != crc:
+            break  # bit-flipped body (or header CRC)
+        try:
+            record = WalRecord.from_body(body)
+        except (ValueError, KeyError, TypeError):
+            break  # CRC collided with garbage; do not apply it
+        records.append(record)
+        offset = body_start + length
+    return records, total - offset
+
+
+__all__ = [
+    "MAX_RECORD_BYTES",
+    "WAL_MAGIC",
+    "WalCorruptionError",
+    "WalError",
+    "WalRecord",
+    "decode_records",
+]

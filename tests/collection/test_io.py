@@ -100,3 +100,106 @@ class TestSaveSafety:
         )
         save_collection(collection, tmp_path / "out")
         assert (tmp_path / "out" / "deep" / "nested" / "d.xml").exists()
+
+
+class TestLayoutSidecar:
+    """``collection_layout.json`` pins node ids across reloads."""
+
+    def _grown_collection(self):
+        from repro.collection.builder import (
+            build_collection,
+            register_document,
+            unregister_document,
+        )
+        from repro.collection.document import XmlDocument
+
+        collection = build_collection(
+            [
+                XmlDocument.from_text("m.xml", "<m><p>one</p></m>"),
+                XmlDocument.from_text("z.xml", "<z/>"),
+            ]
+        )
+        # grow out of sorted order, then shrink: 'a.xml' registers after
+        # 'z.xml', and removing 'b.xml' leaves a tombstoned id hole
+        register_document(
+            collection, XmlDocument.from_text("b.xml", "<b><q/></b>")
+        )
+        register_document(
+            collection, XmlDocument.from_text("a.xml", "<a><r/><s/></a>")
+        )
+        unregister_document(collection, "b.xml")
+        return collection
+
+    def _id_map(self, collection):
+        return {
+            name: list(ids)
+            for name, ids in collection._nodes_by_document.items()
+        }
+
+    def test_mutated_collection_round_trips_ids(self, tmp_path):
+        original = self._grown_collection()
+        save_collection(original, tmp_path, prune=True)
+        assert (tmp_path / "collection_layout.json").is_file()
+        reloaded = load_collection(tmp_path)
+        assert self._id_map(reloaded) == self._id_map(original)
+        assert reloaded.node_count == original.node_count
+        for name, ids in self._id_map(original).items():
+            for node_id in ids:
+                assert reloaded.info(node_id).tag == original.info(node_id).tag
+
+    def test_directory_without_sidecar_loads_classically(self, tmp_path):
+        from repro.collection.builder import build_collection
+        from repro.collection.document import XmlDocument
+
+        docs = [
+            XmlDocument.from_text("a.xml", "<a/>"),
+            XmlDocument.from_text("b.xml", "<b/>"),
+        ]
+        for doc in docs:
+            (tmp_path / doc.name).write_text("<%s/>" % doc.name[0])
+        reloaded = load_collection(tmp_path)
+        assert self._id_map(reloaded) == self._id_map(build_collection(docs))
+
+    def test_never_mutated_collection_is_unchanged_by_sidecar(self, tmp_path):
+        from repro.collection.builder import build_collection
+        from repro.collection.document import XmlDocument
+
+        docs = [
+            XmlDocument.from_text("a.xml", "<a><p/></a>"),
+            XmlDocument.from_text("b.xml", "<b/>"),
+        ]
+        collection = build_collection(docs)
+        save_collection(collection, tmp_path)
+        reloaded = load_collection(tmp_path)
+        assert self._id_map(reloaded) == self._id_map(collection)
+
+    def test_prune_deletes_removed_documents(self, tmp_path):
+        from repro.collection.builder import unregister_document
+
+        collection = self._grown_collection()
+        save_collection(collection, tmp_path, prune=True)
+        unregister_document(collection, "z.xml")
+        save_collection(collection, tmp_path, prune=True)
+        assert not (tmp_path / "z.xml").exists()
+        reloaded = load_collection(tmp_path)
+        assert set(reloaded.documents) == set(collection.documents)
+        assert self._id_map(reloaded) == self._id_map(collection)
+
+    def test_corrupt_sidecar_falls_back_to_sorted_order(self, tmp_path):
+        collection = self._grown_collection()
+        save_collection(collection, tmp_path, prune=True)
+        (tmp_path / "collection_layout.json").write_text("{torn", "utf-8")
+        reloaded = load_collection(tmp_path)  # classic order, no crash
+        assert set(reloaded.documents) == set(collection.documents)
+
+    def test_hand_added_file_registers_after_layout(self, tmp_path):
+        collection = self._grown_collection()
+        save_collection(collection, tmp_path, prune=True)
+        (tmp_path / "extra.xml").write_text("<extra/>", encoding="utf-8")
+        reloaded = load_collection(tmp_path)
+        id_map = self._id_map(reloaded)
+        known = self._id_map(collection)
+        assert {k: v for k, v in id_map.items() if k != "extra.xml"} == known
+        assert min(id_map["extra.xml"]) > max(
+            node_id for ids in known.values() for node_id in ids
+        )

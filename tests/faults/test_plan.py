@@ -74,3 +74,37 @@ class TestPlanFromEnv:
             {"FLIX_FAULT_PLAN": "seed=1,fail_first=1", "FAULT_PLAN": "moderate"}
         )
         assert plan.fail_first == 1
+
+
+class TestCrashFaults:
+    """The crash-fault fields (crash_after_writes / torn_write_bytes)."""
+
+    def test_crash_fields_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_after_writes=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(torn_write_bytes=-3)
+
+    def test_crash_only_plan_is_storage_noop(self):
+        plan = FaultPlan(crash_after_writes=2, torn_write_bytes=4)
+        assert plan.storage_is_noop  # must not wrap storage backends
+        assert not plan.is_noop  # but it is not a no-op overall
+
+    def test_storage_plan_is_not_storage_noop(self):
+        assert not FaultPlan(read_error_rate=0.1).storage_is_noop
+        assert FaultPlan().storage_is_noop and FaultPlan().is_noop
+
+    def test_spec_round_trips_crash_fields(self):
+        plan = FaultPlan.from_spec("crash_after_writes=3,torn_write_bytes=9")
+        assert plan.crash_after_writes == 3
+        assert plan.torn_write_bytes == 9
+        again = FaultPlan.from_spec(plan.to_spec())
+        assert again == plan
+
+    def test_spec_none_clears_crash_fields(self):
+        plan = FaultPlan.from_spec("crash_after_writes=none")
+        assert plan.crash_after_writes is None
+
+    def test_env_plan_with_crash_fields(self):
+        plan = plan_from_env({"FAULT_PLAN": "crash_after_writes=1"})
+        assert plan is not None and plan.crash_after_writes == 1

@@ -273,3 +273,66 @@ class TestParser:
     def test_bad_config_rejected(self, movie_dir):
         with pytest.raises(SystemExit):
             main(["build", movie_dir, "--config", "nope"])
+
+
+class TestDurabilityCommands:
+    @pytest.fixture()
+    def crashed_deployment(self, tmp_path):
+        """A saved deployment plus a WAL with one unsnapshotted add."""
+        from repro.core.config import FlixConfig
+        from repro.core.framework import Flix
+        from repro.collection.builder import build_collection
+        from repro.collection.document import XmlDocument
+        from repro.wal import wal_path_for
+
+        collection = build_collection(
+            [XmlDocument.from_text("a.xml", "<a><p>one</p></a>")]
+        )
+        flix = Flix.build(collection, FlixConfig.naive())
+        collection_dir = tmp_path / "collection"
+        index_dir = tmp_path / "index"
+        save_collection(collection, collection_dir)
+        flix.save(index_dir)
+        flix.enable_wal(wal_path_for(index_dir))
+        flix.add_document(
+            XmlDocument.from_text("b.xml", "<b><q>two</q></b>")
+        )
+        return str(collection_dir), str(index_dir), flix
+
+    def test_recover_replays_the_log(self, crashed_deployment, capsys):
+        collection_dir, index_dir, flix = crashed_deployment
+        assert main(["recover", collection_dir, index_dir]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 1/1 record(s)" in out
+        assert "applied verbs: add" in out
+
+    def test_recover_snapshot_checkpoints(self, crashed_deployment, capsys):
+        collection_dir, index_dir, flix = crashed_deployment
+        assert main(
+            ["recover", collection_dir, index_dir, "--snapshot"]
+        ) == 0
+        assert "log checkpointed" in capsys.readouterr().out
+        # the checkpoint is cold-loadable and replays nothing
+        assert main(["recover", collection_dir, index_dir]) == 0
+        assert "replayed 0/0" in capsys.readouterr().out
+
+    def test_wal_lists_records(self, crashed_deployment, capsys):
+        collection_dir, index_dir, flix = crashed_deployment
+        assert main(["wal", index_dir]) == 0
+        out = capsys.readouterr().out
+        assert "tail generation 1" in out
+        assert "add" in out
+
+    def test_wal_json(self, crashed_deployment, capsys):
+        import json
+
+        collection_dir, index_dir, flix = crashed_deployment
+        assert main(["wal", index_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tail_generation"] == 1
+        assert payload["discarded_bytes"] == 0
+        assert [r["verb"] for r in payload["records"]] == ["begin", "add"]
+
+    def test_wal_without_log_exits_one(self, movie_dir, tmp_path, capsys):
+        assert main(["wal", str(tmp_path)]) == 1
+        assert "no write-ahead log" in capsys.readouterr().out

@@ -1,0 +1,170 @@
+"""The WriteAheadLog: append, fsync policies, truncation, re-attach."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, InjectedCrash
+from repro.obs import Observability
+from repro.wal import (
+    BEGIN_VERB,
+    WAL_MAGIC,
+    WalCorruptionError,
+    WriteAheadLog,
+    read_wal,
+)
+
+
+def test_fresh_log_starts_with_begin(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log", base_generation=5)
+    records, discarded = wal.records()
+    assert discarded == 0
+    assert [r.verb for r in records] == [BEGIN_VERB]
+    assert records[0].generation == 5
+    assert wal.base_generation == 5 and wal.tail_generation == 5
+    wal.close()
+
+
+def test_append_and_reread(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.append("add", 1, {"documents": []})
+    wal.append("remove", 2, {"name": "x.xml"})
+    assert wal.tail_generation == 2
+    records, _ = wal.records()
+    assert [(r.verb, r.generation) for r in records] == [
+        (BEGIN_VERB, 0), ("add", 1), ("remove", 2),
+    ]
+    wal.close()
+
+
+@pytest.mark.parametrize("policy", ["commit", "batch", "none"])
+def test_every_fsync_policy_persists(tmp_path, policy):
+    wal = WriteAheadLog(tmp_path / "wal.log", fsync=policy, batch_size=3)
+    for i in range(7):
+        wal.append("add", i + 1, {"i": i})
+    wal.close()  # close syncs pending appends
+    records, discarded = read_wal(tmp_path / "wal.log")
+    assert discarded == 0
+    assert [r.generation for r in records] == list(range(8))
+
+
+def test_bad_policy_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        WriteAheadLog(tmp_path / "wal.log", fsync="eventually")
+    with pytest.raises(ValueError):
+        WriteAheadLog(tmp_path / "wal.log", fsync="batch", batch_size=0)
+
+
+def test_truncate_resets_to_new_begin(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    for i in range(4):
+        wal.append("add", i + 1, {})
+    wal.truncate(4)
+    records, discarded = wal.records()
+    assert discarded == 0
+    assert [(r.verb, r.generation) for r in records] == [(BEGIN_VERB, 4)]
+    assert wal.base_generation == 4 and wal.tail_generation == 4
+    wal.append("add", 5, {})
+    assert wal.tail_generation == 5
+    wal.close()
+
+
+def test_reattach_resumes_at_tail(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append("add", 1, {})
+    wal.close()
+    resumed = WriteAheadLog(path)
+    assert resumed.base_generation == 0
+    assert resumed.tail_generation == 1
+    resumed.append("add", 2, {})
+    resumed.close()
+    records, _ = read_wal(path)
+    assert [r.generation for r in records] == [0, 1, 2]
+
+
+def test_reattach_trims_torn_tail_in_place(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append("add", 1, {})
+    wal.append("add", 2, {})
+    wal.close()
+    data = path.read_bytes()
+    path.write_bytes(data[:-5])  # tear the last record
+    resumed = WriteAheadLog(path)
+    assert resumed.tail_generation == 1
+    assert path.stat().st_size < len(data) - 5  # torn bytes gone
+    resumed.append("add", 2, {})
+    resumed.close()
+    records, discarded = read_wal(path)
+    assert discarded == 0
+    assert [r.generation for r in records] == [0, 1, 2]
+
+
+def test_attach_refuses_non_wal_file(tmp_path):
+    path = tmp_path / "wal.log"
+    path.write_bytes(b"definitely not a log")
+    with pytest.raises(WalCorruptionError):
+        WriteAheadLog(path)
+
+
+def test_attach_refuses_log_without_begin(tmp_path):
+    from repro.wal.record import WalRecord
+
+    path = tmp_path / "wal.log"
+    path.write_bytes(WAL_MAGIC + WalRecord("add", 1, {}).to_bytes())
+    with pytest.raises(WalCorruptionError):
+        WriteAheadLog(path)
+
+
+def test_closed_log_rejects_appends(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.close()
+    with pytest.raises(WalCorruptionError):
+        wal.append("add", 1, {})
+
+
+def test_missing_file_reads_as_empty(tmp_path):
+    assert read_wal(tmp_path / "absent.log") == ([], 0)
+
+
+def test_metrics_move_with_appends(tmp_path):
+    obs = Observability(enabled=True)
+    wal = WriteAheadLog(tmp_path / "wal.log", observability=obs)
+    wal.append("add", 1, {})
+    wal.append("remove", 2, {})
+    wal.truncate(2)
+    reg = obs.registry
+    assert reg.get("flix_wal_records_total").value(verb="add") == 1
+    assert reg.get("flix_wal_records_total").value(verb="remove") == 1
+    assert reg.get("flix_wal_truncations_total").total() == 1
+    assert reg.get("flix_wal_fsyncs_total").total() >= 2
+    assert reg.get("flix_wal_bytes_total").total() > 0
+    wal.close()
+
+
+def test_injected_crash_tears_the_write(tmp_path):
+    plan = FaultPlan(crash_after_writes=2, torn_write_bytes=6)
+    wal = WriteAheadLog(tmp_path / "wal.log", fault_plan=plan)
+    wal.append("add", 1, {})
+    wal.append("add", 2, {})
+    with pytest.raises(InjectedCrash):
+        wal.append("add", 3, {})
+    # the log object is dead, exactly like the process it models
+    with pytest.raises(InjectedCrash):
+        wal.append("add", 4, {})
+    wal.close()
+    records, discarded = read_wal(tmp_path / "wal.log")
+    assert [r.generation for r in records] == [0, 1, 2]
+    assert discarded == 6  # exactly torn_write_bytes of the torn record
+
+
+def test_injected_crash_default_tears_half_the_record(tmp_path):
+    plan = FaultPlan(crash_after_writes=0)
+    wal = WriteAheadLog(tmp_path / "wal.log", fault_plan=plan)
+    with pytest.raises(InjectedCrash):
+        wal.append("add", 1, {"padding": "x" * 64})
+    wal.close()
+    records, discarded = read_wal(tmp_path / "wal.log")
+    assert [r.verb for r in records] == [BEGIN_VERB]
+    assert discarded > 0

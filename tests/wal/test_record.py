@@ -1,0 +1,106 @@
+"""The WAL record format: framing, checksums, torn-tail discipline."""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.wal.record import (
+    MAX_RECORD_BYTES,
+    WAL_MAGIC,
+    WalCorruptionError,
+    WalRecord,
+    decode_records,
+)
+
+
+def encode(*records: WalRecord) -> bytes:
+    return WAL_MAGIC + b"".join(record.to_bytes() for record in records)
+
+
+RECORDS = (
+    WalRecord("begin", 0, {"base_generation": 0}),
+    WalRecord("add", 1, {"documents": [{"name": "a.xml", "xml": "<a/>"}]}),
+    WalRecord("remove", 2, {"name": "a.xml"}),
+    WalRecord("compact", 3, {"meta_ids": [4, 5, 6]}),
+)
+
+
+def test_roundtrip():
+    decoded, discarded = decode_records(encode(*RECORDS))
+    assert discarded == 0
+    assert tuple(decoded) == RECORDS
+
+
+def test_record_framing_is_length_crc_body():
+    record = WalRecord("add", 7, {"x": 1})
+    frame = record.to_bytes()
+    length, crc = struct.unpack(">II", frame[:8])
+    body = frame[8:]
+    assert length == len(body)
+    assert crc == zlib.crc32(body)
+    payload = json.loads(body)
+    assert payload == {"verb": "add", "generation": 7, "payload": {"x": 1}}
+
+
+def test_bad_magic_raises():
+    with pytest.raises(WalCorruptionError):
+        decode_records(b"NOTAWAL!" + RECORDS[0].to_bytes())
+
+
+def test_empty_log_is_valid():
+    decoded, discarded = decode_records(WAL_MAGIC)
+    assert decoded == [] and discarded == 0
+
+
+def test_torn_tail_at_every_byte_offset():
+    """Cutting the image anywhere drops only the torn record."""
+    data = encode(*RECORDS)
+    boundaries = [len(WAL_MAGIC)]
+    for record in RECORDS:
+        boundaries.append(boundaries[-1] + len(record.to_bytes()))
+    for cut in range(len(WAL_MAGIC), len(data)):
+        decoded, discarded = decode_records(data[:cut])
+        complete = sum(1 for b in boundaries[1:] if b <= cut)
+        assert len(decoded) == complete, f"cut at {cut}"
+        assert discarded == cut - boundaries[complete], f"cut at {cut}"
+        assert tuple(decoded) == RECORDS[:complete]
+
+
+def test_bit_flip_in_body_discards_from_there():
+    data = bytearray(encode(*RECORDS))
+    # flip one bit inside the second record's body (skip its header)
+    offset = len(WAL_MAGIC) + len(RECORDS[0].to_bytes()) + 8 + 3
+    data[offset] ^= 0x40
+    decoded, discarded = decode_records(bytes(data))
+    assert tuple(decoded) == RECORDS[:1]
+    assert discarded == len(data) - len(WAL_MAGIC) - len(RECORDS[0].to_bytes())
+
+
+def test_bit_flip_in_length_header_discards_from_there():
+    data = bytearray(encode(*RECORDS))
+    offset = len(WAL_MAGIC) + len(RECORDS[0].to_bytes())
+    data[offset] ^= 0x80  # announces > MAX_RECORD_BYTES
+    decoded, _ = decode_records(bytes(data))
+    assert tuple(decoded) == RECORDS[:1]
+
+
+def test_implausible_length_is_treated_as_corruption():
+    bad = WAL_MAGIC + struct.pack(">II", MAX_RECORD_BYTES + 1, 0)
+    decoded, discarded = decode_records(bad)
+    assert decoded == [] and discarded == 8
+
+
+def test_crc_collision_with_garbage_json_is_not_applied():
+    body = b"not json at all"
+    frame = struct.pack(">II", len(body), zlib.crc32(body)) + body
+    decoded, discarded = decode_records(WAL_MAGIC + frame)
+    assert decoded == [] and discarded == len(frame)
+
+
+def test_from_body_defaults_payload():
+    record = WalRecord.from_body(b'{"verb":"remove","generation":3}')
+    assert record == WalRecord("remove", 3, {})

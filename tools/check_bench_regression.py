@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""Fail if a committed microops benchmark result violates its floors.
+"""Fail if a committed benchmark result violates its floors.
 
-The bench-regression guard: ``benchmarks/bench_microops.py`` measures
-the packed hot-path layout against the object layout and writes
-``BENCH_microops.json``; this script re-checks that file against the
-same acceptance floors *without re-running the bench*, so CI (and a
-reviewer) can verify the committed numbers are in contract even on a
-machine too noisy to reproduce them:
+The bench-regression guard re-checks committed ``BENCH_*.json`` files
+against the same acceptance floors the benches assert *without
+re-running them*, so CI (and a reviewer) can verify the committed
+numbers are in contract even on a machine too noisy to reproduce them.
+The payload kind is detected from its keys:
+
+``BENCH_microops.json`` (``benchmarks/bench_microops.py``):
 
 * ``median_probe_speedup``      >= 2.0   (packed probes, strategy mix)
 * ``cold_attach.speedup``       >= 10.0  (verified mmap attach vs
@@ -14,9 +15,19 @@ machine too noisy to reproduce them:
 * every per-op speedup          >= 0.8   (no single op regresses
                                           beyond measurement noise)
 
+``BENCH_durability.json`` (``benchmarks/bench_durability.py``):
+
+* ``recovery.fingerprint_match`` / ``generation_match``  must be true
+  (crash recovery lands byte-exactly on the crashed primary's index)
+* ``recovery.records_per_second``  >= 50    (WAL replay must not crawl)
+* ``follower.parity``  true  and  ``follower.final_lag`` == 0
+  (a caught-up replica answers all eight query kinds byte-identically)
+* ``fsync_batching_speedup``  >= 0.8  (group commit never regresses
+  below per-record fsync beyond measurement noise)
+
 Run from the repository root::
 
-    python tools/check_bench_regression.py [path/to/BENCH_microops.json]
+    python tools/check_bench_regression.py [path/to/BENCH_file.json ...]
 """
 
 from __future__ import annotations
@@ -30,10 +41,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 MEDIAN_PROBE_FLOOR = 2.0
 COLD_ATTACH_FLOOR = 10.0
 PER_OP_FLOOR = 0.8
+REPLAY_RATE_FLOOR = 50.0
+BATCHING_FLOOR = 0.8
 
 
 def check(payload: dict) -> list:
-    """The floor violations in a bench payload (empty = in contract)."""
+    """The floor violations in a microops payload (empty = in contract)."""
     failures = []
 
     def require(condition: bool, message: str) -> None:
@@ -67,8 +80,48 @@ def check(payload: dict) -> list:
     return failures
 
 
-def main(argv: list) -> int:
-    path = Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "BENCH_microops.json"
+def check_durability(payload: dict) -> list:
+    """The floor violations in a durability payload."""
+    failures = []
+
+    def require(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    recovery = payload.get("recovery", {})
+    require(
+        recovery.get("fingerprint_match") is True,
+        "recovery.fingerprint_match must be true (recovered index must "
+        "equal the crashed primary's byte-for-byte)",
+    )
+    require(
+        recovery.get("generation_match") is True,
+        "recovery.generation_match must be true",
+    )
+    rate = recovery.get("records_per_second")
+    require(
+        isinstance(rate, (int, float)) and rate >= REPLAY_RATE_FLOOR,
+        f"recovery.records_per_second {rate!r} < {REPLAY_RATE_FLOOR}",
+    )
+    follower = payload.get("follower", {})
+    require(
+        follower.get("parity") is True,
+        "follower.parity must be true (all eight query kinds byte-"
+        "identical to the primary)",
+    )
+    require(
+        follower.get("final_lag") == 0,
+        f"follower.final_lag {follower.get('final_lag')!r} != 0",
+    )
+    batching = payload.get("fsync_batching_speedup")
+    require(
+        isinstance(batching, (int, float)) and batching >= BATCHING_FLOOR,
+        f"fsync_batching_speedup {batching!r} < {BATCHING_FLOOR}",
+    )
+    return failures
+
+
+def _check_file(path: Path) -> int:
     if not path.is_file():
         print(f"check_bench_regression: {path} not found", file=sys.stderr)
         return 1
@@ -77,18 +130,47 @@ def main(argv: list) -> int:
     except ValueError as exc:
         print(f"check_bench_regression: {path} is not JSON: {exc}", file=sys.stderr)
         return 1
-    failures = check(payload)
+    if "recovery" in payload and "fsync_policies" in payload:
+        failures = check_durability(payload)
+        summary = (
+            f"{path.name}: replay "
+            f"{payload['recovery']['records_per_second']:.0f} records/s, "
+            f"follower parity {payload['follower']['parity']}, "
+            f"lag {payload['follower']['final_lag']}"
+        )
+    else:
+        failures = check(payload)
+        summary = (
+            f"{path.name}: "
+            f"median probe {payload.get('median_probe_speedup')}x, "
+            f"cold attach {payload.get('cold_attach', {}).get('speedup')}x, "
+            f"{sum(len(s) for s in payload.get('ops', {}).values())} "
+            "per-op floors"
+        )
     if failures:
         for failure in failures:
-            print(f"check_bench_regression: FAIL {failure}", file=sys.stderr)
+            print(
+                f"check_bench_regression: FAIL [{path.name}] {failure}",
+                file=sys.stderr,
+            )
         return 1
-    print(
-        "check_bench_regression: "
-        f"median probe {payload['median_probe_speedup']}x, "
-        f"cold attach {payload['cold_attach']['speedup']}x, "
-        f"{sum(len(s) for s in payload['ops'].values())} per-op floors OK"
-    )
+    print(f"check_bench_regression: {summary} OK")
     return 0
+
+
+def main(argv: list) -> int:
+    paths = (
+        [Path(arg) for arg in argv[1:]]
+        if len(argv) > 1
+        else [
+            REPO_ROOT / "BENCH_microops.json",
+            REPO_ROOT / "BENCH_durability.json",
+        ]
+    )
+    status = 0
+    for path in paths:
+        status |= _check_file(path)
+    return status
 
 
 if __name__ == "__main__":

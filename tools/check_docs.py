@@ -37,6 +37,7 @@ CHECKED_DOCS = (
     DOCS_DIR / "API.md",
     DOCS_DIR / "ARCHITECTURE.md",
     DOCS_DIR / "DATA_LAYOUT.md",
+    DOCS_DIR / "DURABILITY.md",
     DOCS_DIR / "MAINTENANCE.md",
     DOCS_DIR / "OBSERVABILITY.md",
     DOCS_DIR / "PAPER_MAP.md",
