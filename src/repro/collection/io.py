@@ -53,14 +53,16 @@ def _read_layout(root: Path) -> Optional[Dict[str, int]]:
         return None
     try:
         layout = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, ValueError):
+        if layout.get("format_version") != LAYOUT_VERSION:
+            return None
+        starts = layout.get("starts")
+        if not isinstance(starts, dict):
+            return None
+        # int() inside the guard: non-integer start values are just
+        # another form of corrupt sidecar, degrading to the classic load
+        return {str(name): int(start) for name, start in starts.items()}
+    except (OSError, ValueError, TypeError, AttributeError):
         return None
-    if layout.get("format_version") != LAYOUT_VERSION:
-        return None
-    starts = layout.get("starts")
-    if not isinstance(starts, dict):
-        return None
-    return {str(name): int(start) for name, start in starts.items()}
 
 
 def _assemble(

@@ -1831,21 +1831,37 @@ class Flix:
         )
         self.report.residual_link_bytes = links_table.size_bytes()
 
-    def save(self, directory) -> "Path":
+    def save(self, directory, checkpoint: Optional[bool] = None) -> "Path":
         """Persist the built index to ``directory`` (restart without
         rebuild); see :mod:`repro.core.persistence` for the layout.
 
-        With a write-ahead log attached, a successful save is a
-        *checkpoint*: the log is truncated back to a ``begin`` marker
-        at the saved generation, since everything it held is now in
-        the snapshot (docs/DURABILITY.md).
+        With a write-ahead log attached, saving into the log's own
+        deployment directory is a *checkpoint*: the log is truncated
+        back to a ``begin`` marker at the saved generation, since
+        everything it held is now in that snapshot (docs/DURABILITY.md).
+        Saving anywhere else — a backup or secondary copy — leaves the
+        log alone: the deployment directory's snapshot still needs
+        those records to recover.  ``checkpoint`` overrides the
+        directory comparison (``True`` forces truncation, ``False``
+        suppresses it).
         """
+        from pathlib import Path as _Path
+
         from repro.core.persistence import save_flix
 
         with self._mutation_lock:
             manifest_path = save_flix(self, directory)
             if self._wal is not None:
-                self._wal.truncate(self.layout_generation)
+                if checkpoint is None:
+                    try:
+                        checkpoint = (
+                            self._wal.path.parent.resolve()
+                            == _Path(directory).resolve()
+                        )
+                    except OSError:
+                        checkpoint = False
+                if checkpoint:
+                    self._wal.truncate(self.layout_generation)
         return manifest_path
 
     @classmethod

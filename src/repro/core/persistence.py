@@ -29,6 +29,19 @@ fbindex, transitive_closure).  DataGuide and Fabric persist their tables
 too, but their specialized lookup structures are rebuilt cheaper from the
 documents, so they are not reconstructed here and are rejected explicitly.
 
+Crash safety
+------------
+
+Saving over an existing save never mutates the files the current
+manifest references.  :func:`save_flix` stages every new file under a
+``.tmp`` sibling name (durable via fsync), atomically replaces the
+manifest — the commit point — and only then renames the staged files
+over the final names and deletes stale ones.  A crash before the
+manifest replace leaves the old save intact; a crash after it is rolled
+forward at the next load/verify/repair, which completes any pending
+renames whose staged content matches the new manifest's fingerprints
+(see ``docs/DURABILITY.md``).
+
 Integrity and repair
 --------------------
 
@@ -46,6 +59,7 @@ fingerprint-identical to the original.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
@@ -65,13 +79,21 @@ from repro.indexes.kindex import ForwardBackwardIndex, KBisimulationIndex
 from repro.indexes.ppo import PpoIndex
 from repro.indexes.registry import IndexBuildRequest, execute_build_request
 from repro.indexes.transitive import TransitiveClosureIndex
-from repro.storage.atomic import atomic_write_bytes, atomic_write_text
+from repro.storage.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+)
 from repro.storage.memory import MemoryBackend
 from repro.storage.sqlite_backend import SqliteBackend
 from repro.storage.table import StorageBackend
 
 MANIFEST_NAME = "manifest.json"
 FORMAT_VERSION = 1
+
+#: sibling suffix under which a save stages its files before the
+#: manifest commit point (see :func:`save_flix`'s write protocol)
+TMP_SUFFIX = ".tmp"
 
 
 class PersistenceError(RuntimeError):
@@ -130,23 +152,32 @@ def save_flix(flix: Flix, directory) -> Path:
 
     from repro.indexes.packed import is_packed, pack_index
 
+    # Phase 1 — stage: build every file the new manifest will reference
+    # under a ``.tmp`` sibling name.  The files the *current* manifest
+    # references are never touched here, so a crash anywhere in this
+    # phase leaves the previous save fully loadable (the strays are
+    # cleaned by the next save or load).
     integrity: Dict[str, str] = {}
+    staged: List[str] = []  # final names whose .tmp is ready to swap in
     for meta in flix.meta_documents:
         filename = f"meta_{meta.meta_id:04d}.sqlite"
-        # saving over an older save: start each file fresh, the old
-        # tables may describe a pre-mutation version of this meta
-        (root / filename).unlink(missing_ok=True)
-        target = SqliteBackend(str(root / filename))
+        tmp = root / (filename + TMP_SUFFIX)
+        tmp.unlink(missing_ok=True)
+        target = SqliteBackend(str(tmp))
         _copy_tables(meta.index.backend, target)
         integrity[filename] = target.fingerprint()
         target.close()
+        _fsync_file(tmp)
+        staged.append(filename)
         if is_packed(meta.index):
             pack_name = f"meta_{meta.meta_id:04d}.pack"
             blob_bytes = pack_index(meta.index)
-            atomic_write_bytes(root / pack_name, blob_bytes)
+            _write_staged_bytes(root / (pack_name + TMP_SUFFIX), blob_bytes)
             integrity[pack_name] = _raw_fingerprint(blob_bytes)
-    (root / "framework.sqlite").unlink(missing_ok=True)
-    framework_target = SqliteBackend(str(root / "framework.sqlite"))
+            staged.append(pack_name)
+    framework_tmp = root / ("framework.sqlite" + TMP_SUFFIX)
+    framework_tmp.unlink(missing_ok=True)
+    framework_target = SqliteBackend(str(framework_tmp))
     if flix._builder is not None:
         _copy_tables(flix._builder.framework_backend, framework_target)
     else:
@@ -154,12 +185,9 @@ def save_flix(flix: Flix, directory) -> Path:
         framework_target.create_table(_LINKS_SCHEMA)
     integrity["framework.sqlite"] = framework_target.fingerprint()
     framework_target.close()
-    # saving over an older save of the same index: drop meta files whose
-    # meta document has since been removed, compacted away, or unpacked
-    for pattern in ("meta_*.sqlite", "meta_*.pack"):
-        for stale in root.glob(pattern):
-            if stale.name not in integrity:
-                stale.unlink()
+    _fsync_file(framework_tmp)
+    staged.append("framework.sqlite")
+    fsync_directory(root)
 
     resilience = flix.config.resilience
     manifest = {
@@ -205,13 +233,78 @@ def save_flix(flix: Flix, directory) -> Path:
             "next_meta_id": flix.layout.next_meta_id,
         },
     }
-    # The manifest is the save's commit point: it is replaced atomically
-    # (temp file + os.replace + directory fsync), so a crash mid-save
-    # leaves either the complete old manifest or the complete new one —
-    # never a torn JSON file (docs/DURABILITY.md).
+    # Phase 2 — commit: the manifest replace (temp file + os.replace +
+    # directory fsync) is the save's commit point.  Before it, the old
+    # manifest and every file it references are untouched; after it, the
+    # new manifest's content is fully staged on disk (as ``.tmp``
+    # siblings, durable since phase 1).  A crash on either side of this
+    # line therefore leaves a loadable save (docs/DURABILITY.md).
     manifest_path = root / MANIFEST_NAME
     atomic_write_text(manifest_path, json.dumps(manifest, indent=2))
+    # Phase 3 — publish: roll the staged files over the final names.  A
+    # crash mid-way is rolled forward at the next load: every reader
+    # settles committed ``.tmp`` siblings first (_settle_interrupted_save
+    # matches them against the manifest fingerprints).
+    for filename in staged:
+        os.replace(root / (filename + TMP_SUFFIX), root / filename)
+    fsync_directory(root)
+    # Phase 4 — clean: drop files referenced by neither manifest — meta
+    # documents removed/compacted/unpacked since the previous save, and
+    # any orphaned stage files a crashed save left behind.
+    for pattern in ("meta_*.sqlite", "meta_*.pack", "*" + TMP_SUFFIX):
+        for stale in root.glob(pattern):
+            if stale.name not in integrity:
+                stale.unlink()
     return manifest_path
+
+
+def _fsync_file(path: Path) -> None:
+    """Force a staged file's content to disk before the manifest commit
+    makes the save depend on it."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_staged_bytes(path: Path, data: bytes) -> None:
+    """Write a stage (``.tmp``) file in place, durable but *not* renamed
+    — the rename happens after the manifest commit (phase 3)."""
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _settle_interrupted_save(root: Path, manifest: dict) -> None:
+    """Roll forward a save that crashed between its manifest commit and
+    the per-file renames.
+
+    For every file the manifest fingerprints, a ``.tmp`` sibling whose
+    content matches the recorded fingerprint is the committed version
+    that never got renamed — complete the rename.  A ``.tmp`` whose
+    final name already matches is a leftover from an older, completed
+    save — drop it.  Anything else is left alone for integrity
+    verification to report.  Idempotent, and best-effort on read-only
+    directories (the mismatch then surfaces as damage instead).
+    """
+    recorded = manifest.get("integrity", {}).get("files", {})
+    settled = False
+    for filename, fingerprint in recorded.items():
+        tmp = root / (filename + TMP_SUFFIX)
+        if not tmp.is_file():
+            continue
+        try:
+            if _file_fingerprint(root / filename) == fingerprint:
+                tmp.unlink()
+            elif _file_fingerprint(tmp) == fingerprint:
+                os.replace(tmp, root / filename)
+                settled = True
+        except OSError:
+            continue
+    if settled:
+        fsync_directory(root)
 
 
 # ----------------------------------------------------------------------
@@ -288,6 +381,9 @@ def _read_manifest(root: Path, collection: XmlCollection) -> dict:
             "collection fingerprint mismatch: the index was saved for "
             f"{manifest['collection']}, got {_fingerprint(collection)}"
         )
+    # every reader path (load/verify/repair) settles an interrupted
+    # save's committed-but-unrenamed stage files before looking at them
+    _settle_interrupted_save(root, manifest)
     return manifest
 
 

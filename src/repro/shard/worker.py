@@ -28,7 +28,10 @@ Verbs served:
     Follower replication (``docs/DURABILITY.md``): serve the records of
     the ``wal.log`` beside the index newer than the caller's cursor
     generation, so a :class:`~repro.wal.follower.RemoteWalSource` can
-    tail this deployment across hosts.
+    tail this deployment across hosts.  Replies are paged (at most
+    ``max_records`` ≤ :data:`WAL_PULL_MAX_RECORDS` records per frame,
+    ``truncated`` flagging a remainder), so one poll against a long
+    backlog never serializes the whole log into a single frame.
 ``ping`` / ``metrics`` / ``shutdown``
     Liveness + role + layout generation, Prometheus/JSON metric export,
     and graceful stop.
@@ -72,6 +75,10 @@ from repro.shard.protocol import read_frame, write_frame
 LATENCY_ENV = "FLIX_SHARD_LATENCY_MS"
 
 READY_PREFIX = "FLIX-SHARD-READY"
+
+#: hard cap on records per ``wal_pull`` reply frame — followers page
+#: through longer backlogs via the reply's ``truncated`` flag
+WAL_PULL_MAX_RECORDS = 256
 
 
 class ShardWorker:
@@ -314,9 +321,16 @@ class ShardWorker:
             if self.wal_path is None:
                 raise ValueError("this worker serves no write-ahead log")
             after = int(payload.get("after_generation", -1))
+            # page size bounds the reply frame: a single add_batch
+            # record can be huge, so never serialize the whole backlog
+            # into one frame — the follower iterates on ``truncated``
+            limit = int(payload.get("max_records", WAL_PULL_MAX_RECORDS))
+            limit = max(1, min(limit, WAL_PULL_MAX_RECORDS))
             records, _discarded = read_wal(self.wal_path)
             base = records[0].generation if records else after
             tail = records[-1].generation if records else after
+            fresh = [r for r in records if r.generation > after]
+            page, truncated = fresh[:limit], len(fresh) > limit
             return "wal_records", {
                 "records": [
                     {
@@ -324,11 +338,11 @@ class ShardWorker:
                         "generation": r.generation,
                         "payload": r.payload,
                     }
-                    for r in records
-                    if r.generation > after
+                    for r in page
                 ],
                 "base_generation": base,
                 "tail_generation": tail,
+                "truncated": truncated,
             }
         if verb == "ping":
             return "pong", {

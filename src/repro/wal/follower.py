@@ -71,14 +71,30 @@ class FileWalSource:
 
 
 class RemoteWalSource:
-    """Pull records over the shard protocol's ``wal_pull`` verb."""
+    """Pull records over the shard protocol's ``wal_pull`` verb.
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+    Replies are paged (``page_size`` records per frame, the server caps
+    it further): one :meth:`fetch` keeps pulling with an advancing
+    cursor until the server reports no remainder, so no single reply
+    frame ever carries the whole backlog.  Servers predating the
+    ``truncated`` flag simply answer everything in the first page.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        page_size: int = 256,
+    ) -> None:
+        if page_size < 1:
+            raise ValueError("page_size must be positive")
         self.host = host
         self.port = port
+        self.page_size = page_size
         self._timeout = timeout
 
-    def fetch(self, after_generation: int) -> WalSegment:
+    def _pull_page(self, after_generation: int) -> dict:
         import socket
 
         from repro.shard.protocol import read_frame, write_frame
@@ -87,7 +103,14 @@ class RemoteWalSource:
             (self.host, self.port), timeout=self._timeout
         ) as sock:
             write_frame(
-                sock, ("wal_pull", {"after_generation": after_generation})
+                sock,
+                (
+                    "wal_pull",
+                    {
+                        "after_generation": after_generation,
+                        "max_records": self.page_size,
+                    },
+                ),
             )
             verb, payload = read_frame(sock)
         if verb == "error":
@@ -97,16 +120,35 @@ class RemoteWalSource:
             )
         if verb != "wal_records":
             raise ReplicationError(f"unexpected wal_pull reply {verb!r}")
-        records = tuple(
-            WalRecord(
-                verb=entry["verb"],
-                generation=entry["generation"],
-                payload=entry.get("payload", {}),
-            )
-            for entry in payload["records"]
-        )
+        return payload
+
+    def fetch(self, after_generation: int) -> WalSegment:
+        records: List[WalRecord] = []
+        cursor = after_generation
+        base: Optional[int] = None
+        tail = after_generation
+        while True:
+            payload = self._pull_page(cursor)
+            page = [
+                WalRecord(
+                    verb=entry["verb"],
+                    generation=entry["generation"],
+                    payload=entry.get("payload", {}),
+                )
+                for entry in payload["records"]
+            ]
+            if base is None:
+                base = payload["base_generation"]
+            tail = payload["tail_generation"]
+            records.extend(page)
+            if page:
+                cursor = page[-1].generation
+            if not page or not payload.get("truncated", False):
+                break
         return WalSegment(
-            records, payload["base_generation"], payload["tail_generation"]
+            tuple(records),
+            base if base is not None else after_generation,
+            tail,
         )
 
     def close(self) -> None:

@@ -109,11 +109,22 @@ class WriteAheadLog:
         Attaching trims any torn tail in place (the bytes a previous
         crash left behind must not sit under future appends) and leaves
         the write position at the end of the last valid record.
+
+        Two crash leftovers are indistinguishable from a fresh log and
+        are treated as one: a file that is empty or holds only (part of)
+        the magic — a crash during creation or inside
+        :meth:`truncate` — and a magic plus a torn ``begin`` record.
+        Neither can hold an acknowledged verb (the write-ahead ordering
+        fsyncs the begin before acking anything after it), so the log
+        restarts at the caller's ``base_generation`` instead of refusing
+        to attach — refusing would fail recovery at exactly the crash
+        point the snapshot just made consistent.
         """
-        exists = self.path.is_file() and self.path.stat().st_size > 0
-        if not exists:
+        data = self.path.read_bytes() if self.path.is_file() else b""
+        if WAL_MAGIC.startswith(data):
+            # missing, empty, or bare/torn magic: no record ever existed
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "ab")
+            self._handle = open(self.path, "wb")
             begin = WalRecord(
                 BEGIN_VERB, base_generation,
                 {"base_generation": base_generation},
@@ -125,9 +136,15 @@ class WriteAheadLog:
             self._tail_generation = base_generation
             self._base_generation = base_generation
             return
-        data = self.path.read_bytes()
         records, discarded = decode_records(data)  # raises on bad magic
-        if not records or records[0].verb != BEGIN_VERB:
+        if not records:
+            # valid magic, zero decodable records: a truncate() that
+            # crashed between its truncate and begin append (or a torn
+            # first-ever begin) — state is consistent, restart fresh
+            self._handle = open(self.path, "r+b")
+            self._write_begin_locked(base_generation)
+            return
+        if records[0].verb != BEGIN_VERB:
             raise WalCorruptionError(
                 f"{self.path} has no begin record; refusing to append"
             )
@@ -256,24 +273,31 @@ class WriteAheadLog:
         from the new base.  The rewrite is in-place truncate + append
         (the file keeps its identity for tailing readers, who observe
         the generation moving backwards and re-read from the start).
+        A crash between the truncate and the begin append leaves a
+        magic-only (or torn-begin) file, which :meth:`_open` treats as
+        this same fresh state rather than corruption.
         """
+        with self._lock:
+            if self._closed:
+                raise WalCorruptionError(f"{self.path} is closed")
+            self._write_begin_locked(base_generation)
+        if self._m_truncations is not None:
+            self._m_truncations.inc()
+
+    def _write_begin_locked(self, base_generation: int) -> None:
+        """Rewrite the log as magic + one durable ``begin`` record."""
         begin = WalRecord(
             BEGIN_VERB, base_generation,
             {"base_generation": base_generation},
         )
-        with self._lock:
-            if self._closed:
-                raise WalCorruptionError(f"{self.path} is closed")
-            self._handle.seek(len(WAL_MAGIC))
-            self._handle.truncate()
-            self._handle.write(begin.to_bytes())
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
-            self._pending = 0
-            self._base_generation = base_generation
-            self._tail_generation = base_generation
-        if self._m_truncations is not None:
-            self._m_truncations.inc()
+        self._handle.seek(len(WAL_MAGIC))
+        self._handle.truncate()
+        self._handle.write(begin.to_bytes())
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._pending = 0
+        self._base_generation = base_generation
+        self._tail_generation = base_generation
 
     def records(self) -> Tuple[List[WalRecord], int]:
         """Re-read the log from disk: ``(valid records, discarded bytes)``.

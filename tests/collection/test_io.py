@@ -192,6 +192,25 @@ class TestLayoutSidecar:
         reloaded = load_collection(tmp_path)  # classic order, no crash
         assert set(reloaded.documents) == set(collection.documents)
 
+    def test_non_integer_starts_fall_back_to_sorted_order(self, tmp_path):
+        import json
+
+        collection = self._grown_collection()
+        save_collection(collection, tmp_path, prune=True)
+        sidecar = tmp_path / "collection_layout.json"
+        layout = json.loads(sidecar.read_text("utf-8"))
+        layout["starts"] = {name: "not-an-int" for name in layout["starts"]}
+        sidecar.write_text(json.dumps(layout), "utf-8")
+        reloaded = load_collection(tmp_path)  # degrades, never raises
+        assert set(reloaded.documents) == set(collection.documents)
+
+    def test_non_object_sidecar_falls_back_to_sorted_order(self, tmp_path):
+        collection = self._grown_collection()
+        save_collection(collection, tmp_path, prune=True)
+        (tmp_path / "collection_layout.json").write_text("[1, 2]", "utf-8")
+        reloaded = load_collection(tmp_path)
+        assert set(reloaded.documents) == set(collection.documents)
+
     def test_hand_added_file_registers_after_layout(self, tmp_path):
         collection = self._grown_collection()
         save_collection(collection, tmp_path, prune=True)

@@ -129,6 +129,46 @@ def test_remote_wal_source_pulls_from_worker(deployment, primary, mutation_docs)
         worker.close()
 
 
+def test_remote_wal_source_pages_through_backlog(deployment, primary, mutation_docs):
+    """One poll never ships the whole backlog in a single frame: the
+    server pages on ``max_records`` and the client iterates."""
+    from repro.shard.plan import ShardPlanner, write_shard_map
+    from repro.shard.worker import ShardWorker
+
+    write_shard_map(ShardPlanner(1).plan(primary), deployment.index_dir)
+    run_verbs(primary, mutation_docs)
+
+    worker = ShardWorker.attach(
+        deployment.collection_dir, deployment.index_dir, 0, verify=False
+    )
+    host, port = worker.start()
+    try:
+        # the server truncates an over-long page and flags the remainder
+        verb, payload = worker._dispatch(
+            "wal_pull", {"after_generation": -1, "max_records": 2}
+        )
+        assert verb == "wal_records"
+        assert len(payload["records"]) == 2
+        assert payload["truncated"] is True
+
+        # a page_size=1 client still assembles the full, ordered history
+        source = RemoteWalSource(host, port, page_size=1)
+        segment = source.fetch(after_generation=0)
+        assert [r.verb for r in segment.records] == [
+            "add", "add", "add", "add_batch", "remove",
+        ]
+        assert segment.tail_generation == primary.layout_generation
+
+        follower = FollowerFlix.attach(
+            deployment.collection_dir, deployment.index_dir, source=source
+        )
+        assert follower.poll() == 5
+        assert follower.index_fingerprint() == primary.index_fingerprint()
+        follower.close()
+    finally:
+        worker.close()
+
+
 def test_remote_source_empty_log_serves_cleanly(deployment):
     from repro.shard.plan import ShardPlanner, write_shard_map
     from repro.shard.worker import ShardWorker

@@ -101,6 +101,48 @@ def test_reattach_trims_torn_tail_in_place(tmp_path):
     assert [r.generation for r in records] == [0, 1, 2]
 
 
+def test_magic_only_file_reopens_fresh(tmp_path):
+    """A crash inside truncate() (between its truncate and the begin
+    append) leaves exactly the magic — state is consistent, so attach
+    restarts the log instead of refusing."""
+    path = tmp_path / "wal.log"
+    path.write_bytes(WAL_MAGIC)
+    wal = WriteAheadLog(path, base_generation=9)
+    records, discarded = wal.records()
+    assert discarded == 0
+    assert [(r.verb, r.generation) for r in records] == [(BEGIN_VERB, 9)]
+    assert wal.base_generation == 9 and wal.tail_generation == 9
+    wal.append("add", 10, {})
+    wal.close()
+    records, discarded = read_wal(path)
+    assert discarded == 0
+    assert [r.generation for r in records] == [9, 10]
+
+
+def test_torn_begin_record_reopens_fresh(tmp_path):
+    from repro.wal.record import WalRecord
+
+    path = tmp_path / "wal.log"
+    begin = WalRecord(BEGIN_VERB, 3, {"base_generation": 3}).to_bytes()
+    path.write_bytes(WAL_MAGIC + begin[: len(begin) // 2])
+    wal = WriteAheadLog(path, base_generation=9)
+    records, discarded = wal.records()
+    assert discarded == 0
+    assert [(r.verb, r.generation) for r in records] == [(BEGIN_VERB, 9)]
+    wal.close()
+
+
+def test_torn_magic_reopens_fresh(tmp_path):
+    # a crash during the very first creation write: nothing was acked
+    path = tmp_path / "wal.log"
+    path.write_bytes(WAL_MAGIC[:3])
+    wal = WriteAheadLog(path, base_generation=2)
+    records, discarded = wal.records()
+    assert discarded == 0
+    assert [(r.verb, r.generation) for r in records] == [(BEGIN_VERB, 2)]
+    wal.close()
+
+
 def test_attach_refuses_non_wal_file(tmp_path):
     path = tmp_path / "wal.log"
     path.write_bytes(b"definitely not a log")

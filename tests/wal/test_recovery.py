@@ -65,6 +65,51 @@ def test_save_truncates_the_log(deployment, mutation_docs):
     assert recovered.index_fingerprint() == flix.index_fingerprint()
 
 
+def test_backup_save_keeps_the_log(deployment, mutation_docs, tmp_path):
+    """Saving a copy somewhere else is not a checkpoint: the deployment
+    directory's snapshot still needs the logged records to recover."""
+    flix = deployment.flix
+    wal = flix.enable_wal(wal_path_for(deployment.index_dir))
+    run_verbs(flix, mutation_docs)
+    before = [r.verb for r in wal.records()[0]]
+    assert len(before) > 1
+
+    flix.save(tmp_path / "backup")  # not the WAL's deployment directory
+    records, _ = wal.records()
+    assert [r.verb for r in records] == before  # log untouched
+
+    collection = load_collection(deployment.collection_dir)
+    recovered, report = recover_flix(collection, deployment.index_dir)
+    assert recovered.index_fingerprint() == flix.index_fingerprint()
+    assert report.records_applied == 5
+
+    # an explicit checkpoint=True forces truncation wherever the save goes
+    flix.save(tmp_path / "backup2", checkpoint=True)
+    records, _ = wal.records()
+    assert [r.verb for r in records] == ["begin"]
+
+
+def test_crashed_checkpoint_truncation_still_recovers(deployment, mutation_docs):
+    """A crash between truncate()'s file truncation and its begin append
+    leaves a magic-only log; the snapshot just saved is complete, so
+    recovery must attach cleanly, replay nothing, and resume logging."""
+    from repro.wal import WAL_MAGIC
+
+    flix = deployment.flix
+    flix.enable_wal(wal_path_for(deployment.index_dir))
+    run_verbs(flix, mutation_docs)
+    checkpoint(deployment, flix)
+    # rewind the log to the crash point: truncated, begin never written
+    wal_path_for(deployment.index_dir).write_bytes(WAL_MAGIC)
+
+    collection = load_collection(deployment.collection_dir)
+    recovered, report = recover_flix(collection, deployment.index_dir)
+    assert report.records_applied == report.records_seen == 0
+    assert recovered.index_fingerprint() == flix.index_fingerprint()
+    assert recovered.wal.base_generation == flix.layout_generation
+    recovered.add_document(mutation_docs[5])  # logging resumed
+
+
 def test_recovered_instance_resumes_logging(deployment, mutation_docs):
     flix = deployment.flix
     flix.enable_wal(wal_path_for(deployment.index_dir))
