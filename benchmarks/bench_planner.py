@@ -1,0 +1,46 @@
+"""Probe-planner benchmark: planned vs fixed discipline latencies.
+
+Profiles the cost-based probe planner (``docs/PLANNING.md``) on a
+citation-skewed synthetic DBLP corpus under the ``naive`` configuration:
+a Zipf hub-heavy workload the planner must speed up, and a uniform
+workload bounding its bookkeeping overhead.  Every request is answered
+by both systems and compared byte-for-byte.  Writes the machine-readable
+result to ``BENCH_planner.json`` at the repository root (published as a
+CI artifact by the ``planner-bench`` job; the ``bench-regression`` guard
+in ``tools/check_bench_regression.py`` re-checks the committed numbers
+against the same floors).
+
+Measurement semantics live in :mod:`repro.bench.planner`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.planner import profile_planner, render_planner_profile
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+
+
+def test_planner():
+    payload = profile_planner()
+    payload["generated_by"] = "benchmarks/bench_planner.py"
+    BENCH_JSON.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(render_planner_profile(payload))
+    print(f"-> {BENCH_JSON}")
+
+    # the planner contract (mirrored by the CI guard): identical answers
+    # and identical indexes, a real win on the skewed workload, and at
+    # worst measurement noise on the uniform one
+    skewed = payload["workloads"]["skewed"]
+    uniform = payload["workloads"]["uniform"]
+    assert skewed["parity"] is True, payload
+    assert uniform["parity"] is True, payload
+    assert payload["fingerprint_match"] is True, payload
+    assert skewed["p95_ratio"] <= 0.9, payload
+    assert uniform["p95_ratio"] <= 1.1, payload
+    assert skewed["planned"]["pruned_probes"] > 0, payload

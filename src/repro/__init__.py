@@ -27,13 +27,13 @@ paper.  The package bundles:
 
 Quickstart::
 
-    from repro import Flix, FlixConfig, XmlDocument, build_collection
+    from repro import Flix, FlixConfig, QueryRequest, XmlDocument, build_collection
 
     docs = [XmlDocument.from_text("a.xml", "<movie><title>Matrix</title></movie>")]
     collection = build_collection(docs)
     flix = Flix.build(collection, FlixConfig.naive())
     start = collection.document_root("a.xml")
-    results = list(flix.find_descendants(start, tag="title"))
+    results = list(flix.query_stream(QueryRequest.descendants(start, tag="title")))
 """
 
 from repro.collection import (

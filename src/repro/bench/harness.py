@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.collection.collection import NodeId, XmlCollection
+from repro.core.api import QueryRequest
 from repro.core.config import FlixConfig
 from repro.core.framework import Flix
 from repro.graph.closure import TransitiveClosure
@@ -198,7 +199,7 @@ def profile_query_overhead(
         results = 0
         started = time.perf_counter()
         for start in starts:
-            for _result in flix.find_descendants(start):
+            for _result in flix.query_stream(QueryRequest.descendants(start)):
                 results += 1
         return time.perf_counter() - started, results
 

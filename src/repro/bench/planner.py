@@ -1,0 +1,237 @@
+"""Probe-planner benchmark: planned vs fixed discipline latencies.
+
+Measures what the cost-based probe planner (:mod:`repro.core.planner`,
+``docs/PLANNING.md``) buys on the workload it was designed for — and
+what it costs where it cannot help:
+
+* **skewed** — a Zipf-weighted mix of ancestor and type queries aimed at
+  citation hubs of a preferential-attachment DBLP corpus under the
+  ``naive`` configuration (one meta document per document, so long-range
+  queries cross many residual links and §5.1 coverage discards piles of
+  duplicate heap entries; the planner's frontier prunes them before the
+  heap).  The planner must win here: ``p95_ratio`` (planned p95 / fixed
+  p95) is expected well under 1.
+* **uniform** — descendant queries spread evenly over document roots.
+  Little duplicate work exists, so this workload bounds the planner's
+  bookkeeping overhead: ``p95_ratio`` must stay near 1.
+
+Every request is answered by both systems and the responses compared
+byte-for-byte (``parity``) — a benchmark that changed results would be
+measuring a bug.  ``benchmarks/bench_planner.py`` asserts the floors and
+writes ``BENCH_planner.json``; ``tools/check_bench_regression.py``
+re-checks the committed numbers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.collection.collection import XmlCollection
+from repro.core.api import QueryRequest
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.datasets.dblp import DblpSpec, generate_dblp
+
+
+def _percentile(samples: Sequence[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _hub_ranked_documents(collection: XmlCollection) -> List[str]:
+    """Document names by incoming citation-link count, most-cited first
+    (ties broken by name for determinism)."""
+    incoming: Dict[str, int] = {name: 0 for name in collection.documents}
+    for _source, target in collection.link_edges:
+        incoming[collection.info(target).document] += 1
+    return sorted(incoming, key=lambda name: (-incoming[name], name))
+
+
+def _zipf_pick(rng: random.Random, count: int, exponent: float = 1.2) -> int:
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(count)]
+    return rng.choices(range(count), weights=weights, k=1)[0]
+
+
+def _skewed_requests(
+    collection: XmlCollection, queries: int, seed: int
+) -> List[QueryRequest]:
+    """Zipf-weighted ancestor/type queries aimed at citation hubs."""
+    rng = random.Random(seed)
+    ranked = _hub_ranked_documents(collection)
+    requests: List[QueryRequest] = []
+    for _ in range(queries):
+        name = ranked[_zipf_pick(rng, len(ranked))]
+        nodes = collection.document_nodes(name)
+        if rng.random() < 0.75:
+            # ancestors of an element inside a hub: the search fans in
+            # over every citation chain reaching the hub
+            requests.append(QueryRequest.ancestors(rng.choice(nodes)))
+        else:
+            requests.append(
+                QueryRequest.descendants(
+                    collection.document_root(name), tag="author"
+                )
+            )
+    return requests
+
+
+def _uniform_requests(
+    collection: XmlCollection, queries: int, seed: int
+) -> List[QueryRequest]:
+    rng = random.Random(seed)
+    names = sorted(collection.documents)
+    requests: List[QueryRequest] = []
+    for _ in range(queries):
+        root = collection.document_root(rng.choice(names))
+        tag = rng.choice([None, "author", "title"])
+        requests.append(QueryRequest.descendants(root, tag=tag))
+    return requests
+
+
+def _signature(response) -> Tuple:
+    return (
+        tuple(repr(row) for row in response.results),
+        response.value,
+        response.stats.completeness,
+    )
+
+
+def _run_workload(
+    fixed: Flix,
+    planned: Flix,
+    requests: Sequence[QueryRequest],
+    repetitions: int,
+) -> dict:
+    # warm both systems once (first-touch costs: memo'd statistics,
+    # lazily-built fallback structures) so the samples measure steady
+    # state, then alternate whole passes so clock drift hits both sides
+    parity = True
+    for request in requests:
+        if _signature(fixed.query(request)) != _signature(
+            planned.query(request)
+        ):
+            parity = False
+    fixed_samples: List[float] = []
+    planned_samples: List[float] = []
+    pruned = 0
+    pops_fixed = 0
+    pops_planned = 0
+    for _ in range(repetitions):
+        for system, samples in (
+            (fixed, fixed_samples), (planned, planned_samples),
+        ):
+            for request in requests:
+                started = time.perf_counter()
+                response = system.query(request)
+                samples.append(time.perf_counter() - started)
+                stats = response.stats
+                if system is planned:
+                    pruned += (
+                        stats.planner_pruned_pops
+                        + stats.planner_pruned_pushes
+                    )
+                    pops_planned += stats.queue_pops
+                else:
+                    pops_fixed += stats.queue_pops
+    fixed_p95 = _percentile(fixed_samples, 0.95)
+    planned_p95 = _percentile(planned_samples, 0.95)
+    return {
+        "queries": len(requests),
+        "repetitions": repetitions,
+        "parity": parity,
+        "fixed": {
+            "p50_ms": _percentile(fixed_samples, 0.5) * 1000.0,
+            "p95_ms": fixed_p95 * 1000.0,
+            "total_queue_pops": pops_fixed,
+        },
+        "planned": {
+            "p50_ms": _percentile(planned_samples, 0.5) * 1000.0,
+            "p95_ms": planned_p95 * 1000.0,
+            "total_queue_pops": pops_planned,
+            "pruned_probes": pruned,
+        },
+        "p95_ratio": planned_p95 / fixed_p95 if fixed_p95 > 0 else 1.0,
+    }
+
+
+def profile_planner(
+    documents: int = 100,
+    mean_citations: float = 10.0,
+    citation_skew: float = 0.95,
+    queries: int = 60,
+    repetitions: int = 3,
+    seed: int = 17,
+) -> dict:
+    """Profile the planner on skewed and uniform workloads.
+
+    Returns a JSON-ready payload (``BENCH_planner.json`` methodology).
+    The caches are disabled on both systems — the benchmark measures the
+    evaluator, not result reuse.
+    """
+    spec = DblpSpec(
+        documents=documents,
+        mean_citations=mean_citations,
+        citation_skew=citation_skew,
+        seed=seed,
+    )
+    collection = generate_dblp(spec)
+    config = FlixConfig.naive()  # cache off by default: we time the PEE
+    fixed = Flix.build(collection, config)
+    planned = Flix.build(collection, config.with_planner())
+    workloads = {
+        "skewed": _run_workload(
+            fixed, planned,
+            _skewed_requests(collection, queries, seed), repetitions,
+        ),
+        "uniform": _run_workload(
+            fixed, planned,
+            _uniform_requests(collection, queries, seed + 1), repetitions,
+        ),
+    }
+    return {
+        "planner": planned.config.planner.to_dict(),
+        "collection": {
+            "documents": documents,
+            "mean_citations": mean_citations,
+            "citation_skew": citation_skew,
+            "elements": collection.node_count,
+            "link_edges": collection.link_edge_count,
+            "config": "naive",
+        },
+        "workloads": workloads,
+        "fingerprint_match": (
+            fixed.index_fingerprint() == planned.index_fingerprint()
+        ),
+    }
+
+
+def render_planner_profile(profile: dict) -> str:
+    lines = []
+    meta = profile["collection"]
+    lines.append(
+        f"planner benchmark: {meta['documents']} documents, "
+        f"{meta['link_edges']} citation links, config={meta['config']}"
+    )
+    header = (
+        f"{'workload':<10} {'fixed p95':>10} {'planned p95':>12} "
+        f"{'ratio':>6} {'pruned':>8} {'parity':>6}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in profile["workloads"].items():
+        lines.append(
+            f"{name:<10} {row['fixed']['p95_ms']:>8.2f}ms "
+            f"{row['planned']['p95_ms']:>10.2f}ms "
+            f"{row['p95_ratio']:>6.2f} "
+            f"{row['planned']['pruned_probes']:>8} "
+            f"{str(row['parity']):>6}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["profile_planner", "render_planner_profile"]

@@ -16,6 +16,15 @@ Commands
     ``document.xml`` (that document's root) or ``document.xml#id`` (the
     anchored element).  ``tag`` may be ``*`` for the wildcard.
 
+``explain <dir> <start> <tag> [--config ...] [--max-distance D]
+          [--limit K] [--exact-order] [--planner] [--json]``
+    Print the :class:`~repro.core.planner.QueryPlan` for ``start//tag``
+    without running it: chosen probe order, per-probe cost estimates,
+    statically pruned meta documents, planner provenance (see
+    ``docs/PLANNING.md``).  ``--planner`` builds with the cost-based
+    probe planner enabled so the plan shows the planned order rather
+    than the fixed discipline.
+
 ``relaxed <dir> <query> [--top-k K]``
     Evaluate a relaxed path query (e.g. ``'//~movie//actor'``) with the
     default ontology and print ranked matches.
@@ -54,7 +63,8 @@ Commands
         [--cross-shard delegate|distributed] [--cache-size N]``
     Spawn ``N`` shard worker processes over the saved index (planning a
     shard map first if none exists), connect a ``ShardCoordinator``, and
-    serve ``POST /query``, ``GET /health``, ``GET /metrics`` over HTTP
+    serve ``POST /query``, ``POST /explain``, ``GET /health``,
+    ``GET /metrics`` over HTTP
     until interrupted (see ``docs/SHARDING.md``).  SIGTERM drains
     gracefully: in-flight requests finish, workers fsync their WAL
     tails, everything exits 0.
@@ -180,6 +190,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persisted-index directory: loaded when present, created "
         "(build + save) otherwise",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="print the probe plan for start//tag without running it "
+        "(docs/PLANNING.md)",
+    )
+    explain.add_argument("directory")
+    explain.add_argument("start", help="document.xml or document.xml#id")
+    explain.add_argument("tag", help="element name, or * for the wildcard")
+    add_build_options(explain)
+    explain.add_argument("--limit", type=int, default=None)
+    explain.add_argument("--max-distance", type=int, default=None)
+    explain.add_argument("--exact-order", action="store_true")
+    explain.add_argument(
+        "--planner",
+        action="store_true",
+        help="build with the cost-based probe planner enabled "
+        "(equivalent to FLIX_PLANNER=1)",
+    )
+    explain.add_argument(
+        "--index-dir",
+        default=None,
+        help="persisted-index directory: loaded when present, created "
+        "(build + save) otherwise",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw QueryPlan JSON instead of the table",
     )
 
     relaxed = sub.add_parser("relaxed", help="evaluate a relaxed path query")
@@ -455,16 +495,19 @@ def _cmd_query(args) -> int:
         if index_dir:
             flix.save(index_dir)
             print(f"(built and saved index to {index_dir})")
+    from repro.core.api import QueryRequest
+
     start = _resolve_start(collection, args.start)
     tag = None if args.tag == "*" else args.tag
-    count = 0
-    for result in flix.find_descendants(
+    request = QueryRequest.descendants(
         start,
         tag=tag,
         max_distance=args.max_distance,
         limit=args.limit,
         exact_order=args.exact_order,
-    ):
+    )
+    count = 0
+    for result in flix.query_stream(request):
         info = collection.info(result.node)
         text = collection.text(result.node).strip()
         if len(text) > 60:
@@ -475,6 +518,68 @@ def _cmd_query(args) -> int:
         )
         count += 1
     print(f"-- {count} results")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.core.api import QueryRequest
+
+    collection = load_collection(args.directory)
+    config = _make_config(args.config, args.partition_size)
+    if args.planner:
+        if config is None:
+            config = FlixConfig.recommend_for(collection, args.partition_size)
+        config = config.with_planner()
+    index_dir = getattr(args, "index_dir", None)
+    if index_dir and (Path(index_dir) / "manifest.json").is_file():
+        flix = Flix.load(collection, index_dir)
+        print(f"(loaded persisted index from {index_dir})")
+    else:
+        flix = Flix.build(collection, config, jobs=args.jobs)
+        if index_dir:
+            flix.save(index_dir)
+            print(f"(built and saved index to {index_dir})")
+    start = _resolve_start(collection, args.start)
+    tag = None if args.tag == "*" else args.tag
+    request = QueryRequest.descendants(
+        start,
+        tag=tag,
+        max_distance=args.max_distance,
+        limit=args.limit,
+        exact_order=args.exact_order,
+    )
+    plan = flix.explain(request)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2))
+        return 0
+    print(
+        f"plan: kind={plan.kind} mode={plan.mode} order={plan.order} "
+        f"prune={plan.prune} generation={plan.generation}"
+    )
+    if plan.source_metas:
+        print(
+            "source metas: "
+            + ", ".join(str(m) for m in plan.source_metas)
+        )
+    if plan.probes:
+        print(f"{'rank':>4}  {'meta':>4}  {'strategy':<8}  "
+              f"{'est.matches':>11}  {'est.reach':>9}  {'fan-out':>7}")
+        for probe in plan.probes:
+            print(
+                f"{probe.rank:>4}  {probe.meta_id:>4}  "
+                f"{probe.strategy:<8}  {probe.estimated_matches:>11.1f}  "
+                f"{probe.estimated_reach:>9.1f}  {probe.fan_out:>7}"
+            )
+    if plan.pruned_metas:
+        print(
+            "statically pruned metas: "
+            + ", ".join(str(m) for m in plan.pruned_metas)
+        )
+    for key in sorted(plan.provenance):
+        print(f"provenance.{key}: {plan.provenance[key]}")
     return 0
 
 
@@ -497,6 +602,7 @@ def _cmd_demo_dblp(args) -> int:
     from repro.bench.harness import build_all_systems, time_to_k
     from repro.bench.reporting import BenchTable, format_series
     from repro.bench.workloads import figure5_query
+    from repro.core.api import QueryRequest
     from repro.datasets.dblp import DblpSpec, generate_dblp
     from repro.storage.sizing import format_bytes
 
@@ -512,7 +618,10 @@ def _cmd_demo_dblp(args) -> int:
     checkpoints = [1, 10, 50, 100]
     series = {
         system.name: time_to_k(
-            lambda s=system: s.flix.find_descendants(start, tag=tag), checkpoints
+            lambda s=system: s.flix.query_stream(
+                QueryRequest.descendants(start, tag=tag)
+            ),
+            checkpoints,
         )
         for system in systems
     }
@@ -533,8 +642,10 @@ def _cmd_metrics(args) -> int:
         collection.document_root(name)
         for name in sorted(collection.documents)[: max(0, args.queries)]
     ]
+    from repro.core.api import QueryRequest
+
     for root in roots:
-        for _ in flix.find_descendants(root):
+        for _ in flix.query_stream(QueryRequest.descendants(root)):
             pass
     output = flix.export_metrics(args.format)
     if output:
@@ -668,7 +779,7 @@ def _cmd_serve(args) -> int:
         print(f"shard {worker.shard_id}: pid {worker.process.pid} "
               f"on {worker.host}:{worker.port}")
     print(f"front door: http://{host}:{port}  "
-          f"(POST /query, GET /health, GET /metrics)")
+          f"(POST /query, POST /explain, GET /health, GET /metrics)")
 
     import signal
     import threading
@@ -821,6 +932,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "build": _cmd_build,
     "query": _cmd_query,
+    "explain": _cmd_explain,
     "relaxed": _cmd_relaxed,
     "demo-dblp": _cmd_demo_dblp,
     "metrics": _cmd_metrics,

@@ -20,7 +20,12 @@ from repro.core.api import (
     QueryRequest,
     QueryResponse,
 )
-from repro.core.config import CacheConfig, FlixConfig, ResilienceConfig
+from repro.core.config import (
+    CacheConfig,
+    FlixConfig,
+    PlannerConfig,
+    ResilienceConfig,
+)
 from repro.core.connections import ConnectionEvaluator, ConnectionModel
 from repro.core.fallback import BfsFallbackIndex, FallbackContext
 from repro.core.meta_document import MetaDocument, MetaDocumentSpec
@@ -33,9 +38,15 @@ from repro.core.pee import (
     QueryResult,
     QueryStream,
 )
+from repro.core.planner import (
+    LayoutStatistics,
+    ProbePlanner,
+    QueryPlan,
+    collect_layout_statistics,
+)
 from repro.core.results import StreamedList
 from repro.core.framework import Flix
-from repro.core.selftune import QueryLoadMonitor, TuningAdvice
+from repro.core.selftune import QueryLoadMonitor, TuningAdvice, WorkloadProfile
 from repro.core.subcollections import (
     Subcollection,
     build_auto_partitioned,
@@ -70,4 +81,10 @@ __all__ = [
     "StreamedList",
     "QueryLoadMonitor",
     "TuningAdvice",
+    "WorkloadProfile",
+    "PlannerConfig",
+    "ProbePlanner",
+    "QueryPlan",
+    "LayoutStatistics",
+    "collect_layout_statistics",
 ]

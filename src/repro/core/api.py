@@ -106,6 +106,9 @@ class QueryRequest:
     bidirectional: bool = False
     #: per-request work limits, overriding the evaluator's default
     budget: Optional[QueryBudget] = None
+    #: stamp the probe planner's :class:`~repro.core.planner.QueryPlan`
+    #: onto ``QueryResponse.plan`` (the EXPLAIN surface; uncacheable)
+    explain: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in QUERY_KINDS:
@@ -256,6 +259,9 @@ class QueryRequest:
     def with_limit(self, limit: Optional[int]) -> "QueryRequest":
         return replace(self, limit=limit)
 
+    def with_explain(self, explain: bool = True) -> "QueryRequest":
+        return replace(self, explain=explain)
+
     @property
     def is_scalar(self) -> bool:
         return self.kind in SCALAR_KINDS
@@ -268,9 +274,10 @@ class QueryRequest:
         superset.  A budget-bearing request is **uncacheable** (returns
         ``None``): its answer may be truncated at an arbitrary point, and
         serving that truncation to an unbudgeted caller would silently
-        lose results.
+        lose results.  An ``explain`` request is uncacheable too — its
+        plan describes *this* evaluation, and a replayed answer has none.
         """
-        if self.budget is not None:
+        if self.budget is not None or self.explain:
             return None
         return (
             self.kind,
@@ -315,6 +322,10 @@ class QueryResponse:
     from_cache: bool = False
     elapsed_seconds: float = 0.0
     layout_generation: int = 0
+    #: the probe planner's :class:`~repro.core.planner.QueryPlan`, stamped
+    #: only when the request set ``explain=True`` (``Flix.explain`` returns
+    #: one without evaluating)
+    plan: Optional[Any] = None
 
     @property
     def completeness(self) -> str:

@@ -87,6 +87,10 @@ class Flix:
         # the mutation lock serializes the maintenance verbs — queries
         # never take it, they pin self._layout once and run on that.
         self._mutation_lock = threading.RLock()
+        # memoized (generation, LayoutStatistics) pair for the probe
+        # planner's cost model — must exist before the first evaluator is
+        # built, because the evaluator's planner closes over the memo
+        self._planner_stats: Optional[Tuple[int, Any]] = None
         slots = tuple(meta_documents)
         frozen_meta_of = dict(meta_of)
         self._layout = IndexLayout(
@@ -201,7 +205,52 @@ class Flix:
             budget=budget,
             fallback=fallback,
             generation=generation,
+            planner=self._make_planner(),
         )
+
+    def _make_planner(self):
+        """The configured :class:`repro.core.planner.ProbePlanner`, or
+        ``None`` when ``config.planner`` is unset (the classic fixed
+        probe discipline with zero per-query overhead)."""
+        planner_config = getattr(self.config, "planner", None)
+        if planner_config is None:
+            return None
+        from repro.core.planner import ProbePlanner
+
+        if planner_config.statistics:
+            provider = self.planner_statistics
+        else:
+            provider = None
+        return ProbePlanner(planner_config, statistics=provider)
+
+    def planner_statistics(self, refresh: bool = False):
+        """Per-meta selectivity statistics for the probe planner's cost
+        model (:class:`repro.core.planner.LayoutStatistics`), collected
+        lazily over the *current* layout snapshot and memoized per
+        generation.  ``refresh=True`` discards the memo first.  Works with
+        the planner unconfigured (EXPLAIN on a fixed-discipline instance
+        still shows cost estimates)."""
+        from repro.core.config import PlannerConfig as _PlannerConfig
+        from repro.core.planner import collect_layout_statistics
+
+        layout = self._layout
+        cached = self._planner_stats
+        if (
+            not refresh
+            and cached is not None
+            and cached[0] == layout.generation
+        ):
+            return cached[1]
+        cfg = getattr(self.config, "planner", None) or _PlannerConfig()
+        stats = collect_layout_statistics(
+            layout.slots,
+            layout.meta_of,
+            self.collection.tag,
+            layout.generation,
+            rounds=cfg.rounds,
+        )
+        self._planner_stats = (layout.generation, stats)
+        return stats
 
     def _make_pee(self) -> PathExpressionEvaluator:
         """A fresh evaluator over the current layout (compat helper; the
@@ -275,6 +324,7 @@ class Flix:
         config: Optional[FlixConfig] = None,
         backend_factory: Callable[[], StorageBackend] = MemoryBackend,
         jobs: Optional[int] = None,
+        workload: Optional["WorkloadProfile"] = None,
     ) -> "Flix":
         """Run the full build phase: MDB -> ISS -> IB.
 
@@ -284,6 +334,12 @@ class Flix:
         than one worker the per-meta-document builds run on a worker pool,
         with results merged in spec order — the built index is identical to
         a sequential build at any ``jobs`` value.
+
+        ``workload`` is an observed :class:`repro.core.selftune
+        .WorkloadProfile` (``flix.monitor.profile()``): the ISS is biased
+        toward strategies that fit the measured query mix (APEX-style
+        workload-driven retuning; see ``docs/PLANNING.md``) before the
+        build runs.
 
         Fault tolerance: when ``config.resilience`` is set, every backend
         the factory produces is wrapped in a retrying, circuit-breaking
@@ -305,6 +361,14 @@ class Flix:
             # CI's packed-parity job: force the packed layout the same way
             # FLIX_FAULT_PLAN forces a fault plan
             config = config.with_packed()
+
+        from repro.core.config import apply_planner_env
+
+        # FLIX_PLANNER=0 / =1: CI's planner-parity job flips the probe
+        # planner without editing call sites (same pattern as FLIX_PACKED)
+        config = apply_planner_env(config)
+        if workload is not None:
+            config = workload.bias(config)
 
         from repro.faults import plan_from_env
 
@@ -460,17 +524,20 @@ class Flix:
             and (request.is_scalar or request.limit is None)
         ):
             self._cache_put(cache, key, (payload, stats), generation)
+        plan = self.explain(request, layout=layout) if request.explain else None
         if request.is_scalar:
             return QueryResponse(
                 request, [], payload, stats, False,
                 time.perf_counter() - started,
                 layout_generation=layout.generation,
+                plan=plan,
             )
         results = list(payload)
         return QueryResponse(
             request, results, None, stats, False,
             time.perf_counter() - started,
             layout_generation=layout.generation,
+            plan=plan,
         )
 
     def query_stream(self, request: QueryRequest) -> Iterator[Any]:
@@ -521,6 +588,52 @@ class Flix:
         self.monitor.record(stats)
         if collected is not None and stats.is_complete:
             self._cache_put(cache, key, (collected, stats), generation)
+
+    def explain(
+        self,
+        request: QueryRequest,
+        layout: Optional["IndexLayout"] = None,
+    ) -> "QueryPlan":
+        """The probe planner's static :class:`repro.core.planner.QueryPlan`
+        for ``request`` — the EXPLAIN surface — without evaluating it.
+
+        With ``config.planner`` set, the plan's ``mode`` is ``"planned"``
+        and describes the order and pruning the evaluator will actually
+        apply; unconfigured, ``mode="fixed"`` reports the same cost
+        estimates against the classic fixed probe discipline.  Kinds that
+        never enter the Figure-4 loop (children / connections / cost) come
+        back ``mode="direct"``.  ``layout`` pins the snapshot explained
+        (defaults to the current one).
+        """
+        from repro.core.planner import ProbePlanner
+
+        if layout is None:
+            layout = self._layout
+        planner_config = getattr(self.config, "planner", None)
+        planner = layout.pee.planner if hasattr(layout.pee, "planner") else None
+        if planner is None:
+            planner = ProbePlanner(
+                planner_config, statistics=self.planner_statistics
+            )
+        seeds = None
+        if request.kind == "descendants" and request.source_tag is not None:
+            seeds = [
+                node
+                for node in self.collection.nodes_with_tag(request.source_tag)
+                if node in layout.meta_of
+            ]
+        trace = self.obs.tracer.trace(
+            "pee.plan", kind=request.kind, generation=layout.generation
+        )
+        try:
+            return planner.plan(
+                request,
+                layout,
+                seeds=seeds,
+                configured=planner_config is not None,
+            )
+        finally:
+            trace.finish()
 
     # ------------------------------------------------------------------
     # evaluation engine behind query()/query_stream()
@@ -720,14 +833,20 @@ class Flix:
         include_self: bool = False,
         exact_order: bool = False,
     ) -> Iterator[QueryResult]:
-        """``a//b`` (or ``a//*`` with ``tag=None``), streamed.
+        """Deprecated: use ``query_stream(QueryRequest.descendants(...))``.
 
-        Shim over :meth:`query_stream`.  ``limit`` implements the top-k
-        early stop of section 3.1; ``exact_order`` buffers results so the
-        stream is sorted by the reported distance (section 7's first
-        future-work item).
+        ``a//b`` (or ``a//*`` with ``tag=None``), streamed.  ``limit``
+        implements the top-k early stop of section 3.1; ``exact_order``
+        buffers results so the stream is sorted by the reported distance
+        (section 7's first future-work item).
         """
-        yield from self.query_stream(
+        warnings.warn(
+            "Flix.find_descendants is deprecated; use "
+            "query_stream(QueryRequest.descendants(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query_stream(
             QueryRequest.descendants(
                 start, tag, max_distance, limit, include_self, exact_order
             )
@@ -742,9 +861,16 @@ class Flix:
         include_self: bool = False,
         exact_order: bool = False,
     ) -> Iterator[QueryResult]:
-        """Reverse axis: ancestors of ``start`` (shim over
-        :meth:`query_stream`)."""
-        yield from self.query_stream(
+        """Deprecated: use ``query_stream(QueryRequest.ancestors(...))``.
+
+        Reverse axis: ancestors of ``start``."""
+        warnings.warn(
+            "Flix.find_ancestors is deprecated; use "
+            "query_stream(QueryRequest.ancestors(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query_stream(
             QueryRequest.ancestors(
                 start, tag, max_distance, limit, include_self, exact_order
             )
@@ -755,13 +881,20 @@ class Flix:
         node: NodeId,
         tag: Optional[str] = None,
     ) -> List[QueryResult]:
-        """The child axis (``a/b``), section 5's "other cases".
+        """Deprecated: use ``query(QueryRequest.children(...))``.
 
-        In the linked data model, children are the direct successors in the
-        union graph — sub-elements and immediate link targets alike, which
-        is exactly how the paper treats referenced elements ("similarly to
-        normal child elements").  Shim over :meth:`query`.
+        The child axis (``a/b``), section 5's "other cases".  In the
+        linked data model, children are the direct successors in the union
+        graph — sub-elements and immediate link targets alike, which is
+        exactly how the paper treats referenced elements ("similarly to
+        normal child elements").
         """
+        warnings.warn(
+            "Flix.find_children is deprecated; use "
+            "query(QueryRequest.children(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.query(QueryRequest.children(node, tag)).results
 
     def evaluate_type_query(
@@ -771,9 +904,16 @@ class Flix:
         max_distance: Optional[int] = None,
         limit: Optional[int] = None,
     ) -> Iterator[QueryResult]:
-        """``A//B``: descendants of *any* element with tag ``source_tag``
-        (shim over :meth:`query_stream`)."""
-        yield from self.query_stream(
+        """Deprecated: use ``query_stream(QueryRequest.type_query(...))``.
+
+        ``A//B``: descendants of *any* element with tag ``source_tag``."""
+        warnings.warn(
+            "Flix.evaluate_type_query is deprecated; use "
+            "query_stream(QueryRequest.type_query(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query_stream(
             QueryRequest.type_query(source_tag, target_tag, max_distance, limit)
         )
 
@@ -783,12 +923,18 @@ class Flix:
         tags: Sequence[str],
         max_distance_per_step: Optional[int] = None,
     ) -> List[Tuple[NodeId, int]]:
-        """Evaluate a multi-step path ``start//t1//t2//...//tn``.
+        """Deprecated: use ``query(QueryRequest.find_path(...))``.
 
-        Returns the distinct elements matching the final step with the
-        smallest accumulated distance found, ascending.  Shim over
-        :meth:`query` with the ``path`` kind.
+        Evaluate a multi-step path ``start//t1//t2//...//tn``.  Returns
+        the distinct elements matching the final step with the smallest
+        accumulated distance found, ascending.
         """
+        warnings.warn(
+            "Flix.find_path is deprecated; use "
+            "query(QueryRequest.find_path(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.query(
             QueryRequest.find_path(start, tags, max_distance_per_step)
         ).results
@@ -800,14 +946,20 @@ class Flix:
         model=None,
         max_cost: Optional[float] = None,
     ):
-        """Generalized connection search (sections 1.1 / 7).
+        """Deprecated: use ``query_stream(QueryRequest.connections(...))``.
 
-        ``model`` is a :class:`repro.core.connections.ConnectionModel`
-        assigning costs to tree/link traversals and their reversals;
-        results stream in exactly ascending cost.  Runs on the element
-        graph directly (typed edge costs defeat uniform-hop indexes).
-        Shim over :meth:`query_stream`.
+        Generalized connection search (sections 1.1 / 7).  ``model`` is a
+        :class:`repro.core.connections.ConnectionModel` assigning costs to
+        tree/link traversals and their reversals; results stream in
+        exactly ascending cost.  Runs on the element graph directly (typed
+        edge costs defeat uniform-hop indexes).
         """
+        warnings.warn(
+            "Flix.find_connections is deprecated; use "
+            "query_stream(QueryRequest.connections(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.query_stream(
             QueryRequest.connections(start, tag, model, max_cost)
         )
@@ -819,9 +971,16 @@ class Flix:
         model=None,
         max_cost: Optional[float] = None,
     ) -> Optional[float]:
-        """Cheapest generalized-connection cost between two elements
-        (shim over :meth:`query` with the ``cost`` kind — repeated hot
-        pairs are answered from the shared cache)."""
+        """Deprecated: use ``query(QueryRequest.cost(...))``.
+
+        Cheapest generalized-connection cost between two elements —
+        repeated hot pairs are answered from the shared cache."""
+        warnings.warn(
+            "Flix.connection_cost is deprecated; use "
+            "query(QueryRequest.cost(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.query(
             QueryRequest.cost(source, target, model, max_cost)
         ).value
@@ -833,9 +992,17 @@ class Flix:
         max_distance: Optional[int] = None,
         bidirectional: bool = False,
     ) -> Optional[int]:
-        """Is ``target`` reachable from ``source``?  Approximate distance or
-        ``None`` (shim over :meth:`query` with the ``test`` kind — repeated
-        hot pairs are answered from the shared cache)."""
+        """Deprecated: use ``query(QueryRequest.test(...))``.
+
+        Is ``target`` reachable from ``source``?  Approximate distance or
+        ``None`` — repeated hot pairs are answered from the shared
+        cache."""
+        warnings.warn(
+            "Flix.connection_test is deprecated; use "
+            "query(QueryRequest.test(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.query(
             QueryRequest.test(source, target, max_distance, bidirectional)
         ).value
@@ -1087,6 +1254,7 @@ class Flix:
         config: Optional[FlixConfig] = None,
         backend_factory: Optional[Callable[[], StorageBackend]] = None,
         jobs: Optional[int] = None,
+        workload: Optional["WorkloadProfile"] = None,
     ) -> "Flix":
         """Run the build phase again (e.g. following tuning advice).
 
@@ -1095,6 +1263,11 @@ class Flix:
         re-applies) — a sqlite-backed index rebuilds sqlite-backed
         instead of silently migrating to memory.
 
+        ``workload`` biases the rebuild's strategy selection toward the
+        observed query mix — pass ``flix.monitor.profile()`` to close the
+        APEX-style retuning loop (``rebuild(workload=flix.monitor
+        .profile())`` after ``tuning_advice`` recommends it).
+
         The returned instance starts with a cold result cache: cached
         results describe the old meta-document layout and must not survive
         a rebuild.
@@ -1102,7 +1275,8 @@ class Flix:
         if backend_factory is None:
             backend_factory = self._raw_backend_factory
         return Flix.build(
-            self.collection, config or self.config, backend_factory, jobs=jobs
+            self.collection, config or self.config, backend_factory,
+            jobs=jobs, workload=workload,
         )
 
     # ------------------------------------------------------------------

@@ -153,6 +153,13 @@ class QueryStats:
     covered_probes: int = 0
     #: priority-queue pops, covered or not (total queue traffic)
     queue_pops: int = 0
+    #: enqueues the probe planner's frontier pruned as provably covered
+    #: (never counted in ``link_traversals``; see repro.core.planner)
+    planner_pruned_pushes: int = 0
+    #: pops the frontier pruned without index probes (these still count
+    #: in ``queue_pops`` and ``entries_dropped`` — the fixed discipline
+    #: would have popped and dropped them too, just more expensively)
+    planner_pruned_pops: int = 0
     #: how trustworthy the result set is: ``complete`` (everything the
     #: index knows), ``truncated`` (a query budget stopped the search
     #: early), or ``degraded`` (at least one meta document was answered by
@@ -208,6 +215,8 @@ class QueryStats:
         self.results_suppressed += other.results_suppressed
         self.covered_probes += other.covered_probes
         self.queue_pops += other.queue_pops
+        self.planner_pruned_pushes += other.planner_pruned_pushes
+        self.planner_pruned_pops += other.planner_pruned_pops
         self.fallback_meta_documents += other.fallback_meta_documents
         self._mark(other.completeness)  # keep the worst completeness
 
@@ -281,6 +290,7 @@ class PathExpressionEvaluator:
         budget: Optional[QueryBudget] = None,
         fallback: Optional["FallbackContext"] = None,
         generation: int = 0,
+        planner: Optional["ProbePlanner"] = None,
     ) -> None:
         # ``meta_documents`` is positionally indexed by meta id; removed
         # or compacted ids appear as ``None`` slots (never dereferenced:
@@ -299,6 +309,9 @@ class PathExpressionEvaluator:
         #: index is missing or failing (None = degradation disabled: such
         #: a meta document raises instead)
         self._fallback_ctx = fallback
+        #: the cost-based probe planner (repro.core.planner); ``None``
+        #: keeps the paper's fixed expansion discipline exactly
+        self._planner = planner
         #: activated fallbacks, per meta id (sticky for this evaluator)
         self._fallbacks: Dict[int, object] = {}
         # per-query instruments, bound lazily on the first publish
@@ -309,6 +322,12 @@ class PathExpressionEvaluator:
         #: snapshot of the most recently *completed* query's counters; the
         #: live per-query counters travel on the :class:`QueryStream`
         self.last_stats = QueryStats()
+
+    @property
+    def planner(self):
+        """The attached :class:`repro.core.planner.ProbePlanner` (or
+        ``None`` — the paper's fixed probe discipline)."""
+        return self._planner
 
     # ------------------------------------------------------------------
     # descendants (a//b, a//*)
@@ -417,6 +436,25 @@ class PathExpressionEvaluator:
         ``budget`` overrides the evaluator's configured default for this
         query only (per-request deadlines from the serving layer)."""
         budget = self._effective_budget(budget)
+        planner = self._planner
+        frontier = planner.frontier() if planner is not None else None
+        rank_map = None
+        if (
+            planner is not None
+            and planner.reorders
+            and axis is not None
+            and max_distance is None
+            and budget is None
+            and not exact_order
+        ):
+            # Cost-ordered expansion is only applied where it provably
+            # preserves the result *set*: an unbudgeted, unbounded search
+            # visits the whole reachable set in any order and §5.1's
+            # coverage suppresses re-emissions, but reported distances
+            # (first-reached upper bounds) may differ — so exact_order,
+            # max_distance thresholds, budgets, and internal sub-searches
+            # (axis=None, e.g. bidirectional tests) keep FIFO ties.
+            rank_map = planner.rank_map(tag, forward)
         obs = self._obs
         trace = None
         started = 0.0
@@ -435,7 +473,7 @@ class PathExpressionEvaluator:
             try:
                 yield from self._search_inner(
                     seeds, tag, max_distance, forward, skip_nodes, stats,
-                    exact_order, trace, budget,
+                    exact_order, trace, budget, frontier, rank_map,
                 )
             finally:
                 finalize()
@@ -489,14 +527,34 @@ class PathExpressionEvaluator:
         exact_order: bool,
         trace=None,
         budget: Optional[QueryBudget] = None,
+        frontier: Optional["ProbeFrontier"] = None,
+        rank_map: Optional[Dict[int, int]] = None,
     ) -> Iterator[QueryResult]:
         # entry points already expanded, per meta document
         entries: Dict[int, List[NodeId]] = {}
-        heap: List[Tuple[int, int, NodeId]] = []
+        # Heap entries are (priority, counter, node) in FIFO mode and
+        # (priority, rank, counter, node) under the planner's cost order
+        # (rank breaks equal-priority ties toward high-yield metas); the
+        # loop reads only item[0] and item[-1], so both shapes share it.
+        heap: List[tuple] = []
+        default_rank = len(rank_map) if rank_map is not None else 0
         for order, seed in enumerate(seeds):
             if seed not in self._meta_of:
                 raise KeyError(f"node {seed} is not part of the collection")
-            heapq.heappush(heap, (0, order, seed))
+            if frontier is not None and not frontier.admit_push(seed, 0):
+                continue  # duplicate seed: the fixed loop drops it as covered
+            if rank_map is None:
+                heapq.heappush(heap, (0, order, seed))
+            else:
+                heapq.heappush(
+                    heap,
+                    (
+                        0,
+                        rank_map.get(self._meta_of[seed], default_rank),
+                        order,
+                        seed,
+                    ),
+                )
         counter = len(seeds)
         skip = set(skip_nodes)
         # exact-order buffering: (distance, tiebreak, result)
@@ -511,7 +569,8 @@ class PathExpressionEvaluator:
             ):
                 stats.mark_truncated()
                 break
-            priority, _, entry = heapq.heappop(heap)
+            item = heapq.heappop(heap)
+            priority, entry = item[0], item[-1]
             stats.queue_pops += 1
             if exact_order:
                 # Every later result is found through an entry of priority
@@ -521,6 +580,13 @@ class PathExpressionEvaluator:
                     yield heapq.heappop(buffer)[2]
             if max_distance is not None and priority > max_distance:
                 break  # queue head beyond the client's threshold
+            if frontier is not None and not frontier.admit_pop(entry):
+                # an earlier pop of this node provably covers it (§5.1,
+                # descendants-or-self) — skip the index probes the
+                # coverage check would spend proving that
+                stats.entries_dropped += 1
+                stats.planner_pruned_pops += 1
+                continue
             meta = self._meta_documents[self._meta_of[entry]]
             previous = entries.setdefault(meta.meta_id, [])
             outcome = self._expand_entry(
@@ -543,11 +609,28 @@ class PathExpressionEvaluator:
 
             previous.append(entry)
             for local_distance, neighbour in link_pushes:
+                push_priority = priority + local_distance + 1
+                if frontier is not None and not frontier.admit_push(
+                    neighbour, push_priority
+                ):
+                    stats.planner_pruned_pushes += 1
+                    continue
                 stats.link_traversals += 1
                 counter += 1
-                heapq.heappush(
-                    heap, (priority + local_distance + 1, counter, neighbour)
-                )
+                if rank_map is None:
+                    heapq.heappush(heap, (push_priority, counter, neighbour))
+                else:
+                    heapq.heappush(
+                        heap,
+                        (
+                            push_priority,
+                            rank_map.get(
+                                self._meta_of[neighbour], default_rank
+                            ),
+                            counter,
+                            neighbour,
+                        ),
+                    )
 
         while buffer:
             yield heapq.heappop(buffer)[2]
@@ -858,6 +941,11 @@ class PathExpressionEvaluator:
                     "flix_pee_results_total",
                     "Results streamed to clients, by axis.",
                 ),
+                "planner": reg.counter(
+                    "flix_planner_pruned_total",
+                    "Heap pops and pushes the probe planner's frontier "
+                    "pruned as provably covered, by kind.",
+                ),
                 "seconds": reg.histogram(
                     "flix_query_seconds",
                     "Wall time from first consumption to stream completion, "
@@ -882,6 +970,10 @@ class PathExpressionEvaluator:
         inst["dupes"].inc(stats.entries_dropped, kind="entry")
         inst["dupes"].inc(stats.results_suppressed, kind="result")
         inst["results"].inc(stats.results_returned, axis=axis)
+        if stats.planner_pruned_pops:
+            inst["planner"].inc(stats.planner_pruned_pops, kind="pop")
+        if stats.planner_pruned_pushes:
+            inst["planner"].inc(stats.planner_pruned_pushes, kind="push")
         inst["seconds"].observe(duration, axis=axis)
         inst["completeness"].inc(level=stats.completeness)
 
@@ -980,6 +1072,13 @@ class PathExpressionEvaluator:
         counter = 1
         if source not in self._meta_of or target not in self._meta_of:
             raise KeyError("both endpoints must belong to the collection")
+        # frontier pruning only — connection tests stop at the first hit,
+        # so reordering would change *which* path is reported
+        frontier = (
+            self._planner.frontier() if self._planner is not None else None
+        )
+        if frontier is not None:
+            frontier.admit_push(source, 0)
         target_meta = self._meta_of[target]
         deadline = None
         if budget is not None and budget.deadline_seconds is not None:
@@ -995,6 +1094,10 @@ class PathExpressionEvaluator:
             stats.queue_pops += 1
             if max_distance is not None and priority > max_distance:
                 return None
+            if frontier is not None and not frontier.admit_pop(entry):
+                stats.entries_dropped += 1
+                stats.planner_pruned_pops += 1
+                continue
             meta = self._meta_documents[self._meta_of[entry]]
             previous = entries.setdefault(meta.meta_id, [])
             outcome = self._connection_probe(
@@ -1011,10 +1114,16 @@ class PathExpressionEvaluator:
                 return found
             previous.append(entry)
             for local_distance, out_target in link_pushes:
+                push_priority = priority + local_distance + 1
+                if frontier is not None and not frontier.admit_push(
+                    out_target, push_priority
+                ):
+                    stats.planner_pruned_pushes += 1
+                    continue
                 stats.link_traversals += 1
                 counter += 1
                 heapq.heappush(
-                    heap, (priority + local_distance + 1, counter, out_target)
+                    heap, (push_priority, counter, out_target)
                 )
         return None
 

@@ -209,6 +209,9 @@ def save_flix(flix: Flix, directory) -> Path:
             "cache": (
                 flix.config.cache.to_dict() if flix.config.cache else None
             ),
+            "planner": (
+                flix.config.planner.to_dict() if flix.config.planner else None
+            ),
         },
         "integrity": {
             "algorithm": "sha256-table-content",
@@ -255,7 +258,34 @@ def save_flix(flix: Flix, directory) -> Path:
         for stale in root.glob(pattern):
             if stale.name not in integrity:
                 stale.unlink()
+    _save_planner_statistics(flix, root)
     return manifest_path
+
+
+def _save_planner_statistics(flix: Flix, root: Path) -> None:
+    """Persist the probe planner's statistics sidecar (advisory).
+
+    ``planner_stats.json`` is deliberately *outside* the manifest's
+    integrity map: repair cannot rebuild it (the Cohen estimates are
+    randomized only over the layout, but the sidecar is a cache, not
+    index content), and a damaged or stale sidecar must degrade to
+    re-collection at first use, never fail a load.  Written only when a
+    statistics-using planner is configured; a save from an unconfigured
+    instance removes any stale sidecar.
+    """
+    from repro.core.planner import STATISTICS_FILENAME
+
+    path = root / STATISTICS_FILENAME
+    planner_config = getattr(flix.config, "planner", None)
+    if planner_config is None or not planner_config.statistics:
+        path.unlink(missing_ok=True)
+        return
+    try:
+        stats = flix.planner_statistics()
+        atomic_write_text(path, stats.to_json())
+    except Exception:
+        # advisory: a failed sidecar write must not fail the save
+        path.unlink(missing_ok=True)
 
 
 def _fsync_file(path: Path) -> None:
@@ -548,7 +578,9 @@ def load_flix(collection: XmlCollection, directory, verify: bool = True) -> Flix
         if damaged:
             raise IntegrityError(root, damaged)
 
-    config = _config_from_manifest(manifest["config"])
+    from repro.core.config import apply_planner_env
+
+    config = apply_planner_env(_config_from_manifest(manifest["config"]))
 
     tags = {node: collection.tag(node) for node in collection.node_ids()}
     loaders = _loaders()
@@ -673,10 +705,32 @@ def load_flix(collection: XmlCollection, directory, verify: bool = True) -> Flix
         flix._layout = restored.with_pee(
             flix._build_evaluator(restored.slots, restored.meta_of, generation)
         )
+    _load_planner_statistics(flix, root)
     return flix
 
 
+def _load_planner_statistics(flix: Flix, root: Path) -> None:
+    """Prime the planner-statistics memo from the saved sidecar.
+
+    Best-effort: a missing, unparsable, wrong-version, or stale
+    (generation-mismatched) sidecar is simply ignored and the statistics
+    are re-collected lazily at first use."""
+    from repro.core.planner import STATISTICS_FILENAME, LayoutStatistics
+
+    path = root / STATISTICS_FILENAME
+    if not path.is_file():
+        return
+    try:
+        stats = LayoutStatistics.from_json(path.read_text(encoding="utf-8"))
+    except Exception:
+        return
+    if stats.generation == flix.layout_generation:
+        flix._planner_stats = (stats.generation, stats)
+
+
 def _config_from_manifest(config_data: dict) -> FlixConfig:
+    from repro.core.config import PlannerConfig
+
     resilience_data = config_data.get("resilience")
     return FlixConfig(
         name=config_data["name"],
@@ -698,6 +752,11 @@ def _config_from_manifest(config_data: dict) -> FlixConfig:
         cache=(
             CacheConfig.from_dict(config_data["cache"])
             if config_data.get("cache")
+            else None
+        ),
+        planner=(
+            PlannerConfig.from_dict(config_data["planner"])
+            if config_data.get("planner")
             else None
         ),
     )

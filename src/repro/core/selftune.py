@@ -8,6 +8,15 @@ again, taking statistics on the query load into account."
 :class:`QueryLoadMonitor` aggregates the :class:`~repro.core.pee.QueryStats`
 of executed queries; :meth:`QueryLoadMonitor.advice` decides whether a
 rebuild is warranted and recommends the next configuration.
+
+The workload-driven retuning loop (APEX-style; ``docs/PLANNING.md``)
+closes over the same window: :meth:`QueryLoadMonitor.profile` condenses
+it into a :class:`WorkloadProfile` that ``Flix.build(workload=...)`` /
+``Flix.rebuild(workload=...)`` feed into the Indexing Strategy Selector,
+and :meth:`advice` additionally recommends *re-planning* — enabling the
+cost-based probe planner (:mod:`repro.core.planner`) — when the observed
+duplicate-work ratio says the fixed probe discipline is re-expanding
+covered entries.
 """
 
 from __future__ import annotations
@@ -28,8 +37,12 @@ class TuningAdvice:
     cheaper remedy than a rebuild: incremental growth has piled up enough
     singleton meta documents (``compaction_candidates``) that merging
     them in place would cut residual-link traffic without rebuild
-    downtime.  Both flags can be set at once; compaction is the cheaper
-    first step, a rebuild the thorough one.
+    downtime.  ``should_replan`` flags a runtime remedy cheaper still:
+    enabling the cost-based probe planner
+    (``flix.config.with_planner()``, no rebuild at all) because the
+    observed load re-expands provably covered entries.  All flags can be
+    set at once; re-planning is the cheapest step, compaction next, a
+    rebuild the thorough one.
     """
 
     should_rebuild: bool
@@ -37,6 +50,8 @@ class TuningAdvice:
     recommended_config: Optional[FlixConfig] = None
     should_compact: bool = False
     compaction_candidates: Tuple[int, ...] = ()
+    should_replan: bool = False
+    replan_reason: str = ""
 
 
 def with_compaction_advice(
@@ -70,6 +85,45 @@ def with_compaction_advice(
     )
 
 
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A condensed view of the recorded query load, ready to feed back
+    into the build phase (``Flix.build(workload=...)``).
+
+    ``duplicate_ratio`` is the fraction of priority-queue pops that were
+    dropped as already covered — the §5.1 duplicate-elimination work the
+    probe planner's frontier can prune.  ``descendants_heavy`` is true
+    when the load is dominated by long-range reachability (many queue
+    pops and link traversals per query), the regime HOPI-style
+    distance-aware indexes are built for.
+    """
+
+    query_count: int = 0
+    duplicate_ratio: float = 0.0
+    mean_queue_pops: float = 0.0
+    mean_link_traversals: float = 0.0
+    descendants_heavy: bool = False
+
+    def bias(self, config: FlixConfig) -> FlixConfig:
+        """``config`` adjusted toward this workload (APEX-style).
+
+        A long-path-heavy load flips ``expect_long_paths`` (biasing the
+        ISS toward HOPI over PPO for deep structures) and doubles the
+        HOPI pair budget so the selector can afford the closure where the
+        load says it pays.  A light or unobserved load returns ``config``
+        unchanged — the bias never fires on cold instances.
+        """
+        if self.query_count == 0 or not self.descendants_heavy:
+            return config
+        changes = {}
+        if not config.expect_long_paths:
+            changes["expect_long_paths"] = True
+        changes["hopi_pairs_per_node_budget"] = (
+            config.hopi_pairs_per_node_budget * 2
+        )
+        return replace(config, **changes)
+
+
 class QueryLoadMonitor:
     """Sliding-window statistics over executed queries."""
 
@@ -83,6 +137,19 @@ class QueryLoadMonitor:
         self._lock = threading.Lock()
 
     def record(self, stats: QueryStats) -> None:
+        # A truncated row with zero counters never touched the index: it
+        # was refused before evaluation (queue-expired admission in
+        # repro.serve builds such rows).  Recording it would dilute every
+        # mean the planner and the tuning advice feed on, so it is
+        # skipped; genuinely truncated evaluations (budget ran out
+        # mid-search) carry nonzero counters and are recorded normally.
+        if (
+            not stats.is_complete
+            and stats.queue_pops == 0
+            and stats.meta_document_visits == 0
+            and stats.results_returned == 0
+        ):
+            return
         with self._lock:
             self._stats.append(stats)
             if len(self._stats) > self._window:
@@ -116,11 +183,50 @@ class QueryLoadMonitor:
                 return 0.0
             return sum(s.results_returned for s in self._stats) / len(self._stats)
 
+    @property
+    def mean_queue_pops(self) -> float:
+        with self._lock:
+            if not self._stats:
+                return 0.0
+            return sum(s.queue_pops for s in self._stats) / len(self._stats)
+
+    @property
+    def mean_covered_probes(self) -> float:
+        with self._lock:
+            if not self._stats:
+                return 0.0
+            return sum(s.covered_probes for s in self._stats) / len(self._stats)
+
+    @property
+    def duplicate_ratio(self) -> float:
+        """Dropped pops / total pops over the window: the share of
+        Figure-4 loop iterations §5.1 coverage discarded — exactly the
+        work the probe planner's frontier prunes without a heap pass."""
+        with self._lock:
+            pops = sum(s.queue_pops for s in self._stats)
+            dropped = sum(s.entries_dropped for s in self._stats)
+        return dropped / max(1, pops)
+
+    def profile(self) -> WorkloadProfile:
+        """The window condensed into a :class:`WorkloadProfile` for
+        ``Flix.build(workload=...)`` / ``Flix.rebuild(workload=...)``."""
+        count = self.query_count
+        pops = self.mean_queue_pops
+        links = self.mean_link_traversals
+        return WorkloadProfile(
+            query_count=count,
+            duplicate_ratio=self.duplicate_ratio,
+            mean_queue_pops=pops,
+            mean_link_traversals=links,
+            descendants_heavy=(links > 4.0 or pops > 16.0),
+        )
+
     def advice(
         self,
         current_config: FlixConfig,
         link_traversal_threshold: float = 8.0,
         min_queries: int = 20,
+        duplicate_ratio_threshold: float = 0.25,
     ) -> TuningAdvice:
         """Should the build phase run again, and with what configuration?
 
@@ -130,6 +236,13 @@ class QueryLoadMonitor:
         and a configuration with larger / link-absorbing meta documents
         (Unconnected HOPI with a bigger partition budget) should amortize
         the traversals into index lookups.
+
+        Independently, *re-planning* is recommended when the duplicate-
+        work ratio exceeds ``duplicate_ratio_threshold`` on an instance
+        without a configured probe planner: enabling the planner
+        (``config.with_planner()`` + rebuilding the evaluator, or simply
+        restarting with the new config) prunes that work at run time with
+        no index change at all.
         """
         if self.query_count < min_queries:
             return TuningAdvice(
@@ -137,20 +250,45 @@ class QueryLoadMonitor:
                 f"only {self.query_count} queries observed "
                 f"(need {min_queries}); keep collecting",
             )
+        advice = None
         mean_links = self.mean_link_traversals
         if mean_links <= link_traversal_threshold:
-            return TuningAdvice(
+            advice = TuningAdvice(
                 False,
                 f"mean {mean_links:.1f} link traversals/query is within the "
                 f"threshold of {link_traversal_threshold}",
             )
-        recommended = FlixConfig.unconnected_hopi(
-            partition_size=max(current_config.partition_size * 4, 5000)
-        )
-        return TuningAdvice(
-            True,
-            f"mean {mean_links:.1f} link traversals/query exceeds "
-            f"{link_traversal_threshold}; larger meta documents would absorb "
-            "them into index lookups",
-            recommended,
-        )
+        else:
+            recommended = FlixConfig.unconnected_hopi(
+                partition_size=max(current_config.partition_size * 4, 5000)
+            )
+            advice = TuningAdvice(
+                True,
+                f"mean {mean_links:.1f} link traversals/query exceeds "
+                f"{link_traversal_threshold}; larger meta documents would "
+                "absorb them into index lookups",
+                recommended,
+            )
+        ratio = self.duplicate_ratio
+        if (
+            ratio > duplicate_ratio_threshold
+            and getattr(current_config, "planner", None) is None
+        ):
+            replan_reason = (
+                f"{ratio:.0%} of queue pops are dropped as already covered "
+                f"(threshold {duplicate_ratio_threshold:.0%}); enabling the "
+                "probe planner (config.with_planner()) would prune them"
+            )
+            recommended = (
+                advice.recommended_config
+                if advice.recommended_config is not None
+                else current_config
+            ).with_planner()
+            advice = replace(
+                advice,
+                should_replan=True,
+                replan_reason=replan_reason,
+                reason=f"{advice.reason}; {replan_reason}",
+                recommended_config=recommended,
+            )
+        return advice

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.collection.collection import NodeId
+from repro.core.api import QueryRequest
 from repro.core.framework import Flix
 from repro.query.ast import LocationStep, PathQuery, Predicate
 from repro.query.ontology import Ontology, default_ontology
@@ -156,8 +157,10 @@ class QueryEngine:
                 ceiling = chain_score * tag_score  # best any result can get
                 if ceiling < self._scoring.min_score or ceiling < threshold_score:
                     continue
-                for result in self._flix.find_descendants(
-                    source, tag=tag, max_distance=max_distance
+                for result in self._flix.query_stream(
+                    QueryRequest.descendants(
+                        source, tag=tag, max_distance=max_distance
+                    )
                 ):
                     if step.axis == "child" and result.distance != 1:
                         continue

@@ -330,6 +330,10 @@ class FlixService:
 
     @staticmethod
     def _expired_response(request: QueryRequest) -> QueryResponse:
+        # An all-zero truncated row: the query never touched the index.
+        # QueryLoadMonitor.record skips rows of exactly this shape so
+        # queue-expired admissions cannot dilute the workload statistics
+        # the probe planner and tuning advice are driven by.
         stats = QueryStats()
         stats._mark("truncated")
         return QueryResponse(

@@ -160,6 +160,7 @@ class ShardCoordinator:
         observability: Optional[Observability] = None,
         role: str = "primary",
         replication=None,
+        planner=None,
     ) -> None:
         if len(clients) != shard_map.shards:
             raise ValueError(
@@ -190,8 +191,13 @@ class ShardCoordinator:
         self._healthy = [True] * shard_map.shards
         self._health_lock = threading.Lock()
         self._round_robin = itertools.count()
+        # ``planner`` is the same ProbePlanner the workers' serial
+        # evaluators run (repro.core.planner) — the distributed loop then
+        # prunes identically, keeping sharded answers byte-identical to
+        # serial ones with the planner on or off.  ``connect`` derives it
+        # from the saved deployment's manifest.
         self._distributed = DistributedEvaluator(
-            shard_map, self._expand_rpc, self._probe_rpc
+            shard_map, self._expand_rpc, self._probe_rpc, planner=planner
         )
         registry = self._obs.registry
         self._m_requests = registry.counter(
@@ -236,12 +242,19 @@ class ShardCoordinator:
         **kwargs,
     ) -> "ShardCoordinator":
         """Coordinator over already-running workers at ``endpoints``
-        (ordered by shard id), using the shard map saved in ``index_dir``."""
+        (ordered by shard id), using the shard map saved in ``index_dir``.
+
+        The probe planner the deployment's saved configuration implies
+        (manifest ``config.planner``, overridable via ``FLIX_PLANNER``
+        exactly as in ``Flix.load``) is attached to the distributed loop
+        unless an explicit ``planner=`` is passed."""
         shard_map = load_shard_map(index_dir)
         clients = [
             ShardClient(shard_id, host, port)
             for shard_id, (host, port) in enumerate(endpoints)
         ]
+        if "planner" not in kwargs:
+            kwargs["planner"] = _planner_for_deployment(index_dir)
         return cls(shard_map, clients, **kwargs)
 
     # ------------------------------------------------------------------
@@ -275,6 +288,11 @@ class ShardCoordinator:
         payload, response, mode, shard = self._evaluate(
             request, effective_budget, started
         )
+        if request.explain and response.plan is None:
+            # delegated answers carry the worker's plan already; the
+            # distributed path evaluates here and has no local layout, so
+            # ask a worker for the (identical) static plan
+            response.plan = self.explain(request)
         self._m_requests.inc(
             shard=str(shard), mode=mode, status=response.stats.completeness
         )
@@ -308,6 +326,24 @@ class ShardCoordinator:
             time.perf_counter() - started,
             layout_generation=self._map.generation,
         )
+
+    def explain(self, request: QueryRequest):
+        """The static :class:`~repro.core.planner.QueryPlan` for
+        ``request`` — ``Flix.explain`` with the same failover discipline
+        as delegation (every worker holds the whole index, so any healthy
+        shard's plan is authoritative).  ``None`` when no shard answers.
+        """
+        for shard_id in self._failover_order(self._route(request)):
+            try:
+                _, reply = self._clients[shard_id].call(
+                    "explain", {"request": request}
+                )
+            except ShardUnavailable:
+                self._mark_health(shard_id, False)
+                continue
+            self._mark_health(shard_id, True)
+            return reply["plan"]
+        return None
 
     # ------------------------------------------------------------------
     # routing
@@ -621,6 +657,43 @@ class ShardCoordinator:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _planner_for_deployment(index_dir):
+    """The :class:`~repro.core.planner.ProbePlanner` a saved deployment's
+    manifest configuration implies, honouring the ``FLIX_PLANNER``
+    environment override exactly as ``Flix.load`` does.  ``None`` when no
+    planner is configured (the classic fixed discipline), or when the
+    manifest is missing/unreadable (advisory — a coordinator must come up
+    regardless).
+
+    The coordinator holds no index layout, so the planner runs without
+    statistics: frontier pruning (the default mode) needs none, and
+    cost-order ranking simply stays off here — either way the result
+    stream is byte-identical to the workers' serial evaluation.
+    """
+    import json as _json
+    import os as _os
+    from pathlib import Path as _Path
+
+    from repro.core.config import PlannerConfig
+    from repro.core.planner import ProbePlanner
+
+    override = _os.environ.get("FLIX_PLANNER", "")
+    if override == "0":
+        return None
+    data = None
+    try:
+        manifest = _json.loads(
+            (_Path(index_dir) / "manifest.json").read_text(encoding="utf-8")
+        )
+        data = manifest.get("config", {}).get("planner")
+    except Exception:
+        data = None
+    if data is None and override == "":
+        return None
+    config = PlannerConfig.from_dict(data) if data else PlannerConfig()
+    return ProbePlanner(config)
 
 
 __all__ = ["ShardClient", "ShardCoordinator"]

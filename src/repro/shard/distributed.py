@@ -54,10 +54,15 @@ class DistributedEvaluator:
         shard_map: ShardMap,
         expand_rpc: ExpandRpc,
         probe_rpc: ProbeRpc,
+        planner=None,
     ) -> None:
         self._map = shard_map
         self._expand_rpc = expand_rpc
         self._probe_rpc = probe_rpc
+        # the same ProbePlanner (repro.core.planner) the serial evaluator
+        # uses — identical frontier rules keep distributed evaluation
+        # byte-identical to serial with the planner on or off
+        self._planner = planner
 
     # ------------------------------------------------------------------
     # descendants / ancestors / type queries
@@ -72,13 +77,43 @@ class DistributedEvaluator:
         stats: QueryStats,
         exact_order: bool = False,
         budget: Optional[QueryBudget] = None,
+        tag_rankable: bool = True,
     ) -> Iterator[QueryResult]:
-        """The distributed ``_search_inner`` (same locals, same order)."""
+        """The distributed ``_search_inner`` (same locals, same order).
+
+        ``tag_rankable=False`` marks an internal sub-search (the serial
+        evaluator's ``axis=None``) whose cost-order reordering must stay
+        off even with a reordering planner configured."""
+        planner = self._planner
+        frontier = planner.frontier() if planner is not None else None
+        rank_map = None
+        if (
+            planner is not None
+            and planner.reorders
+            and tag_rankable
+            and max_distance is None
+            and budget is None
+            and not exact_order
+        ):
+            # same gating as the serial evaluator: cost order only where
+            # the result *set* is provably preserved
+            rank_map = planner.rank_map(tag, forward)
         entries: Dict[int, List[NodeId]] = {}
-        heap: List[Tuple[int, int, NodeId]] = []
+        # (priority, counter, node), or (priority, rank, counter, node)
+        # under cost order — the loop reads item[0] and item[-1] only
+        heap: List[tuple] = []
+        default_rank = len(rank_map) if rank_map is not None else 0
         for order, seed in enumerate(seeds):
-            self._map.meta_of(seed)  # KeyError for unknown nodes, as serial
-            heapq.heappush(heap, (0, order, seed))
+            meta_id = self._map.meta_of(seed)  # KeyError as serial
+            if frontier is not None and not frontier.admit_push(seed, 0):
+                continue
+            if rank_map is None:
+                heapq.heappush(heap, (0, order, seed))
+            else:
+                heapq.heappush(
+                    heap,
+                    (0, rank_map.get(meta_id, default_rank), order, seed),
+                )
         counter = len(seeds)
         skip = tuple(skip_nodes)
         buffer: List[Tuple[int, int, QueryResult]] = []
@@ -90,13 +125,19 @@ class DistributedEvaluator:
             if budget is not None and _budget_exhausted(budget, deadline, stats):
                 stats.mark_truncated()
                 break
-            priority, _, entry = heapq.heappop(heap)
+            item = heapq.heappop(heap)
+            priority, entry = item[0], item[-1]
             stats.queue_pops += 1
             if exact_order:
                 while buffer and buffer[0][0] < priority:
                     yield heapq.heappop(buffer)[2]
             if max_distance is not None and priority > max_distance:
                 break
+            if frontier is not None and not frontier.admit_pop(entry):
+                # provably covered by an earlier pop (see the serial loop)
+                stats.entries_dropped += 1
+                stats.planner_pruned_pops += 1
+                continue
             meta_id = self._map.meta_of(entry)
             previous = entries.setdefault(meta_id, [])
             try:
@@ -135,11 +176,28 @@ class DistributedEvaluator:
 
             previous.append(entry)
             for local_distance, neighbour in link_pushes:
+                push_priority = priority + local_distance + 1
+                if frontier is not None and not frontier.admit_push(
+                    neighbour, push_priority
+                ):
+                    stats.planner_pruned_pushes += 1
+                    continue
                 stats.link_traversals += 1
                 counter += 1
-                heapq.heappush(
-                    heap, (priority + local_distance + 1, counter, neighbour)
-                )
+                if rank_map is None:
+                    heapq.heappush(heap, (push_priority, counter, neighbour))
+                else:
+                    heapq.heappush(
+                        heap,
+                        (
+                            push_priority,
+                            rank_map.get(
+                                self._map.meta_of(neighbour), default_rank
+                            ),
+                            counter,
+                            neighbour,
+                        ),
+                    )
 
         while buffer:
             yield heapq.heappop(buffer)[2]
@@ -160,6 +218,11 @@ class DistributedEvaluator:
         heap: List[Tuple[int, int, NodeId]] = [(0, 0, source)]
         counter = 1
         self._map.meta_of(source)
+        frontier = (
+            self._planner.frontier() if self._planner is not None else None
+        )
+        if frontier is not None:
+            frontier.admit_push(source, 0)
         target_meta = self._map.meta_of(target)
         deadline = None
         if budget is not None and budget.deadline_seconds is not None:
@@ -173,6 +236,10 @@ class DistributedEvaluator:
             stats.queue_pops += 1
             if max_distance is not None and priority > max_distance:
                 return None
+            if frontier is not None and not frontier.admit_pop(entry):
+                stats.entries_dropped += 1
+                stats.planner_pruned_pops += 1
+                continue
             meta_id = self._map.meta_of(entry)
             previous = entries.setdefault(meta_id, [])
             try:
@@ -202,10 +269,16 @@ class DistributedEvaluator:
                 return found
             previous.append(entry)
             for local_distance, out_target in link_pushes:
+                push_priority = priority + local_distance + 1
+                if frontier is not None and not frontier.admit_push(
+                    out_target, push_priority
+                ):
+                    stats.planner_pruned_pushes += 1
+                    continue
                 stats.link_traversals += 1
                 counter += 1
                 heapq.heappush(
-                    heap, (priority + local_distance + 1, counter, out_target)
+                    heap, (push_priority, counter, out_target)
                 )
         return None
 
@@ -220,10 +293,12 @@ class DistributedEvaluator:
         """Alternating forward/backward search, as the serial §5.2
         optimization — both sub-searches share this query's stats."""
         forward = self.search(
-            [source], None, max_distance, True, (), stats, budget=budget
+            [source], None, max_distance, True, (), stats, budget=budget,
+            tag_rankable=False,
         )
         backward = self.search(
-            [target], None, max_distance, False, (), stats, budget=budget
+            [target], None, max_distance, False, (), stats, budget=budget,
+            tag_rankable=False,
         )
         try:
             seen_forward: Dict[NodeId, int] = {}

@@ -1,6 +1,6 @@
 """Stdlib HTTP front door over a :class:`~repro.shard.coordinator.ShardCoordinator`.
 
-``repro serve`` starts one of these.  Three routes, all JSON unless
+``repro serve`` starts one of these.  Four routes, all JSON unless
 noted:
 
 ``POST /query``
@@ -9,7 +9,13 @@ noted:
     materialized :class:`~repro.core.api.QueryResponse` rendered by
     :func:`response_to_json` — results, scalar value, completeness,
     stats, cache/layout provenance.  400 for malformed bodies, 404 for
-    unknown nodes.
+    unknown nodes.  Pass ``"explain": true`` to additionally get the
+    executed plan stamped under ``"plan"``.
+``POST /explain``
+    Same request body as ``/query`` but nothing is evaluated: the
+    routed shard plans the probe order and the response is the
+    :class:`~repro.core.planner.QueryPlan` rendered by its ``to_dict``
+    (see ``docs/PLANNING.md``).  503 when no healthy shard can plan.
 ``GET /health``
     Per-shard liveness (the coordinator pings every worker), overall
     healthy/total counts, and the planned generation.  Status 200 while
@@ -58,7 +64,7 @@ def request_from_json(payload: Dict) -> QueryRequest:
     known = {
         "kind", "source", "target", "tag", "source_tag", "path",
         "max_distance", "max_cost", "model", "limit", "include_self",
-        "exact_order", "bidirectional", "budget",
+        "exact_order", "bidirectional", "budget", "explain",
     }
     unknown = set(payload) - known
     if unknown:
@@ -77,6 +83,12 @@ def request_from_json(payload: Dict) -> QueryRequest:
             fields["budget"] = QueryBudget(**budget)
         except TypeError as exc:
             raise ValueError(f"bad budget: {exc}") from exc
+    for key in ("source", "target"):
+        value = fields.get(key)
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int)
+        ):
+            raise ValueError(f"{key!r} must be an integer node id")
     try:
         return QueryRequest(**fields)
     except TypeError as exc:
@@ -95,6 +107,7 @@ def response_to_json(response: QueryResponse) -> Dict:
         else:  # (node, distance) path pairs / (node, cost) connections
             results.append(list(row))
     stats = response.stats
+    plan = getattr(response, "plan", None)
     return {
         "kind": response.request.kind,
         "results": results,
@@ -111,8 +124,11 @@ def response_to_json(response: QueryResponse) -> Dict:
             "results_suppressed": stats.results_suppressed,
             "covered_probes": stats.covered_probes,
             "queue_pops": stats.queue_pops,
+            "planner_pruned_pops": stats.planner_pruned_pops,
+            "planner_pruned_pushes": stats.planner_pruned_pushes,
             "fallback_meta_documents": stats.fallback_meta_documents,
         },
+        "plan": plan.to_dict() if plan is not None else None,
     }
 
 
@@ -172,7 +188,7 @@ class _FrontDoorHandler(BaseHTTPRequestHandler):
 
     def _handle_post(self) -> None:
         parsed = urlparse(self.path)
-        if parsed.path != "/query":
+        if parsed.path not in ("/query", "/explain"):
             self._send_json(404, {"error": f"no route {parsed.path}"})
             return
         try:
@@ -182,6 +198,17 @@ class _FrontDoorHandler(BaseHTTPRequestHandler):
             request = request_from_json(payload)
         except (ValueError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": str(exc)})
+            return
+        if parsed.path == "/explain":
+            try:
+                plan = self._door.coordinator.explain(request)
+            except KeyError as exc:
+                self._send_json(404, {"error": str(exc).strip("'\"")})
+                return
+            if plan is None:
+                self._send_json(503, {"error": "no healthy shard to plan on"})
+                return
+            self._send_json(200, plan.to_dict())
             return
         try:
             response = self._door.coordinator.query(request)

@@ -21,6 +21,11 @@ Verbs served:
     ``connection_probe``) against this worker's index and return the
     outcome plus the counter deltas, leaving the priority queue at the
     coordinator.
+``explain``
+    The EXPLAIN surface: return ``Flix.explain``'s static
+    :class:`~repro.core.planner.QueryPlan` for one request without
+    evaluating it (any worker's plan is authoritative — each holds the
+    whole index).
 ``type_seeds``
     Seed list for an ``A//B`` type query, computed the same way
     ``Flix._raw_stream`` computes it.
@@ -305,6 +310,10 @@ class ShardWorker:
                 payload["max_distance"], payload["previous"], stats,
             )
             return "probed", {"outcome": outcome, "stats": stats}
+        if verb == "explain":
+            # the EXPLAIN surface: every worker holds the whole index, so
+            # any shard's static plan is authoritative for the deployment
+            return "plan", {"plan": self.flix.explain(payload["request"])}
         if verb == "type_seeds":
             layout = self.flix.layout
             seeds = [

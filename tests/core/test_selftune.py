@@ -75,3 +75,151 @@ class TestAdvice:
         lax = monitor.advice(FlixConfig.naive(), link_traversal_threshold=10.0)
         assert strict.should_rebuild
         assert not lax.should_rebuild
+
+
+def truncated_zero_stats():
+    """The all-zero truncated row a queue-expired admission produces
+    (``FlixService._expired_response``): refused before evaluation."""
+    s = QueryStats()
+    s._mark("truncated")
+    return s
+
+
+class TestRecordGuard:
+    def test_zeroed_truncated_rows_skipped(self):
+        monitor = QueryLoadMonitor()
+        monitor.record(truncated_zero_stats())
+        assert monitor.query_count == 0
+
+    def test_truncated_rows_with_work_recorded(self):
+        # a budget that ran out mid-search carries real counters and
+        # must keep contributing to the workload statistics
+        monitor = QueryLoadMonitor()
+        s = QueryStats(meta_document_visits=3, link_traversals=2)
+        s._mark("truncated")
+        monitor.record(s)
+        assert monitor.query_count == 1
+
+    def test_zeroed_rows_do_not_dilute_means(self):
+        diluted = QueryLoadMonitor()
+        clean = QueryLoadMonitor()
+        for _ in range(10):
+            row = stats(links=10)
+            diluted.record(row)
+            clean.record(row)
+            diluted.record(truncated_zero_stats())
+        assert diluted.mean_link_traversals == clean.mean_link_traversals
+
+
+class TestWorkloadProfile:
+    def make_monitor(self, links=10, pops=30, dropped=10, count=30):
+        monitor = QueryLoadMonitor()
+        for _ in range(count):
+            monitor.record(
+                QueryStats(
+                    meta_document_visits=2,
+                    link_traversals=links,
+                    queue_pops=pops,
+                    entries_dropped=dropped,
+                    results_returned=1,
+                )
+            )
+        return monitor
+
+    def test_profile_condenses_window(self):
+        profile = self.make_monitor().profile()
+        assert profile.query_count == 30
+        assert profile.mean_queue_pops == 30.0
+        assert profile.mean_link_traversals == 10.0
+        assert profile.duplicate_ratio == pytest.approx(10 / 30)
+        assert profile.descendants_heavy
+
+    def test_light_load_not_descendants_heavy(self):
+        profile = self.make_monitor(links=1, pops=2, dropped=0).profile()
+        assert not profile.descendants_heavy
+
+    def test_bias_flips_long_paths_and_widens_budget(self):
+        profile = self.make_monitor().profile()
+        config = FlixConfig.unconnected_hopi(1000)
+        biased = profile.bias(config)
+        assert biased.expect_long_paths
+        assert (
+            biased.hopi_pairs_per_node_budget
+            == config.hopi_pairs_per_node_budget * 2
+        )
+
+    def test_bias_inert_on_cold_or_light_profiles(self):
+        from repro.core.selftune import WorkloadProfile
+
+        config = FlixConfig.naive()
+        assert WorkloadProfile().bias(config) is config
+        light = WorkloadProfile(query_count=5, descendants_heavy=False)
+        assert light.bias(config) is config
+
+    def test_selector_biases_only_with_explicit_workload(self):
+        from repro.core.iss import IndexingStrategySelector
+
+        profile = self.make_monitor().profile()
+        config = FlixConfig.unconnected_hopi(1000)
+        plain = IndexingStrategySelector(config)
+        biased = IndexingStrategySelector(config, workload=profile)
+        assert (
+            plain._config.hopi_pairs_per_node_budget
+            == config.hopi_pairs_per_node_budget
+        )
+        assert (
+            biased._config.hopi_pairs_per_node_budget
+            == config.hopi_pairs_per_node_budget * 2
+        )
+
+
+class TestReplanAdvice:
+    def make_monitor(self, dropped, pops=20):
+        monitor = QueryLoadMonitor()
+        for _ in range(30):
+            monitor.record(
+                QueryStats(
+                    meta_document_visits=1,
+                    queue_pops=pops,
+                    entries_dropped=dropped,
+                    results_returned=1,
+                )
+            )
+        return monitor
+
+    def test_duplicate_heavy_load_recommends_planner(self):
+        monitor = self.make_monitor(dropped=10)
+        advice = monitor.advice(FlixConfig.naive())
+        assert advice.should_replan
+        assert "with_planner" in advice.replan_reason
+        assert advice.recommended_config is not None
+        assert advice.recommended_config.planner is not None
+
+    def test_no_replan_when_planner_already_on(self):
+        monitor = self.make_monitor(dropped=10)
+        advice = monitor.advice(FlixConfig.naive().with_planner())
+        assert not advice.should_replan
+
+    def test_no_replan_below_threshold(self):
+        monitor = self.make_monitor(dropped=2)
+        advice = monitor.advice(FlixConfig.naive())
+        assert not advice.should_replan
+        assert advice.replan_reason == ""
+
+    def test_replan_composes_with_rebuild_advice(self):
+        monitor = QueryLoadMonitor()
+        for _ in range(30):
+            monitor.record(
+                QueryStats(
+                    meta_document_visits=1,
+                    link_traversals=50,
+                    queue_pops=20,
+                    entries_dropped=10,
+                    results_returned=1,
+                )
+            )
+        advice = monitor.advice(FlixConfig.unconnected_hopi(1000))
+        assert advice.should_rebuild and advice.should_replan
+        # the replanned recommendation layers onto the rebuild one
+        assert advice.recommended_config.planner is not None
+        assert advice.recommended_config.partition_size >= 4000

@@ -106,6 +106,18 @@ class TestRoutes:
         assert status == 400
         assert "kind" in body["error"]
 
+    def test_non_integer_source_is_400(self, door):
+        # a document name is not a node id: must come back 400, not a
+        # dropped connection from the routing layer comparing str to int
+        front, _ = door
+        for route in ("/query", "/explain"):
+            status, body = _post(
+                front, route,
+                {"kind": "descendants", "source": "matrix3.xml"},
+            )
+            assert status == 400
+            assert "integer node id" in body["error"]
+
     def test_health_route(self, door):
         front, _ = door
         status, _, raw = _get(front, "/health")

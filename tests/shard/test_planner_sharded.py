@@ -1,0 +1,188 @@
+"""Planner parity across the sharded deployment (``docs/PLANNING.md``).
+
+The serial invariant carries over unchanged: a coordinator answering
+over a planner-enabled saved index must stay byte-identical to the
+planner-*off* serial baseline for every query kind, in both
+``delegate`` and ``distributed`` cross-shard modes.  The CI chaos job
+re-runs this file under ``FAULT_PLAN=moderate``, which is exactly the
+ISSUE's chaos-parity requirement (transient faults are retried by the
+resilient backend, so determinism holds).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from types import SimpleNamespace
+
+import pytest
+
+from repro.collection.io import save_collection
+from repro.core.api import QueryRequest
+from repro.core.config import FlixConfig
+from repro.core.framework import Flix
+from repro.core.planner import QueryPlan
+from repro.datasets.dblp import DblpSpec, generate_dblp
+from repro.shard.http import FrontDoor
+
+from tests.shard.conftest import in_process_cluster
+
+
+@pytest.fixture(scope="module")
+def planned_deployment(tmp_path_factory):
+    """A saved packed + planner-enabled index, and the planner-off
+    serial baseline built over the same collection."""
+    base = tmp_path_factory.mktemp("planner-deployment")
+    collection = generate_dblp(DblpSpec(documents=6, seed=7))
+    config = FlixConfig.naive().with_packed()
+    baseline = Flix.build(collection, config)
+    flix = Flix.build(collection, config.with_planner())
+    collection_dir = base / "collection"
+    index_dir = base / "index"
+    save_collection(collection, collection_dir)
+    flix.save(index_dir)
+    return SimpleNamespace(
+        collection=collection,
+        flix=flix,
+        baseline=baseline,
+        collection_dir=collection_dir,
+        index_dir=index_dir,
+    )
+
+
+def _all_kind_requests(collection):
+    roots = [
+        collection.document_root(name) for name in sorted(collection.documents)
+    ]
+    a, b = roots[0], roots[1]
+    return [
+        ("descendants", QueryRequest.descendants(a)),
+        ("type_query", QueryRequest.type_query("article", tag="author")),
+        ("ancestors", QueryRequest.ancestors(a + 1)),
+        ("children", QueryRequest.children(a)),
+        ("path", QueryRequest.find_path(a, ["author"])),
+        ("connections", QueryRequest.connections(a)),
+        ("cost", QueryRequest.cost(a, b)),
+        ("test", QueryRequest.test(a, b)),
+    ]
+
+
+def _signature(response):
+    return (
+        [repr(row) for row in response.results],
+        response.value,
+        response.stats.completeness,
+    )
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("mode", ["delegate", "distributed"])
+    def test_all_kinds_identical_to_unplanned_serial(
+        self, planned_deployment, mode
+    ):
+        requests = _all_kind_requests(planned_deployment.collection)
+        serial = {
+            name: planned_deployment.baseline.query(request)
+            for name, request in requests
+        }
+        with in_process_cluster(
+            planned_deployment, 3, cross_shard=mode
+        ) as (coordinator, _workers):
+            for name, request in requests:
+                response = coordinator.query(request)
+                assert _signature(response) == _signature(serial[name]), (
+                    mode, name,
+                )
+
+    def test_distributed_loop_prunes(self, planned_deployment):
+        # the coordinator-side Figure-4 loop runs the same frontier; on
+        # a linked layout it must report pruned work in the stats
+        requests = _all_kind_requests(planned_deployment.collection)
+        with in_process_cluster(
+            planned_deployment, 3, cross_shard="distributed"
+        ) as (coordinator, _workers):
+            pruned = 0
+            for _name, request in requests:
+                stats = coordinator.query(request).stats
+                pruned += (
+                    stats.planner_pruned_pops + stats.planner_pruned_pushes
+                )
+        assert pruned > 0
+
+
+class TestShardedExplain:
+    def test_coordinator_explain(self, planned_deployment):
+        start = planned_deployment.collection.document_root(
+            sorted(planned_deployment.collection.documents)[0]
+        )
+        with in_process_cluster(planned_deployment, 2) as (coordinator, _):
+            plan = coordinator.explain(
+                QueryRequest.descendants(start, tag="author")
+            )
+            assert plan is not None
+            assert plan.mode == "planned"
+            assert plan.probes
+
+    def test_query_with_explain_stamps_plan(self, planned_deployment):
+        start = planned_deployment.collection.document_root(
+            sorted(planned_deployment.collection.documents)[0]
+        )
+        with in_process_cluster(planned_deployment, 2) as (coordinator, _):
+            response = coordinator.query(
+                QueryRequest.descendants(start).with_explain()
+            )
+            assert response.plan is not None
+            assert response.plan.kind == "descendants"
+
+    def test_http_explain_route(self, planned_deployment):
+        start = planned_deployment.collection.document_root(
+            sorted(planned_deployment.collection.documents)[0]
+        )
+        with in_process_cluster(planned_deployment, 2) as (coordinator, _):
+            with FrontDoor(coordinator) as door:
+                host, port = door.start()
+                body = json.dumps(
+                    {"kind": "descendants", "source": start, "tag": "author"}
+                ).encode()
+                request = urllib.request.Request(
+                    f"http://{host}:{port}/explain",
+                    data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request) as raw:
+                    payload = json.loads(raw.read())
+                plan = QueryPlan.from_dict(payload)
+                assert plan.mode == "planned"
+
+    def test_http_query_with_explain_flag(self, planned_deployment):
+        start = planned_deployment.collection.document_root(
+            sorted(planned_deployment.collection.documents)[0]
+        )
+        with in_process_cluster(planned_deployment, 2) as (coordinator, _):
+            with FrontDoor(coordinator) as door:
+                host, port = door.start()
+                body = json.dumps(
+                    {"kind": "descendants", "source": start, "explain": True}
+                ).encode()
+                request = urllib.request.Request(
+                    f"http://{host}:{port}/query",
+                    data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request) as raw:
+                    payload = json.loads(raw.read())
+                assert payload["plan"] is not None
+                assert payload["plan"]["kind"] == "descendants"
+                assert payload["completeness"] == "complete"
+
+    def test_env_override_disables_coordinator_planner(
+        self, planned_deployment, monkeypatch
+    ):
+        monkeypatch.setenv("FLIX_PLANNER", "0")
+        start = planned_deployment.collection.document_root(
+            sorted(planned_deployment.collection.documents)[0]
+        )
+        with in_process_cluster(planned_deployment, 2) as (coordinator, _):
+            plan = coordinator.explain(QueryRequest.descendants(start))
+            assert plan is not None
+            assert plan.mode == "fixed"

@@ -336,3 +336,45 @@ class TestDurabilityCommands:
     def test_wal_without_log_exits_one(self, movie_dir, tmp_path, capsys):
         assert main(["wal", str(tmp_path)]) == 1
         assert "no write-ahead log" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_table_output(self, movie_dir, capsys):
+        assert main(
+            ["explain", movie_dir, "matrix3.xml", "actor", "--planner"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mode=planned" in out
+        assert "est.matches" in out
+
+    def test_fixed_mode_without_planner(self, movie_dir, capsys):
+        assert main(["explain", movie_dir, "matrix3.xml", "actor"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=fixed" in out
+
+    def test_json_output(self, movie_dir, capsys):
+        import json
+
+        assert main(
+            ["explain", movie_dir, "matrix3.xml", "*", "--planner", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "planned"
+        assert payload["kind"] == "descendants"
+        assert isinstance(payload["probes"], list)
+
+    def test_loads_persisted_index(self, movie_dir, tmp_path, capsys):
+        index_dir = str(tmp_path / "index")
+        assert main(
+            ["explain", movie_dir, "matrix3.xml", "actor",
+             "--planner", "--index-dir", index_dir]
+        ) == 0
+        assert "built and saved" in capsys.readouterr().out
+        assert main(
+            ["explain", movie_dir, "matrix3.xml", "actor",
+             "--index-dir", index_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "loaded persisted index" in out
+        # the saved manifest carries the planner config
+        assert "mode=planned" in out

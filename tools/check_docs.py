@@ -15,10 +15,12 @@ CI runs it on one Python version):
 3. every ``docs/*.md`` file must be registered in ``CHECKED_DOCS`` — a
    doc added without registering it here is a doc whose references
    nobody verifies;
-4. any line mentioning a deprecated symbol (``DEPRECATED_SYMBOLS``)
-   must say so: mention ``enable_cache`` without the word "deprecated"
-   on the same line and the check fails, so stale how-tos cannot
-   resurface retired APIs as the recommended path.
+4. any line mentioning a deprecated symbol (``DEPRECATED_SYMBOLS``, or
+   a ``Flix.``-qualified legacy query method from
+   ``DEPRECATED_FLIX_METHODS``) must say so: mention ``enable_cache``
+   or ``Flix.find_descendants`` without the word "deprecated" on the
+   same line and the check fails, so stale how-tos cannot resurface
+   retired APIs as the recommended path.
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ CHECKED_DOCS = (
     DOCS_DIR / "MAINTENANCE.md",
     DOCS_DIR / "OBSERVABILITY.md",
     DOCS_DIR / "PAPER_MAP.md",
+    DOCS_DIR / "PLANNING.md",
     DOCS_DIR / "RESILIENCE.md",
     DOCS_DIR / "SERVING.md",
     DOCS_DIR / "SHARDING.md",
@@ -49,6 +52,31 @@ CHECKED_DOCS = (
 #: symbols kept only as deprecation shims: a doc line naming one must
 #: carry the word "deprecated" (any case/inflection) on the same line
 DEPRECATED_SYMBOLS = ("enable_cache", "disable_cache")
+
+#: the legacy per-kind ``Flix`` query methods, now shims over
+#: ``query``/``query_stream``.  Matched only when ``Flix.``-qualified:
+#: the same names stay live elsewhere (``QueryRequest.find_path`` is the
+#: modern constructor, ``PathExpressionEvaluator.find_descendants`` is
+#: the engine), and a trailing word boundary keeps live derivatives like
+#: ``find_descendants_streamed`` from tripping the check.
+DEPRECATED_FLIX_METHODS = (
+    "find_descendants",
+    "find_ancestors",
+    "find_children",
+    "evaluate_type_query",
+    "find_path",
+    "find_connections",
+    "connection_cost",
+    "connection_test",
+)
+
+_DEPRECATED_PATTERNS = tuple(
+    (symbol, re.compile(rf"\b{re.escape(symbol)}\b"))
+    for symbol in DEPRECATED_SYMBOLS
+) + tuple(
+    (f"Flix.{symbol}", re.compile(rf"\b[Ff]lix\.{re.escape(symbol)}\b"))
+    for symbol in DEPRECATED_FLIX_METHODS
+)
 
 _DEPRECATION_MARK = re.compile(r"deprecat", re.IGNORECASE)
 
@@ -130,8 +158,8 @@ def check_deprecated_mentions() -> list[str]:
         for number, line in enumerate(
             doc.read_text(encoding="utf-8").splitlines(), start=1
         ):
-            for symbol in DEPRECATED_SYMBOLS:
-                if symbol in line and not _DEPRECATION_MARK.search(line):
+            for symbol, pattern in _DEPRECATED_PATTERNS:
+                if pattern.search(line) and not _DEPRECATION_MARK.search(line):
                     errors.append(
                         f"{label}:{number} mentions deprecated {symbol!r} "
                         "without flagging it as deprecated"
